@@ -1,0 +1,68 @@
+//! Regenerates the §2.3 ablations:
+//!
+//! * **§2.3(7)** — simple-priorities replay (`prio = o(p)`) vs LSTF on the
+//!   default Random scenario (paper: 21% vs 0.21% overdue).
+//! * **§2.3(5)** — preemption: replaying SJF and LIFO originals with
+//!   non-preemptive vs preemptive LSTF (paper: SJF 18.33% → 0.24%, LIFO
+//!   14.77% → 0.25%).
+
+use ups_bench::{ReplayScenario, Scale};
+use ups_core::HeaderInit;
+use ups_metrics::{frac, Table};
+use ups_netsim::prelude::SchedulerKind;
+use ups_topology::{i2_default, SchedulerAssignment};
+
+fn scenario(kind: SchedulerKind, label: &'static str, window: ups_netsim::prelude::Dur) -> ReplayScenario {
+    ReplayScenario {
+        topology_label: "I2:1Gbps-10Gbps",
+        topo: i2_default(),
+        utilization: 0.7,
+        sched_label: label,
+        assign: SchedulerAssignment::uniform(kind),
+        window,
+        seed: 42,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "# Ablations (scale={}, window={})",
+        scale.label, scale.replay_window
+    );
+
+    println!("\n## §2.3(7): LSTF vs simple priorities (prio = o(p)), Random original");
+    println!("# paper: priorities 21% overdue (20.69% > T) vs LSTF 0.21% (0.02% > T)");
+    let scen = scenario(SchedulerKind::Random, "Random", scale.replay_window);
+    let mut t = Table::new(&["replay", "overdue", "overdue>T", "max lateness"]);
+    for (label, init) in [
+        ("LSTF", HeaderInit::LstfSlack),
+        ("Priorities", HeaderInit::PriorityOutputTime),
+    ] {
+        let res = scen.run(init, false);
+        t.row(&[
+            label.to_string(),
+            frac(res.report.frac_overdue()),
+            frac(res.report.frac_overdue_gt_t()),
+            format!("{}", res.report.max_lateness),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("\n## §2.3(5): effect of preemption on hard originals");
+    println!("# paper: SJF 18.33% → 0.24%; LIFO 14.77% → 0.25% overdue");
+    let mut t = Table::new(&["original", "LSTF overdue", "LSTF-P overdue", "LSTF >T", "LSTF-P >T"]);
+    for (kind, label) in [(SchedulerKind::Sjf, "SJF"), (SchedulerKind::Lifo, "LIFO")] {
+        let scen = scenario(kind, label, scale.replay_window);
+        let nonp = scen.run(HeaderInit::LstfSlack, false);
+        let pre = scen.run(HeaderInit::LstfSlack, true);
+        t.row(&[
+            label.to_string(),
+            frac(nonp.report.frac_overdue()),
+            frac(pre.report.frac_overdue()),
+            frac(nonp.report.frac_overdue_gt_t()),
+            frac(pre.report.frac_overdue_gt_t()),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Figure 1** — the CDF of per-packet queueing-delay ratios
+//! (LSTF replay : original schedule) for six original disciplines on the
+//! default Internet2 topology at 70% utilization.
+//!
+//! Output: tab-separated series `discipline  ratio  P[X ≤ ratio]`, one
+//! block per discipline, plus the fraction of packets whose replay
+//! queueing is at most their original queueing (the paper's headline:
+//! "most of the packets actually have a smaller queuing delay in the
+//! LSTF replay").
+
+use ups_bench::{fig1_scenarios, Scale};
+use ups_metrics::{render_series, Cdf};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "# Figure 1: queueing-delay ratio CDF (scale={}, window={})",
+        scale.label, scale.replay_window
+    );
+    // The paper's x-axis: 0.0 to 2.0.
+    let probes: Vec<f64> = (0..=40).map(|i| i as f64 * 0.05).collect();
+    for scenario in fig1_scenarios(scale.replay_window, 42) {
+        let res = scenario.run_lstf();
+        let cdf = Cdf::new(res.report.queueing_ratios.clone());
+        if cdf.is_empty() {
+            println!("{}\t(no queued packets)", scenario.sched_label);
+            continue;
+        }
+        print!("{}", render_series(scenario.sched_label, &cdf.series(&probes)));
+        println!(
+            "# {}: {} ratio samples, {:.1}% of packets no worse than original",
+            scenario.sched_label,
+            cdf.len(),
+            cdf.fraction_le(1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Figure 2** — mean flow completion time bucketed by flow
+//! size, for FIFO / SRPT / SJF / LSTF(slack = flow_size × D) with TCP
+//! flows on the default Internet2 at 70% utilization and 5 MB router
+//! buffers.
+//!
+//! Output: per scheme, the overall mean FCT (the figure's legend) and one
+//! row per Figure 2 size bucket.
+
+use ups_bench::{run_fct_experiment, FctScheme, Scale};
+use ups_metrics::{frac, mean_fct_by_bucket, overall_mean_fct, Table, FIG2_BUCKETS};
+use ups_topology::i2_default;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "# Figure 2: mean FCT by flow size (scale={}, window={}, horizon={})",
+        scale.label, scale.fct_window, scale.fct_horizon
+    );
+    println!("# paper legend: FIFO 0.288s, SRPT 0.208s, SJF 0.194s, LSTF 0.195s");
+    let topo = i2_default();
+    let mut table = Table::new(&[
+        "bucket(B)", "FIFO", "SRPT", "SJF", "LSTF", "flows/bucket",
+    ]);
+    let mut per_scheme = Vec::new();
+    for scheme in FctScheme::ALL {
+        let samples = run_fct_experiment(
+            &topo,
+            scheme,
+            0.7,
+            scale.fct_window,
+            scale.fct_horizon,
+            42,
+        );
+        println!(
+            "{}: mean FCT {} over {} completed flows",
+            scheme.label(),
+            frac(overall_mean_fct(&samples)),
+            samples.len()
+        );
+        per_scheme.push(mean_fct_by_bucket(&samples, &FIG2_BUCKETS));
+    }
+    for (i, &bucket) in FIG2_BUCKETS.iter().enumerate() {
+        table.row(&[
+            bucket.to_string(),
+            format!("{:.4}", per_scheme[0][i].1),
+            format!("{:.4}", per_scheme[1][i].1),
+            format!("{:.4}", per_scheme[2][i].1),
+            format!("{:.4}", per_scheme[3][i].1),
+            per_scheme[0][i].2.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

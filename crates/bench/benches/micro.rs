@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks of the simulation engine: per-discipline
+//! enqueue/dequeue throughput, event-queue operations, and end-to-end
+//! simulator event rate. These are engineering benchmarks (not paper
+//! artifacts) — they track the cost of the LSTF/EDF machinery against
+//! FIFO, the paper's §5 "no more complex than fine-grained priorities"
+//! claim in microcosm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use ups_netsim::prelude::*;
+
+fn mk_packet(id: u64, slack: i128) -> Packet {
+    let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
+    PacketBuilder::new(PacketId(id), FlowId(id % 16), 1500, path, SimTime::ZERO)
+        .slack(slack)
+        .flow_bytes(10_000 + id, 10_000 + id)
+        .prio(id as i128 % 97)
+        .build()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let kinds = [
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+        SchedulerKind::Random,
+        SchedulerKind::Priority { preemptive: false },
+        SchedulerKind::Sjf,
+        SchedulerKind::Srpt,
+        SchedulerKind::Fq,
+        SchedulerKind::Drr,
+        SchedulerKind::FifoPlus,
+        SchedulerKind::Lstf { preemptive: false },
+    ];
+    let ctx = PortCtx {
+        bandwidth: Bandwidth::from_gbps(1),
+    };
+    let mut group = c.benchmark_group("scheduler_enqueue_dequeue_1k");
+    for kind in kinds {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || {
+                        let s = kind.build(7);
+                        let packets: Vec<Packet> =
+                            (0..1000).map(|i| mk_packet(i, (i as i128 * 37) % 5000)).collect();
+                        (s, packets)
+                    },
+                    |(mut s, packets)| {
+                        let mut t = SimTime::ZERO;
+                        for (i, p) in packets.into_iter().enumerate() {
+                            s.enqueue(p, t, i as u64, ctx);
+                            t += Dur::from_ns(100);
+                        }
+                        while let Some(qp) = s.dequeue(t, ctx) {
+                            black_box(qp.packet.id);
+                        }
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = ups_netsim::event::EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(
+                    SimTime::from_ns((i * 7919) % 1_000_000),
+                    ups_netsim::event::Event::Timer {
+                        agent: AgentId(0),
+                        key: i,
+                    },
+                );
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // A small line network pushing 2k packets: measures whole-engine
+    // events/second for FIFO vs LSTF ports.
+    for kind in [SchedulerKind::Fifo, SchedulerKind::Lstf { preemptive: false }] {
+        c.bench_function(&format!("line_sim_2k_packets_{}", kind.name()), |b| {
+            b.iter(|| {
+                let topo =
+                    ups_topology::line(3, Bandwidth::from_gbps(10), Dur::from_us(5));
+                let mut routing = ups_topology::Routing::new(&topo);
+                let hosts = topo.hosts();
+                let mut sim = ups_topology::build_simulator(
+                    &topo,
+                    &ups_topology::SchedulerAssignment::uniform(kind),
+                    &ups_topology::BuildOptions::default(),
+                );
+                let path = routing.path(hosts[0], hosts[1]);
+                for i in 0..2000u64 {
+                    sim.inject(
+                        PacketBuilder::new(
+                            PacketId(i),
+                            FlowId(i % 8),
+                            1500,
+                            path.clone(),
+                            SimTime::from_ns(i * 300),
+                        )
+                        .slack((i as i128 * 131) % 100_000)
+                        .build(),
+                    );
+                }
+                sim.run();
+                black_box(sim.stats().events)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these are coarse engineering trackers,
+    // not statistical studies, and the experiment benches dominate the
+    // run budget.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_schedulers, bench_event_queue, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,414 @@
+//! Runners for the §3 objective experiments (Figures 2, 3, 4).
+
+use ups_metrics::{jain_series, Cdf, FlowSample};
+use ups_netsim::prelude::{
+    Dur, FlowId, PacketKind, RecordMode, SchedulerKind, SimTime, Simulator,
+};
+use ups_topology::{
+    build_simulator, i2_fairness, BuildOptions, Routing, SchedulerAssignment, Topology,
+};
+use ups_transport::{install_tcp, SlackPolicy, TcpConfig, TransportStats};
+use ups_workload::{udp_packet_train, Empirical, PoissonWorkload, SizeDist};
+
+/// Figure 2 scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FctScheme {
+    /// Baseline.
+    Fifo,
+    /// Near-optimal benchmark [3].
+    Srpt,
+    /// SJF via static priorities.
+    Sjf,
+    /// LSTF with `slack = flow_size × D` (§3.1).
+    LstfFct,
+}
+
+impl FctScheme {
+    /// All four Figure 2 curves.
+    pub const ALL: [FctScheme; 4] = [
+        FctScheme::Fifo,
+        FctScheme::Srpt,
+        FctScheme::Sjf,
+        FctScheme::LstfFct,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FctScheme::Fifo => "FIFO",
+            FctScheme::Srpt => "SRPT",
+            FctScheme::Sjf => "SJF",
+            FctScheme::LstfFct => "LSTF",
+        }
+    }
+
+    fn scheduler(self) -> SchedulerKind {
+        match self {
+            FctScheme::Fifo => SchedulerKind::Fifo,
+            FctScheme::Srpt => SchedulerKind::Srpt,
+            FctScheme::Sjf => SchedulerKind::Sjf,
+            FctScheme::LstfFct => SchedulerKind::Lstf { preemptive: false },
+        }
+    }
+
+    fn policy(self) -> SlackPolicy {
+        match self {
+            FctScheme::LstfFct => SlackPolicy::FctSjf,
+            _ => SlackPolicy::None,
+        }
+    }
+}
+
+/// Figure 2: TCP flows on the default Internet2 at the given utilization
+/// with 5 MB router buffers; returns completed-flow samples.
+pub fn run_fct_experiment(
+    topo: &Topology,
+    scheme: FctScheme,
+    utilization: f64,
+    window: Dur,
+    horizon: Dur,
+    seed: u64,
+) -> Vec<FlowSample> {
+    let mut routing = Routing::new(topo);
+    let flows = PoissonWorkload::at_utilization(utilization, window, seed).generate(
+        topo,
+        &mut routing,
+        &Empirical::web_search() as &dyn SizeDist,
+    );
+    let mut sim = build_simulator(
+        topo,
+        &SchedulerAssignment::uniform(scheme.scheduler()),
+        &BuildOptions {
+            record: RecordMode::Off,
+            router_buffer_bytes: Some(5_000_000), // §3.1: 5 MB per router
+            ..BuildOptions::default()
+        },
+    );
+    let stats = TransportStats::new(Dur::from_ms(1));
+    install_tcp(
+        &mut sim,
+        topo,
+        &mut routing,
+        &flows,
+        TcpConfig::default(),
+        scheme.policy(),
+        &stats,
+    );
+    sim.run_until(SimTime::ZERO + horizon);
+    stats
+        .completions()
+        .into_iter()
+        .map(|c| FlowSample {
+            size: c.bytes,
+            fct_secs: c.fct().as_secs_f64(),
+        })
+        .collect()
+}
+
+/// Figure 3 result: the end-to-end delay distribution of data packets.
+pub struct TailResult {
+    /// Per-packet end-to-end delays in seconds.
+    pub delays: Cdf,
+}
+
+/// Figure 3: open-loop UDP at 70% on the default topology; FIFO vs LSTF
+/// with a constant slack (≡ FIFO+). Identical workload in both runs.
+pub fn run_tail_experiment(
+    topo: &Topology,
+    lstf: bool,
+    utilization: f64,
+    window: Dur,
+    seed: u64,
+) -> TailResult {
+    let mut routing = Routing::new(topo);
+    let flows = PoissonWorkload::at_utilization(utilization, window, seed).generate(
+        topo,
+        &mut routing,
+        &Empirical::web_search() as &dyn SizeDist,
+    );
+    let mut packets = udp_packet_train(&flows, ups_workload::MTU);
+    if lstf {
+        for p in &mut packets {
+            p.header.slack = ups_core::tail_slack(); // §3.2: uniform slack
+        }
+    }
+    let kind = if lstf {
+        SchedulerKind::Lstf { preemptive: false }
+    } else {
+        SchedulerKind::Fifo
+    };
+    let mut sim = build_simulator(
+        topo,
+        &SchedulerAssignment::uniform(kind),
+        &BuildOptions {
+            record: RecordMode::EndToEnd,
+            ..BuildOptions::default()
+        },
+    );
+    for p in packets {
+        sim.inject(p);
+    }
+    sim.run();
+    let delays: Vec<f64> = sim
+        .trace()
+        .delivered()
+        .filter(|(_, r)| r.kind == PacketKind::Data)
+        .map(|(_, r)| r.delay().expect("delivered").as_secs_f64())
+        .collect();
+    TailResult {
+        delays: Cdf::new(delays),
+    }
+}
+
+/// Figure 4 scheme under test.
+#[derive(Debug, Clone, Copy)]
+pub enum FairnessScheme {
+    /// Baseline unfairness.
+    Fifo,
+    /// Fair-queueing reference.
+    Fq,
+    /// LSTF with the §3.3 slack assignment at the given `r_est` (bits/s).
+    Lstf(u64),
+}
+
+impl FairnessScheme {
+    /// Display label matching Figure 4's legend.
+    pub fn label(self) -> String {
+        match self {
+            FairnessScheme::Fifo => "FIFO".into(),
+            FairnessScheme::Fq => "FQ".into(),
+            FairnessScheme::Lstf(rest) => {
+                format!("LSTF@{}Gbps", rest as f64 / 1e9)
+            }
+        }
+    }
+
+    fn scheduler(self) -> SchedulerKind {
+        match self {
+            FairnessScheme::Fifo => SchedulerKind::Fifo,
+            FairnessScheme::Fq => SchedulerKind::Fq,
+            FairnessScheme::Lstf(_) => SchedulerKind::Lstf { preemptive: false },
+        }
+    }
+
+    fn policy(self) -> SlackPolicy {
+        match self {
+            FairnessScheme::Lstf(rest) => SlackPolicy::Fairness(rest),
+            _ => SlackPolicy::None,
+        }
+    }
+}
+
+/// The Figure 4 flow placement. The paper engineers its 90 long-lived
+/// flows so that "the fair share rate of each flow on each link in the
+/// core network ... is around 1Gbps"; with our 13 Gbps fairness-variant
+/// core we achieve *exactly* equal shares by loading `flows_per_link`
+/// flows onto each of five disjoint core links (adjacent city pairs), so
+/// the fair share is `13 Gbps / flows_per_link` for every flow and a
+/// perfectly fair scheduler drives Jain to 1.0.
+pub fn fairness_flow_set(
+    topo: &Topology,
+    routing: &mut Routing,
+    flows_per_link: usize,
+    max_jitter: Dur,
+    seed: u64,
+) -> Vec<ups_workload::FlowSpec> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use ups_topology::NodeRole;
+
+    // Host → its core router (host—edge—core access tree).
+    let core_of = |host: ups_netsim::prelude::NodeId| {
+        let edge = topo.neighbors(host).next().expect("host has an edge");
+        topo.neighbors(edge)
+            .find(|&n| topo.role(n) == NodeRole::Core)
+            .expect("edge connects to a core")
+    };
+    let hosts = topo.hosts();
+    let mut under: std::collections::HashMap<_, Vec<_>> = std::collections::HashMap::new();
+    for &h in &hosts {
+        under.entry(core_of(h)).or_default().push(h);
+    }
+    // Five disjoint adjacent core pairs of the Internet2 backbone.
+    let pairs = [(0u32, 1u32), (2, 3), (4, 5), (6, 7), (8, 9)];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut flows = Vec::new();
+    for (a, b) in pairs {
+        let (na, nb) = (
+            ups_netsim::prelude::NodeId(a),
+            ups_netsim::prelude::NodeId(b),
+        );
+        assert!(
+            topo.neighbor_link(na, nb).is_some(),
+            "cores {a}–{b} must be adjacent"
+        );
+        let src_hosts = &under[&na];
+        let dst_hosts = &under[&nb];
+        for i in 0..flows_per_link {
+            let src = src_hosts[i % src_hosts.len()];
+            let dst = dst_hosts[(i * 3 + 1) % dst_hosts.len()];
+            let jitter = rng.gen_range(0..=max_jitter.as_ps());
+            let id = FlowId(flows.len() as u64);
+            flows.push(ups_workload::FlowSpec {
+                id,
+                src,
+                dst,
+                size: u64::MAX,
+                start: SimTime::from_ps(jitter),
+                path: routing.path(src, dst),
+            });
+        }
+    }
+    flows
+}
+
+/// Figure 4: long-lived TCP flows on the fairness variant of Internet2
+/// (see [`fairness_flow_set`]); returns the per-millisecond Jain-index
+/// series. The paper runs 90 flows with links shared by up to 13; we run
+/// `flows_per_link` flows on each of 5 disjoint core links (default 13 ⇒
+/// 65 flows, each with an exactly-1 Gbps fair share).
+pub fn run_fairness_experiment(
+    scheme: FairnessScheme,
+    flows_per_link: usize,
+    horizon: Dur,
+    seed: u64,
+) -> Vec<f64> {
+    let topo = i2_fairness();
+    let mut routing = Routing::new(&topo);
+    let flows = fairness_flow_set(&topo, &mut routing, flows_per_link, Dur::from_ms(5), seed);
+    let flow_ids: Vec<FlowId> = flows.iter().map(|f| f.id).collect();
+    let mut sim = build_simulator(
+        &topo,
+        &SchedulerAssignment::uniform(scheme.scheduler()),
+        &BuildOptions {
+            record: RecordMode::Off,
+            // "the buffer size is kept large so that the fairness is
+            // dominated by the scheduling policy" (§3.3).
+            router_buffer_bytes: None,
+            ..BuildOptions::default()
+        },
+    );
+    let stats = TransportStats::new(Dur::from_ms(1));
+    install_tcp(
+        &mut sim,
+        &topo,
+        &mut routing,
+        &flows,
+        TcpConfig {
+            // Short-RTT variant: the topology shrinks propagation 100x.
+            rto_min: Dur::from_ms(2),
+            ..TcpConfig::default()
+        },
+        scheme.policy(),
+        &stats,
+    );
+    sim.run_until(SimTime::ZERO + horizon);
+    let matrix = stats.goodput_matrix(&flow_ids);
+    jain_series(&matrix)
+}
+
+/// Convenience: which simulator the objective experiments drive (used by
+/// examples to introspect run sizes).
+pub fn empty_sim_for(topo: &Topology, kind: SchedulerKind) -> Simulator {
+    build_simulator(
+        topo,
+        &SchedulerAssignment::uniform(kind),
+        &BuildOptions::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_metrics::{mean_fct_by_bucket, overall_mean_fct, FIG2_BUCKETS};
+    use ups_topology::{internet2, Internet2Params};
+
+    fn small_i2() -> Topology {
+        internet2(Internet2Params {
+            edges_per_core: 2,
+            ..Internet2Params::default()
+        })
+    }
+
+    #[test]
+    fn fct_lstf_close_to_sjf_and_better_than_fifo() {
+        // Scaled-down Figure 2: the *ordering* FIFO > LSTF ≈ SJF must
+        // already show at small scale.
+        let topo = small_i2();
+        let window = Dur::from_ms(60);
+        let horizon = Dur::from_secs(6);
+        let fifo = run_fct_experiment(&topo, FctScheme::Fifo, 0.7, window, horizon, 3);
+        let sjf = run_fct_experiment(&topo, FctScheme::Sjf, 0.7, window, horizon, 3);
+        let lstf = run_fct_experiment(&topo, FctScheme::LstfFct, 0.7, window, horizon, 3);
+        assert!(fifo.len() > 20, "need completions, got {}", fifo.len());
+        let (mf, ms, ml) = (
+            overall_mean_fct(&fifo),
+            overall_mean_fct(&sjf),
+            overall_mean_fct(&lstf),
+        );
+        assert!(ms < mf, "SJF {ms} must beat FIFO {mf}");
+        assert!(ml < mf, "LSTF {ml} must beat FIFO {mf}");
+        let rel = (ml - ms).abs() / ms;
+        assert!(rel < 0.35, "LSTF {ml} vs SJF {ms}: rel diff {rel}");
+        // Bucketing machinery works on real output.
+        let rows = mean_fct_by_bucket(&lstf, &FIG2_BUCKETS);
+        assert_eq!(rows.len(), FIG2_BUCKETS.len());
+    }
+
+    #[test]
+    fn tail_lstf_shrinks_the_tail_not_the_mean() {
+        let topo = small_i2();
+        let window = Dur::from_ms(25);
+        let fifo = run_tail_experiment(&topo, false, 0.7, window, 5);
+        let lstf = run_tail_experiment(&topo, true, 0.7, window, 5);
+        assert!(fifo.delays.len() > 1000);
+        assert_eq!(fifo.delays.len(), lstf.delays.len(), "same workload");
+        let (f99, l99) = (fifo.delays.quantile(0.999), lstf.delays.quantile(0.999));
+        assert!(
+            l99 <= f99 * 1.02,
+            "LSTF 99.9%ile {l99} must not exceed FIFO {f99}"
+        );
+        // Means comparable (within 15%).
+        let (fm, lm) = (fifo.delays.mean(), lstf.delays.mean());
+        assert!((lm - fm).abs() / fm < 0.15, "means {lm} vs {fm}");
+    }
+
+    #[test]
+    fn fairness_lstf_converges_like_fq() {
+        let horizon = Dur::from_ms(20);
+        let per_link = 6; // scaled-down: 30 flows, ~2.2 Gbps fair share
+        let fq = run_fairness_experiment(FairnessScheme::Fq, per_link, horizon, 9);
+        let lstf =
+            run_fairness_experiment(FairnessScheme::Lstf(1_000_000_000), per_link, horizon, 9);
+        let fifo = run_fairness_experiment(FairnessScheme::Fifo, per_link, horizon, 9);
+        let tail = |v: &[f64]| {
+            let n = v.len();
+            v[n.saturating_sub(5)..].iter().sum::<f64>() / v[n.saturating_sub(5)..].len() as f64
+        };
+        let (jf, jl, jo) = (tail(&fq), tail(&lstf), tail(&fifo));
+        assert!(jf > 0.9, "FQ should be fair, Jain {jf}");
+        assert!(jl > 0.85, "LSTF should converge, Jain {jl}");
+        assert!(jo < jl, "FIFO {jo} must be less fair than LSTF {jl}");
+    }
+
+    #[test]
+    fn fairness_flow_set_is_balanced() {
+        let topo = i2_fairness();
+        let mut routing = Routing::new(&topo);
+        let flows = fairness_flow_set(&topo, &mut routing, 13, Dur::from_ms(5), 1);
+        assert_eq!(flows.len(), 65);
+        // Every flow's path crosses exactly one core-core link.
+        for f in &flows {
+            let core_hops = f
+                .path
+                .windows(2)
+                .filter(|w| {
+                    use ups_topology::NodeRole;
+                    topo.role(w[0]) == NodeRole::Core && topo.role(w[1]) == NodeRole::Core
+                })
+                .count();
+            assert_eq!(core_hops, 1, "flow {} crosses {core_hops} core links", f.id);
+            assert_eq!(f.size, u64::MAX);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared runner for the §2.3 replay experiments (Table 1, Figure 1 and
+//! the §2.3(5)/(7) ablations).
+
+use ups_core::{HeaderInit, ReplayExperiment, ReplayReport};
+use ups_netsim::prelude::{Dur, RecordMode};
+use ups_topology::{Routing, SchedulerAssignment, Topology};
+use ups_workload::{Empirical, PoissonWorkload, SizeDist};
+
+/// One replay scenario: a topology + workload + original discipline.
+pub struct ReplayScenario {
+    /// Row label (Table 1's "Topology" column).
+    pub topology_label: &'static str,
+    /// The network.
+    pub topo: Topology,
+    /// Target mean core-link utilization.
+    pub utilization: f64,
+    /// Original-schedule discipline label ("Random", "FIFO", ...).
+    pub sched_label: &'static str,
+    /// Original-schedule per-node assignment.
+    pub assign: SchedulerAssignment,
+    /// Flow-arrival window.
+    pub window: Dur,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Result of one replay run, with workload size for context.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Replay comparison.
+    pub report: ReplayReport,
+    /// Packets driven through the network.
+    pub packets: usize,
+    /// Flows generated.
+    pub flows: usize,
+}
+
+impl ReplayScenario {
+    /// Generate the workload, run original + replay under `init`, return
+    /// the comparison. `preemptive` selects the §2.3(5) LSTF variant.
+    pub fn run(&self, init: HeaderInit, preemptive: bool) -> ReplayResult {
+        let mut routing = Routing::new(&self.topo);
+        let sizes = Empirical::web_search();
+        let flows = PoissonWorkload::at_utilization(self.utilization, self.window, self.seed)
+            .generate(&self.topo, &mut routing, &sizes as &dyn SizeDist);
+        let packets = ups_workload::udp_packet_train(&flows, ups_workload::MTU);
+        let exp = ReplayExperiment {
+            topo: &self.topo,
+            original_assign: self.assign.clone(),
+            init,
+            preemptive,
+            record: RecordMode::EndToEnd,
+            seed: self.seed,
+        };
+        let out = exp.run(&packets, Dur::ZERO);
+        ReplayResult {
+            report: out.report,
+            packets: packets.len(),
+            flows: flows.len(),
+        }
+    }
+
+    /// Like [`Self::run`] but returning the queueing-delay ratios too
+    /// (Figure 1 wants the full distribution, which `ReplayReport`
+    /// already carries).
+    pub fn run_lstf(&self) -> ReplayResult {
+        self.run(HeaderInit::LstfSlack, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_netsim::prelude::SchedulerKind;
+    use ups_topology::{internet2, Internet2Params};
+
+    fn tiny_scenario(kind: SchedulerKind, label: &'static str) -> ReplayScenario {
+        let topo = internet2(Internet2Params {
+            edges_per_core: 2,
+            ..Internet2Params::default()
+        });
+        ReplayScenario {
+            topology_label: "I2-small",
+            topo,
+            utilization: 0.7,
+            sched_label: label,
+            assign: SchedulerAssignment::uniform(kind),
+            window: Dur::from_ms(4),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn lstf_replays_random_schedule_mostly() {
+        let res = tiny_scenario(SchedulerKind::Random, "Random").run_lstf();
+        assert!(res.packets > 500, "workload too small: {}", res.packets);
+        assert_eq!(res.report.total, res.packets);
+        // The headline claim at small scale: the overwhelming majority of
+        // packets meet their targets, and almost none miss by > T.
+        assert!(
+            res.report.frac_overdue() < 0.15,
+            "frac overdue {}",
+            res.report.frac_overdue()
+        );
+        assert!(
+            res.report.frac_overdue_gt_t() < 0.05,
+            "frac > T {}",
+            res.report.frac_overdue_gt_t()
+        );
+        assert!(res.report.frac_overdue_gt_t() <= res.report.frac_overdue());
+    }
+
+    #[test]
+    fn priority_replay_is_much_worse_than_lstf() {
+        // §2.3(7)'s contrast needs real multi-hop congestion (with ≤ 1
+        // congestion point per packet, priorities replay fine — that's
+        // Theorem 1); use the full default topology.
+        let scen = ReplayScenario {
+            topology_label: "I2:1Gbps-10Gbps",
+            topo: ups_topology::i2_default(),
+            utilization: 0.7,
+            sched_label: "Random",
+            assign: SchedulerAssignment::uniform(SchedulerKind::Random),
+            window: Dur::from_ms(20),
+            seed: 7,
+        };
+        let lstf = scen.run(HeaderInit::LstfSlack, false);
+        let prio = scen.run(HeaderInit::PriorityOutputTime, false);
+        println!(
+            "priorities {} (> T {}) vs LSTF {} (> T {})",
+            prio.report.frac_overdue(),
+            prio.report.frac_overdue_gt_t(),
+            lstf.report.frac_overdue(),
+            lstf.report.frac_overdue_gt_t()
+        );
+        assert!(
+            prio.report.frac_overdue() > 3.0 * lstf.report.frac_overdue(),
+            "priorities {} vs LSTF {}",
+            prio.report.frac_overdue(),
+            lstf.report.frac_overdue()
+        );
+        assert!(
+            prio.report.frac_overdue_gt_t() > lstf.report.frac_overdue_gt_t(),
+            "priorities >T {} vs LSTF >T {}",
+            prio.report.frac_overdue_gt_t(),
+            lstf.report.frac_overdue_gt_t()
+        );
+    }
+
+    #[test]
+    fn preemption_helps_sjf_replay() {
+        let scen = tiny_scenario(SchedulerKind::Sjf, "SJF");
+        let nonp = scen.run(HeaderInit::LstfSlack, false);
+        let pre = scen.run(HeaderInit::LstfSlack, true);
+        assert!(
+            pre.report.frac_overdue() <= nonp.report.frac_overdue(),
+            "preemptive {} vs non-preemptive {}",
+            pre.report.frac_overdue(),
+            nonp.report.frac_overdue()
+        );
+    }
+
+    #[test]
+    fn fig1_ratios_mostly_at_or_below_one() {
+        // "most of the packets actually have a smaller queuing delay in
+        // the LSTF replay than in the original schedule" (§2.3(6)).
+        let res = tiny_scenario(SchedulerKind::Random, "Random").run_lstf();
+        let ratios = &res.report.queueing_ratios;
+        assert!(!ratios.is_empty());
+        let le_one = ratios.iter().filter(|&&r| r <= 1.0).count() as f64 / ratios.len() as f64;
+        assert!(le_one > 0.5, "only {le_one} of ratios ≤ 1");
+    }
+}

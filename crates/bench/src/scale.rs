@@ -1,0 +1,81 @@
+//! Experiment scaling.
+//!
+//! The paper's runs simulate seconds of traffic over 100–800-host
+//! topologies; regenerating every table/figure at that scale takes tens
+//! of minutes. `cargo bench` therefore defaults to a scaled-down
+//! configuration with the *same shape* (identical topologies, same
+//! utilization calibration, shorter simulated time), and `UPS_SCALE=full`
+//! restores paper-scale durations. EXPERIMENTS.md records which setting
+//! produced the committed numbers.
+
+use ups_netsim::prelude::Dur;
+
+/// Resolved scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Simulated workload-arrival window for replay experiments.
+    pub replay_window: Dur,
+    /// Simulated flow-arrival window for the FCT experiment (Fig. 2).
+    pub fct_window: Dur,
+    /// Wall-clock horizon for the FCT run (lets late flows drain).
+    pub fct_horizon: Dur,
+    /// Horizon for the fairness experiment (Fig. 4; paper plots 20 ms).
+    pub fairness_horizon: Dur,
+    /// Number of independent seeds averaged per scenario.
+    pub seeds: u64,
+    /// Label for reports.
+    pub label: &'static str,
+}
+
+impl Scale {
+    /// Scaled-down default: minutes, not hours.
+    pub fn quick() -> Self {
+        Scale {
+            replay_window: Dur::from_ms(30),
+            fct_window: Dur::from_ms(150),
+            fct_horizon: Dur::from_secs(8),
+            fairness_horizon: Dur::from_ms(25),
+            seeds: 1,
+            label: "quick",
+        }
+    }
+
+    /// Paper-scale durations.
+    pub fn full() -> Self {
+        Scale {
+            replay_window: Dur::from_ms(250),
+            fct_window: Dur::from_secs(1),
+            fct_horizon: Dur::from_secs(30),
+            fairness_horizon: Dur::from_ms(25),
+            seeds: 3,
+            label: "full",
+        }
+    }
+
+    /// Resolve from the `UPS_SCALE` environment variable
+    /// (`quick`/`full`; default quick).
+    pub fn from_env() -> Self {
+        match std::env::var("UPS_SCALE").as_deref() {
+            Ok("full") => Scale::full(),
+            Ok("quick") | Err(_) => Scale::quick(),
+            Ok(other) => {
+                eprintln!("UPS_SCALE={other:?} not recognized; using quick");
+                Scale::quick()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.replay_window < f.replay_window);
+        assert!(q.fct_window < f.fct_window);
+        assert!(q.seeds <= f.seeds);
+    }
+}

@@ -1,0 +1,168 @@
+//! The Table 1 scenario matrix and the paper's reference numbers.
+
+use ups_netsim::prelude::{Dur, SchedulerKind};
+use ups_topology::{
+    fattree, i2_10g_10g, i2_1g_1g, i2_default, rocketfuel_default, FatTreeParams,
+    SchedulerAssignment, Topology,
+};
+
+use crate::replay_exp::ReplayScenario;
+
+/// The paper's Table 1 values for side-by-side reporting:
+/// (topology, utilization, scheduler, frac overdue, frac overdue > T).
+pub const PAPER_TABLE1: [(&str, f64, &str, f64, f64); 13] = [
+    ("I2:1Gbps-10Gbps", 0.7, "Random", 0.0021, 0.0002),
+    ("I2:1Gbps-10Gbps", 0.1, "Random", 0.0007, 0.0),
+    ("I2:1Gbps-10Gbps", 0.3, "Random", 0.0281, 0.0017),
+    ("I2:1Gbps-10Gbps", 0.5, "Random", 0.0221, 0.0002),
+    ("I2:1Gbps-10Gbps", 0.9, "Random", 0.0008, 0.000004),
+    ("I2:1Gbps-1Gbps", 0.7, "Random", 0.0204, 0.000008),
+    ("I2:10Gbps-10Gbps", 0.7, "Random", 0.0631, 0.0448),
+    ("RocketFuel", 0.7, "Random", 0.0246, 0.0063),
+    ("Datacenter", 0.7, "Random", 0.0164, 0.0154),
+    ("I2:1Gbps-10Gbps", 0.7, "FIFO", 0.0143, 0.0006),
+    ("I2:1Gbps-10Gbps", 0.7, "FQ", 0.0271, 0.0002),
+    ("I2:1Gbps-10Gbps", 0.7, "SJF", 0.1833, 0.0019),
+    ("I2:1Gbps-10Gbps", 0.7, "LIFO", 0.1477, 0.0067),
+];
+
+/// Paper Table 1 also has the FQ/FIFO+ mixed row.
+pub const PAPER_FQ_FIFOPLUS: (f64, f64) = (0.0152, 0.0004);
+
+/// Build an original-schedule assignment by scheduler label.
+fn assign_for(topo: &Topology, label: &str) -> SchedulerAssignment {
+    match label {
+        "Random" => SchedulerAssignment::uniform(SchedulerKind::Random),
+        "FIFO" => SchedulerAssignment::uniform(SchedulerKind::Fifo),
+        "FQ" => SchedulerAssignment::uniform(SchedulerKind::Fq),
+        "SJF" => SchedulerAssignment::uniform(SchedulerKind::Sjf),
+        "LIFO" => SchedulerAssignment::uniform(SchedulerKind::Lifo),
+        "FQ/FIFO+" => SchedulerAssignment::half_half(
+            topo,
+            SchedulerKind::Fq,
+            SchedulerKind::FifoPlus,
+            SchedulerKind::Fifo,
+        ),
+        other => panic!("unknown scheduler label {other:?}"),
+    }
+}
+
+/// Build a topology by Table 1 label. `fattree_k` sizes the datacenter
+/// row (the paper's pFabric fat-tree; k=4 for quick runs, k=8 for full).
+fn topo_for(label: &str, fattree_k: usize) -> Topology {
+    match label {
+        "I2:1Gbps-10Gbps" => i2_default(),
+        "I2:1Gbps-1Gbps" => i2_1g_1g(),
+        "I2:10Gbps-10Gbps" => i2_10g_10g(),
+        "RocketFuel" => rocketfuel_default(),
+        "Datacenter" => fattree(FatTreeParams {
+            k: fattree_k,
+            ..FatTreeParams::default()
+        }),
+        other => panic!("unknown topology label {other:?}"),
+    }
+}
+
+/// Materialize the full Table 1 scenario list (13 uniform rows + the
+/// FQ/FIFO+ mix).
+pub fn table1_scenarios(window: Dur, seed: u64, fattree_k: usize) -> Vec<ReplayScenario> {
+    let mut out = Vec::new();
+    for &(topo_label, util, sched_label, _, _) in PAPER_TABLE1.iter() {
+        let topo = topo_for(topo_label, fattree_k);
+        let assign = assign_for(&topo, sched_label);
+        out.push(ReplayScenario {
+            topology_label: leak_label(topo_label),
+            topo,
+            utilization: util,
+            sched_label: leak_label(sched_label),
+            assign,
+            window,
+            seed,
+        });
+    }
+    // The mixed FQ/FIFO+ row.
+    let topo = i2_default();
+    let assign = assign_for(&topo, "FQ/FIFO+");
+    out.push(ReplayScenario {
+        topology_label: "I2:1Gbps-10Gbps",
+        topo,
+        utilization: 0.7,
+        sched_label: "FQ/FIFO+",
+        assign,
+        window,
+        seed,
+    });
+    out
+}
+
+/// The Figure 1 scenario list: the six disciplines on the default
+/// topology at 70%.
+pub fn fig1_scenarios(window: Dur, seed: u64) -> Vec<ReplayScenario> {
+    ["Random", "FIFO", "FQ", "SJF", "LIFO", "FQ/FIFO+"]
+        .into_iter()
+        .map(|label| {
+            let topo = i2_default();
+            let assign = assign_for(&topo, label);
+            ReplayScenario {
+                topology_label: "I2:1Gbps-10Gbps",
+                topo,
+                utilization: 0.7,
+                sched_label: leak_label(label),
+                assign,
+                window,
+                seed,
+            }
+        })
+        .collect()
+}
+
+fn leak_label(s: &str) -> &'static str {
+    // Labels come from the two const tables above; avoid threading
+    // lifetimes through ReplayScenario for what is static data.
+    match s {
+        "I2:1Gbps-10Gbps" => "I2:1Gbps-10Gbps",
+        "I2:1Gbps-1Gbps" => "I2:1Gbps-1Gbps",
+        "I2:10Gbps-10Gbps" => "I2:10Gbps-10Gbps",
+        "RocketFuel" => "RocketFuel",
+        "Datacenter" => "Datacenter",
+        "Random" => "Random",
+        "FIFO" => "FIFO",
+        "FQ" => "FQ",
+        "SJF" => "SJF",
+        "LIFO" => "LIFO",
+        "FQ/FIFO+" => "FQ/FIFO+",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_fourteen_rows() {
+        let scenarios = table1_scenarios(Dur::from_ms(1), 1, 4);
+        assert_eq!(scenarios.len(), 14);
+        // Utilization sweep present.
+        let utils: Vec<f64> = scenarios
+            .iter()
+            .filter(|s| s.sched_label == "Random" && s.topology_label == "I2:1Gbps-10Gbps")
+            .map(|s| s.utilization)
+            .collect();
+        assert_eq!(utils, vec![0.7, 0.1, 0.3, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn fig1_covers_six_disciplines() {
+        let scenarios = fig1_scenarios(Dur::from_ms(1), 1);
+        assert_eq!(scenarios.len(), 6);
+        assert!(scenarios.iter().any(|s| s.sched_label == "FQ/FIFO+"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn unknown_scheduler_rejected() {
+        let topo = i2_default();
+        let _ = assign_for(&topo, "WFQ2");
+    }
+}

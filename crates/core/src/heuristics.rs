@@ -1,0 +1,221 @@
+//! Practical slack-initialization heuristics (§3).
+//!
+//! When LSTF is used to pursue a network-wide *objective* rather than to
+//! replay a known schedule, the ingress assigns slacks heuristically:
+//!
+//! | objective | heuristic | paper |
+//! |---|---|---|
+//! | mean FCT | `slack = flow_size × D`, `D` ≫ any network delay | §3.1 |
+//! | tail packet delay | constant slack (LSTF ≡ FIFO+) | §3.2 |
+//! | fairness | Virtual-Clock-style accumulation per flow | §3.3 |
+
+use std::collections::HashMap;
+
+use ups_netsim::prelude::{Dur, FlowId, SimTime, PS_PER_SEC};
+
+/// §3.1: `slack(p) = fs(p) · D` where `fs` is the flow size in bytes and
+/// `D` is "a value much larger than the delay seen by any packet" (1 s in
+/// the paper and here). Packets of smaller flows get less slack and are
+/// served earlier — SJF-like behaviour emerges end-to-end.
+///
+/// The product is a *rank*, not a meaningful time; it needs the full
+/// `i128` range (30 MB × 1 s ≈ 2.4 × 10¹⁹ ps > `i64::MAX`).
+pub fn fct_slack(flow_size_bytes: u64, d: Dur) -> i128 {
+    flow_size_bytes as i128 * d.as_ps() as i128
+}
+
+/// The paper's `D` (1 second).
+pub const FCT_D: Dur = Dur::from_secs(1);
+
+/// §3.2: every packet gets the same large slack — LSTF then reduces to
+/// FIFO+ (packets that already waited longer upstream have less remaining
+/// slack and are served earlier). 1 s, as in the paper.
+pub fn tail_slack() -> i128 {
+    PS_PER_SEC as i128
+}
+
+/// §3.3: the Virtual-Clock-inspired fairness assignment
+///
+/// ```text
+/// slack(p₀) = 0
+/// slack(pᵢ) = max(0, slack(pᵢ₋₁) + bits(pᵢ)/r_est − (i(pᵢ) − i(pᵢ₋₁)))
+/// ```
+///
+/// which converges to the fair share asymptotically for any `r_est ≤ r*`
+/// as long as all flows use the same value. The paper states the formula
+/// with `1/r_est` per packet (uniform sizes); we scale by packet size so
+/// mixed sizes stay fair.
+///
+/// **Weighted fairness** (the §3.3 extension — "using different values
+/// of r_est for different flows, in proportion to the desired weights"):
+/// [`Self::set_weight`] scales a flow's effective `r_est` so it
+/// accumulates slack proportionally slower, receiving a
+/// weight-proportional share.
+#[derive(Debug)]
+pub struct FairnessSlackAssigner {
+    rest_bps: u64,
+    state: HashMap<FlowId, (i128, SimTime)>,
+    /// Per-flow weight ×1000 (integer to keep slack arithmetic exact).
+    weights_milli: HashMap<FlowId, u64>,
+}
+
+impl FairnessSlackAssigner {
+    /// Create an assigner with the fair-rate estimate `r_est` in bits/s.
+    pub fn new(rest_bps: u64) -> Self {
+        assert!(rest_bps > 0, "r_est must be positive");
+        FairnessSlackAssigner {
+            rest_bps,
+            state: HashMap::new(),
+            weights_milli: HashMap::new(),
+        }
+    }
+
+    /// The `r_est` this assigner uses (for weight-1 flows).
+    pub fn rest_bps(&self) -> u64 {
+        self.rest_bps
+    }
+
+    /// Give `flow` a bandwidth weight (default 1.0): its effective
+    /// `r_est` becomes `weight × r_est`, so it earns `weight ×` the base
+    /// share. Must be set before the flow's first packet to match the
+    /// paper's formulation (later changes simply apply from that packet
+    /// on).
+    pub fn set_weight(&mut self, flow: FlowId, weight: f64) {
+        assert!(weight > 0.0, "weights must be positive");
+        self.weights_milli
+            .insert(flow, (weight * 1000.0).round() as u64);
+    }
+
+    /// Effective rate estimate for `flow`.
+    fn rest_for(&self, flow: FlowId) -> u128 {
+        let milli = self.weights_milli.get(&flow).copied().unwrap_or(1000);
+        (self.rest_bps as u128 * milli as u128) / 1000
+    }
+
+    /// Slack for the next packet of `flow`, `size` bytes, entering at
+    /// `arrival`. Must be called in per-flow arrival order.
+    pub fn slack_for(&mut self, flow: FlowId, arrival: SimTime, size: u32) -> i128 {
+        let rest = self.rest_for(flow).max(1);
+        let service_ps = (size as u128 * 8 * PS_PER_SEC as u128 / rest) as i128;
+        let slack = match self.state.get(&flow) {
+            None => 0,
+            Some(&(prev_slack, prev_arrival)) => {
+                debug_assert!(arrival >= prev_arrival, "packets must arrive in order");
+                let gap = arrival.saturating_since(prev_arrival).as_ps() as i128;
+                (prev_slack + service_ps - gap).max(0)
+            }
+        };
+        self.state.insert(flow, (slack, arrival));
+        slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_slack_scales_with_flow_size() {
+        let small = fct_slack(1_460, FCT_D);
+        let big = fct_slack(30_000_000, FCT_D);
+        assert!(small < big);
+        assert_eq!(small, 1_460i128 * PS_PER_SEC as i128);
+        // The big product exceeds i64 — the reason slack is i128.
+        assert!(big > i64::MAX as i128);
+    }
+
+    #[test]
+    fn tail_slack_is_constant_one_second() {
+        assert_eq!(tail_slack(), PS_PER_SEC as i128);
+    }
+
+    #[test]
+    fn fairness_first_packet_gets_zero() {
+        let mut a = FairnessSlackAssigner::new(1_000_000_000);
+        assert_eq!(a.slack_for(FlowId(1), SimTime::from_ms(3), 1500), 0);
+    }
+
+    #[test]
+    fn fairness_fast_sender_accumulates_slack() {
+        // A flow sending 1500B packets back-to-back while r_est admits one
+        // per 12us (1 Gbps): each packet accrues service-time minus gap.
+        let mut a = FairnessSlackAssigner::new(1_000_000_000);
+        let t = SimTime::ZERO; // back-to-back burst: all at one instant
+        let mut last = 0;
+        for i in 0..5 {
+            last = a.slack_for(FlowId(1), t, 1500);
+            // With zero inter-arrival gap, slack grows by one 12us service
+            // time per packet after the first.
+            assert_eq!(last, i as i128 * Dur::from_us(12).as_ps() as i128);
+        }
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn fairness_slow_sender_stays_at_zero() {
+        // Sending slower than r_est: gap exceeds service, slack pinned at 0.
+        let mut a = FairnessSlackAssigner::new(1_000_000_000);
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            let s = a.slack_for(FlowId(2), t, 1500);
+            assert_eq!(s, 0);
+            t = t + Dur::from_us(100); // 100us ≫ 12us service at r_est
+        }
+    }
+
+    #[test]
+    fn fairness_flows_are_independent() {
+        let mut a = FairnessSlackAssigner::new(1_000_000_000);
+        let s1 = a.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        let s2 = a.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        let other = a.slack_for(FlowId(2), SimTime::ZERO, 1500);
+        assert_eq!(s1, 0);
+        assert!(s2 > 0);
+        assert_eq!(other, 0, "a new flow starts from zero slack");
+    }
+
+    #[test]
+    fn weighted_flow_accrues_slack_proportionally_slower() {
+        // Weight 2 halves the per-packet service charge, so a 2x-weighted
+        // flow bursting at the same rate earns half the slack — i.e. it
+        // is entitled to twice the rate before being deprioritized.
+        let mut a = FairnessSlackAssigner::new(1_000_000_000);
+        a.set_weight(FlowId(2), 2.0);
+        let t = SimTime::ZERO;
+        for _ in 0..4 {
+            a.slack_for(FlowId(1), t, 1500);
+            a.slack_for(FlowId(2), t, 1500);
+        }
+        let s1 = a.slack_for(FlowId(1), t, 1500);
+        let s2 = a.slack_for(FlowId(2), t, 1500);
+        assert_eq!(s1, 2 * s2, "weight-2 flow accrues half the slack");
+    }
+
+    #[test]
+    fn fractional_weights_round_to_milli() {
+        let mut a = FairnessSlackAssigner::new(1_000_000_000);
+        a.set_weight(FlowId(1), 0.5);
+        a.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        a.slack_for(FlowId(9), SimTime::ZERO, 1500);
+        let half = a.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        let unit = a.slack_for(FlowId(9), SimTime::ZERO, 1500);
+        assert_eq!(half, 2 * unit, "half weight doubles the slack charge");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        FairnessSlackAssigner::new(1).set_weight(FlowId(0), 0.0);
+    }
+
+    #[test]
+    fn fairness_smaller_rest_means_more_slack_per_packet() {
+        let mut fast = FairnessSlackAssigner::new(1_000_000_000);
+        let mut slow = FairnessSlackAssigner::new(10_000_000); // 100x smaller
+        fast.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        slow.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        let f = fast.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        let s = slow.slack_for(FlowId(1), SimTime::ZERO, 1500);
+        assert!(s > f * 50, "slack {s} vs {f}");
+    }
+}

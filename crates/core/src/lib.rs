@@ -1,0 +1,34 @@
+//! # ups-core — Universal Packet Scheduling: replay and objectives
+//!
+//! The paper's contribution, on top of `ups-netsim`/`ups-topology`:
+//!
+//! * [`replay`] — the §2 methodology: record an original schedule,
+//!   re-initialize headers from `(i(p), o(p), path(p))` (black-box LSTF /
+//!   priorities / EDF) or per-hop times (omniscient, App. B), re-run, and
+//!   score `o′(p) ≤ o(p)`.
+//! * [`heuristics`] — the §3 slack initializations for mean FCT
+//!   (`flow_size × D`), tail delay (constant ⇒ FIFO+), and fairness
+//!   (Virtual-Clock accumulation).
+//! * [`counterexamples`] — Appendix C/F/G.3 as executable schedules, with
+//!   tests reproducing each impossibility/boundary result.
+//!
+//! The property-test suite (in `tests/`) checks the theorems themselves on
+//! randomized scenarios: omniscient replay is always perfect; preemptive
+//! LSTF is perfect whenever no packet crosses more than two congestion
+//! points; EDF and LSTF produce identical replays.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counterexamples;
+pub mod heuristics;
+pub mod replay;
+
+pub use counterexamples::{
+    appendix_c_case, appendix_f_schedule, appendix_g_schedule, CounterexampleSchedule,
+};
+pub use heuristics::{fct_slack, tail_slack, FairnessSlackAssigner, FCT_D};
+pub use replay::{
+    compare, compare_with_tolerance, max_congestion_points, replay_packets, run_schedule,
+    HeaderInit, ReplayExperiment, ReplayOutcome, ReplayReport,
+};

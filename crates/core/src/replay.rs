@@ -1,0 +1,582 @@
+//! The replay framework — §2 of the paper.
+//!
+//! A *replay experiment* is:
+//!
+//! 1. run an **original schedule**: arbitrary per-router disciplines
+//!    `{Aα}` over a fixed packet set `{(p, i(p), path(p))}`, recording
+//!    output times `{o(p)}`;
+//! 2. re-run the *identical* packet set with the candidate UPS at every
+//!    router, initializing headers only from `(i(p), o(p), path(p))`
+//!    (black-box) or from per-hop times (omniscient, App. B);
+//! 3. compare: the replay succeeds for packet `p` iff `o′(p) ≤ o(p)`.
+
+use std::sync::Arc;
+
+use ups_netsim::prelude::{
+    Dur, Header, Packet, PacketId, RecordMode, SchedulerKind, SimTime, Trace,
+};
+use ups_topology::{
+    attach_tmin, build_simulator, tmin, BuildOptions, SchedulerAssignment, Topology,
+};
+
+/// How the replay initializes packet headers at the ingress (§2.1
+/// constraint 3: only `i(p)`, `o(p)`, `path(p)` for black-box variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderInit {
+    /// LSTF: `slack(p) = o(p) − i(p) − tmin(p, src, dest)` (§2.2).
+    LstfSlack,
+    /// Simple priorities with the paper's "most intuitive" assignment
+    /// `prio(p) = o(p)` (§2.3(7)).
+    PriorityOutputTime,
+    /// Simple priorities constructed from the original schedule's
+    /// precedence relation (see [`priorities_from_schedule`]) — the
+    /// constructive content of Theorem 1 (App. F): an assignment exists
+    /// and replays perfectly whenever no packet waits at more than one
+    /// hop; the construction fails (a priority *cycle*) exactly in
+    /// situations like Figure 6. Requires a `PerHop` original trace.
+    ///
+    /// (The paper's footnote 15 gives the closed form `prio(p) = o(p) −
+    /// tmin(p, αₚ, dest) + T(p, αₚ)` for the single congestion point
+    /// `αₚ`; that form presumes the congestion point is the only
+    /// scheduling decision on the path, which randomized scenarios
+    /// violate — a packet can *win* a contention it never waited at, and
+    /// the closed form may order it behind its competitor there. The
+    /// precedence order repairs this while using only the same
+    /// information.)
+    PriorityFromSchedule,
+    /// EDF static-header formulation: `deadline = o(p)`, routers compute
+    /// local deadlines from `tmin` tables (App. E). Equivalent to LSTF.
+    EdfDeadline,
+    /// Omniscient: the full per-hop vector `[o(p, α₁), …]` (App. B).
+    /// Requires the original trace to be recorded in `PerHop` mode.
+    Omniscient,
+}
+
+impl HeaderInit {
+    /// The scheduler the replay network runs under this initialization.
+    pub fn scheduler(self, preemptive: bool) -> SchedulerKind {
+        match self {
+            HeaderInit::LstfSlack => SchedulerKind::Lstf { preemptive },
+            HeaderInit::PriorityOutputTime | HeaderInit::PriorityFromSchedule => {
+                SchedulerKind::Priority { preemptive }
+            }
+            HeaderInit::EdfDeadline => SchedulerKind::Edf { preemptive },
+            HeaderInit::Omniscient => SchedulerKind::Omniscient,
+        }
+    }
+}
+
+/// Run a packet set through `topo` under `assign`, to completion, and
+/// return the recorded schedule. Used for both original and replay runs.
+pub fn run_schedule(
+    topo: &Topology,
+    assign: &SchedulerAssignment,
+    packets: Vec<Packet>,
+    opts: &BuildOptions,
+) -> Trace {
+    let mut sim = build_simulator(topo, assign, opts);
+    let n = packets.len() as u64;
+    for p in packets {
+        sim.inject(p);
+    }
+    sim.run();
+    debug_assert_eq!(
+        sim.stats().delivered + sim.stats().dropped,
+        n,
+        "packets vanished"
+    );
+    sim.into_trace()
+}
+
+/// Build the replay packet set: identical `(i, path, size, id)`, headers
+/// re-initialized from the original trace per `init`.
+///
+/// # Panics
+/// If a packet is missing from the original trace or was never delivered
+/// (replay experiments run drop-free), or if `Omniscient` is requested
+/// without a `PerHop` original trace.
+pub fn replay_packets(
+    topo: &Topology,
+    original: &Trace,
+    packets: &[Packet],
+    init: HeaderInit,
+) -> Vec<Packet> {
+    let mut prio_map: Option<std::collections::HashMap<PacketId, i128>> = None;
+    packets
+        .iter()
+        .map(|p| {
+            let rec = original
+                .get(p.id)
+                .unwrap_or_else(|| panic!("packet {} missing from original trace", p.id));
+            let o = rec
+                .exited
+                .unwrap_or_else(|| panic!("packet {} undelivered in original", p.id));
+            let mut q = p.clone();
+            q.hop = 0;
+            q.cum_wait = Dur::ZERO;
+            q.remaining_tx = None;
+            q.header = Header::default();
+            match init {
+                HeaderInit::LstfSlack => {
+                    let t = tmin(topo, &q.path, q.size);
+                    q.header.slack =
+                        o.as_ps() as i128 - q.injected_at.as_ps() as i128 - t.as_ps() as i128;
+                }
+                HeaderInit::PriorityOutputTime => {
+                    q.header.prio = o.as_ps() as i128;
+                }
+                HeaderInit::PriorityFromSchedule => {
+                    let prios = prio_map.get_or_insert_with(|| {
+                        priorities_from_schedule(topo, original).unwrap_or_else(|| {
+                            panic!(
+                                "original schedule has a priority cycle \
+                                 (≥2 congestion points per packet, App. F)"
+                            )
+                        })
+                    });
+                    q.header.prio = *prios.get(&q.id).expect("every packet ordered");
+                }
+                HeaderInit::EdfDeadline => {
+                    q.header.deadline = o;
+                    attach_tmin(topo, &mut q);
+                }
+                HeaderInit::Omniscient => {
+                    assert_eq!(
+                        original.mode(),
+                        RecordMode::PerHop,
+                        "omniscient replay needs a PerHop original trace"
+                    );
+                    assert_eq!(
+                        rec.hops.len(),
+                        q.path.len() - 1,
+                        "per-hop record incomplete for packet {}",
+                        p.id
+                    );
+                    let mut v: Vec<SimTime> = rec.hops.iter().map(|h| h.tx_start).collect();
+                    // The destination never schedules; pad for 1:1 indexing.
+                    v.push(SimTime::MAX);
+                    q.header.omniscient = Some(Arc::from(v.into_boxed_slice()));
+                }
+            }
+            q
+        })
+        .collect()
+}
+
+/// Outcome of comparing a replay trace against its original.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Packets compared (delivered in both runs).
+    pub total: usize,
+    /// Packets with `o′(p) > o(p) + tolerance`.
+    pub overdue: usize,
+    /// Packets with `o′(p) > o(p) + T + tolerance` (Table 1's second
+    /// column; `T` = one bottleneck transmission time).
+    pub overdue_gt_t: usize,
+    /// The `T` used.
+    pub threshold: Dur,
+    /// Largest lateness seen.
+    pub max_lateness: Dur,
+    /// Per-packet queueing-delay ratios `wait′(p) / wait(p)` over packets
+    /// with nonzero original queueing (Figure 1's CDF).
+    pub queueing_ratios: Vec<f64>,
+}
+
+impl ReplayReport {
+    /// Fraction of packets overdue (Table 1, column "Total").
+    pub fn frac_overdue(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overdue as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction overdue by more than `T` (Table 1, column "> T").
+    pub fn frac_overdue_gt_t(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overdue_gt_t as f64 / self.total as f64
+        }
+    }
+
+    /// True when the replay met every target (a *perfect* replay).
+    pub fn perfect(&self) -> bool {
+        self.overdue == 0
+    }
+}
+
+/// Compare a replay trace against the original. `tolerance` absorbs
+/// sub-threshold noise in micro-topologies (the appendix networks model
+/// "instant" links as 12 Tbps, i.e. nanosecond residuals); the paper-scale
+/// experiments use zero tolerance.
+pub fn compare_with_tolerance(
+    original: &Trace,
+    replay: &Trace,
+    threshold: Dur,
+    tolerance: Dur,
+) -> ReplayReport {
+    let mut report = ReplayReport {
+        total: 0,
+        overdue: 0,
+        overdue_gt_t: 0,
+        threshold,
+        max_lateness: Dur::ZERO,
+        queueing_ratios: Vec::new(),
+    };
+    for (id, orig) in original.delivered() {
+        let Some(rep) = replay.get(id) else { continue };
+        let Some(o_replay) = rep.exited else { continue };
+        let o_orig = orig.exited.expect("delivered() guarantees exit");
+        report.total += 1;
+        let lateness = o_replay.saturating_since(o_orig);
+        report.max_lateness = report.max_lateness.max(lateness);
+        if lateness > tolerance {
+            report.overdue += 1;
+        }
+        if lateness > threshold + tolerance {
+            report.overdue_gt_t += 1;
+        }
+        if orig.total_wait > Dur::ZERO {
+            report
+                .queueing_ratios
+                .push(rep.total_wait.as_ps() as f64 / orig.total_wait.as_ps() as f64);
+        }
+    }
+    report
+}
+
+/// [`compare_with_tolerance`] with zero tolerance — the paper-scale form.
+pub fn compare(original: &Trace, replay: &Trace, threshold: Dur) -> ReplayReport {
+    compare_with_tolerance(original, replay, threshold, Dur::ZERO)
+}
+
+/// End-to-end convenience: original run → header init → replay run →
+/// report. `preemptive` applies to the LSTF variant only (§2.3(5)).
+pub struct ReplayExperiment<'a> {
+    /// Network.
+    pub topo: &'a Topology,
+    /// The original schedule's per-router disciplines.
+    pub original_assign: SchedulerAssignment,
+    /// Header initialization / replay discipline.
+    pub init: HeaderInit,
+    /// Preemptive replay (LSTF only).
+    pub preemptive: bool,
+    /// Record mode for the original run (`PerHop` required for
+    /// omniscient replay and congestion-point analysis).
+    pub record: RecordMode,
+    /// Seed for stochastic original disciplines.
+    pub seed: u64,
+}
+
+/// The result of [`ReplayExperiment::run`].
+pub struct ReplayOutcome {
+    /// Original schedule.
+    pub original: Trace,
+    /// Replay schedule.
+    pub replay: Trace,
+    /// Comparison.
+    pub report: ReplayReport,
+}
+
+impl ReplayExperiment<'_> {
+    /// Execute both runs over `packets` and compare with `tolerance`.
+    pub fn run(&self, packets: &[Packet], tolerance: Dur) -> ReplayOutcome {
+        let opts = BuildOptions {
+            record: self.record,
+            seed: self.seed,
+            ..BuildOptions::default()
+        };
+        let original = run_schedule(self.topo, &self.original_assign, packets.to_vec(), &opts);
+        let replay_set = replay_packets(self.topo, &original, packets, self.init);
+        let replay_assign =
+            SchedulerAssignment::uniform(self.init.scheduler(self.preemptive));
+        let replay_opts = BuildOptions {
+            record: RecordMode::EndToEnd,
+            seed: self.seed,
+            ..BuildOptions::default()
+        };
+        let replay = run_schedule(self.topo, &replay_assign, replay_set, &replay_opts);
+        let threshold = self.topo.bottleneck_bandwidth().tx_time(1500);
+        let report = compare_with_tolerance(&original, &replay, threshold, tolerance);
+        ReplayOutcome {
+            original,
+            replay,
+            report,
+        }
+    }
+}
+
+/// Construct a static priority assignment that replays `original`
+/// (Theorem 1's constructive content), or `None` if the required
+/// precedence relation is cyclic — which is exactly the Appendix F
+/// "priority cycle" obstruction that arises once packets wait at two or
+/// more hops.
+///
+/// The relation: at every output port, if packet `q` was scheduled while
+/// packet `p` was already present (arrived before `q`'s transmission
+/// ended), then `q` must outrank `p` everywhere. Priorities are the
+/// topological order of that relation (deterministic: ties broken by
+/// packet id).
+///
+/// Requires a `PerHop` trace. Intended for analysis and property tests;
+/// the per-port pair scan is quadratic in the worst case.
+pub fn priorities_from_schedule(
+    topo: &Topology,
+    original: &Trace,
+) -> Option<std::collections::HashMap<PacketId, i128>> {
+    use std::collections::{BTreeSet, HashMap};
+    assert_eq!(
+        original.mode(),
+        RecordMode::PerHop,
+        "priorities_from_schedule needs a PerHop original trace"
+    );
+    // Gather per-port service sequences.
+    type PortKey = (ups_netsim::prelude::NodeId, ups_netsim::prelude::NodeId);
+    let mut ports: HashMap<PortKey, Vec<(SimTime, SimTime, SimTime, PacketId)>> = HashMap::new();
+    for (id, rec) in original.delivered() {
+        for (i, h) in rec.hops.iter().enumerate() {
+            let next = rec.path[i + 1];
+            let link = topo
+                .neighbor_link(h.node, next)
+                .expect("trace hop uses a topology link");
+            let tx_end = h.tx_start + link.bandwidth.tx_time(rec.size);
+            ports
+                .entry((h.node, next))
+                .or_default()
+                .push((h.tx_start, h.arrived, tx_end, id));
+        }
+    }
+    // Precedence edges q -> p.
+    let mut succ: HashMap<PacketId, Vec<PacketId>> = HashMap::new();
+    let mut indegree: HashMap<PacketId, usize> = HashMap::new();
+    for (id, _) in original.delivered() {
+        indegree.insert(id, 0);
+    }
+    for seq in ports.values_mut() {
+        seq.sort_by_key(|&(tx_start, _, _, id)| (tx_start, id));
+        for k in 1..seq.len() {
+            let (_, arrived_k, _, id_k) = seq[k];
+            for j in (0..k).rev() {
+                let (_, _, tx_end_j, id_j) = seq[j];
+                if arrived_k < tx_end_j {
+                    succ.entry(id_j).or_default().push(id_k);
+                    *indegree.entry(id_k).or_insert(0) += 1;
+                } else {
+                    // Sequential service: earlier packets ended even
+                    // sooner; no more overlaps possible.
+                    break;
+                }
+            }
+        }
+    }
+    // Kahn's algorithm with deterministic tie-breaking.
+    let mut ready: BTreeSet<PacketId> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut prio = HashMap::with_capacity(indegree.len());
+    let mut next_rank: i128 = 0;
+    while let Some(&id) = ready.iter().next() {
+        ready.remove(&id);
+        prio.insert(id, next_rank);
+        next_rank += 1;
+        if let Some(followers) = succ.get(&id) {
+            for &f in followers {
+                let d = indegree.get_mut(&f).expect("edge target tracked");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(f);
+                }
+            }
+        }
+    }
+    if prio.len() == indegree.len() {
+        Some(prio)
+    } else {
+        None // cycle: some packets never reached indegree 0
+    }
+}
+
+/// Largest number of congestion points any packet saw in a `PerHop`
+/// trace — the quantity the paper's theorems are parameterized by (§2.2).
+pub fn max_congestion_points(trace: &Trace) -> usize {
+    trace
+        .delivered()
+        .map(|(_, r)| r.congestion_points())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_netsim::prelude::*;
+    use ups_topology::{line, Routing};
+
+    /// 30 packets through a 2-router line under FIFO; LSTF replay must be
+    /// perfect (≤ 2 congestion points by construction).
+    fn line_packets(topo: &Topology, n: u64, gap_us: u64) -> Vec<Packet> {
+        let mut routing = Routing::new(topo);
+        let hosts = topo.hosts();
+        let path = routing.path(hosts[0], hosts[1]);
+        (0..n)
+            .map(|i| {
+                PacketBuilder::new(
+                    PacketId(i),
+                    FlowId(i % 3),
+                    1500,
+                    path.clone(),
+                    SimTime::from_us(i * gap_us),
+                )
+                .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lstf_replays_fifo_line_perfectly() {
+        let topo = line(2, Bandwidth::from_gbps(1), Dur::from_us(10));
+        let packets = line_packets(&topo, 30, 3);
+        let exp = ReplayExperiment {
+            topo: &topo,
+            original_assign: SchedulerAssignment::uniform(SchedulerKind::Fifo),
+            init: HeaderInit::LstfSlack,
+            preemptive: false,
+            record: RecordMode::PerHop,
+            seed: 1,
+        };
+        let out = exp.run(&packets, Dur::ZERO);
+        assert_eq!(out.report.total, 30);
+        assert!(
+            out.report.perfect(),
+            "overdue {} max lateness {}",
+            out.report.overdue,
+            out.report.max_lateness
+        );
+    }
+
+    #[test]
+    fn lstf_replays_lifo_line_with_enough_spacing() {
+        // On a single bottleneck (one congestion point) even LIFO replays
+        // perfectly under LSTF (Theorem: ≤ 2 congestion points).
+        let topo = line(1, Bandwidth::from_gbps(1), Dur::from_us(10));
+        let packets = line_packets(&topo, 40, 2);
+        let exp = ReplayExperiment {
+            topo: &topo,
+            original_assign: SchedulerAssignment::uniform(SchedulerKind::Lifo),
+            init: HeaderInit::LstfSlack,
+            preemptive: true,
+            record: RecordMode::PerHop,
+            seed: 1,
+        };
+        let out = exp.run(&packets, Dur::ZERO);
+        assert!(
+            max_congestion_points(&out.original) <= 2,
+            "line(1) can impose at most 2 waits"
+        );
+        assert!(out.report.perfect(), "overdue {}", out.report.overdue);
+    }
+
+    #[test]
+    fn omniscient_replays_random_schedule_perfectly() {
+        let topo = line(3, Bandwidth::from_gbps(1), Dur::from_us(10));
+        let packets = line_packets(&topo, 50, 1);
+        let exp = ReplayExperiment {
+            topo: &topo,
+            original_assign: SchedulerAssignment::uniform(SchedulerKind::Random),
+            init: HeaderInit::Omniscient,
+            preemptive: false,
+            record: RecordMode::PerHop,
+            seed: 42,
+        };
+        let out = exp.run(&packets, Dur::ZERO);
+        assert_eq!(out.report.total, 50);
+        assert!(
+            out.report.perfect(),
+            "App. B guarantees exact replay; overdue {}",
+            out.report.overdue
+        );
+    }
+
+    #[test]
+    fn slack_is_nonnegative_for_viable_schedules() {
+        let topo = line(2, Bandwidth::from_gbps(1), Dur::from_us(10));
+        let packets = line_packets(&topo, 20, 1);
+        let opts = BuildOptions {
+            record: RecordMode::EndToEnd,
+            ..BuildOptions::default()
+        };
+        let original = run_schedule(
+            &topo,
+            &SchedulerAssignment::uniform(SchedulerKind::Fifo),
+            packets.clone(),
+            &opts,
+        );
+        let replayed = replay_packets(&topo, &original, &packets, HeaderInit::LstfSlack);
+        for p in &replayed {
+            assert!(
+                p.header.slack >= 0,
+                "viable schedule implies o ≥ i + tmin; slack {}",
+                p.header.slack
+            );
+        }
+    }
+
+    #[test]
+    fn report_fractions() {
+        let r = ReplayReport {
+            total: 200,
+            overdue: 10,
+            overdue_gt_t: 2,
+            threshold: Dur::from_us(12),
+            max_lateness: Dur::from_us(50),
+            queueing_ratios: vec![],
+        };
+        assert!((r.frac_overdue() - 0.05).abs() < 1e-12);
+        assert!((r.frac_overdue_gt_t() - 0.01).abs() < 1e-12);
+        assert!(!r.perfect());
+    }
+
+    #[test]
+    fn replay_packet_headers_are_clean() {
+        let topo = line(1, Bandwidth::from_gbps(1), Dur::ZERO);
+        let mut packets = line_packets(&topo, 3, 1);
+        // Pollute original headers the way SJF/SRPT originals would.
+        for p in &mut packets {
+            p.header.flow_size = 999;
+            p.header.remaining = 999;
+        }
+        let opts = BuildOptions::default();
+        let original = run_schedule(
+            &topo,
+            &SchedulerAssignment::uniform(SchedulerKind::Sjf),
+            packets.clone(),
+            &opts,
+        );
+        let rep = replay_packets(&topo, &original, &packets, HeaderInit::LstfSlack);
+        for p in &rep {
+            assert_eq!(p.header.flow_size, 0, "replay header must be re-initialized");
+            assert_eq!(p.hop, 0);
+            assert_eq!(p.cum_wait, Dur::ZERO);
+        }
+    }
+
+    #[test]
+    fn priority_replay_uses_output_time() {
+        let topo = line(1, Bandwidth::from_gbps(1), Dur::ZERO);
+        let packets = line_packets(&topo, 2, 0);
+        let original = run_schedule(
+            &topo,
+            &SchedulerAssignment::uniform(SchedulerKind::Fifo),
+            packets.clone(),
+            &BuildOptions::default(),
+        );
+        let rep = replay_packets(&topo, &original, &packets, HeaderInit::PriorityOutputTime);
+        let o0 = original.get(PacketId(0)).unwrap().exited.unwrap();
+        assert_eq!(rep[0].header.prio, o0.as_ps() as i128);
+        assert!(rep[0].header.prio < rep[1].header.prio);
+    }
+}

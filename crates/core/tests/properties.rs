@@ -1,0 +1,276 @@
+//! Property tests for the paper's theorems (§2.2), on randomized
+//! scenarios instead of hand-picked examples:
+//!
+//! 1. **Appendix B** — omniscient per-hop initialization replays *any*
+//!    recorded schedule perfectly.
+//! 2. **Theorem 2 / Appendix G** — preemptive LSTF replays perfectly
+//!    whenever no packet waits at more than two hops.
+//! 3. **Theorem 1 / Appendix F** — congestion-aware priorities replay
+//!    perfectly whenever no packet waits at more than one hop.
+//! 4. **Appendix E** — EDF and LSTF produce identical replays, including
+//!    with mixed packet sizes.
+//! 5. Determinism: a replay experiment is a pure function of its inputs.
+
+use proptest::prelude::*;
+
+use ups_core::replay::{max_congestion_points, HeaderInit, ReplayExperiment};
+use ups_netsim::prelude::*;
+use ups_topology::{dumbbell, line, Routing, SchedulerAssignment, Topology};
+
+/// A randomized replay scenario.
+#[derive(Debug, Clone)]
+struct Scenario {
+    topo_kind: TopoKind,
+    /// (src_host_idx, dst_host_idx, inject_us, size) per packet.
+    packets: Vec<(usize, usize, u64, u32)>,
+    discipline: Disc,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TopoKind {
+    Line(usize),
+    Dumbbell(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Disc {
+    Fifo,
+    Lifo,
+    Random,
+    Fq,
+    FifoPlus,
+}
+
+impl Disc {
+    fn kind(self) -> SchedulerKind {
+        match self {
+            Disc::Fifo => SchedulerKind::Fifo,
+            Disc::Lifo => SchedulerKind::Lifo,
+            Disc::Random => SchedulerKind::Random,
+            Disc::Fq => SchedulerKind::Fq,
+            Disc::FifoPlus => SchedulerKind::FifoPlus,
+        }
+    }
+}
+
+impl TopoKind {
+    fn build(self) -> Topology {
+        match self {
+            TopoKind::Line(r) => line(r, Bandwidth::from_gbps(1), Dur::from_us(10)),
+            TopoKind::Dumbbell(h) => dumbbell(
+                h,
+                Bandwidth::from_gbps(1),
+                Bandwidth::from_gbps(1),
+                Dur::from_us(20),
+            ),
+        }
+    }
+}
+
+impl Scenario {
+    fn materialize(&self) -> (Topology, Vec<Packet>) {
+        let topo = self.topo_kind.build();
+        let mut routing = Routing::new(&topo);
+        let hosts = topo.hosts();
+        let packets = self
+            .packets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(s, d, at_us, size))| {
+                let src = hosts[s % hosts.len()];
+                let dst = hosts[d % hosts.len()];
+                if src == dst {
+                    return None;
+                }
+                let path = routing.path(src, dst);
+                Some(
+                    PacketBuilder::new(
+                        PacketId(i as u64),
+                        FlowId(i as u64 % 5),
+                        size,
+                        path,
+                        SimTime::from_us(at_us),
+                    )
+                    .build(),
+                )
+            })
+            .collect();
+        (topo, packets)
+    }
+
+    fn experiment<'a>(&self, topo: &'a Topology, init: HeaderInit, preemptive: bool) -> ReplayExperiment<'a> {
+        ReplayExperiment {
+            topo,
+            original_assign: SchedulerAssignment::uniform(self.discipline.kind()),
+            init,
+            preemptive,
+            record: RecordMode::PerHop,
+            seed: self.seed,
+        }
+    }
+}
+
+fn disc_strategy() -> impl Strategy<Value = Disc> {
+    prop_oneof![
+        Just(Disc::Fifo),
+        Just(Disc::Lifo),
+        Just(Disc::Random),
+        Just(Disc::Fq),
+        Just(Disc::FifoPlus),
+    ]
+}
+
+fn scenario_strategy(
+    max_routers: usize,
+    max_packets: usize,
+    sizes: &'static [u32],
+) -> impl Strategy<Value = Scenario> {
+    let topo = prop_oneof![
+        (1..=max_routers).prop_map(TopoKind::Line),
+        (2..=3usize).prop_map(TopoKind::Dumbbell),
+    ];
+    let packet = (
+        0..8usize,
+        0..8usize,
+        0u64..400,
+        proptest::sample::select(sizes),
+    );
+    (
+        topo,
+        proptest::collection::vec(packet, 2..=max_packets),
+        disc_strategy(),
+        0u64..1000,
+    )
+        .prop_map(|(topo_kind, packets, discipline, seed)| Scenario {
+            topo_kind,
+            packets,
+            discipline,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, ..ProptestConfig::default()
+    })]
+
+    /// Appendix B: omniscient initialization replays any viable recorded
+    /// schedule exactly — zero overdue packets, zero tolerance.
+    #[test]
+    fn omniscient_replay_is_always_perfect(
+        scenario in scenario_strategy(3, 30, &[1500])
+    ) {
+        let (topo, packets) = scenario.materialize();
+        prop_assume!(packets.len() >= 2);
+        let exp = scenario.experiment(&topo, HeaderInit::Omniscient, false);
+        let out = exp.run(&packets, Dur::ZERO);
+        prop_assert_eq!(out.report.total, packets.len());
+        prop_assert!(
+            out.report.perfect(),
+            "overdue {} / {} under {:?}, max late {}",
+            out.report.overdue, out.report.total,
+            scenario.discipline, out.report.max_lateness
+        );
+    }
+
+    /// Theorem 2: preemptive LSTF replays perfectly when no packet waits
+    /// at more than two hops in the original schedule.
+    #[test]
+    fn lstf_perfect_up_to_two_congestion_points(
+        scenario in scenario_strategy(3, 25, &[1500])
+    ) {
+        let (topo, packets) = scenario.materialize();
+        prop_assume!(packets.len() >= 2);
+        let exp = scenario.experiment(&topo, HeaderInit::LstfSlack, true);
+        let out = exp.run(&packets, Dur::ZERO);
+        prop_assume!(max_congestion_points(&out.original) <= 2);
+        prop_assert!(
+            out.report.perfect(),
+            "LSTF failed a ≤2-congestion-point schedule: overdue {} / {} under {:?}, max late {}",
+            out.report.overdue, out.report.total,
+            scenario.discipline, out.report.max_lateness
+        );
+    }
+
+    /// Theorem 1: congestion-aware priorities replay perfectly when no
+    /// packet waits at more than one hop.
+    #[test]
+    fn priorities_perfect_up_to_one_congestion_point(
+        scenario in scenario_strategy(2, 15, &[1500])
+    ) {
+        let (topo, packets) = scenario.materialize();
+        prop_assume!(packets.len() >= 2);
+        let exp = scenario.experiment(&topo, HeaderInit::PriorityFromSchedule, true);
+        let out = exp.run(&packets, Dur::ZERO);
+        prop_assume!(max_congestion_points(&out.original) <= 1);
+        prop_assert!(
+            out.report.perfect(),
+            "priorities failed a ≤1-congestion-point schedule: overdue {} / {} under {:?}",
+            out.report.overdue, out.report.total, scenario.discipline
+        );
+    }
+
+    /// Appendix E: the EDF formulation and LSTF produce byte-identical
+    /// replays — same exit time for every packet — even with mixed
+    /// packet sizes.
+    #[test]
+    fn edf_and_lstf_replays_are_identical(
+        scenario in scenario_strategy(3, 25, &[400, 1000, 1500])
+    ) {
+        let (topo, packets) = scenario.materialize();
+        prop_assume!(packets.len() >= 2);
+        for preemptive in [false, true] {
+            let lstf = scenario
+                .experiment(&topo, HeaderInit::LstfSlack, preemptive)
+                .run(&packets, Dur::ZERO);
+            let edf = scenario
+                .experiment(&topo, HeaderInit::EdfDeadline, preemptive)
+                .run(&packets, Dur::ZERO);
+            for (id, r) in lstf.replay.delivered() {
+                let e = edf.replay.get(id).expect("EDF delivered the same packets");
+                prop_assert_eq!(
+                    r.exited, e.exited,
+                    "packet {} exits at {:?} under LSTF but {:?} under EDF (preemptive={})",
+                    id, r.exited, e.exited, preemptive
+                );
+            }
+        }
+    }
+
+    /// Replay experiments are deterministic: running twice gives
+    /// identical reports and identical per-packet exits.
+    #[test]
+    fn replay_is_deterministic(
+        scenario in scenario_strategy(3, 20, &[1500])
+    ) {
+        let (topo, packets) = scenario.materialize();
+        prop_assume!(packets.len() >= 2);
+        let a = scenario
+            .experiment(&topo, HeaderInit::LstfSlack, false)
+            .run(&packets, Dur::ZERO);
+        let b = scenario
+            .experiment(&topo, HeaderInit::LstfSlack, false)
+            .run(&packets, Dur::ZERO);
+        prop_assert_eq!(a.report.overdue, b.report.overdue);
+        for (id, r) in a.replay.delivered() {
+            prop_assert_eq!(r.exited, b.replay.get(id).unwrap().exited);
+        }
+    }
+
+    /// Liveness: every injected packet is delivered in both runs (replay
+    /// networks are unbuffered, so nothing may vanish).
+    #[test]
+    fn replay_delivers_everything(
+        scenario in scenario_strategy(3, 25, &[1500])
+    ) {
+        let (topo, packets) = scenario.materialize();
+        prop_assume!(packets.len() >= 2);
+        let out = scenario
+            .experiment(&topo, HeaderInit::LstfSlack, false)
+            .run(&packets, Dur::ZERO);
+        prop_assert_eq!(out.original.delivered().count(), packets.len());
+        prop_assert_eq!(out.replay.delivered().count(), packets.len());
+        prop_assert_eq!(out.report.total, packets.len());
+    }
+}

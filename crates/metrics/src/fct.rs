@@ -1,0 +1,86 @@
+//! Flow-completion-time bucketing (Figure 2's presentation).
+
+/// One completed flow: its size and its completion time in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSample {
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Flow completion time in seconds.
+    pub fct_secs: f64,
+}
+
+/// Figure 2's x-axis bucket edges (bytes): a flow lands in the first
+/// bucket whose edge is ≥ its size.
+pub const FIG2_BUCKETS: [u64; 10] = [
+    1_460,
+    2_920,
+    4_380,
+    7_300,
+    10_220,
+    58_400,
+    105_120,
+    2_000_020,
+    17_330_203,
+    30_762_200,
+];
+
+/// Mean FCT per size bucket. Returns `(bucket_edge, mean_fct, count)` for
+/// every bucket (NaN-free: empty buckets report 0 mean and 0 count).
+pub fn mean_fct_by_bucket(samples: &[FlowSample], buckets: &[u64]) -> Vec<(u64, f64, usize)> {
+    let mut sums = vec![0.0f64; buckets.len()];
+    let mut counts = vec![0usize; buckets.len()];
+    for s in samples {
+        let idx = buckets
+            .iter()
+            .position(|&b| s.size <= b)
+            .unwrap_or(buckets.len() - 1);
+        sums[idx] += s.fct_secs;
+        counts[idx] += 1;
+    }
+    buckets
+        .iter()
+        .zip(sums.iter().zip(&counts))
+        .map(|(&b, (&sum, &c))| (b, if c > 0 { sum / c as f64 } else { 0.0 }, c))
+        .collect()
+}
+
+/// Overall mean FCT (the number Figure 2's legend reports per scheme).
+pub fn overall_mean_fct(samples: &[FlowSample]) -> f64 {
+    crate::stats::mean(&samples.iter().map(|s| s.fct_secs).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_first_edge_at_or_above() {
+        let samples = [
+            FlowSample { size: 1_000, fct_secs: 0.1 },
+            FlowSample { size: 1_460, fct_secs: 0.3 },
+            FlowSample { size: 1_461, fct_secs: 0.5 },
+            FlowSample { size: 99_999_999, fct_secs: 2.0 }, // beyond last edge
+        ];
+        let out = mean_fct_by_bucket(&samples, &FIG2_BUCKETS);
+        assert_eq!(out.len(), FIG2_BUCKETS.len());
+        assert_eq!(out[0].2, 2);
+        assert!((out[0].1 - 0.2).abs() < 1e-12);
+        assert_eq!(out[1].2, 1);
+        assert!((out[1].1 - 0.5).abs() < 1e-12);
+        // Oversized flow folded into the last bucket.
+        assert_eq!(out[9].2, 1);
+        assert!((out[9].1 - 2.0).abs() < 1e-12);
+        // Empty buckets report zero, not NaN.
+        assert_eq!(out[5], (58_400, 0.0, 0));
+    }
+
+    #[test]
+    fn overall_mean() {
+        let samples = [
+            FlowSample { size: 1, fct_secs: 0.1 },
+            FlowSample { size: 2, fct_secs: 0.3 },
+        ];
+        assert!((overall_mean_fct(&samples) - 0.2).abs() < 1e-12);
+        assert_eq!(overall_mean_fct(&[]), 0.0);
+    }
+}

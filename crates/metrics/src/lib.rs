@@ -1,0 +1,22 @@
+//! # ups-metrics — statistics and reporting for the UPS evaluation
+//!
+//! Everything Table 1 and Figures 1–4 are expressed in:
+//!
+//! * [`stats`] — means, percentiles, CDFs/CCDFs (Figures 1 and 3),
+//! * [`jain`] — Jain's fairness index and per-millisecond series
+//!   (Figure 4),
+//! * [`fct`] — flow-completion-time bucketing (Figure 2),
+//! * [`table`] — paper-style plain-text rendering for the bench harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fct;
+pub mod jain;
+pub mod stats;
+pub mod table;
+
+pub use fct::{mean_fct_by_bucket, overall_mean_fct, FlowSample, FIG2_BUCKETS};
+pub use jain::{jain_index, jain_series};
+pub use stats::{fraction_where, mean, percentile, Cdf};
+pub use table::{frac, render_series, Table};

@@ -1,0 +1,130 @@
+//! Basic descriptive statistics, CDFs and CCDFs.
+
+/// Arithmetic mean; 0 for empty input (callers report counts alongside).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) over unsorted data.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    assert!(!xs.is_empty(), "percentile of empty data");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (any order).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P[X ≤ x]`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse: the `q`-quantile value.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile(&self.sorted, q)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        mean(&self.sorted)
+    }
+
+    /// Evaluate the CDF at each of `xs` — one (x, P[X ≤ x]) series row per
+    /// probe point; how Figure 1's curves are exported.
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_le(x))).collect()
+    }
+
+    /// Complementary series `P[X > x]` (Figure 3 is a CCDF).
+    pub fn ccdf_series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, 1.0 - self.fraction_le(x))).collect()
+    }
+}
+
+/// Fraction of items satisfying a predicate; 0 on empty input.
+pub fn fraction_where<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items.iter().filter(|x| pred(x)).count() as f64 / items.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentile() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&xs), 3.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.99), 5.0);
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.fraction_le(0.5), 0.0);
+        assert_eq!(c.fraction_le(1.0), 0.25);
+        assert_eq!(c.fraction_le(2.5), 0.5);
+        assert_eq!(c.fraction_le(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn cdf_and_ccdf_series() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let s = c.series(&[1.0, 4.0]);
+        assert_eq!(s, vec![(1.0, 0.25), (4.0, 1.0)]);
+        let cc = c.ccdf_series(&[1.0, 4.0]);
+        assert_eq!(cc, vec![(1.0, 0.75), (4.0, 0.0)]);
+    }
+
+    #[test]
+    fn fraction_where_counts() {
+        let xs = [1, 2, 3, 4];
+        assert_eq!(fraction_where(&xs, |&x| x > 2), 0.5);
+        let empty: [i32; 0] = [];
+        assert_eq!(fraction_where(&empty, |_| true), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Plain-text table and series rendering for the experiment harness.
+//!
+//! The bench binaries print paper-style rows (`Table 1`, `Figure N`
+//! series) to stdout; these helpers keep the formatting consistent and
+//! snapshot-testable.
+
+/// A simple left-aligned ASCII table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                line.push_str(&" ".repeat(width[i] - c.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render an (x, y) series as `label: x=..., y=...` lines — the bench
+/// output format for figure curves.
+pub fn render_series(label: &str, series: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    for (x, y) in series {
+        out.push_str(&format!("{label}\t{x:.6}\t{y:.6}\n"));
+    }
+    out
+}
+
+/// Format a fraction as a paper-style decimal (4 significant places, like
+/// Table 1's `0.0021`).
+pub fn frac(x: f64) -> String {
+    if x == 0.0 {
+        "0.0".to_string()
+    } else if x < 1e-4 {
+        format!("{x:.1e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Scenario", "Overdue"]);
+        t.row(&["default".into(), "0.0021".into()]);
+        t.row(&["long-scenario-name".into(), "0.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Scenario"));
+        assert!(lines[2].starts_with("default "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_wrong_width() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn series_format() {
+        let s = render_series("fifo", &[(0.5, 0.25)]);
+        assert_eq!(s, "fifo\t0.500000\t0.250000\n");
+    }
+
+    #[test]
+    fn frac_formats() {
+        assert_eq!(frac(0.0), "0.0");
+        assert_eq!(frac(0.0021), "0.0021");
+        assert_eq!(frac(0.00002), "2.0e-5");
+    }
+}

@@ -1,0 +1,197 @@
+//! The discrete-event core: event types and the future-event list.
+//!
+//! Determinism contract: events are ordered by `(time, push sequence)`, so
+//! two events scheduled for the same instant fire in the order they were
+//! scheduled. Nothing in the simulator ever depends on heap-internal
+//! ordering, hash iteration order, or wall-clock time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::id::{AgentId, NodeId, PortId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// A simulation event.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet enters the network at its source node (the paper's `i(p)`).
+    Inject(Packet),
+    /// The last bit of a packet arrives at `node` (store-and-forward: a
+    /// router may only act on a packet once it holds all of it).
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet, with `hop` already advanced to `node`.
+        packet: Packet,
+    },
+    /// The output port finished serializing its current packet. `token`
+    /// guards against stale wakeups after a preemption rescheduled the
+    /// port.
+    PortReady {
+        /// Node owning the port.
+        node: NodeId,
+        /// Which port.
+        port: PortId,
+        /// Transmission generation; stale tokens are ignored.
+        token: u64,
+    },
+    /// An agent timer (transport retransmission timers, app pacing, ...).
+    Timer {
+        /// The agent whose `on_timer` fires.
+        agent: AgentId,
+        /// Caller-chosen discriminator.
+        key: u64,
+    },
+}
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq)
+        // pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Future-event list with deterministic same-time ordering.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time: the timestamp of the last popped event
+    /// (zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is in the past — the simulator never time-travels; a panic
+    /// here always indicates a logic bug in a component, so failing loudly
+    /// beats silently reordering history.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(key: u64) -> Event {
+        Event::Timer {
+            agent: AgentId(0),
+            key,
+        }
+    }
+
+    fn key_of(e: &Event) -> u64 {
+        match e {
+            Event::Timer { key, .. } => *key,
+            _ => panic!("expected timer"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_us(5), timer(5));
+        q.push(SimTime::from_us(1), timer(1));
+        q.push(SimTime::from_us(3), timer(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| key_of(&e)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_push_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(7);
+        for k in 0..100 {
+            q.push(t, timer(k));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| key_of(&e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(2), timer(0));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(2)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ms(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_us(10), timer(0));
+        q.pop();
+        q.push(SimTime::from_us(5), timer(1));
+    }
+}

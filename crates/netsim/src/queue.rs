@@ -1,0 +1,261 @@
+//! The scheduler abstraction: every per-port queueing discipline in the
+//! paper implements [`Scheduler`].
+//!
+//! A scheduler owns the packets queued at one output port and decides which
+//! to serve next. Ranks are `i128` with *lower = served earlier*; ties
+//! break FIFO via a per-port arrival sequence number, matching the paper's
+//! footnote 14 ("ties are broken ... by using FCFS").
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::packet::Packet;
+use crate::time::{Bandwidth, SimTime};
+
+/// Static per-port context handed to schedulers on every operation.
+#[derive(Debug, Clone, Copy)]
+pub struct PortCtx {
+    /// Bandwidth of the link this port feeds — needed for `T(p, α)` in the
+    /// EDF rank (App. E).
+    pub bandwidth: Bandwidth,
+}
+
+/// A packet sitting in a port queue, together with its scheduling metadata.
+#[derive(Debug)]
+pub struct QueuedPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// Scheduler rank; lower is served earlier. Meaning is
+    /// scheduler-specific (slack+arrival for LSTF, local deadline for EDF,
+    /// virtual finish tag for FQ, ...).
+    pub rank: i128,
+    /// When the packet (re-)entered this queue; waiting time is measured
+    /// from here.
+    pub enqueued_at: SimTime,
+    /// Per-port monotone arrival counter for deterministic FIFO
+    /// tie-breaking.
+    pub arrival_seq: u64,
+}
+
+impl QueuedPacket {
+    #[inline]
+    fn key(&self) -> (i128, u64) {
+        (self.rank, self.arrival_seq)
+    }
+}
+
+/// A per-port packet scheduler.
+///
+/// The port drives the scheduler through `enqueue`/`dequeue`; dynamic
+/// packet state that is *scheduler-specific* (FIFO+'s offset) is updated by
+/// the scheduler in `dequeue`, while universal state (LSTF slack, cumulative
+/// wait) is updated by the port so it is measured identically under every
+/// discipline.
+pub trait Scheduler: std::fmt::Debug + Send {
+    /// Accept a packet that arrived at `now`. `arrival_seq` is the port's
+    /// monotone counter.
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, ctx: PortCtx);
+
+    /// Hand over the next packet to serialize, applying any
+    /// scheduler-specific header updates. `now` is the instant service
+    /// starts.
+    fn dequeue(&mut self, now: SimTime, ctx: PortCtx) -> Option<QueuedPacket>;
+
+    /// Rank of the packet `dequeue` would return, if meaningful. Ports use
+    /// this for preemption decisions; schedulers with no total order (DRR,
+    /// Random) return `None` and are never preemptive.
+    fn peek_rank(&self) -> Option<i128>;
+
+    /// Number of queued packets.
+    fn len(&self) -> usize;
+
+    /// True when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total queued bytes (drives buffer-occupancy drop decisions).
+    fn queued_bytes(&self) -> u64;
+
+    /// Remove and return the packet to sacrifice when the buffer is full.
+    /// Contract: the *least urgent* packet — e.g. highest slack for LSTF
+    /// (§3) or the newest arrival for FIFO (classic drop-tail).
+    fn select_drop(&mut self) -> Option<QueuedPacket>;
+
+    /// Whether the port may interrupt an ongoing transmission when a more
+    /// urgent packet arrives (§2.3(5)'s preemptive-LSTF ablation).
+    fn is_preemptive(&self) -> bool {
+        false
+    }
+
+    /// Human-readable discipline name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Shared rank-heap storage used by the heap-ordered disciplines
+// (FIFO, LIFO, Priority, SJF, EDF, LSTF, FQ, FIFO+ all reuse this).
+// ---------------------------------------------------------------------------
+
+struct HeapEntry(QueuedPacket);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (rank, arrival_seq).
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// Min-heap of [`QueuedPacket`]s on `(rank, arrival_seq)` with byte
+/// accounting; the storage behind most disciplines.
+#[derive(Default)]
+pub struct RankHeap {
+    heap: BinaryHeap<HeapEntry>,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for RankHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankHeap")
+            .field("len", &self.heap.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl RankHeap {
+    /// Empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a ranked packet.
+    pub fn push(&mut self, qp: QueuedPacket) {
+        self.bytes += qp.packet.size as u64;
+        self.heap.push(HeapEntry(qp));
+    }
+
+    /// Remove the minimum-rank packet.
+    pub fn pop_min(&mut self) -> Option<QueuedPacket> {
+        let qp = self.heap.pop()?.0;
+        self.bytes -= qp.packet.size as u64;
+        Some(qp)
+    }
+
+    /// Rank of the minimum-rank packet.
+    pub fn peek_rank(&self) -> Option<i128> {
+        self.heap.peek().map(|e| e.0.rank)
+    }
+
+    /// Remove the maximum-rank packet (the least urgent). O(n) — only used
+    /// on buffer overflow, which is rare relative to forwarding.
+    pub fn pop_max(&mut self) -> Option<QueuedPacket> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let mut v: Vec<QueuedPacket> =
+            std::mem::take(&mut self.heap).into_vec().into_iter().map(|e| e.0).collect();
+        let (idx, _) = v
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, qp)| qp.key())
+            .expect("non-empty");
+        let victim = v.swap_remove(idx);
+        self.bytes -= victim.packet.size as u64;
+        self.heap = v.into_iter().map(HeapEntry).collect();
+        Some(victim)
+    }
+
+    /// Queued packet count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Queued bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{FlowId, NodeId, PacketId};
+    use crate::packet::PacketBuilder;
+    use std::sync::Arc;
+
+    pub(crate) fn test_packet(id: u64, size: u32) -> Packet {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
+        PacketBuilder::new(PacketId(id), FlowId(id), size, path, SimTime::ZERO).build()
+    }
+
+    fn qp(id: u64, rank: i128, seq: u64) -> QueuedPacket {
+        QueuedPacket {
+            packet: test_packet(id, 100),
+            rank,
+            enqueued_at: SimTime::ZERO,
+            arrival_seq: seq,
+        }
+    }
+
+    #[test]
+    fn pops_by_rank_then_fifo() {
+        let mut h = RankHeap::new();
+        h.push(qp(1, 5, 0));
+        h.push(qp(2, 3, 1));
+        h.push(qp(3, 3, 2));
+        h.push(qp(4, 9, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop_min()).map(|q| q.packet.id.0).collect();
+        assert_eq!(order, vec![2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut h = RankHeap::new();
+        h.push(qp(1, 1, 0));
+        h.push(qp(2, 2, 1));
+        assert_eq!(h.bytes(), 200);
+        h.pop_min();
+        assert_eq!(h.bytes(), 100);
+        h.pop_max();
+        assert_eq!(h.bytes(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn pop_max_takes_least_urgent() {
+        let mut h = RankHeap::new();
+        h.push(qp(1, 5, 0));
+        h.push(qp(2, 30, 1));
+        h.push(qp(3, 10, 2));
+        assert_eq!(h.pop_max().unwrap().packet.id.0, 2);
+        assert_eq!(h.len(), 2);
+        // remaining order intact
+        assert_eq!(h.pop_min().unwrap().packet.id.0, 1);
+        assert_eq!(h.pop_min().unwrap().packet.id.0, 3);
+    }
+
+    #[test]
+    fn pop_max_ties_break_on_newest_arrival() {
+        let mut h = RankHeap::new();
+        h.push(qp(1, 7, 0));
+        h.push(qp(2, 7, 1));
+        assert_eq!(h.pop_max().unwrap().packet.id.0, 2);
+    }
+}

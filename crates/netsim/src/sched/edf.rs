@@ -1,0 +1,143 @@
+//! Network-wide earliest deadline first (App. E).
+
+use crate::packet::Packet;
+use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
+use crate::time::SimTime;
+
+/// The static-header formulation of LSTF from Appendix E: the header
+/// carries only the target output time `o(p)` (never rewritten), and each
+/// router α computes a *local deadline*
+///
+/// ```text
+/// priority(p, α) = o(p) − tmin(p, α, dest(p)) + T(p, α)
+/// ```
+///
+/// from static topology knowledge. Appendix E proves this produces exactly
+/// the same replay schedule as LSTF; `ups-core` property-tests that
+/// equivalence against this implementation.
+///
+/// Requires packets built with a `tmin_rem` table (the routing layer
+/// attaches it); panics otherwise, since silently scheduling with a wrong
+/// deadline would invalidate any experiment using it.
+#[derive(Debug, Default)]
+pub struct Edf {
+    q: RankHeap,
+    preemptive: bool,
+}
+
+impl Edf {
+    /// New non-preemptive EDF queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Preemptive EDF — matches preemptive LSTF exactly (App. E).
+    pub fn preemptive() -> Self {
+        Edf {
+            q: RankHeap::new(),
+            preemptive: true,
+        }
+    }
+}
+
+impl Scheduler for Edf {
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, ctx: PortCtx) {
+        let tmin_rem = packet
+            .tmin_remaining()
+            .expect("EDF needs packets with a tmin_rem table (attach via routing layer)");
+        let t_here = ctx.bandwidth.tx_time(packet.size);
+        let rank = packet.header.deadline.as_ps() as i128 - tmin_rem.as_ps() as i128
+            + t_here.as_ps() as i128;
+        self.q.push(QueuedPacket {
+            packet,
+            rank,
+            enqueued_at: now,
+            arrival_seq,
+        });
+    }
+
+    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+        self.q.pop_min()
+    }
+
+    fn peek_rank(&self) -> Option<i128> {
+        self.q.peek_rank()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        self.q.bytes()
+    }
+
+    fn select_drop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_max()
+    }
+
+    fn is_preemptive(&self) -> bool {
+        self.preemptive
+    }
+
+    fn name(&self) -> &'static str {
+        "EDF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{FlowId, NodeId, PacketId};
+    use crate::packet::{Header, PacketBuilder};
+    use crate::sched::testutil::ctx;
+    use crate::time::Dur;
+    use std::sync::Arc;
+
+    fn edf_pkt(id: u64, deadline_us: u64, tmin_rem_us: u64) -> Packet {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
+        let tmins: Arc<[Dur]> = vec![Dur::from_us(tmin_rem_us), Dur::ZERO].into();
+        PacketBuilder::new(PacketId(id), FlowId(id), 1500, path, SimTime::ZERO)
+            .header(Header {
+                deadline: SimTime::from_us(deadline_us),
+                ..Header::default()
+            })
+            .tmin_rem(tmins)
+            .build()
+    }
+
+    #[test]
+    fn earlier_local_deadline_first() {
+        let mut s = Edf::new();
+        // Same tmin: order by o(p).
+        s.enqueue(edf_pkt(1, 500, 50), SimTime::ZERO, 0, ctx());
+        s.enqueue(edf_pkt(2, 100, 50), SimTime::ZERO, 1, ctx());
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
+    }
+
+    #[test]
+    fn longer_remaining_path_tightens_deadline() {
+        let mut s = Edf::new();
+        // Same o(p); packet 2 has much further to go, so it is more urgent.
+        s.enqueue(edf_pkt(1, 500, 10), SimTime::ZERO, 0, ctx());
+        s.enqueue(edf_pkt(2, 500, 400), SimTime::ZERO, 1, ctx());
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
+    }
+
+    #[test]
+    fn rank_matches_appendix_e_formula() {
+        let mut s = Edf::new();
+        s.enqueue(edf_pkt(1, 500, 50), SimTime::ZERO, 0, ctx());
+        // T(1500B @ 1Gbps) = 12us.
+        let expected = (Dur::from_us(500 - 50 + 12).as_ps()) as i128;
+        assert_eq!(s.peek_rank(), Some(expected));
+    }
+
+    #[test]
+    #[should_panic(expected = "tmin_rem")]
+    fn missing_tmin_table_panics() {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
+        let p = PacketBuilder::new(PacketId(1), FlowId(1), 100, path, SimTime::ZERO).build();
+        Edf::new().enqueue(p, SimTime::ZERO, 0, ctx());
+    }
+}

@@ -1,0 +1,88 @@
+//! First-in first-out with drop-tail.
+
+use crate::packet::Packet;
+use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
+use crate::time::SimTime;
+
+/// Classic FIFO. All packets share rank 0, so service order is the
+/// deterministic arrival order; `select_drop` evicts the newest arrival,
+/// i.e. drop-tail.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    q: RankHeap,
+}
+
+impl Fifo {
+    /// New empty FIFO queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Fifo {
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+        self.q.push(QueuedPacket {
+            packet,
+            rank: 0,
+            enqueued_at: now,
+            arrival_seq,
+        });
+    }
+
+    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+        self.q.pop_min()
+    }
+
+    fn peek_rank(&self) -> Option<i128> {
+        self.q.peek_rank()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        self.q.bytes()
+    }
+
+    fn select_drop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_max()
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::{ctx, pkt, service_order};
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let mut s = Fifo::new();
+        let order = service_order(&mut s, vec![pkt(10, 0, 100), pkt(11, 0, 100), pkt(12, 0, 100)]);
+        assert_eq!(order, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn drop_tail_evicts_newest() {
+        let mut s = Fifo::new();
+        for (i, p) in [pkt(1, 0, 100), pkt(2, 0, 100), pkt(3, 0, 100)].into_iter().enumerate() {
+            s.enqueue(p, SimTime::from_us(i as u64), i as u64, ctx());
+        }
+        assert_eq!(s.select_drop().unwrap().packet.id.0, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.queued_bytes(), 200);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut s = Fifo::new();
+        assert!(s.dequeue(SimTime::ZERO, ctx()).is_none());
+        assert!(s.select_drop().is_none());
+        assert_eq!(s.peek_rank(), None);
+        assert!(!s.is_preemptive());
+    }
+}

@@ -1,0 +1,144 @@
+//! FIFO+ — FIFO corrected by upstream queueing excess.
+
+use crate::packet::Packet;
+use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
+use crate::time::SimTime;
+
+/// FIFO+ from Clark–Shenker–Zhang [11] (§3.2): each hop measures the mean
+/// queueing delay it imposes; a packet accumulates `(its delay − mean
+/// delay)` into a header offset, and downstream hops serve packets in
+/// order of *expected* arrival time — actual arrival minus accumulated
+/// excess. Packets that have been unlucky so far jump ahead, which trims
+/// the tail of the end-to-end delay distribution.
+///
+/// The paper observes (§3.2) that LSTF with a uniform initial slack is
+/// identical to FIFO+ up to the per-hop mean-delay normalization; both are
+/// exercised in the test suite and the Figure 3 bench.
+#[derive(Debug, Default)]
+pub struct FifoPlus {
+    q: RankHeap,
+    /// Running mean of queueing delays imposed by this port, in ps.
+    total_wait_ps: u128,
+    served: u64,
+}
+
+impl FifoPlus {
+    /// New FIFO+ queue with an empty delay history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn mean_wait_ps(&self) -> i64 {
+        if self.served == 0 {
+            0
+        } else {
+            (self.total_wait_ps / self.served as u128) as i64
+        }
+    }
+}
+
+impl Scheduler for FifoPlus {
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+        // Expected arrival = actual arrival − upstream excess. A positive
+        // offset (delayed more than average so far) ranks the packet as if
+        // it had arrived earlier.
+        let rank = now.as_ps() as i128 - packet.header.fifo_plus_offset as i128;
+        self.q.push(QueuedPacket {
+            packet,
+            rank,
+            enqueued_at: now,
+            arrival_seq,
+        });
+    }
+
+    fn dequeue(&mut self, now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+        let mut qp = self.q.pop_min()?;
+        let wait = now.saturating_since(qp.enqueued_at).as_ps();
+        // Fold this hop's excess into the header before the packet moves on.
+        let mean = self.mean_wait_ps();
+        qp.packet.header.fifo_plus_offset += wait as i64 - mean;
+        self.total_wait_ps += wait as u128;
+        self.served += 1;
+        Some(qp)
+    }
+
+    fn peek_rank(&self) -> Option<i128> {
+        self.q.peek_rank()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        self.q.bytes()
+    }
+
+    fn select_drop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_max()
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO+"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Header;
+    use crate::sched::testutil::{ctx, pkt, pkt_with};
+    use crate::time::Dur;
+
+    #[test]
+    fn zero_offsets_reduce_to_fifo() {
+        let mut s = FifoPlus::new();
+        for i in 0..4u64 {
+            s.enqueue(pkt(i, 0, 100), SimTime::from_us(i), i, ctx());
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(SimTime::from_ms(1), ctx()))
+            .map(|q| q.packet.id.0)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn delayed_upstream_packet_jumps_ahead() {
+        let mut s = FifoPlus::new();
+        // Packet 1 arrives first; packet 2 arrives 10 us later but carries
+        // 20 us of upstream excess, so its expected arrival is earlier.
+        s.enqueue(pkt(1, 0, 100), SimTime::from_us(100), 0, ctx());
+        s.enqueue(
+            pkt_with(
+                2,
+                0,
+                100,
+                Header {
+                    fifo_plus_offset: Dur::from_us(20).as_ps() as i64,
+                    ..Header::default()
+                },
+            ),
+            SimTime::from_us(110),
+            1,
+            ctx(),
+        );
+        assert_eq!(s.dequeue(SimTime::from_us(110), ctx()).unwrap().packet.id.0, 2);
+    }
+
+    #[test]
+    fn offset_accumulates_wait_minus_mean() {
+        let mut s = FifoPlus::new();
+        // First packet waits 50 us with an empty history (mean 0) — its
+        // offset becomes exactly +50 us.
+        s.enqueue(pkt(1, 0, 100), SimTime::from_us(0), 0, ctx());
+        let p1 = s.dequeue(SimTime::from_us(50), ctx()).unwrap();
+        assert_eq!(p1.packet.header.fifo_plus_offset, Dur::from_us(50).as_ps() as i64);
+        // Second packet waits 10 us against a mean of 50 us — offset −40 us.
+        s.enqueue(pkt(2, 0, 100), SimTime::from_us(60), 1, ctx());
+        let p2 = s.dequeue(SimTime::from_us(70), ctx()).unwrap();
+        assert_eq!(
+            p2.packet.header.fifo_plus_offset,
+            Dur::from_us(10).as_ps() as i64 - Dur::from_us(50).as_ps() as i64
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Last-in first-out.
+
+use crate::packet::Packet;
+use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
+use crate::time::SimTime;
+
+/// LIFO: the most recent arrival is served first. One of the adversarial
+/// original schedules of Table 1 — it produces a large skew in the slack
+/// distribution, which is what makes its replay hard (§2.3(5)).
+///
+/// Rank is the negated arrival sequence, so newer packets rank lower
+/// (earlier). `select_drop` evicts the packet that would be served last —
+/// the *oldest* arrival at the bottom of the stack.
+#[derive(Debug, Default)]
+pub struct Lifo {
+    q: RankHeap,
+}
+
+impl Lifo {
+    /// New empty LIFO stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Lifo {
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+        self.q.push(QueuedPacket {
+            packet,
+            rank: -(arrival_seq as i128),
+            enqueued_at: now,
+            arrival_seq,
+        });
+    }
+
+    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+        self.q.pop_min()
+    }
+
+    fn peek_rank(&self) -> Option<i128> {
+        self.q.peek_rank()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        self.q.bytes()
+    }
+
+    fn select_drop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_max()
+    }
+
+    fn name(&self) -> &'static str {
+        "LIFO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::{ctx, pkt, service_order};
+
+    #[test]
+    fn serves_newest_first() {
+        let mut s = Lifo::new();
+        let order = service_order(&mut s, vec![pkt(1, 0, 100), pkt(2, 0, 100), pkt(3, 0, 100)]);
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut s = Lifo::new();
+        s.enqueue(pkt(1, 0, 100), SimTime::ZERO, 0, ctx());
+        s.enqueue(pkt(2, 0, 100), SimTime::ZERO, 1, ctx());
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
+        s.enqueue(pkt(3, 0, 100), SimTime::ZERO, 2, ctx());
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 3);
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 1);
+    }
+
+    #[test]
+    fn drop_evicts_oldest() {
+        let mut s = Lifo::new();
+        for (i, p) in [pkt(1, 0, 50), pkt(2, 0, 60)].into_iter().enumerate() {
+            s.enqueue(p, SimTime::ZERO, i as u64, ctx());
+        }
+        assert_eq!(s.select_drop().unwrap().packet.id.0, 1);
+        assert_eq!(s.queued_bytes(), 60);
+    }
+}

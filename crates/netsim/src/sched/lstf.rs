@@ -1,0 +1,203 @@
+//! Least slack time first — the paper's near-universal scheduler.
+
+use crate::packet::Packet;
+use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
+use crate::time::SimTime;
+
+/// LSTF (§2.2): every packet carries its remaining slack — the queueing
+/// time it can still absorb without missing its target output time — and
+/// each router serves the packet with the least remaining slack. Before
+/// forwarding, the router overwrites the header slack with what is left
+/// after this hop's wait (dynamic packet state).
+///
+/// # Rank derivation
+///
+/// While a packet waits at one port, its remaining slack decreases at unit
+/// rate, identically for every queued packet, so at any instant `t`
+///
+/// ```text
+/// argmin slack_arrival(p) − (t − t_arrival(p))  =  argmin slack_arrival(p) + t_arrival(p)
+/// ```
+///
+/// — a **time-invariant key**. The paper's LSTF considers the slack of the
+/// packet's **last bit** (§2.2: "least remaining slack at the time when its
+/// last bit is transmitted"), which adds the local serialization time
+/// `T(p, α)`, so the full rank is `slack_arrival + t_arrival + T(p, α)`.
+/// The queue is therefore an ordinary min-heap on that key — which is
+/// *exactly* the local-deadline rank of the EDF formulation (App. E,
+/// `o(p) − tmin(p, α, dest) + T(p, α)`); their equivalence, including for
+/// mixed packet sizes, is checked by property tests in `ups-core`.
+///
+/// # Preemption
+///
+/// With `preemptive = true` the port may interrupt an ongoing transmission
+/// when a strictly smaller-rank packet arrives (§2.3(5) ablation; the
+/// paper's replay default is non-preemptive, its theory preemptive).
+#[derive(Debug)]
+pub struct Lstf {
+    q: RankHeap,
+    preemptive: bool,
+}
+
+impl Lstf {
+    /// New LSTF queue. `preemptive` allows mid-transmission preemption.
+    pub fn new(preemptive: bool) -> Self {
+        Lstf {
+            q: RankHeap::new(),
+            preemptive,
+        }
+    }
+}
+
+impl Scheduler for Lstf {
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, ctx: PortCtx) {
+        let last_bit = ctx.bandwidth.tx_time(packet.size).as_ps() as i128;
+        let rank = packet.header.slack + now.as_ps() as i128 + last_bit;
+        self.q.push(QueuedPacket {
+            packet,
+            rank,
+            enqueued_at: now,
+            arrival_seq,
+        });
+    }
+
+    fn dequeue(&mut self, now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+        let mut qp = self.q.pop_min()?;
+        // Slack spent = time waited at this hop (service and propagation
+        // are accounted in tmin, not slack). This is the header rewrite of
+        // §2.2. A preempted-and-resumed packet re-enters the queue with a
+        // fresh `enqueued_at`, so each waiting episode is charged once.
+        let waited = now.saturating_since(qp.enqueued_at).as_ps() as i128;
+        qp.packet.header.slack -= waited;
+        Some(qp)
+    }
+
+    fn peek_rank(&self) -> Option<i128> {
+        self.q.peek_rank()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        self.q.bytes()
+    }
+
+    /// §3 drop rule: "packets with the highest slack are dropped when the
+    /// buffer is full".
+    fn select_drop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_max()
+    }
+
+    fn is_preemptive(&self) -> bool {
+        self.preemptive
+    }
+
+    fn name(&self) -> &'static str {
+        if self.preemptive {
+            "LSTF-P"
+        } else {
+            "LSTF"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Header, Packet};
+    use crate::sched::testutil::{ctx, pkt_with};
+    use crate::time::Dur;
+
+    fn slacked(id: u64, slack_us: i64) -> Packet {
+        pkt_with(
+            id,
+            id,
+            100,
+            Header {
+                slack: Dur::from_us(slack_us.unsigned_abs()).as_ps() as i128
+                    * slack_us.signum() as i128,
+                ..Header::default()
+            },
+        )
+    }
+
+    #[test]
+    fn least_slack_first_for_simultaneous_arrivals() {
+        let mut s = Lstf::new(false);
+        let t = SimTime::from_us(10);
+        s.enqueue(slacked(1, 500), t, 0, ctx());
+        s.enqueue(slacked(2, 20), t, 1, ctx());
+        s.enqueue(slacked(3, 100), t, 2, ctx());
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(t, ctx()))
+            .map(|q| q.packet.id.0)
+            .collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn rank_accounts_for_arrival_time() {
+        // p1 arrives at t=0 with slack 100us; p2 arrives at t=90us with
+        // slack 5us. p2's key (95) beats p1's (100): it would run out of
+        // slack sooner.
+        let mut s = Lstf::new(false);
+        s.enqueue(slacked(1, 100), SimTime::ZERO, 0, ctx());
+        s.enqueue(slacked(2, 5), SimTime::from_us(90), 1, ctx());
+        assert_eq!(
+            s.dequeue(SimTime::from_us(90), ctx()).unwrap().packet.id.0,
+            2
+        );
+        // Conversely an early tight packet beats a late loose one.
+        let mut s = Lstf::new(false);
+        s.enqueue(slacked(1, 10), SimTime::ZERO, 0, ctx());
+        s.enqueue(slacked(2, 100), SimTime::from_us(5), 1, ctx());
+        assert_eq!(
+            s.dequeue(SimTime::from_us(5), ctx()).unwrap().packet.id.0,
+            1
+        );
+    }
+
+    #[test]
+    fn slack_is_rewritten_with_wait() {
+        let mut s = Lstf::new(false);
+        s.enqueue(slacked(1, 100), SimTime::from_us(10), 0, ctx());
+        let qp = s.dequeue(SimTime::from_us(35), ctx()).unwrap();
+        // Waited 25us of its 100us slack.
+        assert_eq!(qp.packet.header.slack, Dur::from_us(75).as_ps() as i128);
+    }
+
+    #[test]
+    fn slack_can_go_negative() {
+        let mut s = Lstf::new(false);
+        s.enqueue(slacked(1, 10), SimTime::ZERO, 0, ctx());
+        let qp = s.dequeue(SimTime::from_us(25), ctx()).unwrap();
+        assert_eq!(qp.packet.header.slack, -(Dur::from_us(15).as_ps() as i128));
+    }
+
+    #[test]
+    fn drop_rule_takes_highest_slack() {
+        let mut s = Lstf::new(false);
+        let t = SimTime::ZERO;
+        s.enqueue(slacked(1, 5), t, 0, ctx());
+        s.enqueue(slacked(2, 5000), t, 1, ctx());
+        s.enqueue(slacked(3, 50), t, 2, ctx());
+        assert_eq!(s.select_drop().unwrap().packet.id.0, 2);
+    }
+
+    #[test]
+    fn preemptive_flag() {
+        assert!(!Lstf::new(false).is_preemptive());
+        assert!(Lstf::new(true).is_preemptive());
+    }
+
+    #[test]
+    fn fifo_tiebreak_on_equal_rank() {
+        let mut s = Lstf::new(false);
+        let t = SimTime::from_us(1);
+        s.enqueue(slacked(1, 10), t, 0, ctx());
+        s.enqueue(slacked(2, 10), t, 1, ctx());
+        assert_eq!(s.dequeue(t, ctx()).unwrap().packet.id.0, 1);
+        assert_eq!(s.dequeue(t, ctx()).unwrap().packet.id.0, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-port packet scheduling disciplines.
+//!
+//! Everything the paper's evaluation schedules with lives here:
+//!
+//! * the **original-schedule** disciplines of Table 1 — [`Fifo`], [`Lifo`],
+//!   [`Random`], [`FairQueueing`], [`Sjf`], [`FifoPlus`] — plus [`Srpt`]
+//!   and [`Drr`] used in §3,
+//! * the **replay candidates** — [`Lstf`] (non-preemptive and preemptive),
+//!   [`Edf`] (the equivalent static-header formulation, App. E) and
+//!   [`Priority`] (the simple-priorities baseline of §2.3(7) and App. F).
+//!
+//! Each port owns one scheduler instance, built from a [`SchedulerKind`]
+//! so that per-port state (virtual time, DRR rounds, RNG streams, FIFO+
+//! delay averages) is never shared across ports.
+
+mod drr;
+mod edf;
+mod fifo;
+mod fifo_plus;
+mod fq;
+mod lifo;
+mod lstf;
+mod omniscient;
+mod priority;
+mod random;
+mod sjf;
+mod srpt;
+
+pub use drr::Drr;
+pub use edf::Edf;
+pub use fifo::Fifo;
+pub use fifo_plus::FifoPlus;
+pub use fq::FairQueueing;
+pub use lifo::Lifo;
+pub use lstf::Lstf;
+pub use omniscient::Omniscient;
+pub use priority::Priority;
+pub use random::Random;
+pub use sjf::Sjf;
+pub use srpt::Srpt;
+
+use crate::queue::Scheduler;
+
+/// Which discipline to instantiate at a port. `build` stamps out a fresh,
+/// independent scheduler; `seed` individualizes stochastic disciplines
+/// (only [`Random`] uses it) so different ports draw independent streams
+/// while the whole run stays reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First-in first-out (drop-tail).
+    Fifo,
+    /// Last-in first-out.
+    Lifo,
+    /// Uniformly random pick among queued packets (§2.3 default original
+    /// schedule — "completely arbitrary schedules").
+    Random,
+    /// Static priorities from `header.prio` (lower first).
+    Priority {
+        /// Allow interrupting an ongoing transmission for a strictly
+        /// better priority (theory-mode replay candidates).
+        preemptive: bool,
+    },
+    /// Shortest job first: priority = flow size (§3.1).
+    Sjf,
+    /// Shortest remaining processing time with pFabric-style starvation
+    /// prevention (§3.1, [3]).
+    Srpt,
+    /// Start-time fair queueing approximation of bit-by-bit round robin
+    /// fair queueing [12].
+    Fq,
+    /// Deficit round robin [27].
+    Drr,
+    /// FIFO+ [11]: FIFO reordered by upstream queueing excess (§3.2).
+    FifoPlus,
+    /// Least slack time first (§2.2) — the near-universal replay scheduler.
+    Lstf {
+        /// Allow interrupting an ongoing transmission for a smaller-slack
+        /// arrival (§2.3(5) ablation). The paper's default replay is
+        /// non-preemptive.
+        preemptive: bool,
+    },
+    /// Earliest deadline first, network-wide form of App. E. Requires
+    /// packets to carry `tmin_rem` tables.
+    Edf {
+        /// Preemptive variant (matches preemptive LSTF exactly).
+        preemptive: bool,
+    },
+    /// Omniscient per-hop replay (App. B). Requires packets to carry
+    /// `header.omniscient` vectors.
+    Omniscient,
+}
+
+impl SchedulerKind {
+    /// Instantiate a scheduler of this kind.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(Fifo::new()),
+            SchedulerKind::Lifo => Box::new(Lifo::new()),
+            SchedulerKind::Random => Box::new(Random::new(seed)),
+            SchedulerKind::Priority { preemptive: false } => Box::new(Priority::new()),
+            SchedulerKind::Priority { preemptive: true } => Box::new(Priority::preemptive()),
+            SchedulerKind::Sjf => Box::new(Sjf::new()),
+            SchedulerKind::Srpt => Box::new(Srpt::new()),
+            SchedulerKind::Fq => Box::new(FairQueueing::new()),
+            SchedulerKind::Drr => Box::new(Drr::with_quantum(9000)),
+            SchedulerKind::FifoPlus => Box::new(FifoPlus::new()),
+            SchedulerKind::Lstf { preemptive } => Box::new(Lstf::new(preemptive)),
+            SchedulerKind::Edf { preemptive: false } => Box::new(Edf::new()),
+            SchedulerKind::Edf { preemptive: true } => Box::new(Edf::preemptive()),
+            SchedulerKind::Omniscient => Box::new(Omniscient::new()),
+        }
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "FIFO",
+            SchedulerKind::Lifo => "LIFO",
+            SchedulerKind::Random => "Random",
+            SchedulerKind::Priority { preemptive: false } => "Priority",
+            SchedulerKind::Priority { preemptive: true } => "Priority-P",
+            SchedulerKind::Sjf => "SJF",
+            SchedulerKind::Srpt => "SRPT",
+            SchedulerKind::Fq => "FQ",
+            SchedulerKind::Drr => "DRR",
+            SchedulerKind::FifoPlus => "FIFO+",
+            SchedulerKind::Lstf { preemptive: false } => "LSTF",
+            SchedulerKind::Lstf { preemptive: true } => "LSTF-P",
+            SchedulerKind::Edf { preemptive: false } => "EDF",
+            SchedulerKind::Edf { preemptive: true } => "EDF-P",
+            SchedulerKind::Omniscient => "Omniscient",
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers shared by the per-discipline unit tests.
+    use std::sync::Arc;
+
+    use crate::id::{FlowId, NodeId, PacketId};
+    use crate::packet::{Header, Packet, PacketBuilder};
+    use crate::queue::{PortCtx, Scheduler};
+    use crate::time::{Bandwidth, SimTime};
+
+    /// 1 Gbps context.
+    pub fn ctx() -> PortCtx {
+        PortCtx {
+            bandwidth: Bandwidth::from_gbps(1),
+        }
+    }
+
+    /// A data packet with the given id/flow/size on a trivial 2-node path.
+    pub fn pkt(id: u64, flow: u64, size: u32) -> Packet {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
+        PacketBuilder::new(PacketId(id), FlowId(flow), size, path, SimTime::ZERO).build()
+    }
+
+    /// Same but with a custom header.
+    pub fn pkt_with(id: u64, flow: u64, size: u32, header: Header) -> Packet {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
+        PacketBuilder::new(PacketId(id), FlowId(flow), size, path, SimTime::ZERO)
+            .header(header)
+            .build()
+    }
+
+    /// Feed `packets` in order at t=0,1,2,... µs, then drain and return the
+    /// service order (packet ids).
+    pub fn service_order(s: &mut dyn Scheduler, packets: Vec<Packet>) -> Vec<u64> {
+        for (i, p) in packets.into_iter().enumerate() {
+            s.enqueue(p, SimTime::from_us(i as u64), i as u64, ctx());
+        }
+        let mut order = Vec::new();
+        let mut t = SimTime::from_ms(1);
+        while let Some(qp) = s.dequeue(t, ctx()) {
+            order.push(qp.packet.id.0);
+            t = t + crate::time::Dur::from_us(1);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_and_name() {
+        let kinds = [
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+            SchedulerKind::Random,
+            SchedulerKind::Priority { preemptive: false },
+            SchedulerKind::Priority { preemptive: true },
+            SchedulerKind::Sjf,
+            SchedulerKind::Srpt,
+            SchedulerKind::Fq,
+            SchedulerKind::Drr,
+            SchedulerKind::FifoPlus,
+            SchedulerKind::Lstf { preemptive: false },
+            SchedulerKind::Lstf { preemptive: true },
+            SchedulerKind::Edf { preemptive: false },
+            SchedulerKind::Edf { preemptive: true },
+        ];
+        for k in kinds {
+            let s = k.build(42);
+            assert!(s.is_empty(), "{} starts empty", s.name());
+            assert_eq!(s.queued_bytes(), 0);
+        }
+        assert_eq!(SchedulerKind::Lstf { preemptive: true }.name(), "LSTF-P");
+    }
+}

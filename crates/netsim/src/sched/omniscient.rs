@@ -1,0 +1,127 @@
+//! Omniscient per-hop replay scheduling (Appendix B).
+
+use crate::packet::Packet;
+use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
+use crate::time::SimTime;
+
+/// The omniscient-initialization UPS of Appendix B: the ingress writes the
+/// *per-hop* scheduled output times `o(p, αᵢ)` of the original schedule
+/// into an n-dimensional header vector, and every router simply uses its
+/// own entry as a static priority ("earlier values of output times get
+/// higher priority"). Appendix B proves this replays **any** viable
+/// schedule perfectly — the existence half of the paper's theory, and the
+/// upper bound its black-box impossibility results are measured against.
+///
+/// Also used by the counterexample reproductions to *manufacture* exact
+/// original schedules from the appendix tables.
+///
+/// Packets scheduled through this discipline must carry
+/// `header.omniscient` with one entry per path node; panics otherwise
+/// (scheduling with a missing oracle would silently degrade to FIFO and
+/// invalidate the experiment).
+#[derive(Debug, Default)]
+pub struct Omniscient {
+    q: RankHeap,
+}
+
+impl Omniscient {
+    /// New empty omniscient queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Omniscient {
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+        let vec = packet
+            .header
+            .omniscient
+            .as_ref()
+            .expect("Omniscient scheduling needs header.omniscient per-hop times");
+        assert_eq!(
+            vec.len(),
+            packet.path.len(),
+            "omniscient vector must have one entry per path node"
+        );
+        let rank = vec[packet.hop as usize].as_ps() as i128;
+        self.q.push(QueuedPacket {
+            packet,
+            rank,
+            enqueued_at: now,
+            arrival_seq,
+        });
+    }
+
+    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+        self.q.pop_min()
+    }
+
+    fn peek_rank(&self) -> Option<i128> {
+        self.q.peek_rank()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        self.q.bytes()
+    }
+
+    fn select_drop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_max()
+    }
+
+    fn name(&self) -> &'static str {
+        "Omniscient"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{FlowId, NodeId, PacketId};
+    use crate::packet::{Header, PacketBuilder};
+    use crate::sched::testutil::ctx;
+    use std::sync::Arc;
+
+    fn omni_pkt(id: u64, hop: u32, times_us: &[u64]) -> Packet {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1), NodeId(2)].into();
+        let times: Arc<[SimTime]> = times_us.iter().map(|&u| SimTime::from_us(u)).collect();
+        let mut p = PacketBuilder::new(PacketId(id), FlowId(id), 100, path, SimTime::ZERO)
+            .header(Header {
+                omniscient: Some(times),
+                ..Header::default()
+            })
+            .build();
+        p.hop = hop;
+        p
+    }
+
+    #[test]
+    fn orders_by_this_hops_entry() {
+        let mut s = Omniscient::new();
+        // At hop 1, packet 1 was scheduled at 50us, packet 2 at 10us.
+        s.enqueue(omni_pkt(1, 1, &[0, 50, 100]), SimTime::ZERO, 0, ctx());
+        s.enqueue(omni_pkt(2, 1, &[5, 10, 90]), SimTime::ZERO, 1, ctx());
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 1);
+    }
+
+    #[test]
+    fn different_hops_read_different_entries() {
+        let mut s = Omniscient::new();
+        // Packet 1 at hop 0 (entry 0us) vs packet 2 at hop 2 (entry 1us).
+        s.enqueue(omni_pkt(1, 0, &[0, 50, 100]), SimTime::ZERO, 0, ctx());
+        s.enqueue(omni_pkt(2, 2, &[5, 10, 1]), SimTime::ZERO, 1, ctx());
+        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "omniscient")]
+    fn missing_vector_panics() {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
+        let p = PacketBuilder::new(PacketId(0), FlowId(0), 100, path, SimTime::ZERO).build();
+        Omniscient::new().enqueue(p, SimTime::ZERO, 0, ctx());
+    }
+}

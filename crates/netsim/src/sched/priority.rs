@@ -1,0 +1,130 @@
+//! Static priority scheduling.
+
+use crate::packet::Packet;
+use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
+use crate::time::SimTime;
+
+/// Simple (static) priority scheduling: the ingress assigns `header.prio`
+/// and every router serves the smallest value first, FIFO within a
+/// priority level.
+///
+/// This is the paper's natural-but-insufficient replay candidate: it
+/// replays any viable schedule with ≤ 1 congestion point per packet but
+/// fails at 2 (App. F's priority cycle), and the intuitive assignment
+/// `prio = o(p)` replays far worse than LSTF empirically (§2.3(7)).
+#[derive(Debug, Default)]
+pub struct Priority {
+    q: RankHeap,
+    preemptive: bool,
+}
+
+impl Priority {
+    /// New non-preemptive priority queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Priority queue that may interrupt an ongoing transmission for a
+    /// strictly better-priority arrival (the theory's UPS candidates are
+    /// preemptive; §2.1 footnote 3).
+    pub fn preemptive() -> Self {
+        Priority {
+            q: RankHeap::new(),
+            preemptive: true,
+        }
+    }
+}
+
+impl Scheduler for Priority {
+    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+        self.q.push(QueuedPacket {
+            rank: packet.header.prio,
+            packet,
+            enqueued_at: now,
+            arrival_seq,
+        });
+    }
+
+    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+        self.q.pop_min()
+    }
+
+    fn peek_rank(&self) -> Option<i128> {
+        self.q.peek_rank()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        self.q.bytes()
+    }
+
+    fn select_drop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_max()
+    }
+
+    fn is_preemptive(&self) -> bool {
+        self.preemptive
+    }
+
+    fn name(&self) -> &'static str {
+        "Priority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Header;
+    use crate::sched::testutil::{ctx, pkt_with, service_order};
+
+    fn prio_pkt(id: u64, prio: i128) -> Packet {
+        pkt_with(
+            id,
+            0,
+            100,
+            Header {
+                prio,
+                ..Header::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serves_lowest_prio_value_first() {
+        let mut s = Priority::new();
+        let order = service_order(
+            &mut s,
+            vec![prio_pkt(1, 30), prio_pkt(2, 10), prio_pkt(3, 20)],
+        );
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_within_level() {
+        let mut s = Priority::new();
+        let order = service_order(
+            &mut s,
+            vec![prio_pkt(1, 5), prio_pkt(2, 5), prio_pkt(3, 5)],
+        );
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_priorities_sort_first() {
+        let mut s = Priority::new();
+        let order = service_order(&mut s, vec![prio_pkt(1, 0), prio_pkt(2, -1)]);
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    #[test]
+    fn drop_evicts_worst_priority() {
+        let mut s = Priority::new();
+        s.enqueue(prio_pkt(1, 1), SimTime::ZERO, 0, ctx());
+        s.enqueue(prio_pkt(2, 99), SimTime::ZERO, 1, ctx());
+        s.enqueue(prio_pkt(3, 50), SimTime::ZERO, 2, ctx());
+        assert_eq!(s.select_drop().unwrap().packet.id.0, 2);
+    }
+}

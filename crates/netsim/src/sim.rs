@@ -1,0 +1,507 @@
+//! The simulator: event loop, network construction, agents.
+//!
+//! A [`Simulator`] owns the node/port arenas, the future-event list, the
+//! schedule [`Trace`] and any registered [`Agent`]s (transport endpoints).
+//! It is single-threaded and fully deterministic: identical inputs and
+//! seeds produce bit-identical traces, which the replay methodology
+//! requires.
+
+use crate::event::{Event, EventQueue};
+use crate::id::{AgentId, NodeId, PacketId};
+use crate::node::{Link, Node};
+use crate::packet::Packet;
+use crate::queue::Scheduler;
+use crate::time::{Dur, SimTime};
+use crate::trace::{RecordMode, Trace};
+
+/// Run-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Trace detail level.
+    pub record: RecordMode,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            record: RecordMode::EndToEnd,
+        }
+    }
+}
+
+/// Aggregate run counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Packets injected at their ingress.
+    pub injected: u64,
+    /// Packets whose last bit reached their destination.
+    pub delivered: u64,
+    /// Packets evicted from full buffers.
+    pub dropped: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// A transport/application endpoint attached to a node.
+///
+/// Agents receive the packets delivered to their node and may inject new
+/// packets or arm timers through the [`SimApi`]. All agent interaction is
+/// deterministic: callbacks fire in event order.
+pub trait Agent: Send {
+    /// A packet's last bit arrived at this agent's node.
+    fn on_packet(&mut self, packet: Packet, api: &mut SimApi<'_>);
+    /// A timer armed via [`SimApi::set_timer`] fired.
+    fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>);
+}
+
+/// Capabilities handed to agent callbacks.
+pub struct SimApi<'a> {
+    now: SimTime,
+    agent: AgentId,
+    events: &'a mut EventQueue,
+    next_packet_id: &'a mut u64,
+}
+
+impl SimApi<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Allocate a globally unique packet id.
+    pub fn alloc_packet_id(&mut self) -> PacketId {
+        let id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        PacketId(id)
+    }
+
+    /// Inject `packet` at the current instant. The packet enters the
+    /// network at `packet.path[0]`, which must be this agent's node for
+    /// transport semantics to make sense (not enforced — test harnesses
+    /// inject from anywhere).
+    pub fn inject(&mut self, mut packet: Packet) {
+        packet.injected_at = self.now;
+        packet.hop = 0;
+        self.events.push(self.now, Event::Inject(packet));
+    }
+
+    /// Arm a timer that calls this agent's `on_timer(key)` after `delay`.
+    pub fn set_timer(&mut self, delay: Dur, key: u64) {
+        self.events.push(
+            self.now + delay,
+            Event::Timer {
+                agent: self.agent,
+                key,
+            },
+        );
+    }
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    nodes: Vec<Node>,
+    events: EventQueue,
+    agents: Vec<Box<dyn Agent>>,
+    agent_at: Vec<Option<AgentId>>,
+    trace: Trace,
+    stats: SimStats,
+    next_packet_id: u64,
+}
+
+impl Simulator {
+    /// An empty network.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            events: EventQueue::new(),
+            agents: Vec::new(),
+            agent_at: Vec::new(),
+            trace: Trace::new(config.record),
+            stats: SimStats::default(),
+            next_packet_id: 0,
+        }
+    }
+
+    /// Add a node; ids are dense and sequential.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id));
+        self.agent_at.push(None);
+        id
+    }
+
+    /// Add a *unidirectional* link `from → to` with its own scheduler and
+    /// buffer. Bidirectional links are two calls (they may differ — e.g.
+    /// data direction LSTF, ack direction FIFO).
+    pub fn add_oneway_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        link: Link,
+        scheduler: Box<dyn Scheduler>,
+        buffer_bytes: Option<u64>,
+    ) {
+        assert!(from.index() < self.nodes.len(), "unknown node {from}");
+        assert!(to.index() < self.nodes.len(), "unknown node {to}");
+        assert_ne!(from, to, "self-links are not allowed");
+        self.nodes[from.index()].add_port(to, link, scheduler, buffer_bytes);
+    }
+
+    /// Attach `agent` to `node`; packets destined to `node` are delivered
+    /// to it. One agent per node.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        assert!(
+            self.agent_at[node.index()].is_none(),
+            "node {node} already has an agent"
+        );
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(agent);
+        self.agent_at[node.index()] = Some(id);
+        id
+    }
+
+    /// Ensure future packet ids allocated by agents don't collide with
+    /// externally pre-built injections.
+    pub fn reserve_packet_ids(&mut self, first_free: u64) {
+        self.next_packet_id = self.next_packet_id.max(first_free);
+    }
+
+    /// Schedule a pre-built packet to enter the network at
+    /// `packet.injected_at`.
+    pub fn inject(&mut self, packet: Packet) {
+        self.next_packet_id = self.next_packet_id.max(packet.id.0 + 1);
+        self.events.push(packet.injected_at, Event::Inject(packet));
+    }
+
+    /// Arm an agent timer from outside a callback — how transports kick
+    /// their flows at the flow start times.
+    pub fn schedule_timer(&mut self, agent: AgentId, at: SimTime, key: u64) {
+        assert!(agent.index() < self.agents.len(), "unknown agent {agent}");
+        self.events.push(at, Event::Timer { agent, key });
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Run counters so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The recorded schedule so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consume the simulator, yielding the recorded schedule.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Immutable access to a node (topology inspection in tests/metrics).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Process events until the queue is empty. Most paper experiments use
+    /// [`Self::run_until`]; this is for closed workloads that drain.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Process all events up to and including time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.events.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Process one event. Returns false when the queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some((now, event)) = self.events.pop() else {
+            return false;
+        };
+        self.stats.events += 1;
+        match event {
+            Event::Inject(packet) => {
+                self.stats.injected += 1;
+                self.trace.on_inject(&packet, now);
+                self.route(packet, now);
+            }
+            Event::Arrive { node, packet } => {
+                debug_assert_eq!(packet.current_node(), node, "packet routed to wrong node");
+                if packet.at_destination() {
+                    self.deliver(node, packet, now);
+                } else {
+                    self.route(packet, now);
+                }
+            }
+            Event::PortReady { node, port, token } => {
+                let node = &mut self.nodes[node.index()];
+                node.ports[port.index()].on_ready(token, now, &mut self.events, &mut self.trace);
+            }
+            Event::Timer { agent, key } => {
+                let mut api = SimApi {
+                    now,
+                    agent,
+                    events: &mut self.events,
+                    next_packet_id: &mut self.next_packet_id,
+                };
+                self.agents[agent.index()].on_timer(key, &mut api);
+            }
+        }
+        true
+    }
+
+    /// Enqueue `packet` at the output port of its current node towards its
+    /// next hop.
+    fn route(&mut self, packet: Packet, now: SimTime) {
+        let here = packet.current_node();
+        let next = packet
+            .next_node()
+            .expect("route() called on a packet at its destination");
+        self.trace.on_arrive_at_hop(&packet, here, now);
+        let node = &mut self.nodes[here.index()];
+        let port = node
+            .port_to(next)
+            .unwrap_or_else(|| panic!("no link {here} -> {next} for packet path"));
+        let drops = node.ports[port.index()].accept(packet, now, &mut self.events, &mut self.trace);
+        self.stats.dropped += drops.len() as u64;
+    }
+
+    /// Final-hop delivery: record exit, hand to the node's agent.
+    fn deliver(&mut self, node: NodeId, packet: Packet, now: SimTime) {
+        self.stats.delivered += 1;
+        self.trace.on_exit(&packet, now);
+        if let Some(agent) = self.agent_at[node.index()] {
+            let mut api = SimApi {
+                now,
+                agent,
+                events: &mut self.events,
+                next_packet_id: &mut self.next_packet_id,
+            };
+            self.agents[agent.index()].on_packet(packet, &mut api);
+        }
+    }
+
+    /// Fraction of `[0, until]` each port spent transmitting, as
+    /// `(node, peer, busy_fraction)` — used to verify workload calibration.
+    pub fn port_utilizations(&self, until: SimTime) -> Vec<(NodeId, NodeId, f64)> {
+        let total = until.as_ps() as f64;
+        self.nodes
+            .iter()
+            .flat_map(|n| {
+                n.ports.iter().map(move |p| {
+                    (n.id, p.peer, p.busy_time().as_ps() as f64 / total)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::FlowId;
+    use crate::packet::{PacketBuilder, PacketKind};
+    use crate::sched::SchedulerKind;
+    use crate::time::Bandwidth;
+    use std::sync::Arc;
+
+    fn line_network(n: usize, kind: SchedulerKind) -> Simulator {
+        // n nodes in a line, 1Gbps links, 10us propagation, both directions.
+        let mut sim = Simulator::new(SimConfig {
+            record: RecordMode::PerHop,
+        });
+        let link = Link {
+            bandwidth: Bandwidth::from_gbps(1),
+            propagation: Dur::from_us(10),
+        };
+        let ids: Vec<NodeId> = (0..n).map(|_| sim.add_node()).collect();
+        for w in ids.windows(2) {
+            sim.add_oneway_link(w[0], w[1], link, kind.build(1), None);
+            sim.add_oneway_link(w[1], w[0], link, kind.build(2), None);
+        }
+        sim
+    }
+
+    fn pkt_on(path: &[u32], id: u64, at: SimTime) -> Packet {
+        let path: Arc<[NodeId]> = path.iter().map(|&i| NodeId(i)).collect();
+        PacketBuilder::new(PacketId(id), FlowId(id), 1500, path, at).build()
+    }
+
+    #[test]
+    fn single_packet_end_to_end_timing() {
+        let mut sim = line_network(3, SchedulerKind::Fifo);
+        sim.inject(pkt_on(&[0, 1, 2], 0, SimTime::ZERO));
+        sim.run();
+        // Two store-and-forward hops: 2 × (12us tx + 10us prop) = 44us.
+        let r = sim.trace().get(PacketId(0)).unwrap();
+        assert_eq!(r.exited, Some(SimTime::from_us(44)));
+        assert_eq!(r.total_wait, Dur::ZERO);
+        assert_eq!(r.congestion_points(), 0);
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().injected, 1);
+    }
+
+    #[test]
+    fn two_packets_queue_at_shared_port() {
+        let mut sim = line_network(2, SchedulerKind::Fifo);
+        sim.inject(pkt_on(&[0, 1], 0, SimTime::ZERO));
+        sim.inject(pkt_on(&[0, 1], 1, SimTime::ZERO));
+        sim.run();
+        let r0 = sim.trace().get(PacketId(0)).unwrap();
+        let r1 = sim.trace().get(PacketId(1)).unwrap();
+        assert_eq!(r0.exited, Some(SimTime::from_us(22)));
+        // Second packet waits 12us for the first.
+        assert_eq!(r1.exited, Some(SimTime::from_us(34)));
+        assert_eq!(r1.total_wait, Dur::from_us(12));
+        assert_eq!(r1.congestion_points(), 1);
+    }
+
+    #[test]
+    fn reverse_direction_uses_other_port() {
+        let mut sim = line_network(2, SchedulerKind::Fifo);
+        sim.inject(pkt_on(&[0, 1], 0, SimTime::ZERO));
+        sim.inject(pkt_on(&[1, 0], 1, SimTime::ZERO));
+        sim.run();
+        // No interference: both exit at 22us.
+        assert_eq!(
+            sim.trace().get(PacketId(0)).unwrap().exited,
+            Some(SimTime::from_us(22))
+        );
+        assert_eq!(
+            sim.trace().get(PacketId(1)).unwrap().exited,
+            Some(SimTime::from_us(22))
+        );
+    }
+
+    struct Echo {
+        /// node this agent sits on; replies retrace the packet's path.
+        delivered: u64,
+    }
+
+    impl Agent for Echo {
+        fn on_packet(&mut self, packet: Packet, api: &mut SimApi<'_>) {
+            self.delivered += 1;
+            if packet.kind == PacketKind::Data {
+                // Send a 40B ack back along the reversed path.
+                let mut rev: Vec<NodeId> = packet.path.iter().copied().collect();
+                rev.reverse();
+                let id = api.alloc_packet_id();
+                let ack =
+                    PacketBuilder::new(id, packet.flow, 40, rev.into(), api.now())
+                        .ack()
+                        .build();
+                api.inject(ack);
+            }
+        }
+        fn on_timer(&mut self, _key: u64, _api: &mut SimApi<'_>) {}
+    }
+
+    #[test]
+    fn agent_echo_round_trip() {
+        let mut sim = line_network(3, SchedulerKind::Fifo);
+        sim.add_agent(NodeId(2), Box::new(Echo { delivered: 0 }));
+        sim.add_agent(NodeId(0), Box::new(Echo { delivered: 0 }));
+        sim.inject(pkt_on(&[0, 1, 2], 0, SimTime::ZERO));
+        sim.run();
+        // Data: 44us. Ack (40B): tx 0.32us/hop → 44 + 2*(0.32+10) us.
+        assert_eq!(sim.stats().delivered, 2);
+        let ack = sim.trace().get(PacketId(1)).unwrap();
+        assert_eq!(ack.kind, PacketKind::Ack);
+        assert_eq!(
+            ack.exited,
+            Some(SimTime::from_us(44) + Dur::from_ns(2 * 10_320))
+        );
+    }
+
+    struct TimerAgent {
+        fired: Vec<u64>,
+    }
+    impl Agent for TimerAgent {
+        fn on_packet(&mut self, _p: Packet, _api: &mut SimApi<'_>) {}
+        fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
+            self.fired.push(key);
+            if key < 3 {
+                api.set_timer(Dur::from_us(5), key + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_chain() {
+        let mut sim = line_network(2, SchedulerKind::Fifo);
+        let _aid = sim.add_agent(NodeId(0), Box::new(TimerAgent { fired: vec![] }));
+        // Bootstrap a timer by injecting through the event queue directly:
+        sim.events.push(
+            SimTime::from_us(1),
+            Event::Timer {
+                agent: AgentId(0),
+                key: 0,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_us(16));
+        assert_eq!(sim.stats().events, 4);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = line_network(2, SchedulerKind::Fifo);
+        sim.inject(pkt_on(&[0, 1], 0, SimTime::ZERO));
+        sim.inject(pkt_on(&[0, 1], 1, SimTime::from_ms(5)));
+        sim.run_until(SimTime::from_ms(1));
+        assert_eq!(sim.stats().delivered, 1);
+        sim.run_until(SimTime::from_ms(10));
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut sim = line_network(2, SchedulerKind::Fifo);
+        // 50 packets × 12us = 600us busy.
+        for i in 0..50 {
+            sim.inject(pkt_on(&[0, 1], i, SimTime::ZERO));
+        }
+        sim.run();
+        let utils = sim.port_utilizations(SimTime::from_us(1200));
+        let fwd = utils
+            .iter()
+            .find(|(a, b, _)| *a == NodeId(0) && *b == NodeId(1))
+            .unwrap();
+        assert!((fwd.2 - 0.5).abs() < 1e-9, "expected 50% got {}", fwd.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn missing_link_panics() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let _c = sim.add_node();
+        sim.add_oneway_link(
+            a,
+            b,
+            Link {
+                bandwidth: Bandwidth::from_gbps(1),
+                propagation: Dur::ZERO,
+            },
+            SchedulerKind::Fifo.build(0),
+            None,
+        );
+        // Path 0 -> 2 has no link.
+        sim.inject(pkt_on(&[0, 2], 0, SimTime::ZERO));
+        sim.run();
+    }
+}

@@ -1,0 +1,304 @@
+//! Schedule recording.
+//!
+//! A *schedule* in the paper is the set `{(path(p), i(p), o(p))}` (§2.1).
+//! The recorder captures exactly that for every packet, optionally enriched
+//! with per-hop detail (`o(p, α)` and per-hop waits) which the omniscient
+//! replay of Appendix B and the congestion-point analysis need.
+
+use crate::id::{FlowId, NodeId, PacketId};
+use crate::packet::{Packet, PacketKind};
+use crate::time::{Dur, SimTime};
+
+/// How much detail to record. Per-hop records cost memory proportional to
+/// packets × hops, so large workload runs use `EndToEnd`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordMode {
+    /// Record nothing (pure throughput runs).
+    Off,
+    /// `i(p)`, `o(p)`, total queueing and drop status per packet.
+    EndToEnd,
+    /// Additionally every hop's arrival, first transmission start
+    /// (`o(p, α)`) and accumulated waiting.
+    PerHop,
+}
+
+/// One hop's history for one packet (PerHop mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopRecord {
+    /// The node whose output port served the packet.
+    pub node: NodeId,
+    /// When the packet's last bit arrived at this node.
+    pub arrived: SimTime,
+    /// When the node first started serializing the packet — the paper's
+    /// `o(p, α)`.
+    pub tx_start: SimTime,
+    /// Total time spent waiting (not being served) at this node.
+    pub waited: Dur,
+}
+
+/// Everything recorded about one packet.
+#[derive(Debug, Clone)]
+pub struct PacketRecord {
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Bytes.
+    pub size: u32,
+    /// Data or ack.
+    pub kind: PacketKind,
+    /// Node path.
+    pub path: std::sync::Arc<[NodeId]>,
+    /// `i(p)` — network entry time.
+    pub injected: SimTime,
+    /// `o(p)` — when the last bit reached the destination; `None` while in
+    /// flight or if dropped.
+    pub exited: Option<SimTime>,
+    /// Total queueing delay accumulated across all hops.
+    pub total_wait: Dur,
+    /// Set if the packet was evicted from a full buffer.
+    pub dropped: bool,
+    /// Per-hop detail (empty in EndToEnd mode).
+    pub hops: Vec<HopRecord>,
+}
+
+impl PacketRecord {
+    /// End-to-end delay `o(p) − i(p)`, if the packet made it out.
+    pub fn delay(&self) -> Option<Dur> {
+        self.exited.map(|o| o.saturating_since(self.injected))
+    }
+
+    /// Number of congestion points: hops where the packet was "forced to
+    /// wait" (§2.2 Key Results).
+    pub fn congestion_points(&self) -> usize {
+        self.hops.iter().filter(|h| h.waited > Dur::ZERO).count()
+    }
+
+    /// Per-hop scheduled output times `o(p, αᵢ)` in path order — the
+    /// omniscient header of Appendix B. Only meaningful in PerHop mode for
+    /// delivered packets.
+    pub fn hop_tx_starts(&self) -> Vec<SimTime> {
+        self.hops.iter().map(|h| h.tx_start).collect()
+    }
+}
+
+/// The recorded schedule of one simulation run.
+#[derive(Debug)]
+pub struct Trace {
+    mode: RecordMode,
+    records: Vec<Option<PacketRecord>>,
+}
+
+impl Trace {
+    pub(crate) fn new(mode: RecordMode) -> Self {
+        Trace {
+            mode,
+            records: Vec::new(),
+        }
+    }
+
+    /// Build a trace from externally-known records — used by the appendix
+    /// counterexamples, whose original schedules are *given* as tables
+    /// rather than produced by a scheduler. Packet ids must be unique.
+    pub fn synthetic(
+        mode: RecordMode,
+        records: impl IntoIterator<Item = (PacketId, PacketRecord)>,
+    ) -> Self {
+        let mut t = Trace::new(mode);
+        for (id, rec) in records {
+            let slot = t.slot(id);
+            assert!(slot.is_none(), "duplicate synthetic record for {id}");
+            *slot = Some(rec);
+        }
+        t
+    }
+
+    /// The recording mode this trace was captured with.
+    pub fn mode(&self) -> RecordMode {
+        self.mode
+    }
+
+    fn slot(&mut self, id: PacketId) -> &mut Option<PacketRecord> {
+        let idx = id.index();
+        if idx >= self.records.len() {
+            self.records.resize_with(idx + 1, || None);
+        }
+        &mut self.records[idx]
+    }
+
+    pub(crate) fn on_inject(&mut self, p: &Packet, now: SimTime) {
+        if self.mode == RecordMode::Off {
+            return;
+        }
+        *self.slot(p.id) = Some(PacketRecord {
+            flow: p.flow,
+            size: p.size,
+            kind: p.kind,
+            path: p.path.clone(),
+            injected: now,
+            exited: None,
+            total_wait: Dur::ZERO,
+            dropped: false,
+            hops: Vec::new(),
+        });
+    }
+
+    pub(crate) fn on_arrive_at_hop(&mut self, p: &Packet, node: NodeId, now: SimTime) {
+        if self.mode != RecordMode::PerHop {
+            return;
+        }
+        if let Some(r) = self.slot(p.id).as_mut() {
+            r.hops.push(HopRecord {
+                node,
+                arrived: now,
+                tx_start: SimTime::MAX, // patched on first tx start
+                waited: Dur::ZERO,
+            });
+        }
+    }
+
+    pub(crate) fn on_tx_start(&mut self, p: &Packet, node: NodeId, now: SimTime, waited: Dur) {
+        if self.mode != RecordMode::PerHop {
+            return;
+        }
+        if let Some(r) = self.slot(p.id).as_mut() {
+            match r.hops.last_mut() {
+                Some(h) if h.node == node => {
+                    if h.tx_start == SimTime::MAX {
+                        h.tx_start = now;
+                    }
+                    h.waited += waited;
+                }
+                _ => debug_assert!(false, "tx start without matching hop arrival"),
+            }
+        }
+    }
+
+    pub(crate) fn on_exit(&mut self, p: &Packet, now: SimTime) {
+        if self.mode == RecordMode::Off {
+            return;
+        }
+        if let Some(r) = self.slot(p.id).as_mut() {
+            r.exited = Some(now);
+            r.total_wait = p.cum_wait;
+        }
+    }
+
+    pub(crate) fn on_drop(&mut self, p: &Packet) {
+        if self.mode == RecordMode::Off {
+            return;
+        }
+        if let Some(r) = self.slot(p.id).as_mut() {
+            r.dropped = true;
+        }
+    }
+
+    /// The record for a packet id, if that packet was seen.
+    pub fn get(&self, id: PacketId) -> Option<&PacketRecord> {
+        self.records.get(id.index()).and_then(|r| r.as_ref())
+    }
+
+    /// All recorded packets in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PacketId, &PacketRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (PacketId(i as u64), r)))
+    }
+
+    /// Packets that fully exited the network (excludes drops and in-flight).
+    pub fn delivered(&self) -> impl Iterator<Item = (PacketId, &PacketRecord)> {
+        self.iter().filter(|(_, r)| r.exited.is_some())
+    }
+
+    /// Count of recorded packets.
+    pub fn len(&self) -> usize {
+        self.records.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::FlowId;
+    use crate::packet::PacketBuilder;
+    use std::sync::Arc;
+
+    fn pkt(id: u64) -> Packet {
+        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1), NodeId(2)].into();
+        PacketBuilder::new(PacketId(id), FlowId(0), 1500, path, SimTime::ZERO).build()
+    }
+
+    #[test]
+    fn end_to_end_lifecycle() {
+        let mut t = Trace::new(RecordMode::EndToEnd);
+        let mut p = pkt(5);
+        t.on_inject(&p, SimTime::from_us(1));
+        assert_eq!(t.get(PacketId(5)).unwrap().exited, None);
+        p.cum_wait = Dur::from_us(7);
+        t.on_exit(&p, SimTime::from_us(30));
+        let r = t.get(PacketId(5)).unwrap();
+        assert_eq!(r.exited, Some(SimTime::from_us(30)));
+        assert_eq!(r.delay(), Some(Dur::from_us(29)));
+        assert_eq!(r.total_wait, Dur::from_us(7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.delivered().count(), 1);
+    }
+
+    #[test]
+    fn per_hop_records_congestion_points() {
+        let mut t = Trace::new(RecordMode::PerHop);
+        let p = pkt(0);
+        t.on_inject(&p, SimTime::ZERO);
+        t.on_arrive_at_hop(&p, NodeId(0), SimTime::ZERO);
+        t.on_tx_start(&p, NodeId(0), SimTime::from_us(4), Dur::from_us(4));
+        t.on_arrive_at_hop(&p, NodeId(1), SimTime::from_us(20));
+        t.on_tx_start(&p, NodeId(1), SimTime::from_us(20), Dur::ZERO);
+        t.on_exit(&p, SimTime::from_us(40));
+        let r = t.get(PacketId(0)).unwrap();
+        assert_eq!(r.congestion_points(), 1);
+        assert_eq!(
+            r.hop_tx_starts(),
+            vec![SimTime::from_us(4), SimTime::from_us(20)]
+        );
+    }
+
+    #[test]
+    fn per_hop_wait_accumulates_over_preemption_segments() {
+        let mut t = Trace::new(RecordMode::PerHop);
+        let p = pkt(0);
+        t.on_inject(&p, SimTime::ZERO);
+        t.on_arrive_at_hop(&p, NodeId(0), SimTime::ZERO);
+        t.on_tx_start(&p, NodeId(0), SimTime::from_us(2), Dur::from_us(2));
+        // Preempted, resumed later with 3us more waiting.
+        t.on_tx_start(&p, NodeId(0), SimTime::from_us(9), Dur::from_us(3));
+        let r = t.get(PacketId(0)).unwrap();
+        assert_eq!(r.hops[0].tx_start, SimTime::from_us(2), "first start kept");
+        assert_eq!(r.hops[0].waited, Dur::from_us(5));
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let mut t = Trace::new(RecordMode::Off);
+        let p = pkt(3);
+        t.on_inject(&p, SimTime::ZERO);
+        t.on_exit(&p, SimTime::from_us(1));
+        assert!(t.is_empty());
+        assert!(t.get(PacketId(3)).is_none());
+    }
+
+    #[test]
+    fn drops_are_marked() {
+        let mut t = Trace::new(RecordMode::EndToEnd);
+        let p = pkt(1);
+        t.on_inject(&p, SimTime::ZERO);
+        t.on_drop(&p);
+        let r = t.get(PacketId(1)).unwrap();
+        assert!(r.dropped);
+        assert_eq!(r.exited, None);
+        assert_eq!(t.delivered().count(), 0);
+    }
+}

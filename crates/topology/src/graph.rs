@@ -1,0 +1,262 @@
+//! The network graph: nodes with roles, bidirectional links.
+//!
+//! A [`Topology`] is a pure description — no simulator state. The builder
+//! in [`crate::build`] instantiates a `ups_netsim::Simulator` from it, and
+//! [`crate::routing`] computes paths and `tmin` tables over it.
+
+use ups_netsim::prelude::{Bandwidth, Dur, NodeId};
+
+/// What a node is. Only hosts source and sink traffic; the distinction
+/// between edge and core matters for bandwidth variants and reporting
+/// ("core links", "access links" in Table 1's terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// End host (traffic source/sink).
+    Host,
+    /// Edge/access router.
+    Edge,
+    /// Core/backbone router.
+    Core,
+}
+
+/// A bidirectional link; both directions share bandwidth and delay.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// Serialization bandwidth (each direction).
+    pub bandwidth: Bandwidth,
+    /// Propagation delay.
+    pub propagation: Dur,
+}
+
+impl LinkSpec {
+    /// True if this link touches `n`.
+    pub fn touches(&self, n: NodeId) -> bool {
+        self.a == n || self.b == n
+    }
+
+    /// The endpoint that isn't `n`; panics if the link doesn't touch `n`.
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if self.a == n {
+            self.b
+        } else {
+            assert_eq!(self.b, n, "link {}–{} does not touch {n}", self.a, self.b);
+            self.a
+        }
+    }
+}
+
+/// An immutable network description.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Human-readable name ("I2:1Gbps-10Gbps", "FatTree(k=4)", ...).
+    pub name: String,
+    roles: Vec<NodeRole>,
+    links: Vec<LinkSpec>,
+    /// adjacency[n] = sorted list of (neighbor, link index).
+    adjacency: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl Topology {
+    /// An empty topology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topology {
+            name: name.into(),
+            roles: Vec::new(),
+            links: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Add a node with `role`; ids are dense and sequential.
+    pub fn add_node(&mut self, role: NodeRole) -> NodeId {
+        let id = NodeId(self.roles.len() as u32);
+        self.roles.push(role);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Connect `a` and `b` bidirectionally. Panics on self-links or
+    /// duplicate links (the paper's model has neither).
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, bandwidth: Bandwidth, propagation: Dur) {
+        assert_ne!(a, b, "self-link at {a}");
+        assert!(
+            self.neighbor_link(a, b).is_none(),
+            "duplicate link {a}–{b}"
+        );
+        let idx = self.links.len();
+        self.links.push(LinkSpec {
+            a,
+            b,
+            bandwidth,
+            propagation,
+        });
+        for (from, to) in [(a, b), (b, a)] {
+            let adj = &mut self.adjacency[from.index()];
+            let pos = adj.binary_search_by_key(&to, |&(n, _)| n).unwrap_err();
+            adj.insert(pos, (to, idx));
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.roles.len()).map(NodeId::from)
+    }
+
+    /// Role of `n`.
+    pub fn role(&self, n: NodeId) -> NodeRole {
+        self.roles[n.index()]
+    }
+
+    /// All nodes with a given role, in id order.
+    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.role(n) == role).collect()
+    }
+
+    /// All hosts, in id order.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.nodes_with_role(NodeRole::Host)
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Links whose *both* endpoints are core routers — the "core links"
+    /// utilization is calibrated against.
+    pub fn core_links(&self) -> Vec<&LinkSpec> {
+        self.links
+            .iter()
+            .filter(|l| self.role(l.a) == NodeRole::Core && self.role(l.b) == NodeRole::Core)
+            .collect()
+    }
+
+    /// Sorted neighbors of `n`.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[n.index()].iter().map(|&(m, _)| m)
+    }
+
+    /// The link between `a` and `b`, if any.
+    pub fn neighbor_link(&self, a: NodeId, b: NodeId) -> Option<&LinkSpec> {
+        self.adjacency[a.index()]
+            .binary_search_by_key(&b, |&(n, _)| n)
+            .ok()
+            .map(|i| &self.links[self.adjacency[a.index()][i].1])
+    }
+
+    /// Smallest link bandwidth anywhere — defines the paper's overdue
+    /// threshold `T` = one transmission time on the bottleneck link (§2.3).
+    pub fn bottleneck_bandwidth(&self) -> Bandwidth {
+        self.links
+            .iter()
+            .map(|l| l.bandwidth)
+            .min()
+            .expect("topology has no links")
+    }
+
+    /// Sanity checks: connected, no isolated nodes, hosts have degree 1.
+    /// Called by the canned topology constructors.
+    pub fn validate(&self) {
+        assert!(self.node_count() >= 2, "need at least two nodes");
+        assert!(!self.links.is_empty(), "no links");
+        // Hosts hang off exactly one router in every paper topology.
+        for n in self.nodes() {
+            let deg = self.adjacency[n.index()].len();
+            assert!(deg > 0, "isolated node {n}");
+            if self.role(n) == NodeRole::Host {
+                assert_eq!(deg, 1, "host {n} has degree {deg}");
+            }
+        }
+        // Connectivity via BFS from node 0.
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for m in self.neighbors(n) {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        assert_eq!(count, self.node_count(), "topology is disconnected");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw() -> Bandwidth {
+        Bandwidth::from_gbps(1)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new("test");
+        let h1 = t.add_node(NodeRole::Host);
+        let c1 = t.add_node(NodeRole::Core);
+        let c2 = t.add_node(NodeRole::Core);
+        let h2 = t.add_node(NodeRole::Host);
+        t.add_link(h1, c1, bw(), Dur::from_us(1));
+        t.add_link(c1, c2, Bandwidth::from_mbps(500), Dur::from_ms(5));
+        t.add_link(c2, h2, bw(), Dur::from_us(1));
+        t.validate();
+
+        assert_eq!(t.hosts(), vec![h1, h2]);
+        assert_eq!(t.core_links().len(), 1);
+        assert_eq!(t.bottleneck_bandwidth(), Bandwidth::from_mbps(500));
+        assert_eq!(t.neighbors(c1).collect::<Vec<_>>(), vec![h1, c2]);
+        let l = t.neighbor_link(c1, c2).unwrap();
+        assert_eq!(l.propagation, Dur::from_ms(5));
+        assert_eq!(l.other(c1), c2);
+        assert!(t.neighbor_link(h1, h2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_rejected() {
+        let mut t = Topology::new("dup");
+        let a = t.add_node(NodeRole::Core);
+        let b = t.add_node(NodeRole::Core);
+        t.add_link(a, b, bw(), Dur::ZERO);
+        t.add_link(b, a, bw(), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_rejected() {
+        let mut t = Topology::new("disc");
+        let a = t.add_node(NodeRole::Core);
+        let b = t.add_node(NodeRole::Core);
+        let c = t.add_node(NodeRole::Core);
+        let d = t.add_node(NodeRole::Core);
+        t.add_link(a, b, bw(), Dur::ZERO);
+        t.add_link(c, d, bw(), Dur::ZERO);
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "host")]
+    fn host_with_two_links_rejected() {
+        let mut t = Topology::new("bad-host");
+        let h = t.add_node(NodeRole::Host);
+        let a = t.add_node(NodeRole::Core);
+        let b = t.add_node(NodeRole::Core);
+        t.add_link(h, a, bw(), Dur::ZERO);
+        t.add_link(h, b, bw(), Dur::ZERO);
+        t.add_link(a, b, bw(), Dur::ZERO);
+        t.validate();
+    }
+}

@@ -1,0 +1,255 @@
+//! Shortest-path routing and minimum-transit (`tmin`) computation.
+//!
+//! The paper's model fixes `path(p)` per packet (§2.1); we derive paths by
+//! hop-count BFS. Among equal-cost shortest paths the choice is a
+//! **deterministic hash of (src, dst)** — ECMP-style spreading without
+//! randomness, so every run (and both runs of a replay pair) routes
+//! identically while offered load spreads across the mesh instead of
+//! piling onto the lowest-numbered links. A (src, dst) pair always maps
+//! to exactly one path.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use ups_netsim::packet::Packet;
+use ups_netsim::prelude::{Dur, NodeId};
+
+use crate::graph::Topology;
+
+/// All-pairs routing over a topology: BFS distance fields per source,
+/// with hash-spread path reconstruction cached per (src, dst).
+pub struct Routing {
+    /// `dist[s][n]` = hop distance from source `s` to `n`.
+    dist: Vec<Vec<u32>>,
+    /// Sorted adjacency copy (path reconstruction needs neighbor sets
+    /// without borrowing the topology).
+    adjacency: Vec<Vec<NodeId>>,
+    cache: HashMap<(NodeId, NodeId), Arc<[NodeId]>>,
+}
+
+/// SplitMix64 — deterministic tie-break hash for equal-cost choices.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl Routing {
+    /// Compute routing for `topo`. O(V·(V+E)); instantaneous at the
+    /// paper's scales (≤ a few thousand nodes).
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut dist = Vec::with_capacity(n);
+        for s in topo.nodes() {
+            dist.push(bfs_dist(topo, s));
+        }
+        let adjacency = topo
+            .nodes()
+            .map(|u| topo.neighbors(u).collect())
+            .collect();
+        Routing {
+            dist,
+            adjacency,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The unique deterministic path from `src` to `dst`, inclusive.
+    ///
+    /// # Panics
+    /// If `dst` is unreachable (canned topologies are validated connected).
+    pub fn path(&mut self, src: NodeId, dst: NodeId) -> Arc<[NodeId]> {
+        assert_ne!(src, dst, "degenerate path {src} -> {src}");
+        if let Some(p) = self.cache.get(&(src, dst)) {
+            return p.clone();
+        }
+        let dist = &self.dist[src.index()];
+        assert_ne!(dist[dst.index()], u32::MAX, "{dst} unreachable from {src}");
+        // Walk backwards from dst: at every step the candidates are the
+        // neighbors one hop closer to src; pick by pair-seeded hash.
+        let seed = mix(((src.0 as u64) << 32) | dst.0 as u64);
+        let mut rev = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            let want = dist[cur.index()] - 1;
+            let candidates: Vec<NodeId> = self.adjacency[cur.index()]
+                .iter()
+                .copied()
+                .filter(|n| dist[n.index()] == want)
+                .collect();
+            debug_assert!(!candidates.is_empty(), "broken BFS field");
+            let pick = mix(seed ^ cur.0 as u64) as usize % candidates.len();
+            cur = candidates[pick];
+            rev.push(cur);
+        }
+        rev.reverse();
+        let path: Arc<[NodeId]> = rev.into();
+        self.cache.insert((src, dst), path.clone());
+        path
+    }
+
+    /// Hop count (number of links) between two nodes.
+    pub fn hop_count(&mut self, src: NodeId, dst: NodeId) -> usize {
+        self.path(src, dst).len() - 1
+    }
+}
+
+/// BFS hop distances from `s`.
+fn bfs_dist(topo: &Topology, s: NodeId) -> Vec<u32> {
+    let n = topo.node_count();
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    dist[s.index()] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(s);
+    while let Some(u) = q.pop_front() {
+        for v in topo.neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// `tmin(p, path[from], dst)` for a packet of `size` bytes along `path`
+/// (paper App. A): the empty-network transit time — every hop's
+/// serialization plus every link's propagation, store-and-forward.
+pub fn tmin_suffix(topo: &Topology, path: &[NodeId], size: u32, from: usize) -> Dur {
+    assert!(from < path.len());
+    let mut total = Dur::ZERO;
+    for w in path.windows(2).skip(from) {
+        let link = topo
+            .neighbor_link(w[0], w[1])
+            .unwrap_or_else(|| panic!("path uses missing link {}–{}", w[0], w[1]));
+        total += link.bandwidth.tx_time(size) + link.propagation;
+    }
+    total
+}
+
+/// Full-path `tmin(p, src, dst)`.
+pub fn tmin(topo: &Topology, path: &[NodeId], size: u32) -> Dur {
+    tmin_suffix(topo, path, size, 0)
+}
+
+/// The per-hop remaining-transit table `tmin_rem[i] = tmin(p, path[i],
+/// dst)` that EDF needs (App. E). `tmin_rem[last] = 0`.
+pub fn tmin_rem_table(topo: &Topology, path: &[NodeId], size: u32) -> Arc<[Dur]> {
+    let n = path.len();
+    let mut out = vec![Dur::ZERO; n];
+    // Suffix sums from the back.
+    for i in (0..n - 1).rev() {
+        let link = topo
+            .neighbor_link(path[i], path[i + 1])
+            .unwrap_or_else(|| panic!("path uses missing link {}–{}", path[i], path[i + 1]));
+        out[i] = out[i + 1] + link.bandwidth.tx_time(size) + link.propagation;
+    }
+    out.into()
+}
+
+/// Attach a `tmin_rem` table to a packet in place (needed before running
+/// it through EDF ports).
+pub fn attach_tmin(topo: &Topology, packet: &mut Packet) {
+    packet.tmin_rem = Some(tmin_rem_table(topo, &packet.path, packet.size));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeRole;
+    use ups_netsim::prelude::Bandwidth;
+
+    /// Diamond: 0 - {1,2} - 3, plus a slow detour 0-4-3.
+    fn diamond() -> Topology {
+        let mut t = Topology::new("diamond");
+        for _ in 0..5 {
+            t.add_node(NodeRole::Core);
+        }
+        let bw = Bandwidth::from_gbps(1);
+        t.add_link(NodeId(0), NodeId(1), bw, Dur::from_us(10));
+        t.add_link(NodeId(0), NodeId(2), bw, Dur::from_us(10));
+        t.add_link(NodeId(1), NodeId(3), bw, Dur::from_us(10));
+        t.add_link(NodeId(2), NodeId(3), bw, Dur::from_us(10));
+        t.add_link(NodeId(0), NodeId(4), bw, Dur::from_us(10));
+        t.add_link(NodeId(4), NodeId(3), bw, Dur::from_us(10));
+        t
+    }
+
+    #[test]
+    fn picks_a_shortest_path_deterministically() {
+        let mut r = Routing::new(&diamond());
+        // 0->3 has three 2-hop options via 1, 2 or 4.
+        let p = r.path(NodeId(0), NodeId(3));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], NodeId(0));
+        assert_eq!(p[2], NodeId(3));
+        assert!([NodeId(1), NodeId(2), NodeId(4)].contains(&p[1]));
+        assert_eq!(r.hop_count(NodeId(0), NodeId(3)), 2);
+        // Cached path is identical.
+        assert!(Arc::ptr_eq(&p, &r.path(NodeId(0), NodeId(3))));
+        // A fresh Routing instance picks the same path (pure hash).
+        let mut r2 = Routing::new(&diamond());
+        assert_eq!(&*r2.path(NodeId(0), NodeId(3)), &*p);
+    }
+
+    #[test]
+    fn ecmp_spreads_over_equal_cost_paths() {
+        // Fan topology: many (src, dst) pairs across the 0–3 diamond must
+        // not all pick the same middle node.
+        let mut t = diamond();
+        let bw = Bandwidth::from_gbps(1);
+        // Hang leaf nodes off 0 and 3 to create distinct pairs.
+        let leaves_a: Vec<NodeId> = (0..6)
+            .map(|_| {
+                let l = t.add_node(NodeRole::Core);
+                t.add_link(l, NodeId(0), bw, Dur::from_us(1));
+                l
+            })
+            .collect();
+        let leaves_b: Vec<NodeId> = (0..6)
+            .map(|_| {
+                let l = t.add_node(NodeRole::Core);
+                t.add_link(l, NodeId(3), bw, Dur::from_us(1));
+                l
+            })
+            .collect();
+        let mut r = Routing::new(&t);
+        let mut middles = std::collections::HashSet::new();
+        for &a in &leaves_a {
+            for &b in &leaves_b {
+                let p = r.path(a, b);
+                middles.insert(p[2]);
+            }
+        }
+        assert!(
+            middles.len() >= 2,
+            "36 pairs should spread over ≥2 of the 3 equal-cost middles, got {middles:?}"
+        );
+    }
+
+    #[test]
+    fn tmin_adds_tx_and_propagation_per_hop() {
+        let t = diamond();
+        let path = [NodeId(0), NodeId(1), NodeId(3)];
+        // Two hops: 2 × (12us tx @1G for 1500B + 10us prop) = 44us.
+        assert_eq!(tmin(&t, &path, 1500), Dur::from_us(44));
+        assert_eq!(tmin_suffix(&t, &path, 1500, 1), Dur::from_us(22));
+    }
+
+    #[test]
+    fn tmin_rem_table_is_suffix_sums() {
+        let t = diamond();
+        let path = [NodeId(0), NodeId(1), NodeId(3)];
+        let table = tmin_rem_table(&t, &path, 1500);
+        assert_eq!(&*table, &[Dur::from_us(44), Dur::from_us(22), Dur::ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_self_path() {
+        let mut r = Routing::new(&diamond());
+        let _ = r.path(NodeId(1), NodeId(1));
+    }
+}

@@ -1,0 +1,20 @@
+//! # ups-transport — endpoint transports for the §3 experiments
+//!
+//! * [`tcp`] — a simplified TCP Reno (slow start, AIMD, fast retransmit,
+//!   RTO backoff) with per-packet header stamping: `flow_size`/`remaining`
+//!   for SJF/SRPT routers and slack per the §3 heuristics
+//!   ([`tcp::SlackPolicy`]).
+//! * [`stats`] — flow-completion and per-bucket goodput collection
+//!   (Figures 2 and 4's raw measurements).
+//!
+//! Open-loop UDP traffic needs no agent — `ups-workload` packetizes it
+//! directly; this crate is the closed-loop side.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod stats;
+pub mod tcp;
+
+pub use stats::{FlowCompletion, TransportStats};
+pub use tcp::{install_tcp, SlackPolicy, TcpConfig};

@@ -1,0 +1,144 @@
+//! Shared transport-level measurement: flow completions (Figure 2's FCT)
+//! and per-bucket goodput (Figure 4's per-millisecond throughput).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ups_netsim::prelude::{Dur, FlowId, SimTime};
+
+/// One completed flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowCompletion {
+    /// Which flow.
+    pub flow: FlowId,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Application start time.
+    pub started: SimTime,
+    /// When the last in-order byte reached the receiver.
+    pub finished: SimTime,
+}
+
+impl FlowCompletion {
+    /// Flow completion time.
+    pub fn fct(&self) -> Dur {
+        self.finished.saturating_since(self.started)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    completions: Vec<FlowCompletion>,
+    /// flow → goodput bytes per time bucket.
+    goodput: HashMap<FlowId, Vec<u64>>,
+}
+
+/// Cheaply clonable collector shared by all host agents of a run.
+///
+/// Uses a `Mutex` only because agents are `Send`; the simulator is
+/// single-threaded, so the lock is never contended.
+#[derive(Debug, Clone)]
+pub struct TransportStats {
+    inner: Arc<Mutex<Inner>>,
+    bucket: Dur,
+}
+
+impl TransportStats {
+    /// New collector with the given goodput bucket width (Figure 4 uses
+    /// 1 ms).
+    pub fn new(bucket: Dur) -> Self {
+        assert!(bucket > Dur::ZERO);
+        TransportStats {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            bucket,
+        }
+    }
+
+    /// Record a flow completion.
+    pub fn record_completion(&self, c: FlowCompletion) {
+        self.inner.lock().expect("poisoned").completions.push(c);
+    }
+
+    /// Record `bytes` of newly in-order data for `flow` at `now`.
+    pub fn record_goodput(&self, flow: FlowId, now: SimTime, bytes: u64) {
+        let idx = (now.as_ps() / self.bucket.as_ps()) as usize;
+        let mut inner = self.inner.lock().expect("poisoned");
+        let v = inner.goodput.entry(flow).or_default();
+        if v.len() <= idx {
+            v.resize(idx + 1, 0);
+        }
+        v[idx] += bytes;
+    }
+
+    /// All completions so far (sorted by flow id for determinism).
+    pub fn completions(&self) -> Vec<FlowCompletion> {
+        let mut v = self.inner.lock().expect("poisoned").completions.clone();
+        v.sort_by_key(|c| c.flow);
+        v
+    }
+
+    /// Per-flow goodput buckets, zero-padded to equal length and ordered
+    /// by `flows` — directly feedable to `ups_metrics::jain_series`.
+    pub fn goodput_matrix(&self, flows: &[FlowId]) -> Vec<Vec<u64>> {
+        let inner = self.inner.lock().expect("poisoned");
+        let len = inner.goodput.values().map(|v| v.len()).max().unwrap_or(0);
+        flows
+            .iter()
+            .map(|f| {
+                let mut v = inner.goodput.get(f).cloned().unwrap_or_default();
+                v.resize(len, 0);
+                v
+            })
+            .collect()
+    }
+
+    /// Goodput bucket width.
+    pub fn bucket(&self) -> Dur {
+        self.bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_sorted_and_fct() {
+        let s = TransportStats::new(Dur::from_ms(1));
+        s.record_completion(FlowCompletion {
+            flow: FlowId(2),
+            bytes: 100,
+            started: SimTime::from_ms(1),
+            finished: SimTime::from_ms(5),
+        });
+        s.record_completion(FlowCompletion {
+            flow: FlowId(1),
+            bytes: 50,
+            started: SimTime::ZERO,
+            finished: SimTime::from_ms(2),
+        });
+        let c = s.completions();
+        assert_eq!(c[0].flow, FlowId(1));
+        assert_eq!(c[1].fct(), Dur::from_ms(4));
+    }
+
+    #[test]
+    fn goodput_buckets_align_and_pad() {
+        let s = TransportStats::new(Dur::from_ms(1));
+        s.record_goodput(FlowId(0), SimTime::from_us(100), 10);
+        s.record_goodput(FlowId(0), SimTime::from_us(900), 5);
+        s.record_goodput(FlowId(0), SimTime::from_ms(3), 7);
+        s.record_goodput(FlowId(1), SimTime::from_ms(1), 9);
+        let m = s.goodput_matrix(&[FlowId(0), FlowId(1)]);
+        assert_eq!(m[0], vec![15, 0, 0, 7]);
+        assert_eq!(m[1], vec![0, 9, 0, 0]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = TransportStats::new(Dur::from_ms(1));
+        let t = s.clone();
+        t.record_goodput(FlowId(0), SimTime::ZERO, 1);
+        assert_eq!(s.goodput_matrix(&[FlowId(0)]), vec![vec![1]]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Flow-size and inter-arrival distributions.
+//!
+//! The paper draws flow sizes "from a heavy-tailed distribution [4, 5]"
+//! and flow arrivals from a Poisson process (§2.3). We implement the
+//! distributions inline (inverse-CDF sampling over a seeded `SmallRng`)
+//! rather than pulling in `rand_distr`, keeping the dependency set to the
+//! approved list and the sampling fully deterministic per seed.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A distribution over flow sizes in bytes.
+pub trait SizeDist: std::fmt::Debug {
+    /// Draw one flow size.
+    fn sample(&self, rng: &mut SmallRng) -> u64;
+    /// Expected value, used for utilization calibration.
+    fn mean(&self) -> f64;
+    /// Name for experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Every flow has the same size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed(pub u64);
+
+impl SizeDist for Fixed {
+    fn sample(&self, _rng: &mut SmallRng) -> u64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0 as f64
+    }
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Bounded Pareto: heavy-tailed with density ∝ x^{-α-1} on [min, max].
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    /// Tail index; the canonical heavy-tailed traffic value is 1.1–1.3.
+    pub alpha: f64,
+    /// Smallest flow (bytes).
+    pub min: u64,
+    /// Largest flow (bytes).
+    pub max: u64,
+}
+
+impl BoundedPareto {
+    /// Standard heavy-tailed traffic mix: α = 1.2, 1 packet … 30 MB.
+    pub fn traffic_default() -> Self {
+        BoundedPareto {
+            alpha: 1.2,
+            min: 1460,
+            max: 30_000_000,
+        }
+    }
+}
+
+impl SizeDist for BoundedPareto {
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let a = self.alpha;
+        let (l, h) = (self.min as f64, self.max as f64);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Inverse CDF of the bounded Pareto.
+        let x = (u * h.powf(a) - u * l.powf(a) - h.powf(a)) / (h.powf(a) * l.powf(a));
+        let v = (-x).powf(-1.0 / a);
+        (v as u64).clamp(self.min, self.max)
+    }
+
+    fn mean(&self) -> f64 {
+        let a = self.alpha;
+        let (l, h) = (self.min as f64, self.max as f64);
+        if (a - 1.0).abs() < 1e-9 {
+            // α = 1: mean = ln(h/l) · l·h/(h−l)
+            (h * l / (h - l)) * (h / l).ln()
+        } else {
+            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-pareto"
+    }
+}
+
+/// Piecewise-linear empirical CDF over byte sizes — how pFabric-style
+/// workloads are normally specified.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    /// (size, cumulative probability), strictly increasing in both,
+    /// last probability = 1.
+    points: Vec<(u64, f64)>,
+    label: &'static str,
+}
+
+impl Empirical {
+    /// Build from (size, cumulative-probability) points.
+    ///
+    /// # Panics
+    /// If the points are not strictly increasing or don't end at 1.0.
+    pub fn new(points: Vec<(u64, f64)>, label: &'static str) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must increase");
+            assert!(w[0].1 < w[1].1, "probabilities must increase");
+        }
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0"
+        );
+        assert!(points[0].1 >= 0.0);
+        Empirical { points, label }
+    }
+
+    /// A web-search-like heavy-tailed mix in the spirit of the pFabric
+    /// workload the paper's Figure 2 buckets come from: ~60% of *flows*
+    /// are short (≤ 10 kB) while most *bytes* sit in multi-megabyte flows.
+    /// The support points align with Figure 2's x-axis buckets.
+    pub fn web_search() -> Self {
+        Empirical::new(
+            vec![
+                (1_460, 0.15),
+                (2_920, 0.28),
+                (4_380, 0.39),
+                (7_300, 0.50),
+                (10_220, 0.60),
+                (58_400, 0.71),
+                (105_120, 0.78),
+                (2_000_020, 0.89),
+                (17_330_203, 0.97),
+                (30_762_200, 1.0),
+            ],
+            "web-search",
+        )
+    }
+
+    /// A datacenter "data-mining"-like mix: even shorter flows, even
+    /// heavier tail (used by the fat-tree Table 1 row).
+    pub fn data_mining() -> Self {
+        Empirical::new(
+            vec![
+                (100, 0.3),
+                (1_460, 0.55),
+                (10_000, 0.70),
+                (100_000, 0.80),
+                (1_000_000, 0.90),
+                (10_000_000, 0.96),
+                (100_000_000, 1.0),
+            ],
+            "data-mining",
+        )
+    }
+}
+
+impl SizeDist for Empirical {
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Find the first point with cdf >= u, interpolate from the prior.
+        let mut prev = (0u64, 0.0f64);
+        for &(size, cdf) in &self.points {
+            if u <= cdf {
+                let span = cdf - prev.1;
+                let frac = if span > 0.0 { (u - prev.1) / span } else { 1.0 };
+                let lo = prev.0 as f64;
+                let hi = size as f64;
+                return (lo + frac * (hi - lo)).round().max(1.0) as u64;
+            }
+            prev = (size, cdf);
+        }
+        self.points.last().unwrap().0
+    }
+
+    fn mean(&self) -> f64 {
+        // Piecewise-linear CDF ⇒ uniform within segments; the mean is the
+        // probability-weighted midpoint sum.
+        let mut prev = (0u64, 0.0f64);
+        let mut mean = 0.0;
+        for &(size, cdf) in &self.points {
+            let w = cdf - prev.1;
+            mean += w * (prev.0 as f64 + size as f64) / 2.0;
+            prev = (size, cdf);
+        }
+        mean
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// Exponential inter-arrival sampler (the Poisson process driver).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    /// Mean inter-arrival time in seconds.
+    pub mean_secs: f64,
+}
+
+impl Exponential {
+    /// Sample one inter-arrival gap in seconds.
+    pub fn sample_secs(&self, rng: &mut SmallRng) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -self.mean_secs * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn empirical_mean_of<D: SizeDist>(d: &D, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let d = Fixed(1500);
+        assert_eq!(d.sample(&mut rng()), 1500);
+        assert_eq!(d.mean(), 1500.0);
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_mean() {
+        let d = BoundedPareto::traffic_default();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let s = d.sample(&mut r);
+            assert!((d.min..=d.max).contains(&s), "sample {s} out of bounds");
+        }
+        let analytic = d.mean();
+        let measured = empirical_mean_of(&d, 2_000_000);
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(
+            rel < 0.15,
+            "Pareto mean mismatch: analytic {analytic}, measured {measured}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        // The top 10% of samples should carry most of the bytes.
+        let d = BoundedPareto::traffic_default();
+        let mut r = rng();
+        let mut v: Vec<u64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        v.sort_unstable();
+        let total: u64 = v.iter().sum();
+        let top10: u64 = v[v.len() * 9 / 10..].iter().sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.5,
+            "top decile carries {:.2}",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn empirical_web_search_matches_analytic_mean() {
+        let d = Empirical::web_search();
+        let analytic = d.mean();
+        let measured = empirical_mean_of(&d, 1_000_000);
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(rel < 0.05, "analytic {analytic}, measured {measured}");
+        // Heavy tail sanity: mean far above median (~7 kB).
+        assert!(analytic > 1_000_000.0, "web-search mean {analytic}");
+    }
+
+    #[test]
+    fn empirical_respects_support() {
+        let d = Empirical::web_search();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let s = d.sample(&mut r);
+            assert!(s >= 1 && s <= 30_762_200);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn empirical_rejects_nonmonotonic() {
+        let _ = Empirical::new(vec![(100, 0.5), (50, 1.0)], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "end at 1.0")]
+    fn empirical_rejects_partial_cdf() {
+        let _ = Empirical::new(vec![(100, 0.5), (200, 0.9)], "bad");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let e = Exponential { mean_secs: 0.01 };
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| e.sample_secs(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.01).abs() / 0.01 < 0.02, "measured {mean}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Empirical::web_search();
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
