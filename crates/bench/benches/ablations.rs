@@ -12,7 +12,11 @@ use ups_metrics::{frac, Table};
 use ups_netsim::prelude::SchedulerKind;
 use ups_topology::{i2_default, SchedulerAssignment};
 
-fn scenario(kind: SchedulerKind, label: &'static str, window: ups_netsim::prelude::Dur) -> ReplayScenario {
+fn scenario(
+    kind: SchedulerKind,
+    label: &'static str,
+    window: ups_netsim::prelude::Dur,
+) -> ReplayScenario {
     ReplayScenario {
         topology_label: "I2:1Gbps-10Gbps",
         topo: i2_default(),
@@ -51,7 +55,13 @@ fn main() {
 
     println!("\n## §2.3(5): effect of preemption on hard originals");
     println!("# paper: SJF 18.33% → 0.24%; LIFO 14.77% → 0.25% overdue");
-    let mut t = Table::new(&["original", "LSTF overdue", "LSTF-P overdue", "LSTF >T", "LSTF-P >T"]);
+    let mut t = Table::new(&[
+        "original",
+        "LSTF overdue",
+        "LSTF-P overdue",
+        "LSTF >T",
+        "LSTF-P >T",
+    ]);
     for (kind, label) in [(SchedulerKind::Sjf, "SJF"), (SchedulerKind::Lifo, "LIFO")] {
         let scen = scenario(kind, label, scale.replay_window);
         let nonp = scen.run(HeaderInit::LstfSlack, false);

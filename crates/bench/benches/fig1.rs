@@ -26,7 +26,10 @@ fn main() {
             println!("{}\t(no queued packets)", scenario.sched_label);
             continue;
         }
-        print!("{}", render_series(scenario.sched_label, &cdf.series(&probes)));
+        print!(
+            "{}",
+            render_series(scenario.sched_label, &cdf.series(&probes))
+        );
         println!(
             "# {}: {} ratio samples, {:.1}% of packets no worse than original",
             scenario.sched_label,

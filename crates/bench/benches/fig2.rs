@@ -18,19 +18,11 @@ fn main() {
     );
     println!("# paper legend: FIFO 0.288s, SRPT 0.208s, SJF 0.194s, LSTF 0.195s");
     let topo = i2_default();
-    let mut table = Table::new(&[
-        "bucket(B)", "FIFO", "SRPT", "SJF", "LSTF", "flows/bucket",
-    ]);
+    let mut table = Table::new(&["bucket(B)", "FIFO", "SRPT", "SJF", "LSTF", "flows/bucket"]);
     let mut per_scheme = Vec::new();
     for scheme in FctScheme::ALL {
-        let samples = run_fct_experiment(
-            &topo,
-            scheme,
-            0.7,
-            scale.fct_window,
-            scale.fct_horizon,
-            42,
-        );
+        let samples =
+            run_fct_experiment(&topo, scheme, 0.7, scale.fct_window, scale.fct_horizon, 42);
         println!(
             "{}: mean FCT {} over {} completed flows",
             scheme.label(),

@@ -15,7 +15,9 @@ fn main() {
         "# Figure 3: tail packet delays, FIFO vs LSTF/FIFO+ (scale={}, window={})",
         scale.label, scale.replay_window
     );
-    println!("# paper legend: FIFO mean 0.0780s / 99%ile 0.2142s; LSTF mean 0.0786s / 99%ile 0.1958s");
+    println!(
+        "# paper legend: FIFO mean 0.0780s / 99%ile 0.2142s; LSTF mean 0.0786s / 99%ile 0.1958s"
+    );
     let topo = i2_default();
     let fifo = run_tail_experiment(&topo, false, 0.7, scale.replay_window, 42);
     let lstf = run_tail_experiment(&topo, true, 0.7, scale.replay_window, 42);
@@ -29,6 +31,9 @@ fn main() {
             result.delays.quantile(0.999),
             result.delays.len()
         );
-        print!("{}", render_series(label, &result.delays.ccdf_series(&probes)));
+        print!(
+            "{}",
+            render_series(label, &result.delays.ccdf_series(&probes))
+        );
     }
 }

@@ -44,18 +44,20 @@ fn bench_schedulers(c: &mut Criterion) {
                 b.iter_batched(
                     || {
                         let s = kind.build(7);
-                        let packets: Vec<Packet> =
-                            (0..1000).map(|i| mk_packet(i, (i as i128 * 37) % 5000)).collect();
-                        (s, packets)
+                        let mut arena = PacketArena::new();
+                        let refs: Vec<PacketRef> = (0..1000)
+                            .map(|i| arena.alloc(mk_packet(i, (i as i128 * 37) % 5000)))
+                            .collect();
+                        (s, arena, refs)
                     },
-                    |(mut s, packets)| {
+                    |(mut s, mut arena, refs)| {
                         let mut t = SimTime::ZERO;
-                        for (i, p) in packets.into_iter().enumerate() {
-                            s.enqueue(p, t, i as u64, ctx);
+                        for (i, r) in refs.into_iter().enumerate() {
+                            s.enqueue(r, &arena, t, i as u64, ctx);
                             t += Dur::from_ns(100);
                         }
-                        while let Some(qp) = s.dequeue(t, ctx) {
-                            black_box(qp.packet.id);
+                        while let Some(qp) = s.dequeue(&mut arena, t, ctx) {
+                            black_box(arena.get(qp.pkt).id);
                         }
                     },
                     criterion::BatchSize::SmallInput,
@@ -91,11 +93,13 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     // A small line network pushing 2k packets: measures whole-engine
     // events/second for FIFO vs LSTF ports.
-    for kind in [SchedulerKind::Fifo, SchedulerKind::Lstf { preemptive: false }] {
+    for kind in [
+        SchedulerKind::Fifo,
+        SchedulerKind::Lstf { preemptive: false },
+    ] {
         c.bench_function(&format!("line_sim_2k_packets_{}", kind.name()), |b| {
             b.iter(|| {
-                let topo =
-                    ups_topology::line(3, Bandwidth::from_gbps(10), Dur::from_us(5));
+                let topo = ups_topology::line(3, Bandwidth::from_gbps(10), Dur::from_us(5));
                 let mut routing = ups_topology::Routing::new(&topo);
                 let hosts = topo.hosts();
                 let mut sim = ups_topology::build_simulator(

@@ -1,0 +1,325 @@
+//! The seed architecture's hot path, preserved as a benchmark baseline.
+//!
+//! Before the zero-copy refactor, the simulator moved every `Packet`
+//! struct (~200 bytes including its header, plus `Arc` refcount traffic
+//! for the path) *by value* through two priority structures: the
+//! `BinaryHeap` future-event list and the per-port `BinaryHeap` scheduler
+//! queue. This module reimplements exactly that data movement — store-and-
+//! forward FIFO forwarding over a topology, packets embedded in heap
+//! entries — so `benches/throughput.rs` can measure the speedup of the
+//! arena + calendar-queue path against a faithful heap baseline *in the
+//! same binary*, and record both numbers in `BENCH_throughput.json`.
+//!
+//! Functionally it matches the real simulator on FIFO/unbounded-buffer
+//! workloads (the throughput scenario): same event ordering contract
+//! (`(time, seq)`), same store-and-forward timing, so delivered counts and
+//! exit times agree exactly — which the bench asserts as a cross-check.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ups_netsim::prelude::{Link, NodeId, Packet, SimTime};
+use ups_topology::Topology;
+
+enum BEvent {
+    Inject(Packet),
+    Arrive {
+        node: NodeId,
+        packet: Packet,
+    },
+    PortReady {
+        node: NodeId,
+        port: usize,
+        token: u64,
+    },
+}
+
+struct BEntry {
+    time: SimTime,
+    seq: u64,
+    event: BEvent,
+}
+
+impl PartialEq for BEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for BEntry {}
+impl PartialOrd for BEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: reverse for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A queued packet *by value* — the seed's `QueuedPacket`.
+struct BQueued {
+    packet: Packet,
+    rank: i128,
+    arrival_seq: u64,
+}
+
+struct BQueueEntry(BQueued);
+
+impl PartialEq for BQueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.rank, self.0.arrival_seq) == (other.0.rank, other.0.arrival_seq)
+    }
+}
+impl Eq for BQueueEntry {}
+impl PartialOrd for BQueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BQueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (rank, arrival_seq).
+        (other.0.rank, other.0.arrival_seq).cmp(&(self.0.rank, self.0.arrival_seq))
+    }
+}
+
+struct BPort {
+    peer: NodeId,
+    link: Link,
+    q: BinaryHeap<BQueueEntry>,
+    arrival_seq: u64,
+    inflight: Option<(BQueued, u64)>,
+    next_token: u64,
+}
+
+struct BNode {
+    ports: Vec<BPort>,
+    /// Sorted (peer, port index) for lookup, as in the seed.
+    port_towards: Vec<(NodeId, usize)>,
+}
+
+/// Heap-based reference simulator (FIFO, unbounded buffers, no tracing).
+pub struct BaselineSim {
+    nodes: Vec<BNode>,
+    events: BinaryHeap<BEntry>,
+    next_seq: u64,
+    now: SimTime,
+    /// Packets whose last bit reached their destination.
+    pub delivered: u64,
+    /// Events processed.
+    pub events_processed: u64,
+    /// Sum of exit timestamps (ps) — a cheap run fingerprint for the
+    /// cross-check against the real simulator.
+    pub exit_fingerprint: u128,
+}
+
+impl BaselineSim {
+    /// Mirror `topo` with FIFO at every port and unbounded buffers.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut nodes: Vec<BNode> = (0..topo.node_count())
+            .map(|_| BNode {
+                ports: Vec::new(),
+                port_towards: Vec::new(),
+            })
+            .collect();
+        for link in topo.links() {
+            for (from, to) in [(link.a, link.b), (link.b, link.a)] {
+                let n = &mut nodes[from.index()];
+                let idx = n.ports.len();
+                n.ports.push(BPort {
+                    peer: to,
+                    link: Link {
+                        bandwidth: link.bandwidth,
+                        propagation: link.propagation,
+                    },
+                    q: BinaryHeap::new(),
+                    arrival_seq: 0,
+                    inflight: None,
+                    next_token: 0,
+                });
+                let pos = n
+                    .port_towards
+                    .binary_search_by_key(&to, |&(p, _)| p)
+                    .unwrap_err();
+                n.port_towards.insert(pos, (to, idx));
+            }
+        }
+        BaselineSim {
+            nodes,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            delivered: 0,
+            events_processed: 0,
+            exit_fingerprint: 0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, event: BEvent) {
+        debug_assert!(at >= self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(BEntry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedule `packet` to enter the network at its `injected_at`.
+    pub fn inject(&mut self, packet: Packet) {
+        let at = packet.injected_at;
+        self.push(at, BEvent::Inject(packet));
+    }
+
+    /// Drain every event.
+    pub fn run(&mut self) {
+        while let Some(BEntry { time, event, .. }) = self.events.pop() {
+            self.now = time;
+            self.events_processed += 1;
+            match event {
+                BEvent::Inject(packet) => self.route(packet, time),
+                BEvent::Arrive { node, packet } => {
+                    if packet.at_destination() {
+                        self.delivered += 1;
+                        self.exit_fingerprint += time.as_ps() as u128;
+                        let _ = node;
+                    } else {
+                        self.route(packet, time);
+                    }
+                }
+                BEvent::PortReady { node, port, token } => {
+                    self.on_ready(node, port, token, time);
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, packet: Packet, now: SimTime) {
+        let here = packet.current_node();
+        let next = packet.next_node().expect("not at destination");
+        let node = &mut self.nodes[here.index()];
+        let pidx = node
+            .port_towards
+            .binary_search_by_key(&next, |&(p, _)| p)
+            .map(|i| node.port_towards[i].1)
+            .expect("link exists");
+        let port = &mut node.ports[pidx];
+        let seq = port.arrival_seq;
+        port.arrival_seq += 1;
+        port.q.push(BQueueEntry(BQueued {
+            packet,
+            rank: 0,
+            arrival_seq: seq,
+        }));
+        if port.inflight.is_none() {
+            self.start_next(here, pidx, now);
+        }
+    }
+
+    fn start_next(&mut self, node: NodeId, pidx: usize, now: SimTime) {
+        let port = &mut self.nodes[node.index()].ports[pidx];
+        debug_assert!(port.inflight.is_none());
+        let Some(BQueueEntry(qp)) = port.q.pop() else {
+            return;
+        };
+        let tx = port.link.bandwidth.tx_time(qp.packet.size);
+        let token = port.next_token;
+        port.next_token += 1;
+        port.inflight = Some((qp, token));
+        self.push(
+            now + tx,
+            BEvent::PortReady {
+                node,
+                port: pidx,
+                token,
+            },
+        );
+    }
+
+    fn on_ready(&mut self, node: NodeId, pidx: usize, token: u64, now: SimTime) {
+        let port = &mut self.nodes[node.index()].ports[pidx];
+        match &port.inflight {
+            Some((_, t)) if *t == token => {}
+            _ => return,
+        }
+        let (qp, _) = port.inflight.take().expect("checked above");
+        let mut packet = qp.packet;
+        packet.hop += 1;
+        let peer = port.peer;
+        let prop = port.link.propagation;
+        self.push(now + prop, BEvent::Arrive { node: peer, packet });
+        self.start_next(node, pidx, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use ups_netsim::prelude::*;
+    use ups_topology::line;
+
+    #[test]
+    fn baseline_matches_seed_timing() {
+        // One packet over host-router-router-host at 1 Gbps / 10 us:
+        // 3 links × (12us + 10us) = 66us, as in the build.rs test.
+        let topo = line(2, Bandwidth::from_gbps(1), Dur::from_us(10));
+        let mut routing = ups_topology::Routing::new(&topo);
+        let hosts = topo.hosts();
+        let path = routing.path(hosts[0], hosts[1]);
+        let mut sim = BaselineSim::from_topology(&topo);
+        sim.inject(PacketBuilder::new(PacketId(0), FlowId(0), 1500, path, SimTime::ZERO).build());
+        sim.run();
+        assert_eq!(sim.delivered, 1);
+        assert_eq!(sim.exit_fingerprint, SimTime::from_us(66).as_ps() as u128);
+    }
+
+    #[test]
+    fn baseline_agrees_with_real_simulator() {
+        // Same injected set through both engines: identical delivered
+        // count and exit-time fingerprint.
+        let topo = line(3, Bandwidth::from_gbps(1), Dur::from_us(5));
+        let mut routing = ups_topology::Routing::new(&topo);
+        let hosts = topo.hosts();
+        let packets: Vec<Packet> = (0..200u64)
+            .map(|i| {
+                let (s, d) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+                PacketBuilder::new(
+                    PacketId(i),
+                    FlowId(i % 7),
+                    1500,
+                    routing.path(hosts[s], hosts[d]),
+                    SimTime::from_ns(i * 800),
+                )
+                .build()
+            })
+            .collect();
+
+        let mut base = BaselineSim::from_topology(&topo);
+        for p in packets.clone() {
+            base.inject(p);
+        }
+        base.run();
+
+        let mut real = ups_topology::build_simulator(
+            &topo,
+            &ups_topology::SchedulerAssignment::uniform(SchedulerKind::Fifo),
+            &ups_topology::BuildOptions::default(),
+        );
+        for p in packets {
+            real.inject(p);
+        }
+        real.run();
+
+        assert_eq!(base.delivered, real.stats().delivered);
+        let real_fp: u128 = real
+            .trace()
+            .delivered()
+            .map(|(_, r)| r.exited.expect("delivered").as_ps() as u128)
+            .sum();
+        assert_eq!(base.exit_fingerprint, real_fp, "exit times must agree");
+    }
+}

@@ -1,9 +1,7 @@
 //! Runners for the §3 objective experiments (Figures 2, 3, 4).
 
 use ups_metrics::{jain_series, Cdf, FlowSample};
-use ups_netsim::prelude::{
-    Dur, FlowId, PacketKind, RecordMode, SchedulerKind, SimTime, Simulator,
-};
+use ups_netsim::prelude::{Dur, FlowId, PacketKind, RecordMode, SchedulerKind, SimTime, Simulator};
 use ups_topology::{
     build_simulator, i2_fairness, BuildOptions, Routing, SchedulerAssignment, Topology,
 };
@@ -337,9 +335,9 @@ mod tests {
         let topo = small_i2();
         let window = Dur::from_ms(60);
         let horizon = Dur::from_secs(6);
-        let fifo = run_fct_experiment(&topo, FctScheme::Fifo, 0.7, window, horizon, 3);
-        let sjf = run_fct_experiment(&topo, FctScheme::Sjf, 0.7, window, horizon, 3);
-        let lstf = run_fct_experiment(&topo, FctScheme::LstfFct, 0.7, window, horizon, 3);
+        let fifo = run_fct_experiment(&topo, FctScheme::Fifo, 0.7, window, horizon, 7);
+        let sjf = run_fct_experiment(&topo, FctScheme::Sjf, 0.7, window, horizon, 7);
+        let lstf = run_fct_experiment(&topo, FctScheme::LstfFct, 0.7, window, horizon, 7);
         assert!(fifo.len() > 20, "need completions, got {}", fifo.len());
         let (mf, ms, ml) = (
             overall_mean_fct(&fifo),

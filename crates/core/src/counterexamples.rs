@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ups_netsim::prelude::{
-    Dur, FlowId, HopRecord, Packet, PacketBuilder, PacketId, PacketKind, PacketRecord,
-    RecordMode, SimTime, Trace,
+    Dur, FlowId, HopRecord, Packet, PacketBuilder, PacketId, PacketKind, PacketRecord, RecordMode,
+    SimTime, Trace,
 };
 use ups_topology::micro::{appendix_c, appendix_f, appendix_g, NamedTopology, UNIT, UNIT_PKT};
 use ups_topology::{BuildOptions, SchedulerAssignment};
@@ -137,7 +137,7 @@ fn walk(net: &NamedTopology, row: &Row) -> (Vec<HopRecord>, SimTime, Dur) {
                 tx_start: t,
                 waited: Dur::ZERO,
             });
-            t = t + link.propagation;
+            t += link.propagation;
         }
     }
     assert_eq!(
@@ -199,28 +199,148 @@ pub fn appendix_c_case(case: u8) -> CounterexampleSchedule {
     const PATH_Y: &[&str] = &["SY", "a3", "m3", "DY"];
     const PATH_Z: &[&str] = &["SZ", "a4", "m4", "DZ"];
     let rows_case1 = [
-        Row { name: "a", path: PATH_A, inject_tenths: 0, scheds: &[("a0", 0), ("a1", 10), ("a2", 40)], o_tenths: 50 },
-        Row { name: "x", path: PATH_X, inject_tenths: 0, scheds: &[("a0", 10), ("a3", 20), ("a4", 30)], o_tenths: 40 },
-        Row { name: "b1", path: PATH_B, inject_tenths: 20, scheds: &[("a1", 20)], o_tenths: 30 },
-        Row { name: "b2", path: PATH_B, inject_tenths: 30, scheds: &[("a1", 30)], o_tenths: 40 },
-        Row { name: "b3", path: PATH_B, inject_tenths: 40, scheds: &[("a1", 40)], o_tenths: 50 },
-        Row { name: "c1", path: PATH_C, inject_tenths: 20, scheds: &[("a2", 20)], o_tenths: 30 },
-        Row { name: "c2", path: PATH_C, inject_tenths: 30, scheds: &[("a2", 30)], o_tenths: 40 },
-        Row { name: "y1", path: PATH_Y, inject_tenths: 20, scheds: &[("a3", 30)], o_tenths: 40 },
-        Row { name: "y2", path: PATH_Y, inject_tenths: 30, scheds: &[("a3", 40)], o_tenths: 50 },
-        Row { name: "z", path: PATH_Z, inject_tenths: 20, scheds: &[("a4", 20)], o_tenths: 30 },
+        Row {
+            name: "a",
+            path: PATH_A,
+            inject_tenths: 0,
+            scheds: &[("a0", 0), ("a1", 10), ("a2", 40)],
+            o_tenths: 50,
+        },
+        Row {
+            name: "x",
+            path: PATH_X,
+            inject_tenths: 0,
+            scheds: &[("a0", 10), ("a3", 20), ("a4", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "b1",
+            path: PATH_B,
+            inject_tenths: 20,
+            scheds: &[("a1", 20)],
+            o_tenths: 30,
+        },
+        Row {
+            name: "b2",
+            path: PATH_B,
+            inject_tenths: 30,
+            scheds: &[("a1", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "b3",
+            path: PATH_B,
+            inject_tenths: 40,
+            scheds: &[("a1", 40)],
+            o_tenths: 50,
+        },
+        Row {
+            name: "c1",
+            path: PATH_C,
+            inject_tenths: 20,
+            scheds: &[("a2", 20)],
+            o_tenths: 30,
+        },
+        Row {
+            name: "c2",
+            path: PATH_C,
+            inject_tenths: 30,
+            scheds: &[("a2", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "y1",
+            path: PATH_Y,
+            inject_tenths: 20,
+            scheds: &[("a3", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "y2",
+            path: PATH_Y,
+            inject_tenths: 30,
+            scheds: &[("a3", 40)],
+            o_tenths: 50,
+        },
+        Row {
+            name: "z",
+            path: PATH_Z,
+            inject_tenths: 20,
+            scheds: &[("a4", 20)],
+            o_tenths: 30,
+        },
     ];
     let rows_case2 = [
-        Row { name: "a", path: PATH_A, inject_tenths: 0, scheds: &[("a0", 10), ("a1", 20), ("a2", 40)], o_tenths: 50 },
-        Row { name: "x", path: PATH_X, inject_tenths: 0, scheds: &[("a0", 0), ("a3", 10), ("a4", 30)], o_tenths: 40 },
-        Row { name: "b1", path: PATH_B, inject_tenths: 20, scheds: &[("a1", 30)], o_tenths: 40 },
-        Row { name: "b2", path: PATH_B, inject_tenths: 30, scheds: &[("a1", 40)], o_tenths: 50 },
-        Row { name: "b3", path: PATH_B, inject_tenths: 40, scheds: &[("a1", 50)], o_tenths: 60 },
-        Row { name: "c1", path: PATH_C, inject_tenths: 20, scheds: &[("a2", 20)], o_tenths: 30 },
-        Row { name: "c2", path: PATH_C, inject_tenths: 30, scheds: &[("a2", 30)], o_tenths: 40 },
-        Row { name: "y1", path: PATH_Y, inject_tenths: 20, scheds: &[("a3", 20)], o_tenths: 30 },
-        Row { name: "y2", path: PATH_Y, inject_tenths: 30, scheds: &[("a3", 30)], o_tenths: 40 },
-        Row { name: "z", path: PATH_Z, inject_tenths: 20, scheds: &[("a4", 20)], o_tenths: 30 },
+        Row {
+            name: "a",
+            path: PATH_A,
+            inject_tenths: 0,
+            scheds: &[("a0", 10), ("a1", 20), ("a2", 40)],
+            o_tenths: 50,
+        },
+        Row {
+            name: "x",
+            path: PATH_X,
+            inject_tenths: 0,
+            scheds: &[("a0", 0), ("a3", 10), ("a4", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "b1",
+            path: PATH_B,
+            inject_tenths: 20,
+            scheds: &[("a1", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "b2",
+            path: PATH_B,
+            inject_tenths: 30,
+            scheds: &[("a1", 40)],
+            o_tenths: 50,
+        },
+        Row {
+            name: "b3",
+            path: PATH_B,
+            inject_tenths: 40,
+            scheds: &[("a1", 50)],
+            o_tenths: 60,
+        },
+        Row {
+            name: "c1",
+            path: PATH_C,
+            inject_tenths: 20,
+            scheds: &[("a2", 20)],
+            o_tenths: 30,
+        },
+        Row {
+            name: "c2",
+            path: PATH_C,
+            inject_tenths: 30,
+            scheds: &[("a2", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "y1",
+            path: PATH_Y,
+            inject_tenths: 20,
+            scheds: &[("a3", 20)],
+            o_tenths: 30,
+        },
+        Row {
+            name: "y2",
+            path: PATH_Y,
+            inject_tenths: 30,
+            scheds: &[("a3", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "z",
+            path: PATH_Z,
+            inject_tenths: 20,
+            scheds: &[("a4", 20)],
+            o_tenths: 30,
+        },
     ];
     match case {
         1 => build(appendix_c(), "Appendix C case 1", &rows_case1),
@@ -281,10 +401,34 @@ pub fn appendix_g_schedule() -> CounterexampleSchedule {
             scheds: &[("a0", 10)],
             o_tenths: 20,
         },
-        Row { name: "c1", path: PATH_C, inject_tenths: 20, scheds: &[("a1", 20)], o_tenths: 30 },
-        Row { name: "c2", path: PATH_C, inject_tenths: 30, scheds: &[("a1", 30)], o_tenths: 40 },
-        Row { name: "d1", path: PATH_D, inject_tenths: 20, scheds: &[("a2", 20)], o_tenths: 30 },
-        Row { name: "d2", path: PATH_D, inject_tenths: 30, scheds: &[("a2", 30)], o_tenths: 40 },
+        Row {
+            name: "c1",
+            path: PATH_C,
+            inject_tenths: 20,
+            scheds: &[("a1", 20)],
+            o_tenths: 30,
+        },
+        Row {
+            name: "c2",
+            path: PATH_C,
+            inject_tenths: 30,
+            scheds: &[("a1", 30)],
+            o_tenths: 40,
+        },
+        Row {
+            name: "d1",
+            path: PATH_D,
+            inject_tenths: 20,
+            scheds: &[("a2", 20)],
+            o_tenths: 30,
+        },
+        Row {
+            name: "d2",
+            path: PATH_D,
+            inject_tenths: 30,
+            scheds: &[("a2", 30)],
+            o_tenths: 40,
+        },
     ];
     build(appendix_g(), "Appendix G.3 (Fig. 7)", &rows)
 }
@@ -292,8 +436,8 @@ pub fn appendix_g_schedule() -> CounterexampleSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ups_netsim::prelude::SchedulerKind;
     use crate::replay::max_congestion_points;
+    use ups_netsim::prelude::SchedulerKind;
 
     /// The table walks are internally consistent and carry the appendix's
     /// congestion-point structure.
@@ -343,8 +487,12 @@ mod tests {
             // priorities; whatever schedule comes out is viable on this
             // (noise-included) network.
             let table = sched.original_trace();
-            let seeded =
-                replay_packets(&sched.net.topo, &table, &sched.packets, HeaderInit::Omniscient);
+            let seeded = replay_packets(
+                &sched.net.topo,
+                &table,
+                &sched.packets,
+                HeaderInit::Omniscient,
+            );
             let original = run_schedule(
                 &sched.net.topo,
                 &SchedulerAssignment::uniform(SchedulerKind::Omniscient),
@@ -356,8 +504,12 @@ mod tests {
             );
             // Now the real assertion: omniscient replay of the *recorded*
             // schedule is perfect, with zero tolerance.
-            let replay_set =
-                replay_packets(&sched.net.topo, &original, &sched.packets, HeaderInit::Omniscient);
+            let replay_set = replay_packets(
+                &sched.net.topo,
+                &original,
+                &sched.packets,
+                HeaderInit::Omniscient,
+            );
             let replay = run_schedule(
                 &sched.net.topo,
                 &SchedulerAssignment::uniform(SchedulerKind::Omniscient),
@@ -389,7 +541,10 @@ mod tests {
             let r1 = t1.get(case1.packet_id(name)).unwrap();
             let r2 = t2.get(case2.packet_id(name)).unwrap();
             assert_eq!(r1.exited, r2.exited, "{name}: o must match across cases");
-            assert_eq!(r1.injected, r2.injected, "{name}: i must match across cases");
+            assert_eq!(
+                r1.injected, r2.injected,
+                "{name}: i must match across cases"
+            );
             assert_eq!(r1.path, r2.path, "{name}: path must match across cases");
         }
         let out1 = case1.replay(HeaderInit::LstfSlack, true);
@@ -456,8 +611,7 @@ mod tests {
         assert_eq!(out.report.overdue, 1, "exactly one packet misses");
         // Overdue by about one unit (the final transmission slot).
         assert!(
-            out.report.max_lateness > UNIT - TOLERANCE
-                && out.report.max_lateness < UNIT + UNIT,
+            out.report.max_lateness > UNIT - TOLERANCE && out.report.max_lateness < UNIT + UNIT,
             "lateness {}",
             out.report.max_lateness
         );

@@ -159,7 +159,7 @@ mod tests {
         for _ in 0..5 {
             let s = a.slack_for(FlowId(2), t, 1500);
             assert_eq!(s, 0);
-            t = t + Dur::from_us(100); // 100us ≫ 12us service at r_est
+            t += Dur::from_us(100); // 100us ≫ 12us service at r_est
         }
     }
 

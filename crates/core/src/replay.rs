@@ -68,15 +68,20 @@ impl HeaderInit {
 
 /// Run a packet set through `topo` under `assign`, to completion, and
 /// return the recorded schedule. Used for both original and replay runs.
+///
+/// Takes any packet iterator so callers can feed an owned set (the replay
+/// run) or clone-on-the-fly from a borrowed slice (the original run)
+/// without materializing an intermediate `Vec` per run.
 pub fn run_schedule(
     topo: &Topology,
     assign: &SchedulerAssignment,
-    packets: Vec<Packet>,
+    packets: impl IntoIterator<Item = Packet>,
     opts: &BuildOptions,
 ) -> Trace {
     let mut sim = build_simulator(topo, assign, opts);
-    let n = packets.len() as u64;
+    let mut n = 0u64;
     for p in packets {
+        n += 1;
         sim.inject(p);
     }
     sim.run();
@@ -101,7 +106,7 @@ pub fn replay_packets(
     packets: &[Packet],
     init: HeaderInit,
 ) -> Vec<Packet> {
-    let mut prio_map: Option<std::collections::HashMap<PacketId, i128>> = None;
+    let mut prio_map: Option<PriorityAssignment> = None;
     packets
         .iter()
         .map(|p| {
@@ -134,7 +139,7 @@ pub fn replay_packets(
                             )
                         })
                     });
-                    q.header.prio = *prios.get(&q.id).expect("every packet ordered");
+                    q.header.prio = prios.get(q.id).expect("every packet ordered");
                 }
                 HeaderInit::EdfDeadline => {
                     q.header.deadline = o;
@@ -288,10 +293,14 @@ impl ReplayExperiment<'_> {
             seed: self.seed,
             ..BuildOptions::default()
         };
-        let original = run_schedule(self.topo, &self.original_assign, packets.to_vec(), &opts);
+        let original = run_schedule(
+            self.topo,
+            &self.original_assign,
+            packets.iter().cloned(),
+            &opts,
+        );
         let replay_set = replay_packets(self.topo, &original, packets, self.init);
-        let replay_assign =
-            SchedulerAssignment::uniform(self.init.scheduler(self.preemptive));
+        let replay_assign = SchedulerAssignment::uniform(self.init.scheduler(self.preemptive));
         let replay_opts = BuildOptions {
             record: RecordMode::EndToEnd,
             seed: self.seed,
@@ -308,6 +317,32 @@ impl ReplayExperiment<'_> {
     }
 }
 
+/// A static priority per packet, stored densely: packet ids are dense
+/// across a run (the workload layer allocates them sequentially), so the
+/// table is a flat `Vec` indexed by id — no hashing on the replay path.
+#[derive(Debug, Clone)]
+pub struct PriorityAssignment {
+    ranks: Vec<Option<i128>>,
+}
+
+impl PriorityAssignment {
+    /// The priority assigned to `id`, if that packet was in the schedule.
+    #[inline]
+    pub fn get(&self, id: PacketId) -> Option<i128> {
+        self.ranks.get(id.index()).copied().flatten()
+    }
+
+    /// Number of packets with an assigned priority.
+    pub fn len(&self) -> usize {
+        self.ranks.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True when no packet has a priority.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.iter().all(|r| r.is_none())
+    }
+}
+
 /// Construct a static priority assignment that replays `original`
 /// (Theorem 1's constructive content), or `None` if the required
 /// precedence relation is cyclic — which is exactly the Appendix F
@@ -320,21 +355,26 @@ impl ReplayExperiment<'_> {
 /// topological order of that relation (deterministic: ties broken by
 /// packet id).
 ///
+/// All working state is dense: per-port sequences live in a flat
+/// `node × node` table and the precedence graph is `Vec`-keyed on the
+/// dense packet ids.
+///
 /// Requires a `PerHop` trace. Intended for analysis and property tests;
 /// the per-port pair scan is quadratic in the worst case.
-pub fn priorities_from_schedule(
-    topo: &Topology,
-    original: &Trace,
-) -> Option<std::collections::HashMap<PacketId, i128>> {
-    use std::collections::{BTreeSet, HashMap};
+pub fn priorities_from_schedule(topo: &Topology, original: &Trace) -> Option<PriorityAssignment> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
     assert_eq!(
         original.mode(),
         RecordMode::PerHop,
         "priorities_from_schedule needs a PerHop original trace"
     );
-    // Gather per-port service sequences.
-    type PortKey = (ups_netsim::prelude::NodeId, ups_netsim::prelude::NodeId);
-    let mut ports: HashMap<PortKey, Vec<(SimTime, SimTime, SimTime, PacketId)>> = HashMap::new();
+    let bound = original.id_bound();
+    let n_nodes = topo.node_count();
+    // Gather per-port service sequences, keyed by the dense directed-pair
+    // index `here * n + next`.
+    let mut ports: Vec<Vec<(SimTime, SimTime, SimTime, PacketId)>> =
+        vec![Vec::new(); n_nodes * n_nodes];
     for (id, rec) in original.delivered() {
         for (i, h) in rec.hops.iter().enumerate() {
             let next = rec.path[i + 1];
@@ -342,27 +382,28 @@ pub fn priorities_from_schedule(
                 .neighbor_link(h.node, next)
                 .expect("trace hop uses a topology link");
             let tx_end = h.tx_start + link.bandwidth.tx_time(rec.size);
-            ports
-                .entry((h.node, next))
-                .or_default()
+            ports[h.node.index() * n_nodes + next.index()]
                 .push((h.tx_start, h.arrived, tx_end, id));
         }
     }
-    // Precedence edges q -> p.
-    let mut succ: HashMap<PacketId, Vec<PacketId>> = HashMap::new();
-    let mut indegree: HashMap<PacketId, usize> = HashMap::new();
+    // Precedence edges q -> p, dense on packet id.
+    let mut succ: Vec<Vec<PacketId>> = vec![Vec::new(); bound];
+    let mut indegree: Vec<u32> = vec![0; bound];
+    let mut in_schedule: Vec<bool> = vec![false; bound];
+    let mut scheduled = 0usize;
     for (id, _) in original.delivered() {
-        indegree.insert(id, 0);
+        in_schedule[id.index()] = true;
+        scheduled += 1;
     }
-    for seq in ports.values_mut() {
+    for seq in ports.iter_mut().filter(|s| !s.is_empty()) {
         seq.sort_by_key(|&(tx_start, _, _, id)| (tx_start, id));
         for k in 1..seq.len() {
             let (_, arrived_k, _, id_k) = seq[k];
             for j in (0..k).rev() {
                 let (_, _, tx_end_j, id_j) = seq[j];
                 if arrived_k < tx_end_j {
-                    succ.entry(id_j).or_default().push(id_k);
-                    *indegree.entry(id_k).or_insert(0) += 1;
+                    succ[id_j.index()].push(id_k);
+                    indegree[id_k.index()] += 1;
                 } else {
                     // Sequential service: earlier packets ended even
                     // sooner; no more overlaps possible.
@@ -371,30 +412,29 @@ pub fn priorities_from_schedule(
             }
         }
     }
-    // Kahn's algorithm with deterministic tie-breaking.
-    let mut ready: BTreeSet<PacketId> = indegree
-        .iter()
-        .filter(|&(_, &d)| d == 0)
-        .map(|(&id, _)| id)
+    // Kahn's algorithm; min-heap on id gives the same deterministic
+    // tie-breaking as ordered-set iteration.
+    let mut ready: BinaryHeap<Reverse<usize>> = (0..bound)
+        .filter(|&i| in_schedule[i] && indegree[i] == 0)
+        .map(Reverse)
         .collect();
-    let mut prio = HashMap::with_capacity(indegree.len());
+    let mut ranks: Vec<Option<i128>> = vec![None; bound];
+    let mut assigned = 0usize;
     let mut next_rank: i128 = 0;
-    while let Some(&id) = ready.iter().next() {
-        ready.remove(&id);
-        prio.insert(id, next_rank);
+    while let Some(Reverse(i)) = ready.pop() {
+        ranks[i] = Some(next_rank);
         next_rank += 1;
-        if let Some(followers) = succ.get(&id) {
-            for &f in followers {
-                let d = indegree.get_mut(&f).expect("edge target tracked");
-                *d -= 1;
-                if *d == 0 {
-                    ready.insert(f);
-                }
+        assigned += 1;
+        for f in std::mem::take(&mut succ[i]) {
+            let d = &mut indegree[f.index()];
+            *d -= 1;
+            if *d == 0 {
+                ready.push(Reverse(f.index()));
             }
         }
     }
-    if prio.len() == indegree.len() {
-        Some(prio)
+    if assigned == scheduled {
+        Some(PriorityAssignment { ranks })
     } else {
         None // cycle: some packets never reached indegree 0
     }
@@ -558,7 +598,10 @@ mod tests {
         );
         let rep = replay_packets(&topo, &original, &packets, HeaderInit::LstfSlack);
         for p in &rep {
-            assert_eq!(p.header.flow_size, 0, "replay header must be re-initialized");
+            assert_eq!(
+                p.header.flow_size, 0,
+                "replay header must be re-initialized"
+            );
             assert_eq!(p.hop, 0);
             assert_eq!(p.cum_wait, Dur::ZERO);
         }

@@ -99,7 +99,12 @@ impl Scenario {
         (topo, packets)
     }
 
-    fn experiment<'a>(&self, topo: &'a Topology, init: HeaderInit, preemptive: bool) -> ReplayExperiment<'a> {
+    fn experiment<'a>(
+        &self,
+        topo: &'a Topology,
+        init: HeaderInit,
+        preemptive: bool,
+    ) -> ReplayExperiment<'a> {
         ReplayExperiment {
             topo,
             original_assign: SchedulerAssignment::uniform(self.discipline.kind()),

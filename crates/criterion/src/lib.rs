@@ -1,0 +1,283 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment is offline, so the real criterion cannot be
+//! fetched. This crate implements the subset the workspace's benches use —
+//! `Criterion`, benchmark groups, `iter`/`iter_batched`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop: warm up, then run batches until the
+//! configured measurement time elapses, and report the mean time per
+//! iteration on stdout.
+//!
+//! The numbers are coarse engineering trackers, not statistical studies;
+//! that matches how the workspace's micro benches describe themselves.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup. The stand-in runs one routine call
+/// per setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<D: Display>(name: &str, p: D) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// Measurement configuration + entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// CLI-argument configuration — a no-op in the stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, name, &mut f);
+        self
+    }
+
+    fn budget_per_sample(&self) -> Duration {
+        self.measurement_time / self.sample_size.max(1) as u32
+    }
+}
+
+fn run_bench<F>(c: &Criterion, label: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run the closure until the warm-up budget is spent.
+    let warm_end = Instant::now() + c.warm_up_time;
+    let mut b = Bencher {
+        deadline: warm_end,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    while Instant::now() < warm_end {
+        f(&mut b);
+    }
+    // Measurement.
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let end = Instant::now() + c.measurement_time;
+    while Instant::now() < end {
+        let mut b = Bencher {
+            deadline: Instant::now() + c.budget_per_sample(),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    if iters == 0 {
+        println!("{label:<48} (no iterations completed)");
+        return;
+    }
+    let per_iter = total.as_nanos() as f64 / iters as f64;
+    println!("{label:<48} {:>14.1} ns/iter ({iters} iters)", per_iter);
+}
+
+/// Runs the timed routines for one benchmark.
+pub struct Bencher {
+    deadline: Instant,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the sample budget elapses.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark one input value under an id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_bench(self.criterion, &label, &mut g);
+        self
+    }
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{name}", self.name);
+        run_bench(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn batched_setup_is_fresh_each_call() {
+        let mut c = Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter_batched(Vec::<u64>::new, |mut v| v.push(x), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -12,16 +12,7 @@ pub struct FlowSample {
 /// Figure 2's x-axis bucket edges (bytes): a flow lands in the first
 /// bucket whose edge is ≥ its size.
 pub const FIG2_BUCKETS: [u64; 10] = [
-    1_460,
-    2_920,
-    4_380,
-    7_300,
-    10_220,
-    58_400,
-    105_120,
-    2_000_020,
-    17_330_203,
-    30_762_200,
+    1_460, 2_920, 4_380, 7_300, 10_220, 58_400, 105_120, 2_000_020, 17_330_203, 30_762_200,
 ];
 
 /// Mean FCT per size bucket. Returns `(bucket_edge, mean_fct, count)` for
@@ -56,10 +47,22 @@ mod tests {
     #[test]
     fn buckets_by_first_edge_at_or_above() {
         let samples = [
-            FlowSample { size: 1_000, fct_secs: 0.1 },
-            FlowSample { size: 1_460, fct_secs: 0.3 },
-            FlowSample { size: 1_461, fct_secs: 0.5 },
-            FlowSample { size: 99_999_999, fct_secs: 2.0 }, // beyond last edge
+            FlowSample {
+                size: 1_000,
+                fct_secs: 0.1,
+            },
+            FlowSample {
+                size: 1_460,
+                fct_secs: 0.3,
+            },
+            FlowSample {
+                size: 1_461,
+                fct_secs: 0.5,
+            },
+            FlowSample {
+                size: 99_999_999,
+                fct_secs: 2.0,
+            }, // beyond last edge
         ];
         let out = mean_fct_by_bucket(&samples, &FIG2_BUCKETS);
         assert_eq!(out.len(), FIG2_BUCKETS.len());
@@ -77,8 +80,14 @@ mod tests {
     #[test]
     fn overall_mean() {
         let samples = [
-            FlowSample { size: 1, fct_secs: 0.1 },
-            FlowSample { size: 2, fct_secs: 0.3 },
+            FlowSample {
+                size: 1,
+                fct_secs: 0.1,
+            },
+            FlowSample {
+                size: 2,
+                fct_secs: 0.3,
+            },
         ];
         assert!((overall_mean_fct(&samples) - 0.2).abs() < 1e-12);
         assert_eq!(overall_mean_fct(&[]), 0.0);

@@ -15,14 +15,21 @@
 //! ## Layout
 //!
 //! * [`time`] — picosecond clock, durations, bandwidths
-//! * [`event`] — future-event list with deterministic tie-breaking
+//! * [`arena`] — slab storage for in-flight packets; the hot path moves
+//!   4-byte [`PacketRef`](arena::PacketRef)s, never packet bodies
+//! * [`event`] — calendar-queue future-event list with deterministic
+//!   tie-breaking (heap-backed overflow for far-future events)
 //! * [`packet`] — packets and the dynamic scheduling header
-//! * [`queue`] — the [`Scheduler`](queue::Scheduler) trait
+//! * [`queue`] — the [`Scheduler`](queue::Scheduler) trait and the shared
+//!   rank heap
 //! * [`sched`] — FIFO, LIFO, Random, Priority, SJF, SRPT, FQ, DRR, FIFO+,
 //!   LSTF (± preemption), EDF
 //! * [`node`] — links, output ports (buffering, preemption), nodes
 //! * [`sim`] — the event loop and the [`Agent`](sim::Agent) endpoint trait
 //! * [`trace`] — recorded schedules
+//!
+//! See `DESIGN.md` at the repository root for the hot-path data flow
+//! (arena → wheel → port → scheduler) and the determinism contract.
 //!
 //! ## Quick example
 //!
@@ -49,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod event;
 pub mod id;
 pub mod node;
@@ -61,6 +69,7 @@ pub mod trace;
 
 /// One-stop imports for simulator users.
 pub mod prelude {
+    pub use crate::arena::{PacketArena, PacketRef};
     pub use crate::id::{AgentId, FlowId, NodeId, PacketId, PortId};
     pub use crate::node::{Link, Node, Port};
     pub use crate::packet::{Header, Packet, PacketBuilder, PacketKind};

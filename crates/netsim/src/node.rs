@@ -5,10 +5,13 @@
 //! serializes one packet at a time onto its link. Routers are
 //! store-and-forward — a packet becomes eligible for forwarding only when
 //! its last bit has arrived (§2.1's network model).
+//!
+//! Ports never own packet bodies: they pass 4-byte [`PacketRef`]s between
+//! the event list, the scheduler and the arena.
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::event::{Event, EventQueue};
 use crate::id::{NodeId, PortId};
-use crate::packet::Packet;
 use crate::queue::{PortCtx, QueuedPacket, Scheduler};
 use crate::time::{Bandwidth, Dur, SimTime};
 use crate::trace::Trace;
@@ -126,17 +129,18 @@ impl Port {
     /// Accept a packet for transmission. May start serializing immediately,
     /// may preempt the current transmission (preemptive schedulers only),
     /// and may evict packets if the buffer overflows — evictions are
-    /// recorded in `trace` and returned.
+    /// recorded in `trace` and returned for the simulator to free.
     pub fn accept(
         &mut self,
-        packet: Packet,
+        pkt: PacketRef,
         now: SimTime,
+        arena: &mut PacketArena,
         events: &mut EventQueue,
         trace: &mut Trace,
-    ) -> Vec<Packet> {
+    ) -> Vec<PacketRef> {
         let seq = self.arrival_seq;
         self.arrival_seq += 1;
-        self.scheduler.enqueue(packet, now, seq, self.ctx());
+        self.scheduler.enqueue(pkt, arena, now, seq, self.ctx());
 
         // Enforce the buffer bound by evicting the scheduler's designated
         // victims (drop-tail for FIFO, highest slack for LSTF, ...).
@@ -145,8 +149,8 @@ impl Port {
             while self.scheduler.queued_bytes() > cap {
                 match self.scheduler.select_drop() {
                     Some(victim) => {
-                        trace.on_drop(&victim.packet);
-                        drops.push(victim.packet);
+                        trace.on_drop(arena.get(victim.pkt));
+                        drops.push(victim.pkt);
                     }
                     None => break,
                 }
@@ -154,16 +158,22 @@ impl Port {
         }
 
         if self.inflight.is_none() {
-            self.start_next(now, events, trace);
+            self.start_next(now, arena, events, trace);
         } else if self.scheduler.is_preemptive() {
-            self.maybe_preempt(now, events, trace);
+            self.maybe_preempt(now, arena, events, trace);
         }
         drops
     }
 
     /// Preempt the in-flight packet if the queue now holds a strictly more
     /// urgent one (§2.3(5)).
-    fn maybe_preempt(&mut self, now: SimTime, events: &mut EventQueue, trace: &mut Trace) {
+    fn maybe_preempt(
+        &mut self,
+        now: SimTime,
+        arena: &mut PacketArena,
+        events: &mut EventQueue,
+        trace: &mut Trace,
+    ) {
         let Some(best) = self.scheduler.peek_rank() else {
             return;
         };
@@ -176,35 +186,41 @@ impl Port {
             // The last bit is leaving exactly now; completion wins.
             return;
         }
-        let InFlight { mut qp, .. } = self.inflight.take().expect("checked above");
-        qp.packet.remaining_tx = Some(remaining);
+        let InFlight { qp, .. } = self.inflight.take().expect("checked above");
+        arena.get_mut(qp.pkt).remaining_tx = Some(remaining);
         // Re-enter the queue: rank is recomputed from the *current* header
         // state, which for LSTF (slack already charged for past waits)
         // reproduces the correct remaining-slack order.
         let seq = self.arrival_seq;
         self.arrival_seq += 1;
-        self.scheduler.enqueue(qp.packet, now, seq, self.ctx());
-        self.start_next(now, events, trace);
+        self.scheduler.enqueue(qp.pkt, arena, now, seq, self.ctx());
+        self.start_next(now, arena, events, trace);
     }
 
     /// Begin serializing the scheduler's next pick, if any.
-    fn start_next(&mut self, now: SimTime, events: &mut EventQueue, trace: &mut Trace) {
+    fn start_next(
+        &mut self,
+        now: SimTime,
+        arena: &mut PacketArena,
+        events: &mut EventQueue,
+        trace: &mut Trace,
+    ) {
         debug_assert!(self.inflight.is_none());
-        let Some(mut qp) = self.scheduler.dequeue(now, self.ctx()) else {
+        let Some(qp) = self.scheduler.dequeue(arena, now, self.ctx()) else {
             return;
         };
         // Universal wait accounting: queueing time at this hop, charged
         // identically under every discipline. (LSTF additionally rewrote
         // header.slack inside its dequeue.)
         let waited = now.saturating_since(qp.enqueued_at);
-        qp.packet.cum_wait += waited;
-        trace.on_tx_start(&qp.packet, self.node, now, waited);
-
-        let tx = qp
-            .packet
+        let packet = arena.get_mut(qp.pkt);
+        packet.cum_wait += waited;
+        let tx = packet
             .remaining_tx
             .take()
-            .unwrap_or_else(|| self.link.bandwidth.tx_time(qp.packet.size));
+            .unwrap_or_else(|| self.link.bandwidth.tx_time(packet.size));
+        trace.on_tx_start(arena.get(qp.pkt), self.node, now, waited);
+
         let ends = now + tx;
         self.busy_time += tx;
         let token = self.next_token;
@@ -220,32 +236,33 @@ impl Port {
         self.inflight = Some(InFlight { qp, ends, token });
     }
 
-    /// Handle a `PortReady` wakeup. Returns the packet whose last bit just
-    /// left, already advanced to its next hop, or `None` for stale tokens.
+    /// Handle a `PortReady` wakeup: emit the finished packet towards its
+    /// next hop (advancing `hop` in the arena) and start the next
+    /// transmission. Stale tokens from preempted transmissions are
+    /// ignored.
     pub fn on_ready(
         &mut self,
         token: u64,
         now: SimTime,
+        arena: &mut PacketArena,
         events: &mut EventQueue,
         trace: &mut Trace,
-    ) -> Option<Packet> {
+    ) {
         match &self.inflight {
             Some(infl) if infl.token == token => {}
-            _ => return None, // stale wakeup from a preempted transmission
+            _ => return, // stale wakeup from a preempted transmission
         }
         let InFlight { qp, ends, .. } = self.inflight.take().expect("checked above");
         debug_assert_eq!(ends, now, "PortReady fired at the wrong time");
-        let mut packet = qp.packet;
-        packet.hop += 1;
+        arena.get_mut(qp.pkt).hop += 1;
         events.push(
             now + self.link.propagation,
             Event::Arrive {
                 node: self.peer,
-                packet,
+                pkt: qp.pkt,
             },
         );
-        self.start_next(now, events, trace);
-        None
+        self.start_next(now, arena, events, trace);
     }
 }
 
@@ -318,7 +335,7 @@ impl Node {
 mod tests {
     use super::*;
     use crate::id::{FlowId, PacketId};
-    use crate::packet::PacketBuilder;
+    use crate::packet::{Packet, PacketBuilder};
     use crate::sched::SchedulerKind;
     use crate::trace::RecordMode;
     use std::sync::Arc;
@@ -331,7 +348,14 @@ mod tests {
     }
 
     fn mk_port(kind: SchedulerKind, buffer: Option<u64>) -> Port {
-        Port::new(NodeId(0), PortId(0), NodeId(1), link_1g(), kind.build(0), buffer)
+        Port::new(
+            NodeId(0),
+            PortId(0),
+            NodeId(1),
+            link_1g(),
+            kind.build(0),
+            buffer,
+        )
     }
 
     fn mk_pkt(id: u64, size: u32, slack_us: i64) -> Packet {
@@ -344,9 +368,11 @@ mod tests {
     #[test]
     fn idle_port_transmits_immediately() {
         let mut port = mk_port(SchedulerKind::Fifo, None);
+        let mut arena = PacketArena::new();
         let mut ev = EventQueue::new();
         let mut tr = Trace::new(RecordMode::Off);
-        let drops = port.accept(mk_pkt(0, 1500, 0), SimTime::ZERO, &mut ev, &mut tr);
+        let p = arena.alloc(mk_pkt(0, 1500, 0));
+        let drops = port.accept(p, SimTime::ZERO, &mut arena, &mut ev, &mut tr);
         assert!(drops.is_empty());
         assert!(port.busy());
         // PortReady at exactly the 12us serialization boundary.
@@ -355,31 +381,36 @@ mod tests {
         let Event::PortReady { token, .. } = e else {
             panic!("expected PortReady")
         };
-        port.on_ready(token, t, &mut ev, &mut tr);
+        port.on_ready(token, t, &mut arena, &mut ev, &mut tr);
         assert!(!port.busy());
         // Arrival at peer at 12us + 10us propagation, hop advanced.
         let (t2, e2) = ev.pop().unwrap();
         assert_eq!(t2, SimTime::from_us(22));
-        let Event::Arrive { node, packet } = e2 else {
+        let Event::Arrive { node, pkt } = e2 else {
             panic!("expected Arrive")
         };
         assert_eq!(node, NodeId(1));
-        assert_eq!(packet.hop, 1);
+        assert_eq!(arena.get(pkt).hop, 1);
     }
 
     #[test]
     fn busy_port_queues_and_chains_transmissions() {
         let mut port = mk_port(SchedulerKind::Fifo, None);
+        let mut arena = PacketArena::new();
         let mut ev = EventQueue::new();
         let mut tr = Trace::new(RecordMode::Off);
-        port.accept(mk_pkt(0, 1500, 0), SimTime::ZERO, &mut ev, &mut tr);
-        port.accept(mk_pkt(1, 1500, 0), SimTime::ZERO, &mut ev, &mut tr);
+        let p0 = arena.alloc(mk_pkt(0, 1500, 0));
+        let p1 = arena.alloc(mk_pkt(1, 1500, 0));
+        port.accept(p0, SimTime::ZERO, &mut arena, &mut ev, &mut tr);
+        port.accept(p1, SimTime::ZERO, &mut arena, &mut ev, &mut tr);
         assert_eq!(port.queue_len(), 1);
         // Drain: first PortReady at 12us starts the second packet, whose
         // PortReady lands at 24us.
         let (t, e) = ev.pop().unwrap();
-        let Event::PortReady { token, .. } = e else { panic!() };
-        port.on_ready(token, t, &mut ev, &mut tr);
+        let Event::PortReady { token, .. } = e else {
+            panic!()
+        };
+        port.on_ready(token, t, &mut arena, &mut ev, &mut tr);
         let times: Vec<u64> = std::iter::from_fn(|| ev.pop())
             .map(|(t, _)| t.as_ps() / crate::time::PS_PER_US)
             .collect();
@@ -392,16 +423,22 @@ mod tests {
         // Capacity for exactly two queued 1500B packets (the third packet
         // is in service and uncounted).
         let mut port = mk_port(SchedulerKind::Fifo, Some(3000));
+        let mut arena = PacketArena::new();
         let mut ev = EventQueue::new();
         let mut tr = Trace::new(RecordMode::EndToEnd);
         let mut dropped = Vec::new();
         for i in 0..4 {
             let p = mk_pkt(i, 1500, 0);
             tr.on_inject(&p, SimTime::ZERO);
-            dropped.extend(port.accept(p, SimTime::ZERO, &mut ev, &mut tr));
+            let r = arena.alloc(p);
+            dropped.extend(port.accept(r, SimTime::ZERO, &mut arena, &mut ev, &mut tr));
         }
         assert_eq!(dropped.len(), 1);
-        assert_eq!(dropped[0].id.0, 3, "FIFO drop-tail evicts the newest");
+        assert_eq!(
+            arena.get(dropped[0]).id.0,
+            3,
+            "FIFO drop-tail evicts the newest"
+        );
         assert!(tr.get(PacketId(3)).unwrap().dropped);
         assert_eq!(port.queue_len(), 2);
     }
@@ -409,28 +446,33 @@ mod tests {
     #[test]
     fn preemptive_lstf_interrupts_for_smaller_slack() {
         let mut port = mk_port(SchedulerKind::Lstf { preemptive: true }, None);
+        let mut arena = PacketArena::new();
         let mut ev = EventQueue::new();
         let mut tr = Trace::new(RecordMode::Off);
         // Big packet with huge slack starts at t=0 (120us serialization).
-        port.accept(mk_pkt(0, 15000, 1_000_000), SimTime::ZERO, &mut ev, &mut tr);
+        let big = arena.alloc(mk_pkt(0, 15000, 1_000_000));
+        port.accept(big, SimTime::ZERO, &mut arena, &mut ev, &mut tr);
         // Tiny-slack packet lands mid-transmission.
         let t1 = SimTime::from_us(30);
-        // Drive the clock forward so the event queue accepts pushes at t1.
-        port.accept(mk_pkt(1, 1500, 0), t1, &mut ev, &mut tr);
+        let urgent = arena.alloc(mk_pkt(1, 1500, 0));
+        port.accept(urgent, t1, &mut arena, &mut ev, &mut tr);
         assert!(port.busy());
         // The urgent packet finishes 12us after preemption...
         let mut finished = Vec::new();
         while let Some((t, e)) = ev.pop() {
             match e {
                 Event::PortReady { token, .. } => {
-                    port.on_ready(token, t, &mut ev, &mut tr);
+                    port.on_ready(token, t, &mut arena, &mut ev, &mut tr);
                 }
-                Event::Arrive { packet, .. } => finished.push((t, packet.id.0)),
-            _ => {}
+                Event::Arrive { pkt, .. } => finished.push((t, arena.get(pkt).id.0)),
+                _ => {}
             }
         }
         assert_eq!(finished[0].1, 1, "urgent packet exits first");
-        assert_eq!(finished[0].0, SimTime::from_us(30 + 12) + link_1g().propagation);
+        assert_eq!(
+            finished[0].0,
+            SimTime::from_us(30 + 12) + link_1g().propagation
+        );
         // ...and the preempted one completes its remaining 90us afterwards.
         assert_eq!(finished[1].1, 0);
         assert_eq!(
@@ -442,17 +484,20 @@ mod tests {
     #[test]
     fn non_preemptive_lstf_never_interrupts() {
         let mut port = mk_port(SchedulerKind::Lstf { preemptive: false }, None);
+        let mut arena = PacketArena::new();
         let mut ev = EventQueue::new();
         let mut tr = Trace::new(RecordMode::Off);
-        port.accept(mk_pkt(0, 15000, 1_000_000), SimTime::ZERO, &mut ev, &mut tr);
-        port.accept(mk_pkt(1, 1500, 0), SimTime::from_us(30), &mut ev, &mut tr);
+        let big = arena.alloc(mk_pkt(0, 15000, 1_000_000));
+        port.accept(big, SimTime::ZERO, &mut arena, &mut ev, &mut tr);
+        let urgent = arena.alloc(mk_pkt(1, 1500, 0));
+        port.accept(urgent, SimTime::from_us(30), &mut arena, &mut ev, &mut tr);
         let mut finished = Vec::new();
         while let Some((t, e)) = ev.pop() {
             match e {
                 Event::PortReady { token, .. } => {
-                    port.on_ready(token, t, &mut ev, &mut tr);
+                    port.on_ready(token, t, &mut arena, &mut ev, &mut tr);
                 }
-                Event::Arrive { packet, .. } => finished.push((t, packet.id.0)),
+                Event::Arrive { pkt, .. } => finished.push((t, arena.get(pkt).id.0)),
                 _ => {}
             }
         }

@@ -136,9 +136,7 @@ impl Packet {
     /// `tmin(p, current hop, dst)` if the tmin table was attached.
     #[inline]
     pub fn tmin_remaining(&self) -> Option<Dur> {
-        self.tmin_rem
-            .as_ref()
-            .map(|t| t[self.hop as usize])
+        self.tmin_rem.as_ref().map(|t| t[self.hop as usize])
     }
 }
 

@@ -1,15 +1,18 @@
 //! The scheduler abstraction: every per-port queueing discipline in the
 //! paper implements [`Scheduler`].
 //!
-//! A scheduler owns the packets queued at one output port and decides which
-//! to serve next. Ranks are `i128` with *lower = served earlier*; ties
-//! break FIFO via a per-port arrival sequence number, matching the paper's
-//! footnote 14 ("ties are broken ... by using FCFS").
+//! A scheduler owns the *references* to packets queued at one output port
+//! and decides which to serve next. Packet bodies live in the simulator's
+//! [`PacketArena`]; queue entries are small [`QueuedPacket`] records
+//! carrying a 4-byte [`PacketRef`] plus the scheduling metadata (rank,
+//! arrival bookkeeping, cached size), so heap sift operations move ~48
+//! bytes instead of the full packet.
+//!
+//! Ranks are `i128` with *lower = served earlier*; ties break FIFO via a
+//! per-port arrival sequence number, matching the paper's footnote 14
+//! ("ties are broken ... by using FCFS").
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::time::{Bandwidth, SimTime};
 
 /// Static per-port context handed to schedulers on every operation.
@@ -20,11 +23,11 @@ pub struct PortCtx {
     pub bandwidth: Bandwidth,
 }
 
-/// A packet sitting in a port queue, together with its scheduling metadata.
-#[derive(Debug)]
+/// A queued packet reference, together with its scheduling metadata.
+#[derive(Debug, Clone, Copy)]
 pub struct QueuedPacket {
-    /// The packet itself.
-    pub packet: Packet,
+    /// Handle to the packet in the simulator's arena.
+    pub pkt: PacketRef,
     /// Scheduler rank; lower is served earlier. Meaning is
     /// scheduler-specific (slack+arrival for LSTF, local deadline for EDF,
     /// virtual finish tag for FQ, ...).
@@ -35,6 +38,9 @@ pub struct QueuedPacket {
     /// Per-port monotone arrival counter for deterministic FIFO
     /// tie-breaking.
     pub arrival_seq: u64,
+    /// Packet size in bytes, cached so byte accounting and drop policies
+    /// never touch the arena.
+    pub size: u32,
 }
 
 impl QueuedPacket {
@@ -47,19 +53,32 @@ impl QueuedPacket {
 /// A per-port packet scheduler.
 ///
 /// The port drives the scheduler through `enqueue`/`dequeue`; dynamic
-/// packet state that is *scheduler-specific* (FIFO+'s offset) is updated by
-/// the scheduler in `dequeue`, while universal state (LSTF slack, cumulative
-/// wait) is updated by the port so it is measured identically under every
-/// discipline.
+/// packet state that is *scheduler-specific* (FIFO+'s offset, LSTF's
+/// slack) is updated by the scheduler through the arena in `dequeue`,
+/// while universal state (cumulative wait) is updated by the port so it is
+/// measured identically under every discipline.
 pub trait Scheduler: std::fmt::Debug + Send {
-    /// Accept a packet that arrived at `now`. `arrival_seq` is the port's
-    /// monotone counter.
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, ctx: PortCtx);
+    /// Accept a packet that arrived at `now`. The scheduler reads whatever
+    /// header fields its rank needs through `arena`; `arrival_seq` is the
+    /// port's monotone counter.
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        ctx: PortCtx,
+    );
 
     /// Hand over the next packet to serialize, applying any
-    /// scheduler-specific header updates. `now` is the instant service
-    /// starts.
-    fn dequeue(&mut self, now: SimTime, ctx: PortCtx) -> Option<QueuedPacket>;
+    /// scheduler-specific header updates through `arena`. `now` is the
+    /// instant service starts.
+    fn dequeue(
+        &mut self,
+        arena: &mut PacketArena,
+        now: SimTime,
+        ctx: PortCtx,
+    ) -> Option<QueuedPacket>;
 
     /// Rank of the packet `dequeue` would return, if meaningful. Ports use
     /// this for preemption decisions; schedulers with no total order (DRR,
@@ -94,41 +113,27 @@ pub trait Scheduler: std::fmt::Debug + Send {
 
 // ---------------------------------------------------------------------------
 // Shared rank-heap storage used by the heap-ordered disciplines
-// (FIFO, LIFO, Priority, SJF, EDF, LSTF, FQ, FIFO+ all reuse this).
+// (FIFO, LIFO, Priority, SJF, EDF, LSTF, FQ, FIFO+, Omniscient reuse this).
 // ---------------------------------------------------------------------------
 
-struct HeapEntry(QueuedPacket);
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.key() == other.0.key()
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on (rank, arrival_seq).
-        other.0.key().cmp(&self.0.key())
-    }
-}
-
-/// Min-heap of [`QueuedPacket`]s on `(rank, arrival_seq)` with byte
-/// accounting; the storage behind most disciplines.
-#[derive(Default)]
+/// Explicit binary min-heap of [`QueuedPacket`]s on `(rank, arrival_seq)`
+/// with byte accounting; the storage behind most disciplines.
+///
+/// Hand-rolled (rather than `std::collections::BinaryHeap`) so that
+/// [`RankHeap::pop_max`] — the buffer-overflow eviction path — can locate
+/// its victim among the leaves and remove it *in place* with one
+/// `swap_remove` and a sift, instead of tearing the whole heap into a
+/// `Vec` and rebuilding it while the port is congested.
+#[derive(Default, Clone)]
 pub struct RankHeap {
-    heap: BinaryHeap<HeapEntry>,
+    v: Vec<QueuedPacket>,
     bytes: u64,
 }
 
 impl std::fmt::Debug for RankHeap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RankHeap")
-            .field("len", &self.heap.len())
+            .field("len", &self.v.len())
             .field("bytes", &self.bytes)
             .finish()
     }
@@ -140,78 +145,137 @@ impl RankHeap {
         Self::default()
     }
 
-    /// Insert a ranked packet.
+    /// Insert a ranked packet. O(log n).
     pub fn push(&mut self, qp: QueuedPacket) {
-        self.bytes += qp.packet.size as u64;
-        self.heap.push(HeapEntry(qp));
+        self.bytes += qp.size as u64;
+        self.v.push(qp);
+        self.sift_up(self.v.len() - 1);
     }
 
-    /// Remove the minimum-rank packet.
+    /// Remove the minimum-rank packet. O(log n).
     pub fn pop_min(&mut self) -> Option<QueuedPacket> {
-        let qp = self.heap.pop()?.0;
-        self.bytes -= qp.packet.size as u64;
+        if self.v.is_empty() {
+            return None;
+        }
+        let last = self.v.len() - 1;
+        self.v.swap(0, last);
+        let qp = self.v.pop().expect("non-empty");
+        self.sift_down(0);
+        self.bytes -= qp.size as u64;
         Some(qp)
     }
 
     /// Rank of the minimum-rank packet.
     pub fn peek_rank(&self) -> Option<i128> {
-        self.heap.peek().map(|e| e.0.rank)
+        self.v.first().map(|qp| qp.rank)
     }
 
-    /// Remove the maximum-rank packet (the least urgent). O(n) — only used
-    /// on buffer overflow, which is rare relative to forwarding.
+    /// Remove the maximum-rank packet (the least urgent; ties broken
+    /// toward the newest arrival). The maximum of a min-heap lives in a
+    /// leaf, so this scans only the bottom half and repairs the heap with
+    /// a single `swap_remove` + sift — no allocation, no rebuild.
     pub fn pop_max(&mut self) -> Option<QueuedPacket> {
-        if self.heap.is_empty() {
+        if self.v.is_empty() {
             return None;
         }
-        let mut v: Vec<QueuedPacket> =
-            std::mem::take(&mut self.heap).into_vec().into_iter().map(|e| e.0).collect();
-        let (idx, _) = v
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, qp)| qp.key())
-            .expect("non-empty");
-        let victim = v.swap_remove(idx);
-        self.bytes -= victim.packet.size as u64;
-        self.heap = v.into_iter().map(HeapEntry).collect();
+        let first_leaf = self.v.len() / 2;
+        let idx = (first_leaf..self.v.len())
+            .max_by_key(|&i| self.v[i].key())
+            .expect("leaf range non-empty for non-empty heap");
+        let victim = self.v.swap_remove(idx);
+        if idx < self.v.len() {
+            // The relocated ex-tail element may violate either direction.
+            self.sift_down(idx);
+            self.sift_up(idx);
+        }
+        self.bytes -= victim.size as u64;
         Some(victim)
     }
 
     /// Queued packet count.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.v.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.v.is_empty()
     }
 
     /// Queued bytes.
     pub fn bytes(&self) -> u64 {
         self.bytes
     }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.v[i].key() < self.v[parent].key() {
+                self.v.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.v.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let smallest = if r < n && self.v[r].key() < self.v[l].key() {
+                r
+            } else {
+                l
+            };
+            if self.v[smallest].key() < self.v[i].key() {
+                self.v.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn assert_heap_invariant(&self) {
+        for i in 1..self.v.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                self.v[parent].key() <= self.v[i].key(),
+                "heap violated at {i}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::id::{FlowId, NodeId, PacketId};
-    use crate::packet::PacketBuilder;
-    use std::sync::Arc;
-
-    pub(crate) fn test_packet(id: u64, size: u32) -> Packet {
-        let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
-        PacketBuilder::new(PacketId(id), FlowId(id), size, path, SimTime::ZERO).build()
-    }
 
     fn qp(id: u64, rank: i128, seq: u64) -> QueuedPacket {
         QueuedPacket {
-            packet: test_packet(id, 100),
+            pkt: test_ref(id),
             rank,
             enqueued_at: SimTime::ZERO,
             arrival_seq: seq,
+            size: 100,
         }
+    }
+
+    /// Heap tests never dereference refs, so a raw slot id is enough.
+    fn test_ref(id: u64) -> PacketRef {
+        PacketRef(id as u32)
+    }
+
+    fn ids(h: &mut RankHeap) -> Vec<u64> {
+        std::iter::from_fn(|| h.pop_min())
+            .map(|q| q.pkt.slot() as u64)
+            .collect()
     }
 
     #[test]
@@ -221,8 +285,7 @@ mod tests {
         h.push(qp(2, 3, 1));
         h.push(qp(3, 3, 2));
         h.push(qp(4, 9, 3));
-        let order: Vec<u64> = std::iter::from_fn(|| h.pop_min()).map(|q| q.packet.id.0).collect();
-        assert_eq!(order, vec![2, 3, 1, 4]);
+        assert_eq!(ids(&mut h), vec![2, 3, 1, 4]);
     }
 
     #[test]
@@ -244,11 +307,11 @@ mod tests {
         h.push(qp(1, 5, 0));
         h.push(qp(2, 30, 1));
         h.push(qp(3, 10, 2));
-        assert_eq!(h.pop_max().unwrap().packet.id.0, 2);
+        assert_eq!(h.pop_max().unwrap().pkt.slot(), 2);
         assert_eq!(h.len(), 2);
         // remaining order intact
-        assert_eq!(h.pop_min().unwrap().packet.id.0, 1);
-        assert_eq!(h.pop_min().unwrap().packet.id.0, 3);
+        assert_eq!(h.pop_min().unwrap().pkt.slot(), 1);
+        assert_eq!(h.pop_min().unwrap().pkt.slot(), 3);
     }
 
     #[test]
@@ -256,6 +319,56 @@ mod tests {
         let mut h = RankHeap::new();
         h.push(qp(1, 7, 0));
         h.push(qp(2, 7, 1));
-        assert_eq!(h.pop_max().unwrap().packet.id.0, 2);
+        assert_eq!(h.pop_max().unwrap().pkt.slot(), 2);
+    }
+
+    #[test]
+    fn pop_max_preserves_heap_under_churn() {
+        // Deterministic pseudo-random interleaving of pushes, pop_min and
+        // pop_max; the heap invariant must hold throughout and every
+        // element must come out exactly once.
+        let mut h = RankHeap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = 0u64;
+        let mut in_heap = 0i64;
+        let mut popped = 0u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let op = state >> 61;
+            if op < 5 || in_heap == 0 {
+                let rank = ((state >> 16) % 1000) as i128;
+                h.push(qp(next, rank, next));
+                next += 1;
+                in_heap += 1;
+            } else if op == 5 {
+                assert!(h.pop_min().is_some());
+                popped += 1;
+                in_heap -= 1;
+            } else {
+                assert!(h.pop_max().is_some());
+                popped += 1;
+                in_heap -= 1;
+            }
+            h.assert_heap_invariant();
+        }
+        while h.pop_max().is_some() {
+            popped += 1;
+            h.assert_heap_invariant();
+        }
+        assert_eq!(popped, next, "every pushed element popped exactly once");
+        assert_eq!(h.bytes(), 0);
+    }
+
+    #[test]
+    fn pop_min_is_globally_sorted() {
+        let mut h = RankHeap::new();
+        for i in 0..200u64 {
+            h.push(qp(i, ((i * 7919) % 101) as i128, i));
+        }
+        let mut last = (i128::MIN, 0u64);
+        while let Some(q) = h.pop_min() {
+            assert!((q.rank, q.arrival_seq) > last);
+            last = (q.rank, q.arrival_seq);
+        }
     }
 }

@@ -2,8 +2,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::id::FlowId;
-use crate::packet::Packet;
 use crate::queue::{PortCtx, QueuedPacket, Scheduler};
 use crate::time::SimTime;
 
@@ -41,15 +41,24 @@ impl Drr {
 }
 
 impl Scheduler for Drr {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
-        let flow = packet.flow;
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
+        let flow = p.flow;
         self.len += 1;
-        self.bytes += packet.size as u64;
+        self.bytes += p.size as u64;
         let qp = QueuedPacket {
-            packet,
+            pkt,
             rank: 0,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         };
         let q = self.flows.entry(flow).or_default();
         if q.is_empty() {
@@ -59,14 +68,19 @@ impl Scheduler for Drr {
         q.push_back(qp);
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         if self.len == 0 {
             return None;
         }
         loop {
             let (flow, mut deficit) = self.ring.pop_front().expect("len>0 implies active flows");
             let q = self.flows.get_mut(&flow).expect("ring flow has a queue");
-            let head_size = q.front().expect("active flow is non-empty").packet.size as u64;
+            let head_size = q.front().expect("active flow is non-empty").size as u64;
             if deficit >= head_size {
                 let qp = q.pop_front().expect("checked non-empty");
                 deficit -= head_size;
@@ -77,7 +91,7 @@ impl Scheduler for Drr {
                     self.ring.push_front((flow, deficit));
                 }
                 self.len -= 1;
-                self.bytes -= qp.packet.size as u64;
+                self.bytes -= qp.size as u64;
                 return Some(qp);
             }
             // Visit over: top up and move to the back of the ring.
@@ -102,15 +116,12 @@ impl Scheduler for Drr {
     /// Evict the newest packet of the longest (in bytes) flow queue —
     /// "longest queue drop", the buffer policy suggested for DRR in [27].
     fn select_drop(&mut self) -> Option<QueuedPacket> {
-        let (&flow, _) = self
-            .flows
-            .iter()
-            .max_by_key(|(flow, q)| {
-                (
-                    q.iter().map(|qp| qp.packet.size as u64).sum::<u64>(),
-                    flow.0, // deterministic tie-break
-                )
-            })?;
+        let (&flow, _) = self.flows.iter().max_by_key(|(flow, q)| {
+            (
+                q.iter().map(|qp| qp.size as u64).sum::<u64>(),
+                flow.0, // deterministic tie-break
+            )
+        })?;
         let q = self.flows.get_mut(&flow).expect("just found it");
         let victim = q.pop_back().expect("non-empty");
         if q.is_empty() {
@@ -118,7 +129,7 @@ impl Scheduler for Drr {
             self.ring.retain(|&(f, _)| f != flow);
         }
         self.len -= 1;
-        self.bytes -= victim.packet.size as u64;
+        self.bytes -= victim.size as u64;
         Some(victim)
     }
 
@@ -130,21 +141,22 @@ impl Scheduler for Drr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::{ctx, pkt};
+    use crate::sched::testutil::{pkt, Bench};
 
     #[test]
     fn equal_flows_share_equally() {
-        let mut s = Drr::with_quantum(1000);
+        let mut b = Bench::new(Drr::with_quantum(1000));
         let mut seq = 0;
         for i in 0..10 {
-            s.enqueue(pkt(100 + i, 1, 1000), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(100 + i, 1, 1000), SimTime::ZERO, seq);
             seq += 1;
-            s.enqueue(pkt(200 + i, 2, 1000), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(200 + i, 2, 1000), SimTime::ZERO, seq);
             seq += 1;
         }
-        let flows: Vec<u64> = std::iter::from_fn(|| s.dequeue(SimTime::ZERO, ctx()))
-            .map(|q| q.packet.flow.0)
-            .collect();
+        let mut flows: Vec<u64> = Vec::new();
+        while let Some(qp) = b.dequeue_at(SimTime::ZERO) {
+            flows.push(b.arena.get(qp.pkt).flow.0);
+        }
         let mut c1 = 0i32;
         let mut c2 = 0i32;
         for f in &flows {
@@ -162,24 +174,24 @@ mod tests {
     fn byte_fair_with_mixed_sizes() {
         // Flow 1 sends 250 B packets, flow 2 sends 1000 B packets; over a
         // long run flow 1 gets ~4x the packets.
-        let mut s = Drr::with_quantum(1000);
+        let mut b = Bench::new(Drr::with_quantum(1000));
         let mut seq = 0;
         for i in 0..40 {
-            s.enqueue(pkt(100 + i, 1, 250), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(100 + i, 1, 250), SimTime::ZERO, seq);
             seq += 1;
         }
         for i in 0..10 {
-            s.enqueue(pkt(200 + i, 2, 1000), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(200 + i, 2, 1000), SimTime::ZERO, seq);
             seq += 1;
         }
         let mut bytes1 = 0u64;
         let mut bytes2 = 0u64;
         for _ in 0..25 {
-            let qp = s.dequeue(SimTime::ZERO, ctx()).unwrap();
-            if qp.packet.flow.0 == 1 {
-                bytes1 += qp.packet.size as u64;
+            let qp = b.dequeue_at(SimTime::ZERO).unwrap();
+            if b.arena.get(qp.pkt).flow.0 == 1 {
+                bytes1 += qp.size as u64;
             } else {
-                bytes2 += qp.packet.size as u64;
+                bytes2 += qp.size as u64;
             }
         }
         let diff = bytes1.abs_diff(bytes2);
@@ -188,17 +200,17 @@ mod tests {
 
     #[test]
     fn drains_completely_and_rejects_zero_quantum() {
-        let mut s = Drr::with_quantum(9000);
+        let mut b = Bench::new(Drr::with_quantum(9000));
         for i in 0..7 {
-            s.enqueue(pkt(i, i % 2, 1500), SimTime::ZERO, i, ctx());
+            b.enqueue_at(pkt(i, i % 2, 1500), SimTime::ZERO, i);
         }
         let mut n = 0;
-        while s.dequeue(SimTime::ZERO, ctx()).is_some() {
+        while b.dequeue_at(SimTime::ZERO).is_some() {
             n += 1;
         }
         assert_eq!(n, 7);
-        assert_eq!(s.len(), 0);
-        assert_eq!(s.queued_bytes(), 0);
+        assert_eq!(b.s.len(), 0);
+        assert_eq!(b.s.queued_bytes(), 0);
     }
 
     #[test]
@@ -209,13 +221,14 @@ mod tests {
 
     #[test]
     fn drop_from_longest_queue() {
-        let mut s = Drr::with_quantum(1500);
-        s.enqueue(pkt(1, 1, 1500), SimTime::ZERO, 0, ctx());
+        let mut b = Bench::new(Drr::with_quantum(1500));
+        b.enqueue_at(pkt(1, 1, 1500), SimTime::ZERO, 0);
         for i in 0..5 {
-            s.enqueue(pkt(10 + i, 2, 1500), SimTime::ZERO, 1 + i, ctx());
+            b.enqueue_at(pkt(10 + i, 2, 1500), SimTime::ZERO, 1 + i);
         }
-        let victim = s.select_drop().unwrap();
-        assert_eq!(victim.packet.flow.0, 2);
-        assert_eq!(victim.packet.id.0, 14, "newest packet of longest flow");
+        let victim = b.s.select_drop().unwrap();
+        let vp = b.arena.get(victim.pkt);
+        assert_eq!(vp.flow.0, 2);
+        assert_eq!(vp.id.0, 14, "newest packet of longest flow");
     }
 }

@@ -1,6 +1,6 @@
 //! Network-wide earliest deadline first (App. E).
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -41,22 +41,36 @@ impl Edf {
 }
 
 impl Scheduler for Edf {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, ctx: PortCtx) {
-        let tmin_rem = packet
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
+        let tmin_rem = p
             .tmin_remaining()
             .expect("EDF needs packets with a tmin_rem table (attach via routing layer)");
-        let t_here = ctx.bandwidth.tx_time(packet.size);
-        let rank = packet.header.deadline.as_ps() as i128 - tmin_rem.as_ps() as i128
-            + t_here.as_ps() as i128;
+        let t_here = ctx.bandwidth.tx_time(p.size);
+        let rank =
+            p.header.deadline.as_ps() as i128 - tmin_rem.as_ps() as i128 + t_here.as_ps() as i128;
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         self.q.pop_min()
     }
 
@@ -89,8 +103,8 @@ impl Scheduler for Edf {
 mod tests {
     use super::*;
     use crate::id::{FlowId, NodeId, PacketId};
-    use crate::packet::{Header, PacketBuilder};
-    use crate::sched::testutil::ctx;
+    use crate::packet::{Header, Packet, PacketBuilder};
+    use crate::sched::testutil::Bench;
     use crate::time::Dur;
     use std::sync::Arc;
 
@@ -108,29 +122,29 @@ mod tests {
 
     #[test]
     fn earlier_local_deadline_first() {
-        let mut s = Edf::new();
+        let mut b = Bench::new(Edf::new());
         // Same tmin: order by o(p).
-        s.enqueue(edf_pkt(1, 500, 50), SimTime::ZERO, 0, ctx());
-        s.enqueue(edf_pkt(2, 100, 50), SimTime::ZERO, 1, ctx());
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
+        b.enqueue_at(edf_pkt(1, 500, 50), SimTime::ZERO, 0);
+        b.enqueue_at(edf_pkt(2, 100, 50), SimTime::ZERO, 1);
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(2));
     }
 
     #[test]
     fn longer_remaining_path_tightens_deadline() {
-        let mut s = Edf::new();
+        let mut b = Bench::new(Edf::new());
         // Same o(p); packet 2 has much further to go, so it is more urgent.
-        s.enqueue(edf_pkt(1, 500, 10), SimTime::ZERO, 0, ctx());
-        s.enqueue(edf_pkt(2, 500, 400), SimTime::ZERO, 1, ctx());
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
+        b.enqueue_at(edf_pkt(1, 500, 10), SimTime::ZERO, 0);
+        b.enqueue_at(edf_pkt(2, 500, 400), SimTime::ZERO, 1);
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(2));
     }
 
     #[test]
     fn rank_matches_appendix_e_formula() {
-        let mut s = Edf::new();
-        s.enqueue(edf_pkt(1, 500, 50), SimTime::ZERO, 0, ctx());
+        let mut b = Bench::new(Edf::new());
+        b.enqueue_at(edf_pkt(1, 500, 50), SimTime::ZERO, 0);
         // T(1500B @ 1Gbps) = 12us.
         let expected = (Dur::from_us(500 - 50 + 12).as_ps()) as i128;
-        assert_eq!(s.peek_rank(), Some(expected));
+        assert_eq!(b.s.peek_rank(), Some(expected));
     }
 
     #[test]
@@ -138,6 +152,7 @@ mod tests {
     fn missing_tmin_table_panics() {
         let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
         let p = PacketBuilder::new(PacketId(1), FlowId(1), 100, path, SimTime::ZERO).build();
-        Edf::new().enqueue(p, SimTime::ZERO, 0, ctx());
+        let mut b = Bench::new(Edf::new());
+        b.enqueue_at(p, SimTime::ZERO, 0);
     }
 }

@@ -1,6 +1,6 @@
 //! First-in first-out with drop-tail.
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -20,16 +20,29 @@ impl Fifo {
 }
 
 impl Scheduler for Fifo {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank: 0,
             enqueued_at: now,
             arrival_seq,
+            size: arena.get(pkt).size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         self.q.pop_min()
     }
 
@@ -57,32 +70,38 @@ impl Scheduler for Fifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::{ctx, pkt, service_order};
+    use crate::sched::testutil::{pkt, service_order, Bench};
 
     #[test]
     fn serves_in_arrival_order() {
         let mut s = Fifo::new();
-        let order = service_order(&mut s, vec![pkt(10, 0, 100), pkt(11, 0, 100), pkt(12, 0, 100)]);
+        let order = service_order(
+            &mut s,
+            vec![pkt(10, 0, 100), pkt(11, 0, 100), pkt(12, 0, 100)],
+        );
         assert_eq!(order, vec![10, 11, 12]);
     }
 
     #[test]
     fn drop_tail_evicts_newest() {
-        let mut s = Fifo::new();
-        for (i, p) in [pkt(1, 0, 100), pkt(2, 0, 100), pkt(3, 0, 100)].into_iter().enumerate() {
-            s.enqueue(p, SimTime::from_us(i as u64), i as u64, ctx());
+        let mut b = Bench::new(Fifo::new());
+        for (i, p) in [pkt(1, 0, 100), pkt(2, 0, 100), pkt(3, 0, 100)]
+            .into_iter()
+            .enumerate()
+        {
+            b.enqueue_at(p, SimTime::from_us(i as u64), i as u64);
         }
-        assert_eq!(s.select_drop().unwrap().packet.id.0, 3);
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.queued_bytes(), 200);
+        assert_eq!(b.drop_id().unwrap(), 3);
+        assert_eq!(b.s.len(), 2);
+        assert_eq!(b.s.queued_bytes(), 200);
     }
 
     #[test]
     fn empty_behaviour() {
-        let mut s = Fifo::new();
-        assert!(s.dequeue(SimTime::ZERO, ctx()).is_none());
-        assert!(s.select_drop().is_none());
-        assert_eq!(s.peek_rank(), None);
-        assert!(!s.is_preemptive());
+        let mut b = Bench::new(Fifo::new());
+        assert!(b.dequeue_at(SimTime::ZERO).is_none());
+        assert!(b.s.select_drop().is_none());
+        assert_eq!(b.s.peek_rank(), None);
+        assert!(!b.s.is_preemptive());
     }
 }

@@ -1,6 +1,6 @@
 //! FIFO+ — FIFO corrected by upstream queueing excess.
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -38,25 +38,39 @@ impl FifoPlus {
 }
 
 impl Scheduler for FifoPlus {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
         // Expected arrival = actual arrival − upstream excess. A positive
         // offset (delayed more than average so far) ranks the packet as if
         // it had arrived earlier.
-        let rank = now.as_ps() as i128 - packet.header.fifo_plus_offset as i128;
+        let rank = now.as_ps() as i128 - p.header.fifo_plus_offset as i128;
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         });
     }
 
-    fn dequeue(&mut self, now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
-        let mut qp = self.q.pop_min()?;
+    fn dequeue(
+        &mut self,
+        arena: &mut PacketArena,
+        now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
+        let qp = self.q.pop_min()?;
         let wait = now.saturating_since(qp.enqueued_at).as_ps();
         // Fold this hop's excess into the header before the packet moves on.
         let mean = self.mean_wait_ps();
-        qp.packet.header.fifo_plus_offset += wait as i64 - mean;
+        arena.get_mut(qp.pkt).header.fifo_plus_offset += wait as i64 - mean;
         self.total_wait_ps += wait as u128;
         self.served += 1;
         Some(qp)
@@ -87,28 +101,25 @@ impl Scheduler for FifoPlus {
 mod tests {
     use super::*;
     use crate::packet::Header;
-    use crate::sched::testutil::{ctx, pkt, pkt_with};
+    use crate::sched::testutil::{pkt, pkt_with, Bench};
     use crate::time::Dur;
 
     #[test]
     fn zero_offsets_reduce_to_fifo() {
-        let mut s = FifoPlus::new();
+        let mut b = Bench::new(FifoPlus::new());
         for i in 0..4u64 {
-            s.enqueue(pkt(i, 0, 100), SimTime::from_us(i), i, ctx());
+            b.enqueue_at(pkt(i, 0, 100), SimTime::from_us(i), i);
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(SimTime::from_ms(1), ctx()))
-            .map(|q| q.packet.id.0)
-            .collect();
-        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(b.drain_ids(SimTime::from_ms(1)), vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn delayed_upstream_packet_jumps_ahead() {
-        let mut s = FifoPlus::new();
+        let mut b = Bench::new(FifoPlus::new());
         // Packet 1 arrives first; packet 2 arrives 10 us later but carries
         // 20 us of upstream excess, so its expected arrival is earlier.
-        s.enqueue(pkt(1, 0, 100), SimTime::from_us(100), 0, ctx());
-        s.enqueue(
+        b.enqueue_at(pkt(1, 0, 100), SimTime::from_us(100), 0);
+        b.enqueue_at(
             pkt_with(
                 2,
                 0,
@@ -120,24 +131,26 @@ mod tests {
             ),
             SimTime::from_us(110),
             1,
-            ctx(),
         );
-        assert_eq!(s.dequeue(SimTime::from_us(110), ctx()).unwrap().packet.id.0, 2);
+        assert_eq!(b.dequeue_id(SimTime::from_us(110)), Some(2));
     }
 
     #[test]
     fn offset_accumulates_wait_minus_mean() {
-        let mut s = FifoPlus::new();
+        let mut b = Bench::new(FifoPlus::new());
         // First packet waits 50 us with an empty history (mean 0) — its
         // offset becomes exactly +50 us.
-        s.enqueue(pkt(1, 0, 100), SimTime::from_us(0), 0, ctx());
-        let p1 = s.dequeue(SimTime::from_us(50), ctx()).unwrap();
-        assert_eq!(p1.packet.header.fifo_plus_offset, Dur::from_us(50).as_ps() as i64);
-        // Second packet waits 10 us against a mean of 50 us — offset −40 us.
-        s.enqueue(pkt(2, 0, 100), SimTime::from_us(60), 1, ctx());
-        let p2 = s.dequeue(SimTime::from_us(70), ctx()).unwrap();
+        b.enqueue_at(pkt(1, 0, 100), SimTime::from_us(0), 0);
+        let p1 = b.dequeue_at(SimTime::from_us(50)).unwrap();
         assert_eq!(
-            p2.packet.header.fifo_plus_offset,
+            b.arena.get(p1.pkt).header.fifo_plus_offset,
+            Dur::from_us(50).as_ps() as i64
+        );
+        // Second packet waits 10 us against a mean of 50 us — offset −40 us.
+        b.enqueue_at(pkt(2, 0, 100), SimTime::from_us(60), 1);
+        let p2 = b.dequeue_at(SimTime::from_us(70)).unwrap();
+        assert_eq!(
+            b.arena.get(p2.pkt).header.fifo_plus_offset,
             Dur::from_us(10).as_ps() as i64 - Dur::from_us(50).as_ps() as i64
         );
     }

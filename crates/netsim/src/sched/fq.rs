@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::id::FlowId;
-use crate::packet::Packet;
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -35,20 +35,34 @@ impl FairQueueing {
 }
 
 impl Scheduler for FairQueueing {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
-        let prev_finish = self.finish.get(&packet.flow).copied().unwrap_or(i128::MIN);
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
+        let prev_finish = self.finish.get(&p.flow).copied().unwrap_or(i128::MIN);
         let start = prev_finish.max(self.vtime);
-        let finish = start + packet.size as i128;
-        self.finish.insert(packet.flow, finish);
+        let finish = start + p.size as i128;
+        self.finish.insert(p.flow, finish);
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank: start,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         let qp = self.q.pop_min()?;
         self.vtime = qp.rank;
         if self.q.is_empty() {
@@ -83,27 +97,28 @@ impl Scheduler for FairQueueing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::{ctx, pkt};
+    use crate::sched::testutil::{pkt, Bench};
 
     /// Two backlogged flows with equal packet sizes must be served in
     /// strict alternation after the first round.
     #[test]
     fn alternates_between_backlogged_flows() {
-        let mut s = FairQueueing::new();
+        let mut b = Bench::new(FairQueueing::new());
         let mut seq = 0;
         // Flow 1 dumps 6 packets first, then flow 2 dumps 6: a FIFO would
         // serve 111111 222222, FQ must interleave once both are present.
         for i in 0..6 {
-            s.enqueue(pkt(100 + i, 1, 1000), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(100 + i, 1, 1000), SimTime::ZERO, seq);
             seq += 1;
         }
         for i in 0..6 {
-            s.enqueue(pkt(200 + i, 2, 1000), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(200 + i, 2, 1000), SimTime::ZERO, seq);
             seq += 1;
         }
-        let flows: Vec<u64> = std::iter::from_fn(|| s.dequeue(SimTime::ZERO, ctx()))
-            .map(|q| q.packet.flow.0)
-            .collect();
+        let mut flows: Vec<u64> = Vec::new();
+        while let Some(qp) = b.dequeue_at(SimTime::ZERO) {
+            flows.push(b.arena.get(qp.pkt).flow.0);
+        }
         // First packet of flow 1 was already "owed"; thereafter service
         // alternates 1,2,1,2,... with at most one extra flow-1 packet up
         // front (the SFQ one-packet fairness bound).
@@ -127,14 +142,14 @@ mod tests {
     /// flow sending large ones — fairness is in bytes, not packets.
     #[test]
     fn byte_fairness_not_packet_fairness() {
-        let mut s = FairQueueing::new();
+        let mut b = Bench::new(FairQueueing::new());
         let mut seq = 0;
         for i in 0..20 {
-            s.enqueue(pkt(100 + i, 1, 500), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(100 + i, 1, 500), SimTime::ZERO, seq);
             seq += 1;
         }
         for i in 0..10 {
-            s.enqueue(pkt(200 + i, 2, 1000), SimTime::ZERO, seq, ctx());
+            b.enqueue_at(pkt(200 + i, 2, 1000), SimTime::ZERO, seq);
             seq += 1;
         }
         // Serve 15 packets: byte-fair split is 10 small (5000 B) vs 5
@@ -142,15 +157,15 @@ mod tests {
         let mut small = 0;
         let mut big = 0;
         for _ in 0..15 {
-            let qp = s.dequeue(SimTime::ZERO, ctx()).unwrap();
-            if qp.packet.flow.0 == 1 {
+            let qp = b.dequeue_at(SimTime::ZERO).unwrap();
+            if b.arena.get(qp.pkt).flow.0 == 1 {
                 small += 1;
             } else {
                 big += 1;
             }
         }
         assert!(
-            (small as i32 - 10).abs() <= 1 && (big as i32 - 5).abs() <= 1,
+            (small - 10i32).abs() <= 1 && (big - 5i32).abs() <= 1,
             "got {small} small / {big} big"
         );
     }
@@ -159,17 +174,19 @@ mod tests {
     /// and must not get credit for its idle past either.
     #[test]
     fn late_flow_joins_at_current_virtual_time() {
-        let mut s = FairQueueing::new();
+        let mut b = Bench::new(FairQueueing::new());
         for i in 0..50 {
-            s.enqueue(pkt(i, 1, 1000), SimTime::ZERO, i, ctx());
+            b.enqueue_at(pkt(i, 1, 1000), SimTime::ZERO, i);
         }
         for _ in 0..10 {
-            s.dequeue(SimTime::ZERO, ctx());
+            b.dequeue_at(SimTime::ZERO);
         }
-        s.enqueue(pkt(999, 2, 1000), SimTime::ZERO, 50, ctx());
+        b.enqueue_at(pkt(999, 2, 1000), SimTime::ZERO, 50);
         // The new flow's packet must be served within two dequeues.
-        let a = s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.flow.0;
-        let b = s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.flow.0;
-        assert!(a == 2 || b == 2, "late flow served promptly, got {a},{b}");
+        let qa = b.dequeue_at(SimTime::ZERO).unwrap();
+        let a = b.arena.get(qa.pkt).flow.0;
+        let qb = b.dequeue_at(SimTime::ZERO).unwrap();
+        let bf = b.arena.get(qb.pkt).flow.0;
+        assert!(a == 2 || bf == 2, "late flow served promptly, got {a},{bf}");
     }
 }

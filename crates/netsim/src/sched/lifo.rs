@@ -1,6 +1,6 @@
 //! Last-in first-out.
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -24,16 +24,29 @@ impl Lifo {
 }
 
 impl Scheduler for Lifo {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank: -(arrival_seq as i128),
             enqueued_at: now,
             arrival_seq,
+            size: arena.get(pkt).size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         self.q.pop_min()
     }
 
@@ -61,7 +74,7 @@ impl Scheduler for Lifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::{ctx, pkt, service_order};
+    use crate::sched::testutil::{pkt, service_order, Bench};
 
     #[test]
     fn serves_newest_first() {
@@ -72,22 +85,22 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop() {
-        let mut s = Lifo::new();
-        s.enqueue(pkt(1, 0, 100), SimTime::ZERO, 0, ctx());
-        s.enqueue(pkt(2, 0, 100), SimTime::ZERO, 1, ctx());
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
-        s.enqueue(pkt(3, 0, 100), SimTime::ZERO, 2, ctx());
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 3);
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 1);
+        let mut b = Bench::new(Lifo::new());
+        b.enqueue_at(pkt(1, 0, 100), SimTime::ZERO, 0);
+        b.enqueue_at(pkt(2, 0, 100), SimTime::ZERO, 1);
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(2));
+        b.enqueue_at(pkt(3, 0, 100), SimTime::ZERO, 2);
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(3));
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(1));
     }
 
     #[test]
     fn drop_evicts_oldest() {
-        let mut s = Lifo::new();
+        let mut b = Bench::new(Lifo::new());
         for (i, p) in [pkt(1, 0, 50), pkt(2, 0, 60)].into_iter().enumerate() {
-            s.enqueue(p, SimTime::ZERO, i as u64, ctx());
+            b.enqueue_at(p, SimTime::ZERO, i as u64);
         }
-        assert_eq!(s.select_drop().unwrap().packet.id.0, 1);
-        assert_eq!(s.queued_bytes(), 60);
+        assert_eq!(b.drop_id(), Some(1));
+        assert_eq!(b.s.queued_bytes(), 60);
     }
 }

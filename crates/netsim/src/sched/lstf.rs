@@ -1,6 +1,6 @@
 //! Least slack time first — the paper's near-universal scheduler.
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -50,25 +50,39 @@ impl Lstf {
 }
 
 impl Scheduler for Lstf {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, ctx: PortCtx) {
-        let last_bit = ctx.bandwidth.tx_time(packet.size).as_ps() as i128;
-        let rank = packet.header.slack + now.as_ps() as i128 + last_bit;
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
+        let last_bit = ctx.bandwidth.tx_time(p.size).as_ps() as i128;
+        let rank = p.header.slack + now.as_ps() as i128 + last_bit;
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         });
     }
 
-    fn dequeue(&mut self, now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
-        let mut qp = self.q.pop_min()?;
+    fn dequeue(
+        &mut self,
+        arena: &mut PacketArena,
+        now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
+        let qp = self.q.pop_min()?;
         // Slack spent = time waited at this hop (service and propagation
         // are accounted in tmin, not slack). This is the header rewrite of
         // §2.2. A preempted-and-resumed packet re-enters the queue with a
         // fresh `enqueued_at`, so each waiting episode is charged once.
         let waited = now.saturating_since(qp.enqueued_at).as_ps() as i128;
-        qp.packet.header.slack -= waited;
+        arena.get_mut(qp.pkt).header.slack -= waited;
         Some(qp)
     }
 
@@ -107,7 +121,7 @@ impl Scheduler for Lstf {
 mod tests {
     use super::*;
     use crate::packet::{Header, Packet};
-    use crate::sched::testutil::{ctx, pkt_with};
+    use crate::sched::testutil::{pkt_with, Bench};
     use crate::time::Dur;
 
     fn slacked(id: u64, slack_us: i64) -> Packet {
@@ -125,15 +139,12 @@ mod tests {
 
     #[test]
     fn least_slack_first_for_simultaneous_arrivals() {
-        let mut s = Lstf::new(false);
+        let mut b = Bench::new(Lstf::new(false));
         let t = SimTime::from_us(10);
-        s.enqueue(slacked(1, 500), t, 0, ctx());
-        s.enqueue(slacked(2, 20), t, 1, ctx());
-        s.enqueue(slacked(3, 100), t, 2, ctx());
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(t, ctx()))
-            .map(|q| q.packet.id.0)
-            .collect();
-        assert_eq!(order, vec![2, 3, 1]);
+        b.enqueue_at(slacked(1, 500), t, 0);
+        b.enqueue_at(slacked(2, 20), t, 1);
+        b.enqueue_at(slacked(3, 100), t, 2);
+        assert_eq!(b.drain_ids(t), vec![2, 3, 1]);
     }
 
     #[test]
@@ -141,48 +152,48 @@ mod tests {
         // p1 arrives at t=0 with slack 100us; p2 arrives at t=90us with
         // slack 5us. p2's key (95) beats p1's (100): it would run out of
         // slack sooner.
-        let mut s = Lstf::new(false);
-        s.enqueue(slacked(1, 100), SimTime::ZERO, 0, ctx());
-        s.enqueue(slacked(2, 5), SimTime::from_us(90), 1, ctx());
-        assert_eq!(
-            s.dequeue(SimTime::from_us(90), ctx()).unwrap().packet.id.0,
-            2
-        );
+        let mut b = Bench::new(Lstf::new(false));
+        b.enqueue_at(slacked(1, 100), SimTime::ZERO, 0);
+        b.enqueue_at(slacked(2, 5), SimTime::from_us(90), 1);
+        assert_eq!(b.dequeue_id(SimTime::from_us(90)), Some(2));
         // Conversely an early tight packet beats a late loose one.
-        let mut s = Lstf::new(false);
-        s.enqueue(slacked(1, 10), SimTime::ZERO, 0, ctx());
-        s.enqueue(slacked(2, 100), SimTime::from_us(5), 1, ctx());
-        assert_eq!(
-            s.dequeue(SimTime::from_us(5), ctx()).unwrap().packet.id.0,
-            1
-        );
+        let mut b = Bench::new(Lstf::new(false));
+        b.enqueue_at(slacked(1, 10), SimTime::ZERO, 0);
+        b.enqueue_at(slacked(2, 100), SimTime::from_us(5), 1);
+        assert_eq!(b.dequeue_id(SimTime::from_us(5)), Some(1));
     }
 
     #[test]
     fn slack_is_rewritten_with_wait() {
-        let mut s = Lstf::new(false);
-        s.enqueue(slacked(1, 100), SimTime::from_us(10), 0, ctx());
-        let qp = s.dequeue(SimTime::from_us(35), ctx()).unwrap();
+        let mut b = Bench::new(Lstf::new(false));
+        b.enqueue_at(slacked(1, 100), SimTime::from_us(10), 0);
+        let qp = b.dequeue_at(SimTime::from_us(35)).unwrap();
         // Waited 25us of its 100us slack.
-        assert_eq!(qp.packet.header.slack, Dur::from_us(75).as_ps() as i128);
+        assert_eq!(
+            b.arena.get(qp.pkt).header.slack,
+            Dur::from_us(75).as_ps() as i128
+        );
     }
 
     #[test]
     fn slack_can_go_negative() {
-        let mut s = Lstf::new(false);
-        s.enqueue(slacked(1, 10), SimTime::ZERO, 0, ctx());
-        let qp = s.dequeue(SimTime::from_us(25), ctx()).unwrap();
-        assert_eq!(qp.packet.header.slack, -(Dur::from_us(15).as_ps() as i128));
+        let mut b = Bench::new(Lstf::new(false));
+        b.enqueue_at(slacked(1, 10), SimTime::ZERO, 0);
+        let qp = b.dequeue_at(SimTime::from_us(25)).unwrap();
+        assert_eq!(
+            b.arena.get(qp.pkt).header.slack,
+            -(Dur::from_us(15).as_ps() as i128)
+        );
     }
 
     #[test]
     fn drop_rule_takes_highest_slack() {
-        let mut s = Lstf::new(false);
+        let mut b = Bench::new(Lstf::new(false));
         let t = SimTime::ZERO;
-        s.enqueue(slacked(1, 5), t, 0, ctx());
-        s.enqueue(slacked(2, 5000), t, 1, ctx());
-        s.enqueue(slacked(3, 50), t, 2, ctx());
-        assert_eq!(s.select_drop().unwrap().packet.id.0, 2);
+        b.enqueue_at(slacked(1, 5), t, 0);
+        b.enqueue_at(slacked(2, 5000), t, 1);
+        b.enqueue_at(slacked(3, 50), t, 2);
+        assert_eq!(b.drop_id(), Some(2));
     }
 
     #[test]
@@ -193,11 +204,11 @@ mod tests {
 
     #[test]
     fn fifo_tiebreak_on_equal_rank() {
-        let mut s = Lstf::new(false);
+        let mut b = Bench::new(Lstf::new(false));
         let t = SimTime::from_us(1);
-        s.enqueue(slacked(1, 10), t, 0, ctx());
-        s.enqueue(slacked(2, 10), t, 1, ctx());
-        assert_eq!(s.dequeue(t, ctx()).unwrap().packet.id.0, 1);
-        assert_eq!(s.dequeue(t, ctx()).unwrap().packet.id.0, 2);
+        b.enqueue_at(slacked(1, 10), t, 0);
+        b.enqueue_at(slacked(2, 10), t, 1);
+        assert_eq!(b.dequeue_id(t), Some(1));
+        assert_eq!(b.dequeue_id(t), Some(2));
     }
 }

@@ -138,9 +138,10 @@ pub(crate) mod testutil {
     //! Helpers shared by the per-discipline unit tests.
     use std::sync::Arc;
 
+    use crate::arena::{PacketArena, PacketRef};
     use crate::id::{FlowId, NodeId, PacketId};
     use crate::packet::{Header, Packet, PacketBuilder};
-    use crate::queue::{PortCtx, Scheduler};
+    use crate::queue::{PortCtx, QueuedPacket, Scheduler};
     use crate::time::{Bandwidth, SimTime};
 
     /// 1 Gbps context.
@@ -164,17 +165,65 @@ pub(crate) mod testutil {
             .build()
     }
 
+    /// A scheduler under test together with the arena its packets live in —
+    /// the per-discipline tests' stand-in for the simulator.
+    pub struct Bench<S> {
+        /// Packet storage.
+        pub arena: PacketArena,
+        /// The discipline under test.
+        pub s: S,
+    }
+
+    impl<S: Scheduler> Bench<S> {
+        /// Wrap a scheduler with an empty arena.
+        pub fn new(s: S) -> Self {
+            Bench {
+                arena: PacketArena::new(),
+                s,
+            }
+        }
+
+        /// Allocate `p` and enqueue it at `now` with the given seq.
+        pub fn enqueue_at(&mut self, p: Packet, now: SimTime, seq: u64) -> PacketRef {
+            let r = self.arena.alloc(p);
+            self.s.enqueue(r, &self.arena, now, seq, ctx());
+            r
+        }
+
+        /// Dequeue at `now`.
+        pub fn dequeue_at(&mut self, now: SimTime) -> Option<QueuedPacket> {
+            self.s.dequeue(&mut self.arena, now, ctx())
+        }
+
+        /// Dequeue at `now`, returning the packet id.
+        pub fn dequeue_id(&mut self, now: SimTime) -> Option<u64> {
+            self.dequeue_at(now).map(|qp| self.arena.get(qp.pkt).id.0)
+        }
+
+        /// `select_drop`, returning the victim's packet id.
+        pub fn drop_id(&mut self) -> Option<u64> {
+            self.s.select_drop().map(|qp| self.arena.get(qp.pkt).id.0)
+        }
+
+        /// Drain at fixed `now`, returning packet ids in service order.
+        pub fn drain_ids(&mut self, now: SimTime) -> Vec<u64> {
+            std::iter::from_fn(|| self.dequeue_id(now)).collect()
+        }
+    }
+
     /// Feed `packets` in order at t=0,1,2,... µs, then drain and return the
     /// service order (packet ids).
     pub fn service_order(s: &mut dyn Scheduler, packets: Vec<Packet>) -> Vec<u64> {
+        let mut arena = PacketArena::new();
         for (i, p) in packets.into_iter().enumerate() {
-            s.enqueue(p, SimTime::from_us(i as u64), i as u64, ctx());
+            let r = arena.alloc(p);
+            s.enqueue(r, &arena, SimTime::from_us(i as u64), i as u64, ctx());
         }
         let mut order = Vec::new();
         let mut t = SimTime::from_ms(1);
-        while let Some(qp) = s.dequeue(t, ctx()) {
-            order.push(qp.packet.id.0);
-            t = t + crate::time::Dur::from_us(1);
+        while let Some(qp) = s.dequeue(&mut arena, t, ctx()) {
+            order.push(arena.get(qp.pkt).id.0);
+            t += crate::time::Dur::from_us(1);
         }
         order
     }

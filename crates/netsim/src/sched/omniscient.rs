@@ -1,6 +1,6 @@
 //! Omniscient per-hop replay scheduling (Appendix B).
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -32,27 +32,41 @@ impl Omniscient {
 }
 
 impl Scheduler for Omniscient {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
-        let vec = packet
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
+        let vec = p
             .header
             .omniscient
             .as_ref()
             .expect("Omniscient scheduling needs header.omniscient per-hop times");
         assert_eq!(
             vec.len(),
-            packet.path.len(),
+            p.path.len(),
             "omniscient vector must have one entry per path node"
         );
-        let rank = vec[packet.hop as usize].as_ps() as i128;
+        let rank = vec[p.hop as usize].as_ps() as i128;
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         self.q.pop_min()
     }
 
@@ -81,8 +95,8 @@ impl Scheduler for Omniscient {
 mod tests {
     use super::*;
     use crate::id::{FlowId, NodeId, PacketId};
-    use crate::packet::{Header, PacketBuilder};
-    use crate::sched::testutil::ctx;
+    use crate::packet::{Header, Packet, PacketBuilder};
+    use crate::sched::testutil::Bench;
     use std::sync::Arc;
 
     fn omni_pkt(id: u64, hop: u32, times_us: &[u64]) -> Packet {
@@ -100,21 +114,21 @@ mod tests {
 
     #[test]
     fn orders_by_this_hops_entry() {
-        let mut s = Omniscient::new();
+        let mut b = Bench::new(Omniscient::new());
         // At hop 1, packet 1 was scheduled at 50us, packet 2 at 10us.
-        s.enqueue(omni_pkt(1, 1, &[0, 50, 100]), SimTime::ZERO, 0, ctx());
-        s.enqueue(omni_pkt(2, 1, &[5, 10, 90]), SimTime::ZERO, 1, ctx());
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 2);
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 1);
+        b.enqueue_at(omni_pkt(1, 1, &[0, 50, 100]), SimTime::ZERO, 0);
+        b.enqueue_at(omni_pkt(2, 1, &[5, 10, 90]), SimTime::ZERO, 1);
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(2));
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(1));
     }
 
     #[test]
     fn different_hops_read_different_entries() {
-        let mut s = Omniscient::new();
+        let mut b = Bench::new(Omniscient::new());
         // Packet 1 at hop 0 (entry 0us) vs packet 2 at hop 2 (entry 1us).
-        s.enqueue(omni_pkt(1, 0, &[0, 50, 100]), SimTime::ZERO, 0, ctx());
-        s.enqueue(omni_pkt(2, 2, &[5, 10, 1]), SimTime::ZERO, 1, ctx());
-        assert_eq!(s.dequeue(SimTime::ZERO, ctx()).unwrap().packet.id.0, 1);
+        b.enqueue_at(omni_pkt(1, 0, &[0, 50, 100]), SimTime::ZERO, 0);
+        b.enqueue_at(omni_pkt(2, 2, &[5, 10, 1]), SimTime::ZERO, 1);
+        assert_eq!(b.dequeue_id(SimTime::ZERO), Some(1));
     }
 
     #[test]
@@ -122,6 +136,7 @@ mod tests {
     fn missing_vector_panics() {
         let path: Arc<[NodeId]> = vec![NodeId(0), NodeId(1)].into();
         let p = PacketBuilder::new(PacketId(0), FlowId(0), 100, path, SimTime::ZERO).build();
-        Omniscient::new().enqueue(p, SimTime::ZERO, 0, ctx());
+        let mut b = Bench::new(Omniscient::new());
+        b.enqueue_at(p, SimTime::ZERO, 0);
     }
 }

@@ -1,6 +1,6 @@
 //! Static priority scheduling.
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -36,16 +36,30 @@ impl Priority {
 }
 
 impl Scheduler for Priority {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
         self.q.push(QueuedPacket {
-            rank: packet.header.prio,
-            packet,
+            pkt,
+            rank: p.header.prio,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         self.q.pop_min()
     }
 
@@ -77,8 +91,8 @@ impl Scheduler for Priority {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::Header;
-    use crate::sched::testutil::{ctx, pkt_with, service_order};
+    use crate::packet::{Header, Packet};
+    use crate::sched::testutil::{pkt_with, service_order, Bench};
 
     fn prio_pkt(id: u64, prio: i128) -> Packet {
         pkt_with(
@@ -105,10 +119,7 @@ mod tests {
     #[test]
     fn fifo_within_level() {
         let mut s = Priority::new();
-        let order = service_order(
-            &mut s,
-            vec![prio_pkt(1, 5), prio_pkt(2, 5), prio_pkt(3, 5)],
-        );
+        let order = service_order(&mut s, vec![prio_pkt(1, 5), prio_pkt(2, 5), prio_pkt(3, 5)]);
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -121,10 +132,10 @@ mod tests {
 
     #[test]
     fn drop_evicts_worst_priority() {
-        let mut s = Priority::new();
-        s.enqueue(prio_pkt(1, 1), SimTime::ZERO, 0, ctx());
-        s.enqueue(prio_pkt(2, 99), SimTime::ZERO, 1, ctx());
-        s.enqueue(prio_pkt(3, 50), SimTime::ZERO, 2, ctx());
-        assert_eq!(s.select_drop().unwrap().packet.id.0, 2);
+        let mut b = Bench::new(Priority::new());
+        b.enqueue_at(prio_pkt(1, 1), SimTime::ZERO, 0);
+        b.enqueue_at(prio_pkt(2, 99), SimTime::ZERO, 1);
+        b.enqueue_at(prio_pkt(3, 50), SimTime::ZERO, 2);
+        assert_eq!(b.drop_id(), Some(2));
     }
 }

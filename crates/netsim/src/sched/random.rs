@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, Scheduler};
 use crate::time::SimTime;
 
@@ -22,7 +22,9 @@ pub struct Random {
 
 impl std::fmt::Debug for Random {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Random").field("len", &self.q.len()).finish()
+        f.debug_struct("Random")
+            .field("len", &self.q.len())
+            .finish()
     }
 }
 
@@ -38,23 +40,37 @@ impl Random {
 
     fn take(&mut self, idx: usize) -> QueuedPacket {
         let qp = self.q.swap_remove(idx);
-        self.bytes -= qp.packet.size as u64;
+        self.bytes -= qp.size as u64;
         qp
     }
 }
 
 impl Scheduler for Random {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
-        self.bytes += packet.size as u64;
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let size = arena.get(pkt).size;
+        self.bytes += size as u64;
         self.q.push(QueuedPacket {
-            packet,
+            pkt,
             rank: 0,
             enqueued_at: now,
             arrival_seq,
+            size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         if self.q.is_empty() {
             return None;
         }

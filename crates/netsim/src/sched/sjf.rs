@@ -1,6 +1,6 @@
 //! Shortest job first.
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketRef};
 use crate::queue::{PortCtx, QueuedPacket, RankHeap, Scheduler};
 use crate::time::SimTime;
 
@@ -25,16 +25,30 @@ impl Sjf {
 }
 
 impl Scheduler for Sjf {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
         self.q.push(QueuedPacket {
-            rank: packet.header.flow_size as i128,
-            packet,
+            pkt,
+            rank: p.header.flow_size as i128,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         });
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         self.q.pop_min()
     }
 
@@ -62,8 +76,8 @@ impl Scheduler for Sjf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::Header;
-    use crate::sched::testutil::{ctx, pkt_with, service_order};
+    use crate::packet::{Header, Packet};
+    use crate::sched::testutil::{pkt_with, service_order, Bench};
 
     fn sized(id: u64, flow: u64, flow_size: u64) -> Packet {
         pkt_with(
@@ -103,9 +117,9 @@ mod tests {
 
     #[test]
     fn drop_evicts_largest_flow_packet() {
-        let mut s = Sjf::new();
-        s.enqueue(sized(1, 1, 10), SimTime::ZERO, 0, ctx());
-        s.enqueue(sized(2, 2, 10_000), SimTime::ZERO, 1, ctx());
-        assert_eq!(s.select_drop().unwrap().packet.id.0, 2);
+        let mut b = Bench::new(Sjf::new());
+        b.enqueue_at(sized(1, 1, 10), SimTime::ZERO, 0);
+        b.enqueue_at(sized(2, 2, 10_000), SimTime::ZERO, 1);
+        assert_eq!(b.drop_id(), Some(2));
     }
 }

@@ -2,8 +2,8 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::id::FlowId;
-use crate::packet::Packet;
 use crate::queue::{PortCtx, QueuedPacket, Scheduler};
 use crate::time::SimTime;
 
@@ -60,21 +60,30 @@ impl Srpt {
 
     fn account_out(&mut self, qp: &QueuedPacket) {
         self.len -= 1;
-        self.bytes -= qp.packet.size as u64;
+        self.bytes -= qp.size as u64;
     }
 }
 
 impl Scheduler for Srpt {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, arrival_seq: u64, _ctx: PortCtx) {
-        let flow = packet.flow;
-        let rank = packet.header.remaining as i128;
+    fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        arrival_seq: u64,
+        _ctx: PortCtx,
+    ) {
+        let p = arena.get(pkt);
+        let flow = p.flow;
+        let rank = p.header.remaining as i128;
         self.len += 1;
-        self.bytes += packet.size as u64;
+        self.bytes += p.size as u64;
         let qp = QueuedPacket {
-            packet,
+            pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
+            size: p.size,
         };
         let mut fq = self.detach(flow).unwrap_or(FlowQueue {
             q: VecDeque::new(),
@@ -85,7 +94,12 @@ impl Scheduler for Srpt {
         self.attach(flow, fq);
     }
 
-    fn dequeue(&mut self, _now: SimTime, _ctx: PortCtx) -> Option<QueuedPacket> {
+    fn dequeue(
+        &mut self,
+        _arena: &mut PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<QueuedPacket> {
         let &(_, flow) = self.order.iter().next()?;
         let mut fq = self.detach(flow).expect("order and flows in sync");
         let qp = fq.q.pop_front().expect("flows in order set are non-empty");
@@ -116,12 +130,11 @@ impl Scheduler for Srpt {
         let mut fq = self.detach(flow).expect("order and flows in sync");
         // Within the victim flow, drop the packet with the largest rank;
         // newest arrival among ties.
-        let (idx, _) = fq
-            .q
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, qp)| (qp.rank, qp.arrival_seq))
-            .expect("non-empty");
+        let (idx, _) =
+            fq.q.iter()
+                .enumerate()
+                .max_by_key(|(_, qp)| (qp.rank, qp.arrival_seq))
+                .expect("non-empty");
         let victim = fq.q.remove(idx).expect("index in range");
         fq.recompute_min();
         self.attach(flow, fq);
@@ -137,8 +150,8 @@ impl Scheduler for Srpt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::Header;
-    use crate::sched::testutil::{ctx, pkt_with, service_order};
+    use crate::packet::{Header, Packet};
+    use crate::sched::testutil::{pkt_with, service_order, Bench};
 
     fn remaining(id: u64, flow: u64, rem: u64) -> Packet {
         pkt_with(
@@ -173,51 +186,43 @@ mod tests {
         // one packet in between. The *earliest* packet of the
         // highest-priority flow must go first even though a later packet of
         // that flow carries the smaller rank.
-        let mut s = Srpt::new();
-        s.enqueue(remaining(1, 1, 3_000), SimTime::ZERO, 0, ctx());
-        s.enqueue(remaining(2, 2, 2_500), SimTime::ZERO, 1, ctx());
-        s.enqueue(remaining(3, 1, 2_000), SimTime::ZERO, 2, ctx());
-        s.enqueue(remaining(4, 1, 1_000), SimTime::ZERO, 3, ctx());
+        let mut b = Bench::new(Srpt::new());
+        b.enqueue_at(remaining(1, 1, 3_000), SimTime::ZERO, 0);
+        b.enqueue_at(remaining(2, 2, 2_500), SimTime::ZERO, 1);
+        b.enqueue_at(remaining(3, 1, 2_000), SimTime::ZERO, 2);
+        b.enqueue_at(remaining(4, 1, 1_000), SimTime::ZERO, 3);
         // Flow 1 min remaining = 1000 < flow 2's 2500, so flow 1 wins and
         // its head (packet 1) is served first, then 3, then 4, then flow 2.
-        let mut order = Vec::new();
-        while let Some(qp) = s.dequeue(SimTime::ZERO, ctx()) {
-            order.push(qp.packet.id.0);
-        }
-        assert_eq!(order, vec![1, 3, 4, 2]);
+        assert_eq!(b.drain_ids(SimTime::ZERO), vec![1, 3, 4, 2]);
     }
 
     #[test]
     fn accounting_stays_consistent() {
-        let mut s = Srpt::new();
+        let mut b = Bench::new(Srpt::new());
         for i in 0..10 {
-            s.enqueue(remaining(i, i % 3, 1000 - i as u64), SimTime::ZERO, i, ctx());
+            b.enqueue_at(remaining(i, i % 3, 1000 - i), SimTime::ZERO, i);
         }
-        assert_eq!(s.len(), 10);
-        assert_eq!(s.queued_bytes(), 1000);
+        assert_eq!(b.s.len(), 10);
+        assert_eq!(b.s.queued_bytes(), 1000);
         let mut n = 0;
-        while s.dequeue(SimTime::ZERO, ctx()).is_some() {
+        while b.dequeue_at(SimTime::ZERO).is_some() {
             n += 1;
         }
         assert_eq!(n, 10);
-        assert_eq!(s.len(), 0);
-        assert_eq!(s.queued_bytes(), 0);
-        assert!(s.peek_rank().is_none());
+        assert_eq!(b.s.len(), 0);
+        assert_eq!(b.s.queued_bytes(), 0);
+        assert!(b.s.peek_rank().is_none());
     }
 
     #[test]
     fn drop_takes_largest_remaining_flow() {
-        let mut s = Srpt::new();
-        s.enqueue(remaining(1, 1, 100), SimTime::ZERO, 0, ctx());
-        s.enqueue(remaining(2, 2, 90_000), SimTime::ZERO, 1, ctx());
-        s.enqueue(remaining(3, 2, 89_000), SimTime::ZERO, 2, ctx());
-        let victim = s.select_drop().unwrap();
-        assert_eq!(victim.packet.id.0, 2, "largest-rank packet of worst flow");
-        assert_eq!(s.len(), 2);
+        let mut b = Bench::new(Srpt::new());
+        b.enqueue_at(remaining(1, 1, 100), SimTime::ZERO, 0);
+        b.enqueue_at(remaining(2, 2, 90_000), SimTime::ZERO, 1);
+        b.enqueue_at(remaining(3, 2, 89_000), SimTime::ZERO, 2);
+        assert_eq!(b.drop_id(), Some(2), "largest-rank packet of worst flow");
+        assert_eq!(b.s.len(), 2);
         // Flow 2 still serviceable afterwards.
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(SimTime::ZERO, ctx()))
-            .map(|q| q.packet.id.0)
-            .collect();
-        assert_eq!(order, vec![1, 3]);
+        assert_eq!(b.drain_ids(SimTime::ZERO), vec![1, 3]);
     }
 }

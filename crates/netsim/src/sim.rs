@@ -1,11 +1,19 @@
 //! The simulator: event loop, network construction, agents.
 //!
-//! A [`Simulator`] owns the node/port arenas, the future-event list, the
-//! schedule [`Trace`] and any registered [`Agent`]s (transport endpoints).
-//! It is single-threaded and fully deterministic: identical inputs and
-//! seeds produce bit-identical traces, which the replay methodology
-//! requires.
+//! A [`Simulator`] owns the node/port arenas, the packet arena, the
+//! future-event list, the schedule [`Trace`] and any registered [`Agent`]s
+//! (transport endpoints). It is single-threaded and fully deterministic:
+//! identical inputs and seeds produce bit-identical traces, which the
+//! replay methodology requires.
+//!
+//! ## Zero-copy hot path
+//!
+//! A packet body is moved exactly twice in its lifetime: into the
+//! [`PacketArena`] at injection, and out of it at final-hop delivery
+//! (or dropped in place). Everything between — the event list, port
+//! queues, scheduler heaps — handles 4-byte [`PacketRef`]s.
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::event::{Event, EventQueue};
 use crate::id::{AgentId, NodeId, PacketId};
 use crate::node::{Link, Node};
@@ -46,7 +54,8 @@ pub struct SimStats {
 ///
 /// Agents receive the packets delivered to their node and may inject new
 /// packets or arm timers through the [`SimApi`]. All agent interaction is
-/// deterministic: callbacks fire in event order.
+/// deterministic: callbacks fire in event order. Delivery moves the packet
+/// *out of the arena* — the agent owns it.
 pub trait Agent: Send {
     /// A packet's last bit arrived at this agent's node.
     fn on_packet(&mut self, packet: Packet, api: &mut SimApi<'_>);
@@ -59,6 +68,7 @@ pub struct SimApi<'a> {
     now: SimTime,
     agent: AgentId,
     events: &'a mut EventQueue,
+    arena: &'a mut PacketArena,
     next_packet_id: &'a mut u64,
 }
 
@@ -82,7 +92,8 @@ impl SimApi<'_> {
     pub fn inject(&mut self, mut packet: Packet) {
         packet.injected_at = self.now;
         packet.hop = 0;
-        self.events.push(self.now, Event::Inject(packet));
+        let pkt = self.arena.alloc(packet);
+        self.events.push(self.now, Event::Inject(pkt));
     }
 
     /// Arm a timer that calls this agent's `on_timer(key)` after `delay`.
@@ -100,6 +111,7 @@ impl SimApi<'_> {
 /// The discrete-event network simulator.
 pub struct Simulator {
     nodes: Vec<Node>,
+    arena: PacketArena,
     events: EventQueue,
     agents: Vec<Box<dyn Agent>>,
     agent_at: Vec<Option<AgentId>>,
@@ -113,6 +125,7 @@ impl Simulator {
     pub fn new(config: SimConfig) -> Self {
         Simulator {
             nodes: Vec::new(),
+            arena: PacketArena::new(),
             events: EventQueue::new(),
             agents: Vec::new(),
             agent_at: Vec::new(),
@@ -167,10 +180,13 @@ impl Simulator {
     }
 
     /// Schedule a pre-built packet to enter the network at
-    /// `packet.injected_at`.
+    /// `packet.injected_at`. This is the packet body's one move into the
+    /// arena; everything downstream carries a [`PacketRef`].
     pub fn inject(&mut self, packet: Packet) {
         self.next_packet_id = self.next_packet_id.max(packet.id.0 + 1);
-        self.events.push(packet.injected_at, Event::Inject(packet));
+        let at = packet.injected_at;
+        let pkt = self.arena.alloc(packet);
+        self.events.push(at, Event::Inject(pkt));
     }
 
     /// Arm an agent timer from outside a callback — how transports kick
@@ -210,6 +226,11 @@ impl Simulator {
         self.nodes.len()
     }
 
+    /// Packets currently in flight (arena occupancy).
+    pub fn packets_in_flight(&self) -> usize {
+        self.arena.live()
+    }
+
     /// Process events until the queue is empty. Most paper experiments use
     /// [`Self::run_until`]; this is for closed workloads that drain.
     pub fn run(&mut self) {
@@ -233,28 +254,35 @@ impl Simulator {
         };
         self.stats.events += 1;
         match event {
-            Event::Inject(packet) => {
+            Event::Inject(pkt) => {
                 self.stats.injected += 1;
-                self.trace.on_inject(&packet, now);
-                self.route(packet, now);
+                self.trace.on_inject(self.arena.get(pkt), now);
+                self.route(pkt, now);
             }
-            Event::Arrive { node, packet } => {
+            Event::Arrive { node, pkt } => {
+                let packet = self.arena.get(pkt);
                 debug_assert_eq!(packet.current_node(), node, "packet routed to wrong node");
                 if packet.at_destination() {
-                    self.deliver(node, packet, now);
+                    self.deliver(node, pkt, now);
                 } else {
-                    self.route(packet, now);
+                    self.route(pkt, now);
                 }
             }
             Event::PortReady { node, port, token } => {
-                let node = &mut self.nodes[node.index()];
-                node.ports[port.index()].on_ready(token, now, &mut self.events, &mut self.trace);
+                self.nodes[node.index()].ports[port.index()].on_ready(
+                    token,
+                    now,
+                    &mut self.arena,
+                    &mut self.events,
+                    &mut self.trace,
+                );
             }
             Event::Timer { agent, key } => {
                 let mut api = SimApi {
                     now,
                     agent,
                     events: &mut self.events,
+                    arena: &mut self.arena,
                     next_packet_id: &mut self.next_packet_id,
                 };
                 self.agents[agent.index()].on_timer(key, &mut api);
@@ -263,31 +291,43 @@ impl Simulator {
         true
     }
 
-    /// Enqueue `packet` at the output port of its current node towards its
+    /// Enqueue `pkt` at the output port of its current node towards its
     /// next hop.
-    fn route(&mut self, packet: Packet, now: SimTime) {
+    fn route(&mut self, pkt: PacketRef, now: SimTime) {
+        let packet = self.arena.get(pkt);
         let here = packet.current_node();
         let next = packet
             .next_node()
             .expect("route() called on a packet at its destination");
-        self.trace.on_arrive_at_hop(&packet, here, now);
-        let node = &mut self.nodes[here.index()];
-        let port = node
+        self.trace.on_arrive_at_hop(packet, here, now);
+        let port = self.nodes[here.index()]
             .port_to(next)
             .unwrap_or_else(|| panic!("no link {here} -> {next} for packet path"));
-        let drops = node.ports[port.index()].accept(packet, now, &mut self.events, &mut self.trace);
+        let drops = self.nodes[here.index()].ports[port.index()].accept(
+            pkt,
+            now,
+            &mut self.arena,
+            &mut self.events,
+            &mut self.trace,
+        );
         self.stats.dropped += drops.len() as u64;
+        for victim in drops {
+            self.arena.free(victim);
+        }
     }
 
-    /// Final-hop delivery: record exit, hand to the node's agent.
-    fn deliver(&mut self, node: NodeId, packet: Packet, now: SimTime) {
+    /// Final-hop delivery: record exit, move the packet out of the arena,
+    /// hand it to the node's agent.
+    fn deliver(&mut self, node: NodeId, pkt: PacketRef, now: SimTime) {
         self.stats.delivered += 1;
+        let packet = self.arena.take(pkt);
         self.trace.on_exit(&packet, now);
         if let Some(agent) = self.agent_at[node.index()] {
             let mut api = SimApi {
                 now,
                 agent,
                 events: &mut self.events,
+                arena: &mut self.arena,
                 next_packet_id: &mut self.next_packet_id,
             };
             self.agents[agent.index()].on_packet(packet, &mut api);
@@ -301,9 +341,9 @@ impl Simulator {
         self.nodes
             .iter()
             .flat_map(|n| {
-                n.ports.iter().map(move |p| {
-                    (n.id, p.peer, p.busy_time().as_ps() as f64 / total)
-                })
+                n.ports
+                    .iter()
+                    .map(move |p| (n.id, p.peer, p.busy_time().as_ps() as f64 / total))
             })
             .collect()
     }
@@ -352,6 +392,7 @@ mod tests {
         assert_eq!(r.congestion_points(), 0);
         assert_eq!(sim.stats().delivered, 1);
         assert_eq!(sim.stats().injected, 1);
+        assert_eq!(sim.packets_in_flight(), 0, "arena drained after delivery");
     }
 
     #[test]
@@ -399,10 +440,9 @@ mod tests {
                 let mut rev: Vec<NodeId> = packet.path.iter().copied().collect();
                 rev.reverse();
                 let id = api.alloc_packet_id();
-                let ack =
-                    PacketBuilder::new(id, packet.flow, 40, rev.into(), api.now())
-                        .ack()
-                        .build();
+                let ack = PacketBuilder::new(id, packet.flow, 40, rev.into(), api.now())
+                    .ack()
+                    .build();
                 api.inject(ack);
             }
         }
@@ -481,6 +521,29 @@ mod tests {
             .find(|(a, b, _)| *a == NodeId(0) && *b == NodeId(1))
             .unwrap();
         assert!((fwd.2 - 0.5).abs() < 1e-9, "expected 50% got {}", fwd.2);
+    }
+
+    #[test]
+    fn dropped_packets_free_their_arena_slots() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let link = Link {
+            bandwidth: Bandwidth::from_gbps(1),
+            propagation: Dur::ZERO,
+        };
+        // Tiny buffer: one queued packet only.
+        sim.add_oneway_link(a, b, link, SchedulerKind::Fifo.build(0), Some(1500));
+        for i in 0..5 {
+            sim.inject(pkt_on(&[0, 1], i, SimTime::ZERO));
+        }
+        sim.run();
+        assert!(sim.stats().dropped > 0);
+        assert_eq!(
+            sim.stats().delivered + sim.stats().dropped,
+            sim.stats().injected
+        );
+        assert_eq!(sim.packets_in_flight(), 0, "drops must free arena slots");
     }
 
     #[test]

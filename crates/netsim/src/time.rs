@@ -303,10 +303,7 @@ mod tests {
         assert_eq!(t - SimTime::from_us(2), Dur::from_us(10));
         assert_eq!(t.saturating_since(SimTime::from_us(20)), Dur::ZERO);
         assert_eq!(t.checked_since(SimTime::from_us(20)), None);
-        assert_eq!(
-            t.checked_since(SimTime::from_us(2)),
-            Some(Dur::from_us(10))
-        );
+        assert_eq!(t.checked_since(SimTime::from_us(2)), Some(Dur::from_us(10)));
     }
 
     #[test]
@@ -314,10 +311,7 @@ mod tests {
         // 1500 B at 1 Gbps = 12 us exactly — the paper's threshold T (§2.3).
         assert_eq!(Bandwidth::from_gbps(1).tx_time(1500), Dur::from_us(12));
         // 1500 B at 10 Gbps = 1.2 us exactly.
-        assert_eq!(
-            Bandwidth::from_gbps(10).tx_time(1500),
-            Dur::from_ns(1200)
-        );
+        assert_eq!(Bandwidth::from_gbps(10).tx_time(1500), Dur::from_ns(1200));
         // 40 B ack at 1 Gbps = 320 ns.
         assert_eq!(Bandwidth::from_gbps(1).tx_time(40), Dur::from_ns(320));
     }

@@ -37,7 +37,7 @@ pub struct HopRecord {
 }
 
 /// Everything recorded about one packet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacketRecord {
     /// Flow the packet belongs to.
     pub flow: FlowId,
@@ -81,7 +81,11 @@ impl PacketRecord {
 }
 
 /// The recorded schedule of one simulation run.
-#[derive(Debug)]
+///
+/// Two traces compare equal iff they were captured in the same mode and
+/// recorded identical per-packet histories — the bit-identical-trace
+/// determinism check is literally `==`.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Trace {
     mode: RecordMode,
     records: Vec<Option<PacketRecord>>,
@@ -212,6 +216,12 @@ impl Trace {
     /// Count of recorded packets.
     pub fn len(&self) -> usize {
         self.records.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Exclusive upper bound on recorded packet id indexes — the length a
+    /// dense `Vec` keyed by [`PacketId`] needs to cover every record.
+    pub fn id_bound(&self) -> usize {
+        self.records.len()
     }
 
     /// True when nothing was recorded.

@@ -1,5 +1,6 @@
 //! Property tests for the scheduler suite: invariants every discipline
-//! must uphold regardless of input sequence.
+//! must uphold regardless of input sequence. Packets live in a
+//! [`PacketArena`], as in the simulator; schedulers only ever see refs.
 
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -41,15 +42,20 @@ struct Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u64..6, 40u32..1501, 0u32..10_000, -50i64..50, 1u64..1_000_000).prop_map(
-        |(flow, size, slack_us, prio, flow_bytes)| Op {
+    (
+        0u64..6,
+        40u32..1501,
+        0u32..10_000,
+        -50i64..50,
+        1u64..1_000_000,
+    )
+        .prop_map(|(flow, size, slack_us, prio, flow_bytes)| Op {
             flow,
             size,
             slack_us,
             prio,
             flow_bytes,
-        },
-    )
+        })
 }
 
 fn packet(i: usize, op: &Op) -> Packet {
@@ -67,6 +73,19 @@ fn packet(i: usize, op: &Op) -> Packet {
     .build()
 }
 
+/// Allocate and enqueue in one step.
+fn enq(
+    s: &mut dyn Scheduler,
+    arena: &mut PacketArena,
+    p: Packet,
+    now: SimTime,
+    seq: u64,
+) -> PacketRef {
+    let r = arena.alloc(p);
+    s.enqueue(r, arena, now, seq, ctx());
+    r
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -75,18 +94,19 @@ proptest! {
     #[test]
     fn conservation_across_all_disciplines(ops in proptest::collection::vec(op_strategy(), 1..60)) {
         for kind in all_kinds() {
+            let mut arena = PacketArena::new();
             let mut s = kind.build(11);
             let mut total_bytes = 0u64;
             for (i, op) in ops.iter().enumerate() {
-                s.enqueue(packet(i, op), SimTime::from_us(i as u64), i as u64, ctx());
+                enq(&mut *s, &mut arena, packet(i, op), SimTime::from_us(i as u64), i as u64);
                 total_bytes += op.size as u64;
             }
             prop_assert_eq!(s.len(), ops.len(), "{} len", s.name());
             prop_assert_eq!(s.queued_bytes(), total_bytes, "{} bytes", s.name());
             let mut seen: Vec<u64> = Vec::new();
             let t = SimTime::from_ms(10);
-            while let Some(qp) = s.dequeue(t, ctx()) {
-                seen.push(qp.packet.id.0);
+            while let Some(qp) = s.dequeue(&mut arena, t, ctx()) {
+                seen.push(arena.get(qp.pkt).id.0);
             }
             seen.sort_unstable();
             let expected: Vec<u64> = (0..ops.len() as u64).collect();
@@ -103,24 +123,25 @@ proptest! {
         ops in proptest::collection::vec((op_strategy(), proptest::bool::ANY), 2..80)
     ) {
         for kind in all_kinds() {
+            let mut arena = PacketArena::new();
             let mut s = kind.build(3);
             let mut in_flight = 0usize;
             let mut emitted = 0usize;
             let mut enqueued = 0usize;
             for (i, (op, do_dequeue)) in ops.iter().enumerate() {
                 let now = SimTime::from_us(i as u64);
-                s.enqueue(packet(i, op), now, i as u64, ctx());
+                enq(&mut *s, &mut arena, packet(i, op), now, i as u64);
                 enqueued += 1;
                 in_flight += 1;
                 if *do_dequeue {
-                    if let Some(_qp) = s.dequeue(now, ctx()) {
+                    if let Some(_qp) = s.dequeue(&mut arena, now, ctx()) {
                         in_flight -= 1;
                         emitted += 1;
                     }
                 }
                 prop_assert_eq!(s.len(), in_flight, "{}", s.name());
             }
-            while s.dequeue(SimTime::from_ms(1), ctx()).is_some() {
+            while s.dequeue(&mut arena, SimTime::from_ms(1), ctx()).is_some() {
                 emitted += 1;
             }
             prop_assert_eq!(emitted, enqueued, "{}", s.name());
@@ -132,18 +153,21 @@ proptest! {
     #[test]
     fn select_drop_accounting(ops in proptest::collection::vec(op_strategy(), 1..40)) {
         for kind in all_kinds() {
+            let mut arena = PacketArena::new();
             let mut s = kind.build(5);
             for (i, op) in ops.iter().enumerate() {
-                s.enqueue(packet(i, op), SimTime::ZERO, i as u64, ctx());
+                enq(&mut *s, &mut arena, packet(i, op), SimTime::ZERO, i as u64);
             }
             let mut dropped = 0usize;
             while let Some(victim) = s.select_drop() {
                 dropped += 1;
-                prop_assert!(victim.packet.size > 0);
+                prop_assert!(victim.size > 0);
+                arena.free(victim.pkt);
             }
             prop_assert_eq!(dropped, ops.len(), "{}", s.name());
             prop_assert_eq!(s.queued_bytes(), 0u64, "{}", s.name());
-            prop_assert!(s.dequeue(SimTime::from_ms(1), ctx()).is_none());
+            prop_assert!(s.dequeue(&mut arena, SimTime::from_ms(1), ctx()).is_none());
+            prop_assert!(arena.is_empty(), "{} leaked arena slots", s.name());
         }
     }
 
@@ -152,13 +176,14 @@ proptest! {
     #[test]
     fn fifo_and_lifo_orders(ops in proptest::collection::vec(op_strategy(), 1..50)) {
         let drain = |kind: SchedulerKind| {
+            let mut arena = PacketArena::new();
             let mut s = kind.build(0);
             for (i, op) in ops.iter().enumerate() {
-                s.enqueue(packet(i, op), SimTime::from_us(i as u64), i as u64, ctx());
+                enq(&mut *s, &mut arena, packet(i, op), SimTime::from_us(i as u64), i as u64);
             }
             let mut order = Vec::new();
-            while let Some(qp) = s.dequeue(SimTime::from_ms(1), ctx()) {
-                order.push(qp.packet.id.0);
+            while let Some(qp) = s.dequeue(&mut arena, SimTime::from_ms(1), ctx()) {
+                order.push(arena.get(qp.pkt).id.0);
             }
             order
         };
@@ -174,24 +199,28 @@ proptest! {
     #[test]
     fn rank_disciplines_sort_their_key(ops in proptest::collection::vec(op_strategy(), 1..50)) {
         let t = SimTime::from_us(5);
+        let mut prio_arena = PacketArena::new();
+        let mut lstf_arena = PacketArena::new();
         let mut prio_s = SchedulerKind::Priority { preemptive: false }.build(0);
         let mut lstf_s = SchedulerKind::Lstf { preemptive: false }.build(0);
         for (i, op) in ops.iter().enumerate() {
             let mut p = packet(i, op);
             p.size = 1000; // uniform size isolates the slack key
-            prio_s.enqueue(p.clone(), t, i as u64, ctx());
-            lstf_s.enqueue(p, t, i as u64, ctx());
+            enq(&mut *prio_s, &mut prio_arena, p.clone(), t, i as u64);
+            enq(&mut *lstf_s, &mut lstf_arena, p, t, i as u64);
         }
         let mut last = i128::MIN;
-        while let Some(qp) = prio_s.dequeue(t, ctx()) {
-            prop_assert!(qp.packet.header.prio >= last);
-            last = qp.packet.header.prio;
+        while let Some(qp) = prio_s.dequeue(&mut prio_arena, t, ctx()) {
+            let prio = prio_arena.get(qp.pkt).header.prio;
+            prop_assert!(prio >= last);
+            last = prio;
         }
         let mut last_slack = i128::MIN;
-        while let Some(qp) = lstf_s.dequeue(t, ctx()) {
+        while let Some(qp) = lstf_s.dequeue(&mut lstf_arena, t, ctx()) {
             // dequeue rewrote slack by the wait (zero here: same instant).
-            prop_assert!(qp.packet.header.slack >= last_slack);
-            last_slack = qp.packet.header.slack;
+            let slack = lstf_arena.get(qp.pkt).header.slack;
+            prop_assert!(slack >= last_slack);
+            last_slack = slack;
         }
     }
 
@@ -202,13 +231,14 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let drain = |seed: u64| {
+            let mut arena = PacketArena::new();
             let mut s = SchedulerKind::Random.build(seed);
             for (i, op) in ops.iter().enumerate() {
-                s.enqueue(packet(i, op), SimTime::ZERO, i as u64, ctx());
+                enq(&mut *s, &mut arena, packet(i, op), SimTime::ZERO, i as u64);
             }
             let mut order = Vec::new();
-            while let Some(qp) = s.dequeue(SimTime::ZERO, ctx()) {
-                order.push(qp.packet.id.0);
+            while let Some(qp) = s.dequeue(&mut arena, SimTime::ZERO, ctx()) {
+                order.push(arena.get(qp.pkt).id.0);
             }
             order
         };
@@ -225,18 +255,19 @@ proptest! {
     /// MTU-equivalent of service among equal-size packets.
     #[test]
     fn fq_bounded_unfairness(n_each in 2usize..20) {
+        let mut arena = PacketArena::new();
         let mut s = SchedulerKind::Fq.build(0);
         let mut idx = 0u64;
         for i in 0..n_each {
             for flow in [1u64, 2] {
                 let op = Op { flow, size: 1000, slack_us: 0, prio: 0, flow_bytes: 1 };
-                s.enqueue(packet(i * 2 + flow as usize - 1, &op), SimTime::ZERO, idx, ctx());
+                enq(&mut *s, &mut arena, packet(i * 2 + flow as usize - 1, &op), SimTime::ZERO, idx);
                 idx += 1;
             }
         }
         let (mut c1, mut c2) = (0i64, 0i64);
-        while let Some(qp) = s.dequeue(SimTime::ZERO, ctx()) {
-            if qp.packet.flow.0 == 1 { c1 += 1 } else { c2 += 1 }
+        while let Some(qp) = s.dequeue(&mut arena, SimTime::ZERO, ctx()) {
+            if arena.get(qp.pkt).flow.0 == 1 { c1 += 1 } else { c2 += 1 }
             prop_assert!((c1 - c2).abs() <= 2, "imbalance {c1} vs {c2}");
         }
     }

@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use ups_netsim::prelude::{
-    Link, NodeId, RecordMode, SchedulerKind, SimConfig, Simulator,
-};
+use ups_netsim::prelude::{Link, NodeId, RecordMode, SchedulerKind, SimConfig, Simulator};
 
 use crate::graph::{NodeRole, Topology};
 
@@ -50,8 +48,7 @@ impl SchedulerAssignment {
         let mut a = SchedulerAssignment::uniform(host_kind);
         for n in topo.nodes() {
             if topo.role(n) != NodeRole::Host {
-                a.per_node
-                    .insert(n, if n.0 % 2 == 0 { even } else { odd });
+                a.per_node.insert(n, if n.0 % 2 == 0 { even } else { odd });
             }
         }
         a
@@ -165,9 +162,7 @@ mod tests {
             &BuildOptions::default(),
         );
         let path = routing.path(hosts[0], hosts[1]);
-        sim.inject(
-            PacketBuilder::new(PacketId(0), FlowId(0), 1500, path, SimTime::ZERO).build(),
-        );
+        sim.inject(PacketBuilder::new(PacketId(0), FlowId(0), 1500, path, SimTime::ZERO).build());
         sim.run();
         // 3 links: 3 × (12us + 10us) = 66us.
         assert_eq!(
@@ -196,8 +191,8 @@ mod tests {
 
     #[test]
     fn per_node_override() {
-        let assign = SchedulerAssignment::uniform(SchedulerKind::Fifo)
-            .with(NodeId(2), SchedulerKind::Lifo);
+        let assign =
+            SchedulerAssignment::uniform(SchedulerKind::Fifo).with(NodeId(2), SchedulerKind::Lifo);
         assert_eq!(assign.kind_for(NodeId(1)), SchedulerKind::Fifo);
         assert_eq!(assign.kind_for(NodeId(2)), SchedulerKind::Lifo);
     }

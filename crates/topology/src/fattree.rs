@@ -41,17 +41,27 @@ impl Default for FatTreeParams {
 /// on multipath).
 pub fn fattree(params: FatTreeParams) -> Topology {
     let k = params.k;
-    assert!(k >= 2 && k % 2 == 0, "fat-tree k must be even, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree k must be even, got {k}"
+    );
     let half = k / 2;
     let mut t = Topology::new(format!("FatTree(k={k})"));
 
-    let cores: Vec<NodeId> = (0..half * half).map(|_| t.add_node(NodeRole::Core)).collect();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| t.add_node(NodeRole::Core))
+        .collect();
     for _pod in 0..k {
         let aggs: Vec<NodeId> = (0..half).map(|_| t.add_node(NodeRole::Core)).collect();
         let edges: Vec<NodeId> = (0..half).map(|_| t.add_node(NodeRole::Edge)).collect();
         for (a, &agg) in aggs.iter().enumerate() {
             for j in 0..half {
-                t.add_link(agg, cores[a * half + j], params.bandwidth, params.propagation);
+                t.add_link(
+                    agg,
+                    cores[a * half + j],
+                    params.bandwidth,
+                    params.propagation,
+                );
             }
             for &edge in &edges {
                 t.add_link(agg, edge, params.bandwidth, params.propagation);

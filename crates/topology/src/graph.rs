@@ -83,10 +83,7 @@ impl Topology {
     /// duplicate links (the paper's model has neither).
     pub fn add_link(&mut self, a: NodeId, b: NodeId, bandwidth: Bandwidth, propagation: Dur) {
         assert_ne!(a, b, "self-link at {a}");
-        assert!(
-            self.neighbor_link(a, b).is_none(),
-            "duplicate link {a}–{b}"
-        );
+        assert!(self.neighbor_link(a, b).is_none(), "duplicate link {a}–{b}");
         let idx = self.links.len();
         self.links.push(LinkSpec {
             a,

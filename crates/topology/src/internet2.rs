@@ -82,30 +82,27 @@ pub const I2_CITIES: [&str; 10] = [
 /// The 16 core links as (city index, city index, propagation in µs) —
 /// one-way fiber delays at ~5 µs/km over approximate route miles.
 const I2_CORE_LINKS: [(u32, u32, u64); 16] = [
-    (0, 1, 4100),  // Seattle–Sunnyvale
-    (0, 3, 6600),  // Seattle–Denver
-    (1, 2, 1800),  // Sunnyvale–LosAngeles
-    (1, 3, 5100),  // Sunnyvale–Denver
-    (2, 3, 4200),  // LosAngeles–Denver
-    (2, 5, 7100),  // LosAngeles–Houston
-    (3, 4, 3100),  // Denver–KansasCity
-    (3, 5, 4400),  // Denver–Houston
-    (4, 5, 3700),  // KansasCity–Houston
-    (4, 6, 2700),  // KansasCity–Chicago
-    (4, 7, 2200),  // KansasCity–Indianapolis
-    (5, 8, 4000),  // Houston–Atlanta
-    (6, 7, 1000),  // Chicago–Indianapolis
-    (6, 9, 3500),  // Chicago–WashingtonDC
-    (7, 8, 2700),  // Indianapolis–Atlanta
-    (8, 9, 3100),  // Atlanta–WashingtonDC
+    (0, 1, 4100), // Seattle–Sunnyvale
+    (0, 3, 6600), // Seattle–Denver
+    (1, 2, 1800), // Sunnyvale–LosAngeles
+    (1, 3, 5100), // Sunnyvale–Denver
+    (2, 3, 4200), // LosAngeles–Denver
+    (2, 5, 7100), // LosAngeles–Houston
+    (3, 4, 3100), // Denver–KansasCity
+    (3, 5, 4400), // Denver–Houston
+    (4, 5, 3700), // KansasCity–Houston
+    (4, 6, 2700), // KansasCity–Chicago
+    (4, 7, 2200), // KansasCity–Indianapolis
+    (5, 8, 4000), // Houston–Atlanta
+    (6, 7, 1000), // Chicago–Indianapolis
+    (6, 9, 3500), // Chicago–WashingtonDC
+    (7, 8, 2700), // Indianapolis–Atlanta
+    (8, 9, 3100), // Atlanta–WashingtonDC
 ];
 
 /// Build an Internet2 topology with the given parameters.
 pub fn internet2(params: Internet2Params) -> Topology {
-    let mut t = Topology::new(format!(
-        "I2:{}-{}",
-        params.edge_bw, params.host_bw
-    ));
+    let mut t = Topology::new(format!("I2:{}-{}", params.edge_bw, params.host_bw));
     // Core routers first: ids 0..10 match I2_CITIES.
     let cores: Vec<NodeId> = (0..10).map(|_| t.add_node(NodeRole::Core)).collect();
     for &(a, b, us) in &I2_CORE_LINKS {
@@ -218,7 +215,10 @@ mod tests {
         let v11 = i2_1g_1g();
         assert_eq!(v11.bottleneck_bandwidth(), Bandwidth::from_gbps(1));
         let host_link = v11
-            .neighbor_link(v11.hosts()[0], v11.neighbors(v11.hosts()[0]).next().unwrap())
+            .neighbor_link(
+                v11.hosts()[0],
+                v11.neighbors(v11.hosts()[0]).next().unwrap(),
+            )
             .unwrap();
         assert_eq!(host_link.bandwidth, Bandwidth::from_gbps(1));
 

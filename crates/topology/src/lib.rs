@@ -31,9 +31,7 @@ pub mod routing;
 pub use build::{build_simulator, BuildOptions, SchedulerAssignment};
 pub use fattree::{fattree, fattree_default, FatTreeParams};
 pub use graph::{LinkSpec, NodeRole, Topology};
-pub use internet2::{
-    i2_10g_10g, i2_1g_1g, i2_default, i2_fairness, internet2, Internet2Params,
-};
+pub use internet2::{i2_10g_10g, i2_1g_1g, i2_default, i2_fairness, internet2, Internet2Params};
 pub use micro::{appendix_c, appendix_f, appendix_g, dumbbell, line, NamedTopology};
 pub use rocketfuel::{rocketfuel, rocketfuel_default, RocketFuelParams};
 pub use routing::{attach_tmin, tmin, tmin_rem_table, tmin_suffix, Routing};

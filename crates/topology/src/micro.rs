@@ -113,7 +113,9 @@ impl Builder {
 /// * b: SB → a1 → DB, c: SC → a2 → DC, y: SY → a3 → DY, z: SZ → a4 → DZ
 pub fn appendix_c() -> NamedTopology {
     let mut b = Builder::new("AppendixC-Fig5");
-    for h in ["SA", "SX", "SB", "SC", "SY", "SZ", "DA", "DX", "DB", "DC", "DY", "DZ"] {
+    for h in [
+        "SA", "SX", "SB", "SC", "SY", "SZ", "DA", "DX", "DB", "DC", "DY", "DZ",
+    ] {
         b.host(h);
     }
     b.congestion("a0", "m0", 1, 1);
@@ -285,10 +287,7 @@ mod tests {
         // b's path goes a1 then a2.
         let mut r = Routing::new(&net.topo);
         let pb = r.path(net.node("SB"), net.node("DB"));
-        assert_eq!(
-            &*pb,
-            &net.path(&["SB", "a1", "m1", "a2", "m2", "DB"])[..]
-        );
+        assert_eq!(&*pb, &net.path(&["SB", "a1", "m1", "a2", "m2", "DB"])[..]);
     }
 
     #[test]
@@ -307,7 +306,12 @@ mod tests {
         assert_eq!(l.node_count(), 5);
         assert_eq!(l.hosts().len(), 2);
 
-        let d = dumbbell(4, Bandwidth::from_gbps(10), Bandwidth::from_gbps(1), Dur::from_ms(1));
+        let d = dumbbell(
+            4,
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(1),
+            Dur::from_ms(1),
+        );
         assert_eq!(d.hosts().len(), 8);
         assert_eq!(d.bottleneck_bandwidth(), Bandwidth::from_gbps(1));
         let mut r = Routing::new(&d);

@@ -87,7 +87,7 @@ pub fn rocketfuel(params: RocketFuelParams) -> Topology {
         let total: usize = degree[..i].iter().map(|d| d + 1).sum();
         let mut pick = rng.gen_range(0..total);
         let mut j = 0;
-        while pick >= degree[j] + 1 {
+        while pick > degree[j] {
             pick -= degree[j] + 1;
             j += 1;
         }
@@ -101,7 +101,7 @@ pub fn rocketfuel(params: RocketFuelParams) -> Topology {
         let pick_node = |rng: &mut SmallRng, degree: &[usize]| {
             let mut pick = rng.gen_range(0..total);
             let mut j = 0;
-            while pick >= degree[j] + 1 {
+            while pick > degree[j] {
                 pick -= degree[j] + 1;
                 j += 1;
             }

@@ -45,10 +45,7 @@ impl Routing {
         for s in topo.nodes() {
             dist.push(bfs_dist(topo, s));
         }
-        let adjacency = topo
-            .nodes()
-            .map(|u| topo.neighbors(u).collect())
-            .collect();
+        let adjacency = topo.nodes().map(|u| topo.neighbors(u).collect()).collect();
         Routing {
             dist,
             adjacency,

@@ -23,10 +23,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use ups_core::FairnessSlackAssigner;
 use ups_netsim::prelude::{
     Agent, Dur, FlowId, NodeId, Packet, PacketBuilder, PacketKind, SimApi, SimTime, Simulator,
 };
-use ups_core::FairnessSlackAssigner;
 use ups_topology::{Routing, Topology};
 use ups_workload::FlowSpec;
 
@@ -174,7 +174,11 @@ impl TcpSender {
                 self.rttvar = Dur::from_ps(sample.as_ps() / 2);
             }
             Some(srtt) => {
-                let diff = if srtt > sample { srtt - sample } else { sample - srtt };
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
                 self.rttvar = Dur::from_ps((3 * self.rttvar.as_ps() + diff.as_ps()) / 4);
                 self.srtt = Some(Dur::from_ps((7 * srtt.as_ps() + sample.as_ps()) / 8));
             }
@@ -186,7 +190,13 @@ impl TcpSender {
 }
 
 impl TcpHost {
-    fn stamp_header(&mut self, sender_idx: usize, seq: u64, len: u32, now: SimTime) -> (i128, u64, u64) {
+    fn stamp_header(
+        &mut self,
+        sender_idx: usize,
+        seq: u64,
+        len: u32,
+        now: SimTime,
+    ) -> (i128, u64, u64) {
         let s = &self.senders[sender_idx];
         let remaining = if s.size == u64::MAX {
             u64::MAX
@@ -277,11 +287,7 @@ impl TcpHost {
             // New data acknowledged.
             // RTT sample from the oldest fully-acked, never-retransmitted
             // segment (Karn's rule).
-            let covered: Vec<u64> = s
-                .send_times
-                .range(..ack)
-                .map(|(&seq, _)| seq)
-                .collect();
+            let covered: Vec<u64> = s.send_times.range(..ack).map(|(&seq, _)| seq).collect();
             let now = api.now();
             for seq in covered {
                 let (sent, retx) = s.send_times.remove(&seq).expect("key exists");
@@ -387,7 +393,7 @@ impl TcpHost {
             // Still ack so the sender can finish cleanly.
         }
         let seq = pkt.seq;
-        let len = pkt.size as u32;
+        let len = pkt.size;
         let before = r.expected;
         if seq <= r.expected && seq + len as u64 > r.expected {
             r.expected = seq + len as u64;
@@ -419,10 +425,16 @@ impl TcpHost {
         // Cumulative ack; acks carry the ack number in `seq` and are
         // maximally urgent (zero slack) so transport control never starves.
         let id = api.alloc_packet_id();
-        let ack = PacketBuilder::new(id, r.flow, config.ack_size, r.reverse_path.clone(), api.now())
-            .seq(r.expected)
-            .ack()
-            .build();
+        let ack = PacketBuilder::new(
+            id,
+            r.flow,
+            config.ack_size,
+            r.reverse_path.clone(),
+            api.now(),
+        )
+        .seq(r.expected)
+        .ack()
+        .build();
         api.inject(ack);
     }
 }
@@ -564,7 +576,15 @@ mod tests {
         (topo, sim, stats)
     }
 
-    fn flow(routing: &mut Routing, topo: &ups_topology::Topology, id: u64, src: usize, dst: usize, size: u64, start: SimTime) -> FlowSpec {
+    fn flow(
+        routing: &mut Routing,
+        topo: &ups_topology::Topology,
+        id: u64,
+        src: usize,
+        dst: usize,
+        size: u64,
+        start: SimTime,
+    ) -> FlowSpec {
         let hosts = topo.hosts();
         FlowSpec {
             id: FlowId(id),
@@ -722,11 +742,8 @@ mod tests {
         // extension). Buffers unbounded, as in the paper's fairness
         // experiments ("buffer size is kept large so that the fairness
         // is dominated by the scheduling policy").
-        let (topo, mut sim, stats) = two_host_setup(
-            1,
-            None,
-            SchedulerKind::Lstf { preemptive: false },
-        );
+        let (topo, mut sim, stats) =
+            two_host_setup(1, None, SchedulerKind::Lstf { preemptive: false });
         let mut routing = Routing::new(&topo);
         let f1 = flow(&mut routing, &topo, 0, 0, 2, u64::MAX, SimTime::ZERO);
         let f2 = flow(&mut routing, &topo, 1, 1, 3, u64::MAX, SimTime::ZERO);
@@ -757,7 +774,8 @@ mod tests {
     #[test]
     fn fairness_policy_stamps_accumulating_slack() {
         // Just exercises the Fairness policy path end-to-end.
-        let (topo, mut sim, stats) = two_host_setup(1, Some(100_000), SchedulerKind::Lstf { preemptive: false });
+        let (topo, mut sim, stats) =
+            two_host_setup(1, Some(100_000), SchedulerKind::Lstf { preemptive: false });
         let mut routing = Routing::new(&topo);
         let f1 = flow(&mut routing, &topo, 0, 0, 2, u64::MAX, SimTime::ZERO);
         let f2 = flow(&mut routing, &topo, 1, 1, 3, u64::MAX, SimTime::ZERO);

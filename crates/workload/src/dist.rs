@@ -75,7 +75,8 @@ impl SizeDist for BoundedPareto {
             // α = 1: mean = ln(h/l) · l·h/(h−l)
             (h * l / (h - l)) * (h / l).ln()
         } else {
-            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+            (l.powf(a) / (1.0 - (l / h).powf(a)))
+                * (a / (a - 1.0))
                 * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
         }
     }
@@ -276,7 +277,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..10_000 {
             let s = d.sample(&mut r);
-            assert!(s >= 1 && s <= 30_762_200);
+            assert!((1..=30_762_200).contains(&s));
         }
     }
 

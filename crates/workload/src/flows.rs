@@ -239,10 +239,16 @@ mod tests {
     fn higher_utilization_means_more_flows() {
         let topo = small_i2();
         let mut routing = Routing::new(&topo);
-        let lo = PoissonWorkload::at_utilization(0.1, Dur::from_ms(20), 3)
-            .generate(&topo, &mut routing, &Fixed(100_000));
-        let hi = PoissonWorkload::at_utilization(0.9, Dur::from_ms(20), 3)
-            .generate(&topo, &mut routing, &Fixed(100_000));
+        let lo = PoissonWorkload::at_utilization(0.1, Dur::from_ms(20), 3).generate(
+            &topo,
+            &mut routing,
+            &Fixed(100_000),
+        );
+        let hi = PoissonWorkload::at_utilization(0.9, Dur::from_ms(20), 3).generate(
+            &topo,
+            &mut routing,
+            &Fixed(100_000),
+        );
         assert!(
             hi.len() > lo.len() * 5,
             "10% -> {} flows, 90% -> {} flows",
@@ -333,7 +339,10 @@ mod tests {
         let b = wl.generate(&topo, &mut routing, &Empirical::web_search());
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!((x.src, x.dst, x.size, x.start), (y.src, y.dst, y.size, y.start));
+            assert_eq!(
+                (x.src, x.dst, x.size, x.start),
+                (y.src, y.dst, y.size, y.start)
+            );
         }
     }
 }

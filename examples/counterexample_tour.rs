@@ -22,7 +22,11 @@ fn main() {
         let out = sched.replay(HeaderInit::LstfSlack, true);
         println!(
             "  case {case}: LSTF replay {} ({} of {} packets overdue, worst {})",
-            if out.report.perfect() { "PERFECT" } else { "FAILS" },
+            if out.report.perfect() {
+                "PERFECT"
+            } else {
+                "FAILS"
+            },
             out.report.overdue,
             out.report.total,
             out.report.max_lateness,
@@ -71,9 +75,18 @@ fn main() {
             ..BuildOptions::default()
         };
         let recorded = run_schedule(&sched.net.topo, &assign, seeded, &opts);
-        let replay_set =
-            replay_packets(&sched.net.topo, &recorded, &sched.packets, HeaderInit::Omniscient);
-        let replayed = run_schedule(&sched.net.topo, &assign, replay_set, &BuildOptions::default());
+        let replay_set = replay_packets(
+            &sched.net.topo,
+            &recorded,
+            &sched.packets,
+            HeaderInit::Omniscient,
+        );
+        let replayed = run_schedule(
+            &sched.net.topo,
+            &assign,
+            replay_set,
+            &BuildOptions::default(),
+        );
         let report = compare(&recorded, &replayed, Dur::from_ms(1));
         println!(
             "  omniscient replay of a recorded schedule on this network: {} overdue (App. B)",

@@ -24,8 +24,11 @@ mod ups_bench_free {
         seed: u64,
     ) -> Vec<FlowSample> {
         let mut routing = Routing::new(topo);
-        let flows = PoissonWorkload::at_utilization(0.7, Dur::from_ms(60), seed)
-            .generate(topo, &mut routing, &Empirical::web_search());
+        let flows = PoissonWorkload::at_utilization(0.7, Dur::from_ms(60), seed).generate(
+            topo,
+            &mut routing,
+            &Empirical::web_search(),
+        );
         let mut sim = build_simulator(
             topo,
             &SchedulerAssignment::uniform(kind),

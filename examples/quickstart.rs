@@ -16,14 +16,22 @@ fn main() {
         edges_per_core: 2,
         ..Internet2Params::default()
     });
-    println!("topology: {} ({} nodes, {} hosts)", topo.name, topo.node_count(), topo.hosts().len());
+    println!(
+        "topology: {} ({} nodes, {} hosts)",
+        topo.name,
+        topo.node_count(),
+        topo.hosts().len()
+    );
 
     // The paper's default workload: Poisson flow arrivals at 70% mean
     // core utilization, heavy-tailed (web-search-like) flow sizes,
     // packetized as NIC-paced UDP trains.
     let mut routing = Routing::new(&topo);
-    let flows = PoissonWorkload::at_utilization(0.7, Dur::from_ms(10), 1)
-        .generate(&topo, &mut routing, &Empirical::web_search());
+    let flows = PoissonWorkload::at_utilization(0.7, Dur::from_ms(10), 1).generate(
+        &topo,
+        &mut routing,
+        &Empirical::web_search(),
+    );
     let packets = udp_packet_train(&flows, MTU);
     println!("workload: {} flows, {} packets", flows.len(), packets.len());
 

@@ -65,8 +65,7 @@ pub use ups_workload as workload;
 pub mod prelude {
     pub use ups_core::{
         compare, compare_with_tolerance, fct_slack, max_congestion_points, tail_slack,
-        FairnessSlackAssigner, HeaderInit, ReplayExperiment, ReplayOutcome, ReplayReport,
-        FCT_D,
+        FairnessSlackAssigner, HeaderInit, ReplayExperiment, ReplayOutcome, ReplayReport, FCT_D,
     };
     pub use ups_metrics::{jain_index, jain_series, mean_fct_by_bucket, Cdf, FlowSample};
     pub use ups_netsim::prelude::*;

@@ -19,8 +19,11 @@ fn small_i2() -> Topology {
 fn replay_pipeline_end_to_end() {
     let topo = small_i2();
     let mut routing = Routing::new(&topo);
-    let flows = PoissonWorkload::at_utilization(0.7, Dur::from_ms(6), 11)
-        .generate(&topo, &mut routing, &Empirical::web_search());
+    let flows = PoissonWorkload::at_utilization(0.7, Dur::from_ms(6), 11).generate(
+        &topo,
+        &mut routing,
+        &Empirical::web_search(),
+    );
     let packets = udp_packet_train(&flows, MTU);
     assert!(packets.len() > 1_000);
 
@@ -57,8 +60,11 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let topo = small_i2();
         let mut routing = Routing::new(&topo);
-        let flows = PoissonWorkload::at_utilization(0.5, Dur::from_ms(4), 5)
-            .generate(&topo, &mut routing, &Empirical::web_search());
+        let flows = PoissonWorkload::at_utilization(0.5, Dur::from_ms(4), 5).generate(
+            &topo,
+            &mut routing,
+            &Empirical::web_search(),
+        );
         let packets = udp_packet_train(&flows, MTU);
         let outcome = ReplayExperiment {
             topo: &topo,
@@ -97,8 +103,11 @@ fn tcp_completes_under_every_objective_scheduler() {
     ] {
         let topo = small_i2();
         let mut routing = Routing::new(&topo);
-        let flows = PoissonWorkload::at_utilization(0.4, Dur::from_ms(15), 2)
-            .generate(&topo, &mut routing, &Empirical::web_search());
+        let flows = PoissonWorkload::at_utilization(0.4, Dur::from_ms(15), 2).generate(
+            &topo,
+            &mut routing,
+            &Empirical::web_search(),
+        );
         let n_flows = flows.len();
         let mut sim = build_simulator(
             &topo,
@@ -135,8 +144,11 @@ fn tcp_completes_under_every_objective_scheduler() {
 fn datacenter_replay_works() {
     let topo = fattree(FatTreeParams::default());
     let mut routing = Routing::new(&topo);
-    let flows = PoissonWorkload::at_utilization(0.6, Dur::from_ms(4), 8)
-        .generate(&topo, &mut routing, &Empirical::data_mining());
+    let flows = PoissonWorkload::at_utilization(0.6, Dur::from_ms(4), 8).generate(
+        &topo,
+        &mut routing,
+        &Empirical::data_mining(),
+    );
     let packets = udp_packet_train(&flows, MTU);
     assert!(!packets.is_empty());
     let outcome = ReplayExperiment {
@@ -211,8 +223,11 @@ fn bidirectional_tcp_over_lstf() {
 fn metrics_integration() {
     let topo = small_i2();
     let mut routing = Routing::new(&topo);
-    let flows = PoissonWorkload::at_utilization(0.6, Dur::from_ms(4), 13)
-        .generate(&topo, &mut routing, &Empirical::web_search());
+    let flows = PoissonWorkload::at_utilization(0.6, Dur::from_ms(4), 13).generate(
+        &topo,
+        &mut routing,
+        &Empirical::web_search(),
+    );
     let packets = udp_packet_train(&flows, MTU);
     let outcome = ReplayExperiment {
         topo: &topo,

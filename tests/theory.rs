@@ -44,14 +44,8 @@ fn slack_bookkeeping_is_exact() {
     let path = routing.path(hosts[0], hosts[1]);
     let tmin = ups::topology::tmin(&topo, &path, 1500);
 
-    let packets = vec![PacketBuilder::new(
-        PacketId(0),
-        FlowId(0),
-        1500,
-        path,
-        SimTime::from_us(100),
-    )
-    .build()];
+    let packets =
+        vec![PacketBuilder::new(PacketId(0), FlowId(0), 1500, path, SimTime::from_us(100)).build()];
     let outcome = ReplayExperiment {
         topo: &topo,
         original_assign: SchedulerAssignment::uniform(SchedulerKind::Fifo),
@@ -84,7 +78,9 @@ fn threshold_is_one_bottleneck_transmission() {
         );
     }
     assert_eq!(
-        ups::topology::i2_default().bottleneck_bandwidth().tx_time(1500),
+        ups::topology::i2_default()
+            .bottleneck_bandwidth()
+            .tx_time(1500),
         Dur::from_us(12)
     );
 }
