@@ -3,33 +3,57 @@
 //! flows on the default Internet2 at 70% utilization and 5 MB router
 //! buffers.
 //!
+//! The four schemes are independent simulations, so they run as jobs on
+//! the `ups-sweep` work-stealing pool (`UPS_SWEEP_WORKERS` caps the
+//! width; default: one worker per scheme, at most the core count).
+//!
 //! Output: per scheme, the overall mean FCT (the figure's legend) and one
 //! row per Figure 2 size bucket.
 
-use ups_bench::{run_fct_experiment, FctScheme, Scale};
+use ups_bench::{figure_setup, run_fct_experiment, FctScheme};
 use ups_metrics::{frac, mean_fct_by_bucket, overall_mean_fct, Table, FIG2_BUCKETS};
-use ups_topology::i2_default;
+
+fn workers_from_env(jobs: usize) -> usize {
+    std::env::var("UPS_SWEEP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, jobs)
+}
 
 fn main() {
-    let scale = Scale::from_env();
+    let setup = figure_setup();
     println!(
         "# Figure 2: mean FCT by flow size (scale={}, window={}, horizon={})",
-        scale.label, scale.fct_window, scale.fct_horizon
+        setup.scale.label, setup.scale.fct_window, setup.scale.fct_horizon
     );
     println!("# paper legend: FIFO 0.288s, SRPT 0.208s, SJF 0.194s, LSTF 0.195s");
-    let topo = i2_default();
+    let schemes = FctScheme::ALL;
+    let workers = workers_from_env(schemes.len());
+    let (all_samples, stats) = ups_sweep::pool::run_jobs(&schemes, workers, |_, &scheme| {
+        run_fct_experiment(
+            &setup.topo,
+            scheme,
+            0.7,
+            setup.scale.fct_window,
+            setup.scale.fct_horizon,
+            setup.seed,
+        )
+    });
     let mut table = Table::new(&["bucket(B)", "FIFO", "SRPT", "SJF", "LSTF", "flows/bucket"]);
     let mut per_scheme = Vec::new();
-    for scheme in FctScheme::ALL {
-        let samples =
-            run_fct_experiment(&topo, scheme, 0.7, scale.fct_window, scale.fct_horizon, 42);
+    for (scheme, samples) in schemes.iter().zip(&all_samples) {
         println!(
             "{}: mean FCT {} over {} completed flows",
             scheme.label(),
-            frac(overall_mean_fct(&samples)),
+            frac(overall_mean_fct(samples)),
             samples.len()
         );
-        per_scheme.push(mean_fct_by_bucket(&samples, &FIG2_BUCKETS));
+        per_scheme.push(mean_fct_by_bucket(samples, &FIG2_BUCKETS));
     }
     for (i, &bucket) in FIG2_BUCKETS.iter().enumerate() {
         table.row(&[
@@ -42,4 +66,8 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    println!(
+        "# pool: {} schemes on {} workers ({} steals)",
+        stats.jobs, stats.workers, stats.steals
+    );
 }

@@ -2,28 +2,38 @@
 //! delays under FIFO vs. LSTF with a constant slack (≡ FIFO+), UDP flows
 //! on the default Internet2 at 70% utilization.
 //!
+//! The FIFO and LSTF runs are independent simulations over the identical
+//! workload, so they run as two jobs on the `ups-sweep` pool.
+//!
 //! Output: mean and 99th-percentile delays per scheme (the figure's
 //! legend) plus tab-separated CCDF series.
 
-use ups_bench::{run_tail_experiment, Scale};
+use ups_bench::{figure_setup, run_tail_experiment};
 use ups_metrics::render_series;
-use ups_topology::i2_default;
 
 fn main() {
-    let scale = Scale::from_env();
+    let setup = figure_setup();
     println!(
         "# Figure 3: tail packet delays, FIFO vs LSTF/FIFO+ (scale={}, window={})",
-        scale.label, scale.replay_window
+        setup.scale.label, setup.scale.replay_window
     );
     println!(
         "# paper legend: FIFO mean 0.0780s / 99%ile 0.2142s; LSTF mean 0.0786s / 99%ile 0.1958s"
     );
-    let topo = i2_default();
-    let fifo = run_tail_experiment(&topo, false, 0.7, scale.replay_window, 42);
-    let lstf = run_tail_experiment(&topo, true, 0.7, scale.replay_window, 42);
+    let lstf_on = [false, true];
+    let (results, _stats) = ups_sweep::pool::run_jobs(&lstf_on, lstf_on.len(), |_, &lstf| {
+        run_tail_experiment(
+            &setup.topo,
+            lstf,
+            0.7,
+            setup.scale.replay_window,
+            setup.seed,
+        )
+    });
+    let (fifo, lstf) = (&results[0], &results[1]);
     let max_delay = fifo.delays.quantile(1.0).max(lstf.delays.quantile(1.0));
     let probes: Vec<f64> = (0..=60).map(|i| i as f64 * max_delay / 60.0).collect();
-    for (label, result) in [("FIFO", &fifo), ("LSTF", &lstf)] {
+    for (label, result) in [("FIFO", fifo), ("LSTF", lstf)] {
         println!(
             "{label}: mean {:.6}s  99%ile {:.6}s  99.9%ile {:.6}s  ({} packets)",
             result.delays.mean(),

@@ -14,11 +14,9 @@
 use std::time::Instant;
 
 use ups_bench::baseline::BaselineSim;
+use ups_bench::fattree_throughput_workload;
 use ups_netsim::prelude::*;
-use ups_topology::{
-    build_simulator, fattree, BuildOptions, FatTreeParams, Routing, SchedulerAssignment,
-};
-use ups_workload::{udp_packet_train, Empirical, PoissonWorkload, SizeDist, MTU};
+use ups_topology::{build_simulator, BuildOptions, SchedulerAssignment};
 
 const UTILIZATION: f64 = 0.7;
 const SEED: u64 = 42;
@@ -28,23 +26,6 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
-}
-
-/// Grow the arrival window until the packetized workload clears the floor.
-fn build_workload(topo: &ups_topology::Topology, min_packets: usize) -> (Vec<Packet>, usize, u64) {
-    let mut routing = Routing::new(topo);
-    let sizes = Empirical::web_search();
-    let mut window_ms = 4u64;
-    loop {
-        let flows = PoissonWorkload::at_utilization(UTILIZATION, Dur::from_ms(window_ms), SEED)
-            .generate(topo, &mut routing, &sizes as &dyn SizeDist);
-        let packets = udp_packet_train(&flows, MTU);
-        if packets.len() >= min_packets {
-            return (packets, flows.len(), window_ms);
-        }
-        window_ms *= 2;
-        assert!(window_ms <= 4096, "workload never reached the packet floor");
-    }
 }
 
 struct Measurement {
@@ -171,8 +152,9 @@ fn main() {
     let min_packets = env_u64("UPS_TPUT_MIN_PACKETS", 120_000) as usize;
     let runs = env_u64("UPS_TPUT_RUNS", 3).max(1);
 
-    let topo = fattree(FatTreeParams::default());
-    let (packets, flows, window_ms) = build_workload(&topo, min_packets);
+    let (topo, train) = fattree_throughput_workload(UTILIZATION, min_packets, SEED);
+    let (packets, flows) = (train.packets, train.flows);
+    let window_ms = train.window.as_secs_f64() * 1e3;
     println!(
         "# throughput: {} packets / {} flows on {} at {:.0}% util ({} ms window, seed {})",
         packets.len(),

@@ -28,4 +28,7 @@ pub use objectives::{
 };
 pub use replay_exp::{ReplayResult, ReplayScenario};
 pub use scale::Scale;
-pub use scenarios::{fig1_scenarios, table1_scenarios, PAPER_FQ_FIFOPLUS, PAPER_TABLE1};
+pub use scenarios::{
+    fattree_throughput_workload, fig1_scenarios, figure_setup, table1_scenarios, FigureSetup,
+    PAPER_FQ_FIFOPLUS, PAPER_TABLE1,
+};

@@ -1,12 +1,54 @@
-//! The Table 1 scenario matrix and the paper's reference numbers.
+//! The Table 1 scenario matrix, the paper's reference numbers, and the
+//! workload/calibration setup shared by the figure and throughput
+//! benches (previously copy-pasted per bench target).
 
 use ups_netsim::prelude::{Dur, SchedulerKind};
 use ups_topology::{
     fattree, i2_10g_10g, i2_1g_1g, i2_default, rocketfuel_default, FatTreeParams,
     SchedulerAssignment, Topology,
 };
+use ups_workload::{profile_by_name, CalibratedTrain};
 
 use crate::replay_exp::ReplayScenario;
+use crate::scale::Scale;
+
+/// The common preamble of the objective figures (2, 3, 4): the default
+/// Internet2, the `UPS_SCALE` knobs, and the fixed workload seed every
+/// committed figure uses.
+pub struct FigureSetup {
+    /// The paper's default evaluation network.
+    pub topo: Topology,
+    /// Quick vs. paper-scale durations.
+    pub scale: Scale,
+    /// The evaluation's fixed workload seed.
+    pub seed: u64,
+}
+
+/// One shared constructor instead of three copy-pasted ones — Figure 2,
+/// Figure 3 and any future objective bench start from here.
+pub fn figure_setup() -> FigureSetup {
+    FigureSetup {
+        topo: i2_default(),
+        scale: Scale::from_env(),
+        seed: 42,
+    }
+}
+
+/// The reference fat-tree workload of the engine benchmarks: web-search
+/// sizes at 70% core utilization, window grown until the UDP train
+/// clears `min_packets` (the throughput bench's calibration loop, now
+/// shared through `ups_workload::registry`).
+pub fn fattree_throughput_workload(
+    utilization: f64,
+    min_packets: usize,
+    seed: u64,
+) -> (Topology, CalibratedTrain) {
+    let topo = fattree(FatTreeParams::default());
+    let train = profile_by_name("web-search")
+        .expect("web-search is registered")
+        .udp_train_with_floor(&topo, utilization, min_packets, Dur::from_ms(4), seed);
+    (topo, train)
+}
 
 /// The paper's Table 1 values for side-by-side reporting:
 /// (topology, utilization, scheduler, frac overdue, frac overdue > T).

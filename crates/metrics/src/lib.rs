@@ -6,6 +6,8 @@
 //! * [`jain`] — Jain's fairness index and per-millisecond series
 //!   (Figure 4),
 //! * [`fct`] — flow-completion-time bucketing (Figure 2),
+//! * [`summary`] — the serializable per-run [`RunSummary`] the sweep
+//!   result store streams as JSON lines,
 //! * [`table`] — paper-style plain-text rendering for the bench harness.
 
 #![warn(missing_docs)]
@@ -14,9 +16,11 @@
 pub mod fct;
 pub mod jain;
 pub mod stats;
+pub mod summary;
 pub mod table;
 
 pub use fct::{mean_fct_by_bucket, overall_mean_fct, FlowSample, FIG2_BUCKETS};
 pub use jain::{jain_index, jain_series};
 pub use stats::{fraction_where, mean, percentile, Cdf};
+pub use summary::{json_escape, json_num, json_opt_num, RunSummary};
 pub use table::{frac, render_series, Table};

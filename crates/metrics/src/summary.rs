@@ -1,0 +1,159 @@
+//! A serializable per-run metrics summary — the record type the sweep
+//! result store (`ups-sweep`) streams one JSON line of per job.
+//!
+//! Plain data + hand-rolled JSON emission (the workspace is offline — no
+//! serde; see DESIGN.md §6). Emission is deterministic: field order is
+//! fixed and numbers use Rust's shortest round-trip formatting, so two
+//! runs that computed identical values emit byte-identical JSON.
+
+/// Everything one sweep job reports about its run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Flows with at least one delivered packet (under a `max_packets`
+    /// cap this is fewer than the workload generator produced).
+    pub flows: usize,
+    /// Packets injected.
+    pub packets: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped from full buffers.
+    pub dropped: u64,
+    /// Mean end-to-end delay over delivered data packets (seconds).
+    pub delay_mean_s: f64,
+    /// 99th-percentile end-to-end delay (seconds).
+    pub delay_p99_s: f64,
+    /// Mean flow completion time (seconds; last delivered packet per flow).
+    pub fct_mean_s: f64,
+    /// Mean FCT per size bucket: `(bucket_edge_bytes, mean_fct_s, flows)`.
+    pub fct_buckets: Vec<(u64, f64, usize)>,
+    /// Jain fairness index over per-flow mean throughput.
+    pub jain: f64,
+    /// Fraction of packets the LSTF replay got out on time
+    /// (`1 − frac_overdue`); `None` when the job ran without a replay.
+    pub replay_match_rate: Option<f64>,
+    /// Fraction of packets the replay missed by more than `T`.
+    pub replay_frac_gt_t: Option<f64>,
+}
+
+impl RunSummary {
+    /// Compact single-line JSON object (JSONL-friendly).
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .fct_buckets
+            .iter()
+            .map(|&(edge, mean, n)| {
+                format!(
+                    r#"{{"edge_bytes":{edge},"mean_fct_s":{},"flows":{n}}}"#,
+                    json_num(mean)
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                r#"{{"flows":{},"packets":{},"delivered":{},"dropped":{},"#,
+                r#""delay_mean_s":{},"delay_p99_s":{},"fct_mean_s":{},"#,
+                r#""jain":{},"replay_match_rate":{},"replay_frac_gt_t":{},"#,
+                r#""fct_buckets":[{}]}}"#
+            ),
+            self.flows,
+            self.packets,
+            self.delivered,
+            self.dropped,
+            json_num(self.delay_mean_s),
+            json_num(self.delay_p99_s),
+            json_num(self.fct_mean_s),
+            json_num(self.jain),
+            json_opt_num(self.replay_match_rate),
+            json_opt_num(self.replay_frac_gt_t),
+            buckets.join(",")
+        )
+    }
+}
+
+/// A finite `f64` as JSON (shortest round-trip form); non-finite values
+/// become `null` — JSON has no NaN/Infinity.
+pub fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// `Option<f64>` as JSON.
+pub fn json_opt_num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => json_num(v),
+        None => "null".into(),
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            flows: 3,
+            packets: 100,
+            delivered: 99,
+            dropped: 1,
+            delay_mean_s: 0.001,
+            delay_p99_s: 0.01,
+            fct_mean_s: 0.25,
+            fct_buckets: vec![(1460, 0.1, 2), (2920, 0.0, 0)],
+            jain: 0.97,
+            replay_match_rate: Some(0.9984),
+            replay_frac_gt_t: Some(0.0),
+        }
+    }
+
+    #[test]
+    fn json_is_single_line_and_stable() {
+        let s = sample().to_json();
+        assert!(!s.contains('\n'));
+        assert!(s.contains(r#""delivered":99"#));
+        assert!(s.contains(r#""replay_match_rate":0.9984"#));
+        assert!(s.contains(r#""edge_bytes":1460"#));
+        assert_eq!(s, sample().to_json(), "emission must be deterministic");
+    }
+
+    #[test]
+    fn none_replay_serializes_as_null() {
+        let mut r = sample();
+        r.replay_match_rate = None;
+        r.replay_frac_gt_t = None;
+        assert!(r.to_json().contains(r#""replay_match_rate":null"#));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(0.7), "0.7");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), r#"x\ny"#);
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

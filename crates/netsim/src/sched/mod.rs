@@ -111,6 +111,33 @@ impl SchedulerKind {
         }
     }
 
+    /// Every kind, in a stable listing order (the sweep grids and the
+    /// Send audit enumerate disciplines through this).
+    pub const ALL: [SchedulerKind; 15] = [
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+        SchedulerKind::Random,
+        SchedulerKind::Priority { preemptive: false },
+        SchedulerKind::Priority { preemptive: true },
+        SchedulerKind::Sjf,
+        SchedulerKind::Srpt,
+        SchedulerKind::Fq,
+        SchedulerKind::Drr,
+        SchedulerKind::FifoPlus,
+        SchedulerKind::Lstf { preemptive: false },
+        SchedulerKind::Lstf { preemptive: true },
+        SchedulerKind::Edf { preemptive: false },
+        SchedulerKind::Edf { preemptive: true },
+        SchedulerKind::Omniscient,
+    ];
+
+    /// Parse a display name back into a kind — the exact inverse of
+    /// [`Self::name`], so declarative scenario grids can reference
+    /// disciplines by the labels the paper's tables use.
+    pub fn from_name(name: &str) -> Option<SchedulerKind> {
+        SchedulerKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Short name used in experiment tables.
     pub fn name(self) -> &'static str {
         match self {

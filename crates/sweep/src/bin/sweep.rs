@@ -1,0 +1,335 @@
+//! `sweep` — run a declarative scenario grid across all cores.
+//!
+//! ```text
+//! sweep                                   # the 30-job paper-default grid
+//! sweep --workers 8 --seeds 1,2,3         # wider, more seeds
+//! sweep --topos "Line(3),Dumbbell(4)" --scheds FIFO,LSTF \
+//!       --window-ms 2 --max-packets 4000  # CI smoke grid
+//! sweep --list                            # registries and disciplines
+//! sweep --validate BENCH_sweep.json       # schema-check an artifact
+//! ```
+//!
+//! Writes one JSON line per finished job to `--jsonl` (completion order,
+//! live progress) and the sorted aggregate to `--out`; `--check`
+//! re-validates the aggregate after writing and fails the process if the
+//! artifact doesn't conform.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ups_netsim::prelude::Dur;
+use ups_sweep::{
+    bench_sweep_json, grid::is_original_scheduler, pool, runner, validate_bench_sweep, Exclude,
+    ResultStream, ScenarioGrid,
+};
+
+struct Args {
+    grid: ScenarioGrid,
+    workers: usize,
+    out: PathBuf,
+    jsonl: PathBuf,
+    check: bool,
+    quiet: bool,
+    list: bool,
+    validate: Option<PathBuf>,
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 8)
+}
+
+const USAGE: &str = "\
+sweep — parallel scenario-sweep engine (Universal Packet Scheduling)
+
+USAGE:
+  sweep [OPTIONS]
+
+GRID AXES (comma-separated; defaults form the 30-job paper grid):
+  --topos NAMES       topologies by registry name
+  --profiles NAMES    workload profiles by registry name
+  --scheds LABELS     scheduler disciplines (Table-1 labels; FQ/FIFO+ ok)
+  --utils FRACS       utilization targets, e.g. 0.3,0.7
+  --seeds INTS        one independent job per seed
+
+GRID OPTIONS:
+  --window-ms MS      flow-arrival window per job (default 10)
+  --no-replay         skip the LSTF replay (original schedule only)
+  --max-packets N     cap injected packets per job (smoke grids)
+  --exclude SPEC      drop combinations, e.g. topo=RocketFuel,sched=Random
+                      (repeatable; util>0.8 caps utilization)
+  --max-jobs N        keep at most N jobs
+
+EXECUTION & OUTPUT:
+  --workers N         worker threads (default: min(cores, 8))
+  --out PATH          aggregate artifact (default BENCH_sweep.json)
+  --jsonl PATH        streamed records (default sweep_results.jsonl)
+  --check             validate the artifact after writing
+  --quiet             suppress per-job lines
+
+OTHER:
+  --list              print registered topologies, profiles, disciplines
+  --validate PATH     schema-check an existing artifact and exit
+  --help              this text
+";
+
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_exclude(spec: &str) -> Result<Exclude, String> {
+    let mut e = Exclude::default();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if let Some(v) = part.strip_prefix("topo=") {
+            e.topology = Some(v.into());
+        } else if let Some(v) = part.strip_prefix("profile=") {
+            e.profile = Some(v.into());
+        } else if let Some(v) = part.strip_prefix("sched=") {
+            e.scheduler = Some(v.into());
+        } else if let Some(v) = part.strip_prefix("util>") {
+            e.utilization_above = Some(v.parse().map_err(|_| format!("bad utilization {v:?}"))?);
+        } else {
+            return Err(format!(
+                "bad --exclude part {part:?} (want topo=/profile=/sched=/util>)"
+            ));
+        }
+    }
+    Ok(e)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        grid: ScenarioGrid::default(),
+        workers: default_workers(),
+        out: PathBuf::from("BENCH_sweep.json"),
+        jsonl: PathBuf::from("sweep_results.jsonl"),
+        check: false,
+        quiet: false,
+        list: false,
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--topos" => args.grid.topologies = split_list(&value("--topos")?),
+            "--profiles" => args.grid.profiles = split_list(&value("--profiles")?),
+            "--scheds" => args.grid.schedulers = split_list(&value("--scheds")?),
+            "--utils" => {
+                args.grid.utilizations = split_list(&value("--utils")?)
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| format!("bad utilization {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seeds" => {
+                args.grid.seeds = split_list(&value("--seeds")?)
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| format!("bad seed {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--window-ms" => {
+                let ms: u64 = value("--window-ms")?
+                    .parse()
+                    .map_err(|_| "bad --window-ms".to_string())?;
+                args.grid.window = Dur::from_ms(ms);
+            }
+            "--no-replay" => args.grid.replay = false,
+            "--max-packets" => {
+                args.grid.max_packets = Some(
+                    value("--max-packets")?
+                        .parse()
+                        .map_err(|_| "bad --max-packets".to_string())?,
+                );
+            }
+            "--exclude" => args
+                .grid
+                .excludes
+                .push(parse_exclude(&value("--exclude")?)?),
+            "--max-jobs" => {
+                args.grid.max_jobs = Some(
+                    value("--max-jobs")?
+                        .parse()
+                        .map_err(|_| "bad --max-jobs".to_string())?,
+                );
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_string())?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--jsonl" => args.jsonl = PathBuf::from(value("--jsonl")?),
+            "--check" => args.check = true,
+            "--quiet" => args.quiet = true,
+            "--list" => args.list = true,
+            "--validate" => args.validate = Some(PathBuf::from(value("--validate")?)),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn list_registries() {
+    println!("topologies:");
+    for e in ups_topology::TOPOLOGIES {
+        println!("  {:<18} {}", e.name, e.description);
+    }
+    println!("workload profiles:");
+    for p in ups_workload::PROFILES {
+        println!("  {:<18} {}", p.name, p.description);
+    }
+    println!("schedulers (original-schedule disciplines):");
+    let labels: Vec<&str> = ups_netsim::sched::SchedulerKind::ALL
+        .into_iter()
+        .map(|k| k.name())
+        .filter(|l| is_original_scheduler(l))
+        .chain([ups_sweep::MIXED_FQ_FIFOPLUS])
+        .collect();
+    println!("  {}", labels.join(", "));
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        list_registries();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.validate {
+        return match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| validate_bench_sweep(&doc).map_err(|e| e.to_string()))
+        {
+            Ok(d) => {
+                println!(
+                    "{} valid: {} jobs, {} workers, {:.2} jobs/sec",
+                    path.display(),
+                    d.jobs,
+                    d.workers,
+                    d.jobs_per_sec
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sweep: {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let jobs = match args.grid.expand() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match ResultStream::create(&args.jsonl) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep: cannot open {}: {e}", args.jsonl.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Excludes and --max-jobs both shrink the cartesian product; report
+    // the drop without attributing it to one mechanism.
+    let product = args.grid.topologies.len()
+        * args.grid.profiles.len()
+        * args.grid.schedulers.len()
+        * args.grid.utilizations.len()
+        * args.grid.seeds.len();
+    println!(
+        "# sweep: {} jobs ({} topologies × {} profiles × {} schedulers × {} utils × {} seeds, {} excluded/capped) on {} workers",
+        jobs.len(),
+        args.grid.topologies.len(),
+        args.grid.profiles.len(),
+        args.grid.schedulers.len(),
+        args.grid.utilizations.len(),
+        args.grid.seeds.len(),
+        product - jobs.len(),
+        args.workers.clamp(1, jobs.len())
+    );
+
+    let t0 = Instant::now();
+    let quiet = args.quiet;
+    let stream_ref = &stream;
+    let (records, stats) = pool::run_jobs(&jobs, args.workers, move |_, spec| {
+        let rec = runner::run_job(spec);
+        stream_ref.append(&rec);
+        if !quiet {
+            let s = &rec.summary;
+            println!(
+                "job {:>3}  {:<16} {:<11} {:<8} util {:.2} seed {:<2}  {:>7} pkts  {} replay {}  {:.2}s",
+                rec.spec.job_id,
+                rec.spec.topology,
+                rec.spec.profile,
+                rec.spec.scheduler,
+                rec.spec.utilization,
+                rec.spec.seed,
+                s.packets,
+                if s.dropped > 0 {
+                    format!("dropped {}", s.dropped)
+                } else {
+                    "drop-free".into()
+                },
+                match s.replay_match_rate {
+                    Some(r) => format!("{:.4}", r),
+                    None => "-".into(),
+                },
+                rec.wall_s
+            );
+        }
+        rec
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let doc = bench_sweep_json(&args.grid, &records, stats, wall_s);
+    if let Err(e) = std::fs::write(&args.out, &doc) {
+        eprintln!("sweep: cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "# {} jobs in {:.2}s on {} workers ({:.2} jobs/sec, {} steals)",
+        records.len(),
+        wall_s,
+        stats.workers,
+        records.len() as f64 / wall_s,
+        stats.steals
+    );
+    println!(
+        "# wrote {} and {}",
+        args.out.display(),
+        args.jsonl.display()
+    );
+
+    if args.check {
+        match validate_bench_sweep(&doc) {
+            Ok(d) => println!(
+                "# artifact valid: {} jobs, {:.2} jobs/sec",
+                d.jobs, d.jobs_per_sec
+            ),
+            Err(e) => {
+                eprintln!("sweep: artifact failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,473 @@
+//! Declarative scenario grids.
+//!
+//! A [`ScenarioGrid`] is the cartesian product of five axes — topology ×
+//! workload profile × scheduler discipline × utilization × seed — plus
+//! filters. `expand` validates every axis value against the registries
+//! (`ups_topology::registry`, `ups_workload::registry`,
+//! `SchedulerKind::from_name`) and materializes the independent
+//! [`JobSpec`]s the pool executes. Job ids are assigned in expansion
+//! order, so a grid fully determines its job list — the sweep result
+//! record for job *k* is a pure function of the grid, never of worker
+//! scheduling.
+
+use ups_metrics::json_escape;
+use ups_netsim::prelude::{Dur, SchedulerKind};
+
+/// The mixed Table 1 row — half the routers FQ, half FIFO+ — is the one
+/// non-uniform assignment grids can name.
+pub const MIXED_FQ_FIFOPLUS: &str = "FQ/FIFO+";
+
+/// One fully-specified, independently-executable scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Position in the expanded grid (dense, 0-based).
+    pub job_id: usize,
+    /// Topology registry name.
+    pub topology: String,
+    /// Workload profile registry name.
+    pub profile: String,
+    /// Scheduler label (`SchedulerKind::name` or `"FQ/FIFO+"`).
+    pub scheduler: String,
+    /// Target mean core-link utilization.
+    pub utilization: f64,
+    /// Workload + simulation seed.
+    pub seed: u64,
+    /// Flow-arrival window.
+    pub window: Dur,
+    /// Whether to run the LSTF replay and report the match rate.
+    pub replay: bool,
+    /// Optional cap on injected packets (CI smoke grids).
+    pub max_packets: Option<usize>,
+}
+
+impl JobSpec {
+    /// The scenario as a compact JSON object — embedded in every result
+    /// record so each line is self-describing.
+    pub fn scenario_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"topology":"{}","profile":"{}","scheduler":"{}","#,
+                r#""utilization":{},"seed":{},"window_ms":{},"replay":{},"max_packets":{}}}"#
+            ),
+            json_escape(&self.topology),
+            json_escape(&self.profile),
+            json_escape(&self.scheduler),
+            ups_metrics::json_num(self.utilization),
+            self.seed,
+            ups_metrics::json_num(self.window.as_secs_f64() * 1e3),
+            self.replay,
+            match self.max_packets {
+                Some(n) => n.to_string(),
+                None => "null".into(),
+            }
+        )
+    }
+}
+
+/// An exclusion filter: a job is dropped when **every** populated field
+/// matches it. `Exclude { topology: Some("RocketFuel"), scheduler:
+/// Some("Random"), .. }` drops only RocketFuel×Random combinations;
+/// `utilization_above` alone caps load grid-wide.
+#[derive(Debug, Clone, Default)]
+pub struct Exclude {
+    /// Match on topology name.
+    pub topology: Option<String>,
+    /// Match on profile name.
+    pub profile: Option<String>,
+    /// Match on scheduler label.
+    pub scheduler: Option<String>,
+    /// Match when utilization is strictly above this.
+    pub utilization_above: Option<f64>,
+}
+
+impl Exclude {
+    fn matches(&self, topo: &str, profile: &str, sched: &str, util: f64) -> bool {
+        let mut any = false;
+        for (field, value) in [
+            (&self.topology, topo),
+            (&self.profile, profile),
+            (&self.scheduler, sched),
+        ] {
+            if let Some(want) = field {
+                if want != value {
+                    return false;
+                }
+                any = true;
+            }
+        }
+        if let Some(cap) = self.utilization_above {
+            if util <= cap {
+                return false;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// The filter as JSON, so a recorded grid block can reproduce the
+    /// exact job list it generated.
+    fn to_json(&self) -> String {
+        let opt_str = |v: &Option<String>| match v {
+            Some(s) => format!("\"{}\"", json_escape(s)),
+            None => "null".into(),
+        };
+        format!(
+            r#"{{"topology":{},"profile":{},"scheduler":{},"utilization_above":{}}}"#,
+            opt_str(&self.topology),
+            opt_str(&self.profile),
+            opt_str(&self.scheduler),
+            ups_metrics::json_opt_num(self.utilization_above),
+        )
+    }
+}
+
+/// A declarative sweep: five axes, filters, and per-job run options.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    /// Topology registry names.
+    pub topologies: Vec<String>,
+    /// Workload profile registry names.
+    pub profiles: Vec<String>,
+    /// Scheduler labels.
+    pub schedulers: Vec<String>,
+    /// Utilization targets.
+    pub utilizations: Vec<f64>,
+    /// Seeds (each seed is an independent job).
+    pub seeds: Vec<u64>,
+    /// Flow-arrival window per job.
+    pub window: Dur,
+    /// Run the LSTF replay per job.
+    pub replay: bool,
+    /// Cap injected packets per job.
+    pub max_packets: Option<usize>,
+    /// Exclusion filters applied during expansion.
+    pub excludes: Vec<Exclude>,
+    /// Keep at most this many jobs (applied last, in expansion order).
+    pub max_jobs: Option<usize>,
+}
+
+impl Default for ScenarioGrid {
+    /// The paper-evaluation default: Table 1's three flagship networks ×
+    /// five original disciplines × two seeds at 70% — 30 jobs.
+    fn default() -> Self {
+        ScenarioGrid {
+            topologies: ["I2:1Gbps-10Gbps", "RocketFuel", "FatTree(k=4)"]
+                .map(String::from)
+                .to_vec(),
+            profiles: vec!["web-search".into()],
+            schedulers: ["FIFO", "FQ", "SJF", "LIFO", "Random"]
+                .map(String::from)
+                .to_vec(),
+            utilizations: vec![0.7],
+            seeds: vec![1, 2],
+            window: Dur::from_ms(10),
+            replay: true,
+            max_packets: None,
+            excludes: Vec::new(),
+            max_jobs: None,
+        }
+    }
+}
+
+/// Why a grid failed to expand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// A topology name not in the registry.
+    UnknownTopology(String),
+    /// A profile name not in the registry.
+    UnknownProfile(String),
+    /// A scheduler label `SchedulerKind::from_name` rejects (or one that
+    /// cannot run as an *original* schedule, like `Omniscient`).
+    UnknownScheduler(String),
+    /// Every combination was filtered out (or an axis was empty).
+    Empty,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::UnknownTopology(n) => write!(
+                f,
+                "unknown topology {n:?} (known: {})",
+                ups_topology::topology_names().join(", ")
+            ),
+            GridError::UnknownProfile(n) => write!(
+                f,
+                "unknown workload profile {n:?} (known: {})",
+                ups_workload::profile_names().join(", ")
+            ),
+            GridError::UnknownScheduler(n) => {
+                write!(f, "unknown or non-original scheduler {n:?}")
+            }
+            GridError::Empty => write!(f, "grid expanded to zero jobs"),
+        }
+    }
+}
+
+/// Scheduler labels a grid may use as an *original* schedule: any
+/// uniform discipline that runs without replay-only headers, plus the
+/// FQ/FIFO+ mix. `Omniscient` needs per-hop header vectors and `EDF`
+/// needs `tmin` tables — both exist only as replay candidates.
+pub fn is_original_scheduler(label: &str) -> bool {
+    if label == MIXED_FQ_FIFOPLUS {
+        return true;
+    }
+    match SchedulerKind::from_name(label) {
+        Some(SchedulerKind::Omniscient) | Some(SchedulerKind::Edf { .. }) | None => false,
+        Some(_) => true,
+    }
+}
+
+impl ScenarioGrid {
+    /// Validate every axis value and expand to the ordered job list.
+    pub fn expand(&self) -> Result<Vec<JobSpec>, GridError> {
+        for t in &self.topologies {
+            if ups_topology::topology_entry(t).is_none() {
+                return Err(GridError::UnknownTopology(t.clone()));
+            }
+        }
+        for p in &self.profiles {
+            if ups_workload::profile_by_name(p).is_none() {
+                return Err(GridError::UnknownProfile(p.clone()));
+            }
+        }
+        for s in &self.schedulers {
+            if !is_original_scheduler(s) {
+                return Err(GridError::UnknownScheduler(s.clone()));
+            }
+        }
+        let mut jobs = Vec::new();
+        for topo in &self.topologies {
+            for profile in &self.profiles {
+                for sched in &self.schedulers {
+                    for &util in &self.utilizations {
+                        for &seed in &self.seeds {
+                            if self
+                                .excludes
+                                .iter()
+                                .any(|e| e.matches(topo, profile, sched, util))
+                            {
+                                continue;
+                            }
+                            jobs.push(JobSpec {
+                                job_id: jobs.len(),
+                                topology: topo.clone(),
+                                profile: profile.clone(),
+                                scheduler: sched.clone(),
+                                utilization: util,
+                                seed,
+                                window: self.window,
+                                replay: self.replay,
+                                max_packets: self.max_packets,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(cap) = self.max_jobs {
+            jobs.truncate(cap);
+        }
+        if jobs.is_empty() {
+            return Err(GridError::Empty);
+        }
+        Ok(jobs)
+    }
+
+    /// The grid itself as JSON — the `"grid"` block of `BENCH_sweep.json`.
+    pub fn to_json(&self) -> String {
+        let strs = |v: &[String]| {
+            v.iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let nums = |v: &[f64]| {
+            v.iter()
+                .map(|&x| ups_metrics::json_num(x))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            concat!(
+                r#"{{"topologies":[{}],"profiles":[{}],"schedulers":[{}],"#,
+                r#""utilizations":[{}],"seeds":[{}],"window_ms":{},"replay":{},"#,
+                r#""max_packets":{},"excludes":[{}],"max_jobs":{}}}"#
+            ),
+            strs(&self.topologies),
+            strs(&self.profiles),
+            strs(&self.schedulers),
+            nums(&self.utilizations),
+            self.seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            ups_metrics::json_num(self.window.as_secs_f64() * 1e3),
+            self.replay,
+            match self.max_packets {
+                Some(n) => n.to_string(),
+                None => "null".into(),
+            },
+            self.excludes
+                .iter()
+                .map(Exclude::to_json)
+                .collect::<Vec<_>>()
+                .join(","),
+            match self.max_jobs {
+                Some(n) => n.to_string(),
+                None => "null".into(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioGrid {
+        ScenarioGrid {
+            topologies: vec!["Line(3)".into(), "Dumbbell(4)".into()],
+            profiles: vec!["web-search".into()],
+            schedulers: vec!["FIFO".into(), "Random".into()],
+            utilizations: vec![0.5, 0.7],
+            seeds: vec![1, 2],
+            window: Dur::from_ms(1),
+            replay: false,
+            max_packets: Some(1000),
+            excludes: Vec::new(),
+            max_jobs: None,
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product() {
+        let jobs = tiny().expand().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+        // Dense, ordered ids.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.job_id, i);
+        }
+        // Innermost axis is the seed.
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[1].seed, 2);
+        assert_eq!(jobs[0].utilization, jobs[1].utilization);
+    }
+
+    #[test]
+    fn default_grid_meets_the_acceptance_floor() {
+        let g = ScenarioGrid::default();
+        let jobs = g.expand().unwrap();
+        assert!(g.topologies.len() >= 3);
+        assert!(g.schedulers.len() >= 4);
+        assert!(g.seeds.len() >= 2);
+        assert!(jobs.len() >= 24, "default grid has {} jobs", jobs.len());
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let mut g = tiny();
+        g.topologies.push("Torus(9)".into());
+        assert_eq!(
+            g.expand(),
+            Err(GridError::UnknownTopology("Torus(9)".into()))
+        );
+        let mut g = tiny();
+        g.profiles = vec!["bimodal".into()];
+        assert!(matches!(g.expand(), Err(GridError::UnknownProfile(_))));
+        let mut g = tiny();
+        g.schedulers = vec!["Omniscient".into()];
+        assert!(matches!(g.expand(), Err(GridError::UnknownScheduler(_))));
+    }
+
+    #[test]
+    fn mixed_row_and_all_table1_disciplines_accepted() {
+        for label in [
+            "FIFO",
+            "LIFO",
+            "Random",
+            "FQ",
+            "SJF",
+            "SRPT",
+            "DRR",
+            "FIFO+",
+            "LSTF",
+            MIXED_FQ_FIFOPLUS,
+        ] {
+            assert!(is_original_scheduler(label), "{label} should be usable");
+        }
+        assert!(!is_original_scheduler("EDF"));
+        assert!(!is_original_scheduler("WFQ2"));
+    }
+
+    #[test]
+    fn excludes_filter_matching_combinations() {
+        let mut g = tiny();
+        g.excludes.push(Exclude {
+            topology: Some("Line(3)".into()),
+            scheduler: Some("Random".into()),
+            ..Exclude::default()
+        });
+        let jobs = g.expand().unwrap();
+        assert_eq!(jobs.len(), 12);
+        assert!(!jobs
+            .iter()
+            .any(|j| j.topology == "Line(3)" && j.scheduler == "Random"));
+        // Utilization cap applies across the whole grid.
+        let mut g = tiny();
+        g.excludes.push(Exclude {
+            utilization_above: Some(0.6),
+            ..Exclude::default()
+        });
+        assert!(g.expand().unwrap().iter().all(|j| j.utilization <= 0.6));
+        // An empty Exclude matches nothing.
+        let mut g = tiny();
+        g.excludes.push(Exclude::default());
+        assert_eq!(g.expand().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn max_jobs_truncates_and_empty_errors() {
+        let mut g = tiny();
+        g.max_jobs = Some(3);
+        assert_eq!(g.expand().unwrap().len(), 3);
+        g.max_jobs = Some(0);
+        assert_eq!(g.expand(), Err(GridError::Empty));
+    }
+
+    #[test]
+    fn grid_json_round_trips_its_filters() {
+        let mut g = tiny();
+        g.excludes.push(Exclude {
+            topology: Some("Line(3)".into()),
+            utilization_above: Some(0.8),
+            ..Exclude::default()
+        });
+        let v = crate::json::parse(&g.to_json()).unwrap();
+        let excludes = v.get("excludes").unwrap().as_array().unwrap();
+        assert_eq!(excludes.len(), 1);
+        assert_eq!(
+            excludes[0].get("topology").unwrap().as_str(),
+            Some("Line(3)")
+        );
+        assert_eq!(
+            excludes[0].get("utilization_above").unwrap().as_f64(),
+            Some(0.8)
+        );
+        assert_eq!(
+            excludes[0].get("scheduler"),
+            Some(&crate::json::JsonValue::Null)
+        );
+    }
+
+    #[test]
+    fn scenario_json_is_parseable_and_complete() {
+        let jobs = tiny().expand().unwrap();
+        let v = crate::json::parse(&jobs[0].scenario_json()).unwrap();
+        assert_eq!(v.get("topology").unwrap().as_str(), Some("Line(3)"));
+        assert_eq!(v.get("seed").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("window_ms").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("max_packets").unwrap().as_f64(), Some(1000.0));
+    }
+}

@@ -1,0 +1,284 @@
+//! A minimal JSON reader for artifact validation.
+//!
+//! The store *emits* JSON with hand-rolled formatting (see
+//! `ups_metrics::summary`); this module is the other direction — just
+//! enough of a recursive-descent parser to load a `BENCH_sweep.json` back
+//! and assert its schema, so CI can validate the artifact without serde
+//! (the workspace is offline; DESIGN.md §6).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Objects use a `BTreeMap` — artifact validation
+/// only looks fields up by name, never relies on insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON doesn't distinguish int/float).
+    Number(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => Err(format!("unexpected {other:?} at byte {pos}", pos = *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        // Surrogate pairs don't appear in our artifacts;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut v = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(v));
+    }
+    loop {
+        v.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(v));
+            }
+            other => return Err(format!("expected , or ] (found {other:?})")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut m = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(m));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        m.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(m));
+            }
+            other => return Err(format!("expected , or }} (found {other:?})")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_record() {
+        let src = r#"{"a": 1, "b": [true, null, -2.5e3], "s": "x\"y\\z\nq"}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.0));
+        let arr = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0], JsonValue::Bool(true));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2].as_f64(), Some(-2500.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\"y\\z\nq"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a":1} trailing"#).is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parses_summary_emission() {
+        // The emitter in ups-metrics and this parser must agree.
+        let summary = ups_metrics::RunSummary {
+            flows: 2,
+            packets: 10,
+            delivered: 10,
+            dropped: 0,
+            delay_mean_s: 0.001,
+            delay_p99_s: 0.002,
+            fct_mean_s: 0.5,
+            fct_buckets: vec![(1460, 0.1, 1)],
+            jain: 1.0,
+            replay_match_rate: None,
+            replay_frac_gt_t: None,
+        };
+        let v = parse(&summary.to_json()).unwrap();
+        assert_eq!(v.get("packets").unwrap().as_f64(), Some(10.0));
+        assert_eq!(v.get("replay_match_rate"), Some(&JsonValue::Null));
+        let buckets = v.get("fct_buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets[0].get("edge_bytes").unwrap().as_f64(), Some(1460.0));
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = parse(r#""café → naïve""#).unwrap();
+        assert_eq!(v.as_str(), Some("café → naïve"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # ups-sweep — the parallel scenario-sweep engine
+//!
+//! Runs *grids* of scheduling scenarios across all cores: a declarative
+//! [`ScenarioGrid`] (topology × workload profile × scheduler ×
+//! utilization × seed, with filters) expands to independent [`JobSpec`]s;
+//! a hand-rolled work-stealing [`pool`] over `std::thread` executes them
+//! with per-job seeded determinism; and the [`store`] streams one JSON
+//! line per finished job before aggregating everything into a
+//! schema-tagged `BENCH_sweep.json` (DESIGN.md §5 artifact pattern,
+//! §7 for this subsystem).
+//!
+//! The `sweep` binary is the command-line face: "run the whole paper
+//! evaluation, 8-wide, in one command". Library consumers (`ups-bench`
+//! ports its Figure 2/3 runners onto [`pool::run_jobs`]) get the same
+//! engine without the CLI.
+//!
+//! ## Determinism contract
+//!
+//! A job is a pure function of its [`JobSpec`] — registries rebuild the
+//! topology and workload from names + seed inside the worker. The pool
+//! therefore guarantees: **same grid ⇒ byte-identical sorted result
+//! records, for any worker count**. `tests/determinism.rs` pins this with
+//! a 1-worker vs 4-worker comparison.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ups_sweep::{pool, runner, ScenarioGrid};
+//! use ups_netsim::prelude::Dur;
+//!
+//! let grid = ScenarioGrid {
+//!     topologies: vec!["Line(3)".into()],
+//!     schedulers: vec!["FIFO".into(), "LSTF".into()],
+//!     seeds: vec![1],
+//!     window: Dur::from_ms(1),
+//!     replay: false,
+//!     max_packets: Some(500),
+//!     ..ScenarioGrid::default()
+//! };
+//! let jobs = grid.expand().unwrap();
+//! let (records, stats) = pool::run_jobs(&jobs, 2, |_, spec| runner::run_job(spec));
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(stats.jobs, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grid;
+pub mod json;
+pub mod pool;
+pub mod runner;
+pub mod store;
+
+pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, MIXED_FQ_FIFOPLUS};
+pub use pool::{run_jobs, PoolStats};
+pub use runner::{run_job, JobRecord};
+pub use store::{bench_sweep_json, validate_bench_sweep, ResultStream, SweepDigest, SWEEP_SCHEMA};

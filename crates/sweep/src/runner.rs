@@ -1,0 +1,258 @@
+//! Executing one [`JobSpec`]: build the scenario from the registries,
+//! run the original schedule, optionally run the LSTF replay, and distill
+//! a [`RunSummary`].
+//!
+//! A job is a pure function of its spec — the topology and workload are
+//! rebuilt from (name, seed) inside the worker thread, nothing is shared
+//! between jobs, and all metrics aggregate in packet-/flow-id order. That
+//! purity is what lets the pool run jobs on any worker in any order and
+//! still produce identical result records (see `tests/determinism.rs`).
+
+use std::time::Instant;
+
+use ups_core::{compare, replay_packets, run_schedule, HeaderInit};
+use ups_metrics::{jain_index, mean_fct_by_bucket, Cdf, FlowSample, RunSummary, FIG2_BUCKETS};
+use ups_netsim::prelude::{RecordMode, SchedulerKind, SimTime, Trace};
+use ups_topology::{topology_by_name, BuildOptions, SchedulerAssignment, Topology};
+use ups_workload::{profile_by_name, udp_packet_train, FlowSpec, MTU};
+
+use crate::grid::{JobSpec, MIXED_FQ_FIFOPLUS};
+
+/// Resolve a grid scheduler label into a per-node assignment on `topo`.
+/// Returns `None` for labels that can't run as an original schedule
+/// (grids reject those at expansion; see
+/// [`crate::grid::is_original_scheduler`]).
+pub fn assignment_for(topo: &Topology, label: &str) -> Option<SchedulerAssignment> {
+    if label == MIXED_FQ_FIFOPLUS {
+        return Some(SchedulerAssignment::half_half(
+            topo,
+            SchedulerKind::Fq,
+            SchedulerKind::FifoPlus,
+            SchedulerKind::Fifo,
+        ));
+    }
+    match SchedulerKind::from_name(label)? {
+        SchedulerKind::Omniscient | SchedulerKind::Edf { .. } => None,
+        kind => Some(SchedulerAssignment::uniform(kind)),
+    }
+}
+
+/// One finished job: the spec it ran, what it measured, how long it took.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The scenario executed.
+    pub spec: JobSpec,
+    /// Per-run metrics.
+    pub summary: RunSummary,
+    /// Wall-clock seconds this job took on its worker.
+    pub wall_s: f64,
+}
+
+impl JobRecord {
+    /// The record as one JSON line. `with_timing: false` omits the
+    /// wall-clock field, leaving only fields that are pure functions of
+    /// the spec — the form the cross-thread determinism contract compares.
+    pub fn to_json(&self, with_timing: bool) -> String {
+        let timing = if with_timing {
+            format!(r#","wall_s":{}"#, ups_metrics::json_num(self.wall_s))
+        } else {
+            String::new()
+        };
+        format!(
+            r#"{{"schema":"ups-sweep-record/v1","job_id":{},"scenario":{},"metrics":{}{}}}"#,
+            self.spec.job_id,
+            self.spec.scenario_json(),
+            self.summary.to_json(),
+            timing
+        )
+    }
+}
+
+/// Execute one job to completion.
+///
+/// # Panics
+/// On registry/label lookups the grid already validated, and on the
+/// internal invariants of the replay framework.
+pub fn run_job(spec: &JobSpec) -> JobRecord {
+    let t0 = Instant::now();
+    let topo = topology_by_name(&spec.topology)
+        .unwrap_or_else(|| panic!("unvalidated topology {:?}", spec.topology));
+    let profile = profile_by_name(&spec.profile)
+        .unwrap_or_else(|| panic!("unvalidated profile {:?}", spec.profile));
+    let assign = assignment_for(&topo, &spec.scheduler)
+        .unwrap_or_else(|| panic!("unvalidated scheduler {:?}", spec.scheduler));
+
+    let mut routing = ups_topology::Routing::new(&topo);
+    let flows = profile.flows(
+        &topo,
+        &mut routing,
+        spec.utilization,
+        spec.window,
+        spec.seed,
+    );
+    let mut packets = udp_packet_train(&flows, MTU);
+    if let Some(cap) = spec.max_packets {
+        packets.truncate(cap);
+    }
+
+    let opts = BuildOptions {
+        record: RecordMode::EndToEnd,
+        seed: spec.seed,
+        ..BuildOptions::default()
+    };
+    let original = run_schedule(&topo, &assign, packets.iter().cloned(), &opts);
+    let mut summary = summarize(&original, &flows, packets.len() as u64);
+
+    // Replay needs every packet delivered (§2.3 runs drop-free); buffers
+    // are unbounded here, so dropped > 0 can't happen — but keep the gate
+    // so a future buffered grid degrades to "no replay" instead of a panic.
+    if spec.replay && summary.dropped == 0 && summary.delivered > 0 {
+        let replay_set = replay_packets(&topo, &original, &packets, HeaderInit::LstfSlack);
+        let replay_assign = SchedulerAssignment::uniform(SchedulerKind::Lstf { preemptive: false });
+        let replay = run_schedule(&topo, &replay_assign, replay_set, &opts);
+        let threshold = topo.bottleneck_bandwidth().tx_time(MTU);
+        let report = compare(&original, &replay, threshold);
+        summary.replay_match_rate = Some(1.0 - report.frac_overdue());
+        summary.replay_frac_gt_t = Some(report.frac_overdue_gt_t());
+    }
+
+    JobRecord {
+        spec: spec.clone(),
+        summary,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Distill an original-run trace into the summary metrics. All loops run
+/// in packet-/flow-id order so float accumulation is deterministic.
+fn summarize(trace: &Trace, flows: &[FlowSpec], injected: u64) -> RunSummary {
+    let mut delays: Vec<f64> = Vec::new();
+    let mut dropped = 0u64;
+    // Dense per-flow accumulation: (delivered bytes, last exit).
+    let mut flow_bytes = vec![0u64; flows.len()];
+    let mut flow_last_exit = vec![SimTime::ZERO; flows.len()];
+    for (_, rec) in trace.iter() {
+        if rec.dropped {
+            dropped += 1;
+            continue;
+        }
+        let Some(exited) = rec.exited else { continue };
+        delays.push(rec.delay().expect("exited implies delay").as_secs_f64());
+        let fi = rec.flow.index();
+        flow_bytes[fi] += rec.size as u64;
+        flow_last_exit[fi] = flow_last_exit[fi].max(exited);
+    }
+    let delivered = delays.len() as u64;
+
+    let mut fct_samples: Vec<FlowSample> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+    for (i, flow) in flows.iter().enumerate() {
+        if flow_bytes[i] == 0 {
+            continue; // flow truncated away or nothing delivered yet
+        }
+        let span = flow_last_exit[i].saturating_since(flow.start).as_secs_f64();
+        fct_samples.push(FlowSample {
+            size: flow.size,
+            fct_secs: span,
+        });
+        if span > 0.0 {
+            rates.push(flow_bytes[i] as f64 / span);
+        }
+    }
+
+    let cdf = Cdf::new(delays);
+    RunSummary {
+        flows: fct_samples.len(),
+        packets: injected,
+        delivered,
+        dropped,
+        delay_mean_s: cdf.mean(),
+        delay_p99_s: if cdf.is_empty() {
+            0.0
+        } else {
+            cdf.quantile(0.99)
+        },
+        fct_mean_s: ups_metrics::overall_mean_fct(&fct_samples),
+        fct_buckets: mean_fct_by_bucket(&fct_samples, &FIG2_BUCKETS),
+        jain: jain_index(&rates),
+        replay_match_rate: None,
+        replay_frac_gt_t: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_netsim::prelude::Dur;
+
+    fn spec(scheduler: &str, replay: bool) -> JobSpec {
+        // fixed-mtu on a line: dense single-packet flows at a small
+        // window (the empirical profiles' multi-MB means make 2-host
+        // micro-topologies too sparse for millisecond windows).
+        JobSpec {
+            job_id: 0,
+            topology: "Line(3)".into(),
+            profile: "fixed-mtu".into(),
+            scheduler: scheduler.into(),
+            utilization: 0.6,
+            seed: 11,
+            window: Dur::from_ms(4),
+            replay,
+            max_packets: None,
+        }
+    }
+
+    #[test]
+    fn fifo_job_produces_consistent_metrics() {
+        let rec = run_job(&spec("FIFO", false));
+        let s = &rec.summary;
+        assert!(s.packets > 100, "workload too small: {}", s.packets);
+        assert_eq!(s.delivered, s.packets, "unbuffered line drops nothing");
+        assert_eq!(s.dropped, 0);
+        assert!(s.flows > 0 && s.flows <= s.packets as usize);
+        assert!(s.delay_mean_s > 0.0 && s.delay_mean_s <= s.delay_p99_s);
+        assert!(s.fct_mean_s > 0.0);
+        assert!(s.jain > 0.0 && s.jain <= 1.0 + 1e-12);
+        assert!(s.replay_match_rate.is_none());
+        assert!(rec.wall_s > 0.0);
+    }
+
+    #[test]
+    fn replay_on_a_line_matches_well() {
+        // ≤ 2 congestion points on a line ⇒ near-perfect LSTF replay.
+        let rec = run_job(&spec("Random", true));
+        let rate = rec.summary.replay_match_rate.expect("replay ran");
+        assert!(rate > 0.95, "LSTF matched only {rate}");
+        assert!(rec.summary.replay_frac_gt_t.unwrap() <= 1.0 - rate + 1e-12);
+    }
+
+    #[test]
+    fn identical_specs_yield_identical_records() {
+        let a = run_job(&spec("SJF", true));
+        let b = run_job(&spec("SJF", true));
+        assert_eq!(a.to_json(false), b.to_json(false));
+        // And the record parses back.
+        let v = crate::json::parse(&a.to_json(true)).unwrap();
+        assert_eq!(
+            v.get("schema").unwrap().as_str(),
+            Some("ups-sweep-record/v1")
+        );
+        assert!(v.get("wall_s").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn max_packets_caps_the_workload() {
+        let mut s = spec("FIFO", false);
+        s.max_packets = Some(50);
+        let rec = run_job(&s);
+        assert_eq!(rec.summary.packets, 50);
+    }
+
+    #[test]
+    fn mixed_assignment_resolves() {
+        let topo = topology_by_name("I2:small").unwrap();
+        assert!(assignment_for(&topo, MIXED_FQ_FIFOPLUS).is_some());
+        assert!(assignment_for(&topo, "Omniscient").is_none());
+        assert!(assignment_for(&topo, "EDF").is_none());
+    }
+}

@@ -1,0 +1,322 @@
+//! The machine-readable result store.
+//!
+//! Two artifacts, following the DESIGN.md §5 pattern:
+//!
+//! * a **JSON-lines stream** — one self-describing record per job,
+//!   appended the moment the job finishes on whichever worker ran it
+//!   (completion order, so the stream doubles as a progress log), and
+//! * the **aggregate `BENCH_sweep.json`** — schema tag, the grid that
+//!   generated the sweep, pool accounting (workers, steals, jobs/sec) and
+//!   every record sorted by job id.
+//!
+//! [`validate_bench_sweep`] loads an aggregate back through the minimal
+//! parser and asserts its schema — the check CI runs on the artifact.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::grid::ScenarioGrid;
+use crate::json::{parse, JsonValue};
+use crate::pool::PoolStats;
+use crate::runner::JobRecord;
+
+/// Schema tag of the aggregate artifact.
+pub const SWEEP_SCHEMA: &str = "ups-sweep/v1";
+
+/// Streams one JSON line per finished job. Shared across workers behind
+/// a mutex — append is one short write per multi-second job.
+pub struct ResultStream {
+    out: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl ResultStream {
+    /// Create/truncate the JSONL file.
+    pub fn create(path: &Path) -> std::io::Result<ResultStream> {
+        Ok(ResultStream {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Append one record (with timing — the stream is a log, not the
+    /// determinism surface).
+    pub fn append(&self, record: &JobRecord) {
+        let mut out = self.out.lock().expect("stream poisoned");
+        writeln!(out, "{}", record.to_json(true)).expect("write JSONL record");
+        out.flush().expect("flush JSONL record");
+    }
+
+    /// Where the stream writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Render the aggregate artifact. Records are sorted by job id (the
+/// caller hands them in pool order, which is already job order).
+pub fn bench_sweep_json(
+    grid: &ScenarioGrid,
+    records: &[JobRecord],
+    stats: PoolStats,
+    wall_s: f64,
+) -> String {
+    let jobs_per_sec = if wall_s > 0.0 {
+        records.len() as f64 / wall_s
+    } else {
+        0.0
+    };
+    let mut sorted: Vec<&JobRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.spec.job_id);
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|r| format!("    {}", r.to_json(true)))
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"{}\",\n",
+            "  \"grid\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"steals\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"wall_s\": {},\n",
+            "  \"jobs_per_sec\": {},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SWEEP_SCHEMA,
+        grid.to_json(),
+        stats.workers,
+        stats.steals,
+        records.len(),
+        ups_metrics::json_num(wall_s),
+        ups_metrics::json_num(jobs_per_sec),
+        body.join(",\n")
+    )
+}
+
+/// What a valid aggregate reports — returned so callers can print a
+/// one-line confirmation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDigest {
+    /// Jobs recorded.
+    pub jobs: usize,
+    /// Worker threads the sweep used.
+    pub workers: usize,
+    /// Aggregate throughput.
+    pub jobs_per_sec: f64,
+}
+
+/// Validate a `BENCH_sweep.json` document against its schema.
+pub fn validate_bench_sweep(doc: &str) -> Result<SweepDigest, String> {
+    let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != SWEEP_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SWEEP_SCHEMA:?}"));
+    }
+    v.get("grid").ok_or("missing grid block")?;
+    let jobs = v
+        .get("jobs")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing jobs count")? as usize;
+    let workers = v
+        .get("workers")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing workers")? as usize;
+    let jobs_per_sec = v
+        .get("jobs_per_sec")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing jobs_per_sec")?;
+    if !jobs_per_sec.is_finite() || jobs_per_sec <= 0.0 {
+        return Err(format!("jobs_per_sec {jobs_per_sec} not positive"));
+    }
+    let results = v
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing results array")?;
+    if results.len() != jobs {
+        return Err(format!(
+            "jobs field says {jobs} but results holds {}",
+            results.len()
+        ));
+    }
+    for (i, r) in results.iter().enumerate() {
+        let id = r
+            .get("job_id")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("result {i}: missing job_id"))?;
+        if id as usize != i {
+            return Err(format!("result {i} has job_id {id} — not sorted/dense"));
+        }
+        let scenario = r
+            .get("scenario")
+            .ok_or_else(|| format!("result {i}: missing scenario"))?;
+        for field in ["topology", "profile", "scheduler"] {
+            if scenario.get(field).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("result {i}: scenario.{field} missing"));
+            }
+        }
+        for field in ["utilization", "seed", "window_ms"] {
+            if scenario.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("result {i}: scenario.{field} missing"));
+            }
+        }
+        let metrics = r
+            .get("metrics")
+            .ok_or_else(|| format!("result {i}: missing metrics"))?;
+        for field in [
+            "flows",
+            "packets",
+            "delivered",
+            "dropped",
+            "delay_mean_s",
+            "delay_p99_s",
+            "fct_mean_s",
+            "jain",
+        ] {
+            if metrics.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("result {i}: metrics.{field} missing"));
+            }
+        }
+        if metrics
+            .get("fct_buckets")
+            .and_then(JsonValue::as_array)
+            .is_none()
+        {
+            return Err(format!("result {i}: metrics.fct_buckets missing"));
+        }
+    }
+    Ok(SweepDigest {
+        jobs,
+        workers,
+        jobs_per_sec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::JobSpec;
+    use ups_metrics::RunSummary;
+    use ups_netsim::prelude::Dur;
+
+    fn record(job_id: usize) -> JobRecord {
+        JobRecord {
+            spec: JobSpec {
+                job_id,
+                topology: "Line(3)".into(),
+                profile: "web-search".into(),
+                scheduler: "FIFO".into(),
+                utilization: 0.7,
+                seed: 1,
+                window: Dur::from_ms(1),
+                replay: false,
+                max_packets: None,
+            },
+            summary: RunSummary {
+                flows: 1,
+                packets: 10,
+                delivered: 10,
+                dropped: 0,
+                delay_mean_s: 0.001,
+                delay_p99_s: 0.002,
+                fct_mean_s: 0.1,
+                fct_buckets: vec![(1460, 0.1, 1)],
+                jain: 1.0,
+                replay_match_rate: None,
+                replay_frac_gt_t: None,
+            },
+            wall_s: 0.5,
+        }
+    }
+
+    fn grid() -> ScenarioGrid {
+        ScenarioGrid {
+            topologies: vec!["Line(3)".into()],
+            schedulers: vec!["FIFO".into()],
+            seeds: vec![1, 2],
+            ..ScenarioGrid::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_validates_and_digest_matches() {
+        let records = [record(0), record(1)];
+        let stats = PoolStats {
+            workers: 4,
+            jobs: 2,
+            steals: 1,
+        };
+        let doc = bench_sweep_json(&grid(), &records, stats, 2.0);
+        let digest = validate_bench_sweep(&doc).expect("valid artifact");
+        assert_eq!(
+            digest,
+            SweepDigest {
+                jobs: 2,
+                workers: 4,
+                jobs_per_sec: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn aggregate_sorts_records_by_job_id() {
+        // Hand the records in completion order; the artifact must not care.
+        let records = [record(1), record(0)];
+        let stats = PoolStats {
+            workers: 1,
+            jobs: 2,
+            steals: 0,
+        };
+        let doc = bench_sweep_json(&grid(), &records, stats, 1.0);
+        validate_bench_sweep(&doc).expect("sorted despite unsorted input");
+    }
+
+    #[test]
+    fn validation_rejects_broken_artifacts() {
+        let records = [record(0)];
+        let stats = PoolStats {
+            workers: 1,
+            jobs: 1,
+            steals: 0,
+        };
+        let good = bench_sweep_json(&grid(), &records, stats, 1.0);
+        assert!(validate_bench_sweep("not json").is_err());
+        assert!(validate_bench_sweep("{}").is_err());
+        let wrong_schema = good.replace(SWEEP_SCHEMA, "ups-sweep/v0");
+        assert!(validate_bench_sweep(&wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+        let missing_metric = good.replace(r#""jain":"#, r#""gain":"#);
+        assert!(validate_bench_sweep(&missing_metric)
+            .unwrap_err()
+            .contains("jain"));
+    }
+
+    #[test]
+    fn stream_appends_one_line_per_record() {
+        let dir = std::env::temp_dir().join("ups-sweep-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        let stream = ResultStream::create(&path).unwrap();
+        stream.append(&record(0));
+        stream.append(&record(1));
+        let content = std::fs::read_to_string(stream.path()).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = parse(line).expect("each line parses alone");
+            assert_eq!(
+                v.get("schema").unwrap().as_str(),
+                Some("ups-sweep-record/v1")
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

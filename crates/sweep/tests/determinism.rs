@@ -1,0 +1,81 @@
+//! The sweep layer's extension of the repository determinism contract
+//! (`tests/determinism.rs` at the root pins bit-identical *traces*; this
+//! pins bit-identical *result records* across worker counts).
+//!
+//! A job is a pure function of its `JobSpec`, so executing the same
+//! `ScenarioGrid` with 1 worker and with 4 workers must produce
+//! byte-identical sorted result records — regardless of which worker ran
+//! which job, in what order, or what got stolen.
+
+use ups_netsim::prelude::Dur;
+use ups_sweep::{pool, runner, store, PoolStats, ScenarioGrid};
+
+fn tiny_grid() -> ScenarioGrid {
+    ScenarioGrid {
+        topologies: vec!["Line(3)".into(), "Dumbbell(4)".into()],
+        profiles: vec!["fixed-mtu".into()],
+        schedulers: vec!["FIFO".into(), "Random".into()],
+        utilizations: vec![0.7],
+        seeds: vec![1, 2],
+        window: Dur::from_ms(2),
+        replay: true,
+        max_packets: Some(3_000),
+        excludes: Vec::new(),
+        max_jobs: None,
+    }
+}
+
+/// Run the grid with `workers` threads and return the sorted record
+/// lines, timing stripped (wall time is the one field that may differ).
+fn sorted_records(workers: usize) -> (Vec<String>, PoolStats) {
+    let jobs = tiny_grid().expand().expect("grid expands");
+    assert_eq!(jobs.len(), 8, "2 topologies × 2 schedulers × 2 seeds");
+    let (records, stats) = pool::run_jobs(&jobs, workers, |_, spec| runner::run_job(spec));
+    let mut lines: Vec<String> = records.iter().map(|r| r.to_json(false)).collect();
+    lines.sort();
+    (lines, stats)
+}
+
+#[test]
+fn one_worker_and_four_workers_agree_byte_for_byte() {
+    let (serial, s1) = sorted_records(1);
+    let (parallel, s4) = sorted_records(4);
+    assert_eq!(s1.workers, 1);
+    assert_eq!(s4.workers, 4);
+    assert_eq!(
+        serial, parallel,
+        "sorted result records must be byte-identical across worker counts"
+    );
+    // The records actually carry simulation output, not just zeros.
+    assert!(serial.iter().all(|l| l.contains(r#""delivered":"#)));
+    assert!(
+        serial
+            .iter()
+            .any(|l| l.contains(r#""replay_match_rate":0"#))
+            || serial
+                .iter()
+                .any(|l| l.contains(r#""replay_match_rate":1"#)),
+        "replay ran somewhere in the grid"
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_agree_too() {
+    // Same worker count twice: steal patterns may differ run to run, the
+    // records must not.
+    let (a, _) = sorted_records(4);
+    let (b, _) = sorted_records(4);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn aggregate_artifact_from_parallel_run_validates() {
+    let grid = tiny_grid();
+    let jobs = grid.expand().unwrap();
+    let t0 = std::time::Instant::now();
+    let (records, stats) = pool::run_jobs(&jobs, 4, |_, spec| runner::run_job(spec));
+    let doc = store::bench_sweep_json(&grid, &records, stats, t0.elapsed().as_secs_f64());
+    let digest = store::validate_bench_sweep(&doc).expect("artifact conforms to ups-sweep/v1");
+    assert_eq!(digest.jobs, 8);
+    assert!(digest.jobs_per_sec > 0.0);
+}

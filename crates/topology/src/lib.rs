@@ -13,9 +13,10 @@
 //!
 //! plus hop-count [`routing`] with deterministic tie-breaks and the
 //! `tmin(p, α, β)` minimum-transit computation that LSTF slack
-//! initialization and EDF local deadlines are built on, and [`build`] to
+//! initialization and EDF local deadlines are built on, [`build`] to
 //! stamp a `ups_netsim::Simulator` out of any topology + scheduler
-//! assignment.
+//! assignment, and the enumerable [`registry`] of named topologies the
+//! `ups-sweep` grids reference.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +26,7 @@ pub mod fattree;
 pub mod graph;
 pub mod internet2;
 pub mod micro;
+pub mod registry;
 pub mod rocketfuel;
 pub mod routing;
 
@@ -33,5 +35,6 @@ pub use fattree::{fattree, fattree_default, FatTreeParams};
 pub use graph::{LinkSpec, NodeRole, Topology};
 pub use internet2::{i2_10g_10g, i2_1g_1g, i2_default, i2_fairness, internet2, Internet2Params};
 pub use micro::{appendix_c, appendix_f, appendix_g, dumbbell, line, NamedTopology};
+pub use registry::{topology_by_name, topology_entry, topology_names, TopologyEntry, TOPOLOGIES};
 pub use rocketfuel::{rocketfuel, rocketfuel_default, RocketFuelParams};
 pub use routing::{attach_tmin, tmin, tmin_rem_table, tmin_suffix, Routing};

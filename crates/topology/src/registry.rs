@@ -1,0 +1,163 @@
+//! An enumerable registry of named topologies.
+//!
+//! The sweep engine (`ups-sweep`) expands declarative scenario grids whose
+//! axes name topologies by string; this registry is the single mapping
+//! from those names to constructors. Every entry is a zero-argument
+//! builder so grids stay fully declarative — parameterized families get
+//! one entry per canned parameterization (`FatTree(k=4)`, `FatTree(k=8)`),
+//! mirroring how Table 1 names its rows.
+
+use crate::fattree::{fattree, FatTreeParams};
+use crate::graph::Topology;
+use crate::internet2::{i2_10g_10g, i2_1g_1g, i2_default, internet2, Internet2Params};
+use crate::micro::{dumbbell, line};
+use crate::rocketfuel::rocketfuel_default;
+use ups_netsim::prelude::{Bandwidth, Dur};
+
+/// One named topology: a stable name, a short description for `--list`
+/// output, and the builder.
+pub struct TopologyEntry {
+    /// Stable registry name (grids reference this).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    build: fn() -> Topology,
+}
+
+impl TopologyEntry {
+    /// Build a fresh instance of this topology.
+    pub fn build(&self) -> Topology {
+        (self.build)()
+    }
+}
+
+fn i2_small() -> Topology {
+    internet2(Internet2Params {
+        edges_per_core: 2,
+        ..Internet2Params::default()
+    })
+}
+
+fn fattree_k8() -> Topology {
+    fattree(FatTreeParams {
+        k: 8,
+        ..FatTreeParams::default()
+    })
+}
+
+fn line_3() -> Topology {
+    line(3, Bandwidth::from_gbps(1), Dur::from_us(10))
+}
+
+fn dumbbell_4() -> Topology {
+    dumbbell(
+        4,
+        Bandwidth::from_gbps(1),
+        Bandwidth::from_gbps(1),
+        Dur::from_us(10),
+    )
+}
+
+/// Every registered topology, in listing order. Table 1's five networks
+/// first, then scaled variants and micro-topologies for quick sweeps.
+pub const TOPOLOGIES: &[TopologyEntry] = &[
+    TopologyEntry {
+        name: "I2:1Gbps-10Gbps",
+        description: "Internet2 backbone, 1G access / 10G core (paper default)",
+        build: i2_default,
+    },
+    TopologyEntry {
+        name: "I2:1Gbps-1Gbps",
+        description: "Internet2, access and core both 1G (endhost-paced row)",
+        build: i2_1g_1g,
+    },
+    TopologyEntry {
+        name: "I2:10Gbps-10Gbps",
+        description: "Internet2, access and core both 10G (core-congested row)",
+        build: i2_10g_10g,
+    },
+    TopologyEntry {
+        name: "RocketFuel",
+        description: "seeded 83-router ISP-like backbone",
+        build: rocketfuel_default,
+    },
+    TopologyEntry {
+        name: "FatTree(k=4)",
+        description: "pFabric-style datacenter fat-tree, 16 hosts",
+        build: || fattree(FatTreeParams::default()),
+    },
+    TopologyEntry {
+        name: "FatTree(k=8)",
+        description: "datacenter fat-tree, 128 hosts (paper scale)",
+        build: fattree_k8,
+    },
+    TopologyEntry {
+        name: "I2:small",
+        description: "Internet2 with 2 edges per core — quick test variant",
+        build: i2_small,
+    },
+    TopologyEntry {
+        name: "Line(3)",
+        description: "2 hosts through 3 routers in a line — smoke sweeps",
+        build: line_3,
+    },
+    TopologyEntry {
+        name: "Dumbbell(4)",
+        description: "4 hosts per side of one bottleneck — smoke sweeps",
+        build: dumbbell_4,
+    },
+];
+
+/// All registered names, in listing order.
+pub fn topology_names() -> Vec<&'static str> {
+    TOPOLOGIES.iter().map(|e| e.name).collect()
+}
+
+/// Look an entry up by its registry name.
+pub fn topology_entry(name: &str) -> Option<&'static TopologyEntry> {
+    TOPOLOGIES.iter().find(|e| e.name == name)
+}
+
+/// Build a topology by registry name.
+pub fn topology_by_name(name: &str) -> Option<Topology> {
+    topology_entry(name).map(|e| e.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names = topology_names();
+        for (i, n) in names.iter().enumerate() {
+            assert!(!names[i + 1..].contains(n), "duplicate registry name {n}");
+            let topo = topology_by_name(n).expect("registered name builds");
+            assert!(topo.node_count() >= 2, "{n} built an empty topology");
+        }
+        assert!(topology_by_name("NoSuchNetwork").is_none());
+    }
+
+    #[test]
+    fn table1_topologies_registered() {
+        for name in [
+            "I2:1Gbps-10Gbps",
+            "I2:1Gbps-1Gbps",
+            "I2:10Gbps-10Gbps",
+            "RocketFuel",
+            "FatTree(k=4)",
+        ] {
+            assert!(topology_entry(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        // Same name ⇒ structurally identical network (node/link counts).
+        for e in TOPOLOGIES {
+            let (a, b) = (e.build(), e.build());
+            assert_eq!(a.node_count(), b.node_count(), "{}", e.name);
+            assert_eq!(a.links().len(), b.links().len(), "{}", e.name);
+        }
+    }
+}

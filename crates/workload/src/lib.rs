@@ -10,7 +10,9 @@
 //! * [`flows`] — Poisson flow generation over host pairs with
 //!   routing-matrix-based utilization calibration, plus Figure 4's
 //!   long-lived flows,
-//! * [`udp`] — open-loop packetization (NIC-paced packet trains).
+//! * [`udp`] — open-loop packetization (NIC-paced packet trains),
+//! * [`registry`] — enumerable named workload profiles + the shared
+//!   calibrated-train builders the benches and `ups-sweep` grids use.
 //!
 //! Everything is seeded and deterministic; the same [`flows::FlowSpec`]
 //! list drives both runs of a replay pair.
@@ -20,8 +22,10 @@
 
 pub mod dist;
 pub mod flows;
+pub mod registry;
 pub mod udp;
 
 pub use dist::{BoundedPareto, Empirical, Exponential, Fixed, SizeDist};
 pub use flows::{calibrate_flow_rate, long_lived_flows, FlowSpec, PoissonWorkload};
+pub use registry::{profile_by_name, profile_names, CalibratedTrain, WorkloadProfile, PROFILES};
 pub use udp::{total_bytes, udp_packet_train, MTU};

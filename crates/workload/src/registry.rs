@@ -1,0 +1,184 @@
+//! An enumerable registry of named workload profiles, plus the shared
+//! calibrated-workload builders the benches and the sweep engine use.
+//!
+//! A *profile* names a flow-size distribution; combined with a topology,
+//! a utilization target, an arrival window and a seed it fully determines
+//! a packet set (Poisson arrivals over random host pairs, calibrated
+//! against the topology's core links — §2.3 of the paper). Grids in
+//! `ups-sweep` reference profiles by name.
+
+use ups_netsim::prelude::{Dur, Packet};
+use ups_topology::{Routing, Topology};
+
+use crate::dist::{BoundedPareto, Empirical, Fixed, SizeDist};
+use crate::flows::{FlowSpec, PoissonWorkload};
+use crate::udp::{udp_packet_train, MTU};
+
+/// One named workload profile.
+pub struct WorkloadProfile {
+    /// Stable registry name (grids reference this).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    sizes: fn() -> Box<dyn SizeDist>,
+}
+
+/// Every registered profile, in listing order.
+pub const PROFILES: &[WorkloadProfile] = &[
+    WorkloadProfile {
+        name: "web-search",
+        description: "empirical web-search flow sizes [4] (paper default)",
+        sizes: || Box::new(Empirical::web_search()),
+    },
+    WorkloadProfile {
+        name: "data-mining",
+        description: "empirical data-mining flow sizes [5]",
+        sizes: || Box::new(Empirical::data_mining()),
+    },
+    WorkloadProfile {
+        name: "pareto",
+        description: "bounded-Pareto heavy tail",
+        sizes: || Box::new(BoundedPareto::traffic_default()),
+    },
+    WorkloadProfile {
+        name: "fixed-mtu",
+        description: "every flow exactly one MTU (pure scheduling stress)",
+        sizes: || Box::new(Fixed(MTU as u64)),
+    },
+];
+
+/// All registered names, in listing order.
+pub fn profile_names() -> Vec<&'static str> {
+    PROFILES.iter().map(|p| p.name).collect()
+}
+
+/// Look a profile up by name.
+pub fn profile_by_name(name: &str) -> Option<&'static WorkloadProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// A packetized, utilization-calibrated workload.
+pub struct CalibratedTrain {
+    /// Injectable packets, in flow-start order with dense ids.
+    pub packets: Vec<Packet>,
+    /// Number of flows the packets came from.
+    pub flows: usize,
+    /// The arrival window actually used (relevant when grown to a floor).
+    pub window: Dur,
+}
+
+impl WorkloadProfile {
+    /// Instantiate this profile's size distribution.
+    pub fn sizes(&self) -> Box<dyn SizeDist> {
+        (self.sizes)()
+    }
+
+    /// Generate the calibrated Poisson flow list for this profile.
+    pub fn flows(
+        &self,
+        topo: &Topology,
+        routing: &mut Routing,
+        utilization: f64,
+        window: Dur,
+        seed: u64,
+    ) -> Vec<FlowSpec> {
+        let sizes = self.sizes();
+        PoissonWorkload::at_utilization(utilization, window, seed).generate(
+            topo,
+            routing,
+            sizes.as_ref(),
+        )
+    }
+
+    /// Flows + UDP packet train in one step.
+    pub fn udp_train(
+        &self,
+        topo: &Topology,
+        utilization: f64,
+        window: Dur,
+        seed: u64,
+    ) -> CalibratedTrain {
+        let mut routing = Routing::new(topo);
+        let flows = self.flows(topo, &mut routing, utilization, window, seed);
+        let packets = udp_packet_train(&flows, MTU);
+        CalibratedTrain {
+            packets,
+            flows: flows.len(),
+            window,
+        }
+    }
+
+    /// Grow the arrival window (doubling from `start_window`) until the
+    /// packetized workload clears `min_packets` — the calibration loop the
+    /// throughput benchmark and scale experiments share.
+    ///
+    /// # Panics
+    /// If the floor is still unmet at 1024× the starting window.
+    pub fn udp_train_with_floor(
+        &self,
+        topo: &Topology,
+        utilization: f64,
+        min_packets: usize,
+        start_window: Dur,
+        seed: u64,
+    ) -> CalibratedTrain {
+        let mut window = start_window;
+        loop {
+            let train = self.udp_train(topo, utilization, window, seed);
+            if train.packets.len() >= min_packets {
+                return train;
+            }
+            window = window.times(2);
+            assert!(
+                window <= start_window.times(1024),
+                "workload never reached the {min_packets}-packet floor"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_netsim::prelude::Bandwidth;
+    use ups_topology::line;
+
+    fn tiny_topo() -> Topology {
+        line(2, Bandwidth::from_gbps(1), Dur::from_us(10))
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names = profile_names();
+        for (i, n) in names.iter().enumerate() {
+            assert!(!names[i + 1..].contains(n), "duplicate profile {n}");
+            assert!(profile_by_name(n).is_some());
+        }
+        assert!(profile_by_name("bimodal").is_none());
+    }
+
+    #[test]
+    fn profiles_generate_deterministic_trains() {
+        let topo = tiny_topo();
+        for p in PROFILES {
+            // Window sized for the profile's mean: the empirical mixes
+            // have multi-MB means, so a 2-host line needs a long window
+            // before the Poisson process emits anything.
+            let window = Dur::from_ms(if p.name == "fixed-mtu" { 2 } else { 400 });
+            let a = p.udp_train(&topo, 0.5, window, 7);
+            let b = p.udp_train(&topo, 0.5, window, 7);
+            assert_eq!(a.packets.len(), b.packets.len(), "{}", p.name);
+            assert!(!a.packets.is_empty(), "{} generated nothing", p.name);
+            assert_eq!(a.flows, b.flows);
+        }
+    }
+
+    #[test]
+    fn floor_growth_reaches_target() {
+        let topo = tiny_topo();
+        let profile = profile_by_name("fixed-mtu").unwrap();
+        let train = profile.udp_train_with_floor(&topo, 0.5, 2_000, Dur::from_ms(1), 3);
+        assert!(train.packets.len() >= 2_000);
+        assert!(train.window > Dur::from_ms(1), "window must have grown");
+    }
+}

@@ -18,7 +18,8 @@
 //! | [`workload`] | Poisson arrivals, heavy-tailed sizes, utilization calibration |
 //! | [`transport`] | simplified TCP with §3 slack-stamping policies |
 //! | [`core`] | the replay framework, slack heuristics, appendix counterexamples |
-//! | [`metrics`] | CDFs, Jain index, FCT buckets, table rendering |
+//! | [`metrics`] | CDFs, Jain index, FCT buckets, run summaries, table rendering |
+//! | [`sweep`] | parallel scenario-sweep engine: grids, work-stealing pool, result store |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 pub use ups_core as core;
 pub use ups_metrics as metrics;
 pub use ups_netsim as netsim;
+pub use ups_sweep as sweep;
 pub use ups_topology as topology;
 pub use ups_transport as transport;
 pub use ups_workload as workload;
@@ -69,6 +71,7 @@ pub mod prelude {
     };
     pub use ups_metrics::{jain_index, jain_series, mean_fct_by_bucket, Cdf, FlowSample};
     pub use ups_netsim::prelude::*;
+    pub use ups_sweep::{JobRecord, JobSpec, ScenarioGrid};
     pub use ups_topology::{
         build_simulator, BuildOptions, NodeRole, Routing, SchedulerAssignment, Topology,
     };
