@@ -65,6 +65,21 @@ fn main() {
             per_scheme[0][i].2.to_string(),
         ]);
     }
+    // The trailing overflow bucket (flows beyond the last Figure-2 edge).
+    // Schemes complete different flow sets by the horizon, so the count
+    // column reports the largest overflow population across schemes.
+    let last = FIG2_BUCKETS.len();
+    let overflow_max = per_scheme.iter().map(|rows| rows[last].2).max().unwrap();
+    if overflow_max > 0 {
+        table.row(&[
+            "> last edge".into(),
+            format!("{:.4}", per_scheme[0][last].1),
+            format!("{:.4}", per_scheme[1][last].1),
+            format!("{:.4}", per_scheme[2][last].1),
+            format!("{:.4}", per_scheme[3][last].1),
+            format!("<= {overflow_max}"),
+        ]);
+    }
     println!("{}", table.render());
     println!(
         "# pool: {} schemes on {} workers ({} steals)",

@@ -5,7 +5,7 @@ use ups_netsim::prelude::{Dur, FlowId, PacketKind, RecordMode, SchedulerKind, Si
 use ups_topology::{
     build_simulator, i2_fairness, BuildOptions, Routing, SchedulerAssignment, Topology,
 };
-use ups_transport::{install_tcp, SlackPolicy, TcpConfig, TransportStats};
+use ups_transport::{run_tcp, SlackPolicy, TcpConfig, TcpScenario};
 use ups_workload::{udp_packet_train, Empirical, PoissonWorkload, SizeDist};
 
 /// Figure 2 scheme under test.
@@ -58,7 +58,9 @@ impl FctScheme {
 }
 
 /// Figure 2: TCP flows on the default Internet2 at the given utilization
-/// with 5 MB router buffers; returns completed-flow samples.
+/// with 5 MB router buffers; returns completed-flow samples. Runs on the
+/// shared closed-loop driver (`ups_transport::driver`) — the same code
+/// path as a `traffic: closed-loop` sweep job.
 pub fn run_fct_experiment(
     topo: &Topology,
     scheme: FctScheme,
@@ -73,27 +75,23 @@ pub fn run_fct_experiment(
         &mut routing,
         &Empirical::web_search() as &dyn SizeDist,
     );
-    let mut sim = build_simulator(
+    let scenario = TcpScenario {
         topo,
-        &SchedulerAssignment::uniform(scheme.scheduler()),
-        &BuildOptions {
+        assign: &SchedulerAssignment::uniform(scheme.scheduler()),
+        opts: BuildOptions {
             record: RecordMode::Off,
             router_buffer_bytes: Some(5_000_000), // §3.1: 5 MB per router
             ..BuildOptions::default()
         },
-    );
-    let stats = TransportStats::new(Dur::from_ms(1));
-    install_tcp(
-        &mut sim,
-        topo,
-        &mut routing,
-        &flows,
-        TcpConfig::default(),
-        scheme.policy(),
-        &stats,
-    );
-    sim.run_until(SimTime::ZERO + horizon);
-    stats
+        flows: &flows,
+        config: TcpConfig::default(),
+        policy: scheme.policy(),
+        horizon,
+        max_packets: None,
+        goodput_bucket: Dur::from_ms(1),
+    };
+    let run = run_tcp(&scenario, &mut routing);
+    run.stats
         .completions()
         .into_iter()
         .map(|c| FlowSample {
@@ -275,33 +273,29 @@ pub fn run_fairness_experiment(
     let mut routing = Routing::new(&topo);
     let flows = fairness_flow_set(&topo, &mut routing, flows_per_link, Dur::from_ms(5), seed);
     let flow_ids: Vec<FlowId> = flows.iter().map(|f| f.id).collect();
-    let mut sim = build_simulator(
-        &topo,
-        &SchedulerAssignment::uniform(scheme.scheduler()),
-        &BuildOptions {
+    let scenario = TcpScenario {
+        topo: &topo,
+        assign: &SchedulerAssignment::uniform(scheme.scheduler()),
+        opts: BuildOptions {
             record: RecordMode::Off,
             // "the buffer size is kept large so that the fairness is
             // dominated by the scheduling policy" (§3.3).
             router_buffer_bytes: None,
             ..BuildOptions::default()
         },
-    );
-    let stats = TransportStats::new(Dur::from_ms(1));
-    install_tcp(
-        &mut sim,
-        &topo,
-        &mut routing,
-        &flows,
-        TcpConfig {
+        flows: &flows,
+        config: TcpConfig {
             // Short-RTT variant: the topology shrinks propagation 100x.
             rto_min: Dur::from_ms(2),
             ..TcpConfig::default()
         },
-        scheme.policy(),
-        &stats,
-    );
-    sim.run_until(SimTime::ZERO + horizon);
-    let matrix = stats.goodput_matrix(&flow_ids);
+        policy: scheme.policy(),
+        horizon,
+        max_packets: None,
+        goodput_bucket: Dur::from_ms(1),
+    };
+    let run = run_tcp(&scenario, &mut routing);
+    let matrix = run.stats.goodput_matrix(&flow_ids);
     jain_series(&matrix)
 }
 
@@ -348,9 +342,9 @@ mod tests {
         assert!(ml < mf, "LSTF {ml} must beat FIFO {mf}");
         let rel = (ml - ms).abs() / ms;
         assert!(rel < 0.35, "LSTF {ml} vs SJF {ms}: rel diff {rel}");
-        // Bucketing machinery works on real output.
+        // Bucketing machinery works on real output (+1: overflow bucket).
         let rows = mean_fct_by_bucket(&lstf, &FIG2_BUCKETS);
-        assert_eq!(rows.len(), FIG2_BUCKETS.len());
+        assert_eq!(rows.len(), FIG2_BUCKETS.len() + 1);
     }
 
     #[test]

@@ -15,21 +15,30 @@ pub const FIG2_BUCKETS: [u64; 10] = [
     1_460, 2_920, 4_380, 7_300, 10_220, 58_400, 105_120, 2_000_020, 17_330_203, 30_762_200,
 ];
 
+/// The synthetic edge of the overflow bucket — flows larger than every
+/// real edge land here instead of being silently folded into the last
+/// real bucket. Serialized as `null` in JSON (see `RunSummary::to_json`).
+pub const OVERFLOW_EDGE: u64 = u64::MAX;
+
 /// Mean FCT per size bucket. Returns `(bucket_edge, mean_fct, count)` for
-/// every bucket (NaN-free: empty buckets report 0 mean and 0 count).
+/// every bucket (NaN-free: empty buckets report 0 mean and 0 count),
+/// plus one trailing **overflow bucket** (`edge == OVERFLOW_EDGE`) that
+/// collects flows strictly larger than the last edge — the output has
+/// `buckets.len() + 1` rows, and every sample is counted exactly once.
 pub fn mean_fct_by_bucket(samples: &[FlowSample], buckets: &[u64]) -> Vec<(u64, f64, usize)> {
-    let mut sums = vec![0.0f64; buckets.len()];
-    let mut counts = vec![0usize; buckets.len()];
+    let mut sums = vec![0.0f64; buckets.len() + 1];
+    let mut counts = vec![0usize; buckets.len() + 1];
     for s in samples {
         let idx = buckets
             .iter()
             .position(|&b| s.size <= b)
-            .unwrap_or(buckets.len() - 1);
+            .unwrap_or(buckets.len()); // overflow: larger than every edge
         sums[idx] += s.fct_secs;
         counts[idx] += 1;
     }
     buckets
         .iter()
+        .chain(std::iter::once(&OVERFLOW_EDGE))
         .zip(sums.iter().zip(&counts))
         .map(|(&b, (&sum, &c))| (b, if c > 0 { sum / c as f64 } else { 0.0 }, c))
         .collect()
@@ -65,16 +74,48 @@ mod tests {
             }, // beyond last edge
         ];
         let out = mean_fct_by_bucket(&samples, &FIG2_BUCKETS);
-        assert_eq!(out.len(), FIG2_BUCKETS.len());
+        assert_eq!(out.len(), FIG2_BUCKETS.len() + 1);
         assert_eq!(out[0].2, 2);
         assert!((out[0].1 - 0.2).abs() < 1e-12);
         assert_eq!(out[1].2, 1);
         assert!((out[1].1 - 0.5).abs() < 1e-12);
-        // Oversized flow folded into the last bucket.
-        assert_eq!(out[9].2, 1);
-        assert!((out[9].1 - 2.0).abs() < 1e-12);
+        // Oversized flow lands in the overflow bucket, not the last real one.
+        assert_eq!(out[9], (30_762_200, 0.0, 0));
+        assert_eq!(out[10].0, OVERFLOW_EDGE);
+        assert_eq!(out[10].2, 1);
+        assert!((out[10].1 - 2.0).abs() < 1e-12);
         // Empty buckets report zero, not NaN.
         assert_eq!(out[5], (58_400, 0.0, 0));
+    }
+
+    #[test]
+    fn sizes_straddling_the_last_edge_split_cleanly() {
+        // Regression: the old code folded > 30,762,200 B flows into the
+        // last bucket via `unwrap_or(len - 1)`, contradicting the
+        // "first edge ≥ size" doc.
+        let samples = [
+            FlowSample {
+                size: 30_762_199,
+                fct_secs: 1.0,
+            },
+            FlowSample {
+                size: 30_762_200, // exactly the last edge: last real bucket
+                fct_secs: 2.0,
+            },
+            FlowSample {
+                size: 30_762_201, // one past: overflow bucket
+                fct_secs: 8.0,
+            },
+        ];
+        let out = mean_fct_by_bucket(&samples, &FIG2_BUCKETS);
+        let last = out[FIG2_BUCKETS.len() - 1];
+        let overflow = out[FIG2_BUCKETS.len()];
+        assert_eq!(last.0, 30_762_200);
+        assert_eq!(last.2, 2);
+        assert!((last.1 - 1.5).abs() < 1e-12);
+        assert_eq!(overflow, (OVERFLOW_EDGE, 8.0, 1));
+        // Every sample counted exactly once.
+        assert_eq!(out.iter().map(|&(_, _, c)| c).sum::<usize>(), 3);
     }
 
     #[test]

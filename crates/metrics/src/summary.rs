@@ -6,6 +6,33 @@
 //! fixed and numbers use Rust's shortest round-trip formatting, so two
 //! runs that computed identical values emit byte-identical JSON.
 
+/// What a closed-loop (TCP) run reports on top of the packet metrics —
+/// distilled from `ups_transport::TransportStats` by the sweep runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportSummary {
+    /// Flows whose last in-order byte reached the receiver.
+    pub completed_flows: usize,
+    /// Total in-order bytes delivered across all flows (goodput).
+    pub goodput_bytes: u64,
+    /// Data segments re-sent (fast retransmit + go-back-N).
+    pub retransmits: u64,
+    /// Retransmission-timeout events (each shrinks cwnd to one segment).
+    pub rto_events: u64,
+}
+
+impl TransportSummary {
+    /// Compact JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"completed_flows":{},"goodput_bytes":{},"#,
+                r#""retransmits":{},"rto_events":{}}}"#
+            ),
+            self.completed_flows, self.goodput_bytes, self.retransmits, self.rto_events
+        )
+    }
+}
+
 /// Everything one sweep job reports about its run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
@@ -25,14 +52,20 @@ pub struct RunSummary {
     /// Mean flow completion time (seconds; last delivered packet per flow).
     pub fct_mean_s: f64,
     /// Mean FCT per size bucket: `(bucket_edge_bytes, mean_fct_s, flows)`.
+    /// The trailing overflow bucket uses [`crate::fct::OVERFLOW_EDGE`] as
+    /// its edge and serializes it as `null`.
     pub fct_buckets: Vec<(u64, f64, usize)>,
-    /// Jain fairness index over per-flow mean throughput.
-    pub jain: f64,
+    /// Jain fairness index over per-flow mean throughput; `None` when no
+    /// flow delivered any bytes (a dead run must not claim perfect
+    /// fairness).
+    pub jain: Option<f64>,
     /// Fraction of packets the LSTF replay got out on time
     /// (`1 − frac_overdue`); `None` when the job ran without a replay.
     pub replay_match_rate: Option<f64>,
     /// Fraction of packets the replay missed by more than `T`.
     pub replay_frac_gt_t: Option<f64>,
+    /// Closed-loop transport metrics; `None` for open-loop (UDP) runs.
+    pub transport: Option<TransportSummary>,
 }
 
 impl RunSummary {
@@ -42,6 +75,11 @@ impl RunSummary {
             .fct_buckets
             .iter()
             .map(|&(edge, mean, n)| {
+                let edge = if edge == crate::fct::OVERFLOW_EDGE {
+                    "null".into() // the overflow bucket has no real edge
+                } else {
+                    edge.to_string()
+                };
                 format!(
                     r#"{{"edge_bytes":{edge},"mean_fct_s":{},"flows":{n}}}"#,
                     json_num(mean)
@@ -53,7 +91,7 @@ impl RunSummary {
                 r#"{{"flows":{},"packets":{},"delivered":{},"dropped":{},"#,
                 r#""delay_mean_s":{},"delay_p99_s":{},"fct_mean_s":{},"#,
                 r#""jain":{},"replay_match_rate":{},"replay_frac_gt_t":{},"#,
-                r#""fct_buckets":[{}]}}"#
+                r#""transport":{},"fct_buckets":[{}]}}"#
             ),
             self.flows,
             self.packets,
@@ -62,9 +100,13 @@ impl RunSummary {
             json_num(self.delay_mean_s),
             json_num(self.delay_p99_s),
             json_num(self.fct_mean_s),
-            json_num(self.jain),
+            json_opt_num(self.jain),
             json_opt_num(self.replay_match_rate),
             json_opt_num(self.replay_frac_gt_t),
+            match &self.transport {
+                Some(t) => t.to_json(),
+                None => "null".into(),
+            },
             buckets.join(",")
         )
     }
@@ -118,10 +160,11 @@ mod tests {
             delay_mean_s: 0.001,
             delay_p99_s: 0.01,
             fct_mean_s: 0.25,
-            fct_buckets: vec![(1460, 0.1, 2), (2920, 0.0, 0)],
-            jain: 0.97,
+            fct_buckets: vec![(1460, 0.1, 2), (2920, 0.0, 0), (u64::MAX, 0.9, 1)],
+            jain: Some(0.97),
             replay_match_rate: Some(0.9984),
             replay_frac_gt_t: Some(0.0),
+            transport: None,
         }
     }
 
@@ -132,6 +175,11 @@ mod tests {
         assert!(s.contains(r#""delivered":99"#));
         assert!(s.contains(r#""replay_match_rate":0.9984"#));
         assert!(s.contains(r#""edge_bytes":1460"#));
+        assert!(s.contains(r#""transport":null"#));
+        assert!(
+            s.contains(r#"{"edge_bytes":null,"mean_fct_s":0.9,"flows":1}"#),
+            "overflow bucket edge must serialize as null: {s}"
+        );
         assert_eq!(s, sample().to_json(), "emission must be deterministic");
     }
 
@@ -141,6 +189,28 @@ mod tests {
         r.replay_match_rate = None;
         r.replay_frac_gt_t = None;
         assert!(r.to_json().contains(r#""replay_match_rate":null"#));
+    }
+
+    #[test]
+    fn dead_run_jain_is_null_not_one() {
+        let mut r = sample();
+        r.jain = None;
+        assert!(r.to_json().contains(r#""jain":null"#));
+    }
+
+    #[test]
+    fn transport_block_serializes() {
+        let mut r = sample();
+        r.transport = Some(TransportSummary {
+            completed_flows: 7,
+            goodput_bytes: 123_456,
+            retransmits: 3,
+            rto_events: 1,
+        });
+        let s = r.to_json();
+        assert!(s.contains(
+            r#""transport":{"completed_flows":7,"goodput_bytes":123456,"retransmits":3,"rto_events":1}"#
+        ));
     }
 
     #[test]

@@ -247,6 +247,17 @@ impl Simulator {
         }
     }
 
+    /// Process one event if the next one is due at or before `t`.
+    /// Returns false when the queue is exhausted or the next event lies
+    /// beyond `t` — a single-step [`Self::run_until`], for callers that
+    /// need to check state between events without overshooting a horizon.
+    pub fn step_within(&mut self, t: SimTime) -> bool {
+        match self.events.peek_time() {
+            Some(next) if next <= t => self.step(),
+            _ => false,
+        }
+    }
+
     /// Process one event. Returns false when the queue is exhausted.
     pub fn step(&mut self) -> bool {
         let Some((now, event)) = self.events.pop() else {

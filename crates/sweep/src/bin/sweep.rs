@@ -1,10 +1,12 @@
 //! `sweep` — run a declarative scenario grid across all cores.
 //!
 //! ```text
-//! sweep                                   # the 30-job paper-default grid
+//! sweep                                   # the 60-job paper-default grid
 //! sweep --workers 8 --seeds 1,2,3         # wider, more seeds
 //! sweep --topos "Line(3),Dumbbell(4)" --scheds FIFO,LSTF \
 //!       --window-ms 2 --max-packets 4000  # CI smoke grid
+//! sweep --traffic closed-loop --scheds LSTF \
+//!       --rest 1000000000,100000000       # TCP + §3.3 fairness r_est axis
 //! sweep --list                            # registries and disciplines
 //! sweep --validate BENCH_sweep.json       # schema-check an artifact
 //! ```
@@ -48,19 +50,25 @@ sweep — parallel scenario-sweep engine (Universal Packet Scheduling)
 USAGE:
   sweep [OPTIONS]
 
-GRID AXES (comma-separated; defaults form the 30-job paper grid):
+GRID AXES (comma-separated; defaults form the 60-job paper grid):
   --topos NAMES       topologies by registry name
   --profiles NAMES    workload profiles by registry name
   --scheds LABELS     scheduler disciplines (Table-1 labels; FQ/FIFO+ ok)
+  --traffic MODES     open-loop (UDP trains) and/or closed-loop (TCP Reno
+                      with the slack policy of the scheduler under test)
+  --rest BPS          r_est axis (bits/s) for closed-loop LSTF: each value
+                      runs the §3.3 Fairness slack policy as its own job
   --utils FRACS       utilization targets, e.g. 0.3,0.7
   --seeds INTS        one independent job per seed
 
 GRID OPTIONS:
   --window-ms MS      flow-arrival window per job (default 10)
+  --horizon-ms MS     closed-loop simulated horizon (default window x 20)
+  --buffer-bytes N    router buffers per port (default unbounded/drop-free)
   --no-replay         skip the LSTF replay (original schedule only)
   --max-packets N     cap injected packets per job (smoke grids)
   --exclude SPEC      drop combinations, e.g. topo=RocketFuel,sched=Random
-                      (repeatable; util>0.8 caps utilization)
+                      (repeatable; traffic=closed-loop and util>0.8 work too)
   --max-jobs N        keep at most N jobs
 
 EXECUTION & OUTPUT:
@@ -93,11 +101,13 @@ fn parse_exclude(spec: &str) -> Result<Exclude, String> {
             e.profile = Some(v.into());
         } else if let Some(v) = part.strip_prefix("sched=") {
             e.scheduler = Some(v.into());
+        } else if let Some(v) = part.strip_prefix("traffic=") {
+            e.traffic = Some(v.into());
         } else if let Some(v) = part.strip_prefix("util>") {
             e.utilization_above = Some(v.parse().map_err(|_| format!("bad utilization {v:?}"))?);
         } else {
             return Err(format!(
-                "bad --exclude part {part:?} (want topo=/profile=/sched=/util>)"
+                "bad --exclude part {part:?} (want topo=/profile=/sched=/traffic=/util>)"
             ));
         }
     }
@@ -122,6 +132,13 @@ fn parse_args() -> Result<Args, String> {
             "--topos" => args.grid.topologies = split_list(&value("--topos")?),
             "--profiles" => args.grid.profiles = split_list(&value("--profiles")?),
             "--scheds" => args.grid.schedulers = split_list(&value("--scheds")?),
+            "--traffic" => args.grid.traffic = split_list(&value("--traffic")?),
+            "--rest" => {
+                args.grid.rest_bps = split_list(&value("--rest")?)
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| format!("bad r_est {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
             "--utils" => {
                 args.grid.utilizations = split_list(&value("--utils")?)
                     .iter()
@@ -139,6 +156,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --window-ms".to_string())?;
                 args.grid.window = Dur::from_ms(ms);
+            }
+            "--horizon-ms" => {
+                let ms: u64 = value("--horizon-ms")?
+                    .parse()
+                    .map_err(|_| "bad --horizon-ms".to_string())?;
+                args.grid.horizon = Some(Dur::from_ms(ms));
+            }
+            "--buffer-bytes" => {
+                args.grid.buffer_bytes = Some(
+                    value("--buffer-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --buffer-bytes".to_string())?,
+                );
             }
             "--no-replay" => args.grid.replay = false,
             "--max-packets" => {
@@ -197,6 +227,9 @@ fn list_registries() {
         .chain([ups_sweep::MIXED_FQ_FIFOPLUS])
         .collect();
     println!("  {}", labels.join(", "));
+    println!("traffic modes:");
+    println!("  open-loop          UDP packet trains paced by the host NIC (§2.3)");
+    println!("  closed-loop        TCP Reno endpoints, slack policy per scheduler (§3)");
 }
 
 fn main() -> ExitCode {
@@ -241,6 +274,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The r_est axis only multiplies closed-loop × LSTF combinations; a
+    // grid where it applies nowhere would silently record an "r_est
+    // sweep" containing zero Fairness(r_est) jobs.
+    if !args.grid.rest_bps.is_empty() && jobs.iter().all(|j| j.rest_bps.is_none()) {
+        eprintln!(
+            "sweep: --rest given but no closed-loop LSTF job exists in the grid \
+             (add LSTF to --scheds and closed-loop to --traffic)"
+        );
+        return ExitCode::FAILURE;
+    }
     let stream = match ResultStream::create(&args.jsonl) {
         Ok(s) => s,
         Err(e) => {
@@ -248,56 +291,67 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Excludes and --max-jobs both shrink the cartesian product; report
-    // the drop without attributing it to one mechanism.
-    let product = args.grid.topologies.len()
-        * args.grid.profiles.len()
-        * args.grid.schedulers.len()
-        * args.grid.utilizations.len()
-        * args.grid.seeds.len();
+    // Excludes, the LSTF-only r_est sub-axis and --max-jobs all reshape
+    // the cartesian product, so report the expanded count against the
+    // six base axes without attributing the difference to one mechanism.
     println!(
-        "# sweep: {} jobs ({} topologies × {} profiles × {} schedulers × {} utils × {} seeds, {} excluded/capped) on {} workers",
+        "# sweep: {} jobs ({} topologies × {} profiles × {} schedulers × {} traffic × {} utils × {} seeds{}) on {} workers",
         jobs.len(),
         args.grid.topologies.len(),
         args.grid.profiles.len(),
         args.grid.schedulers.len(),
+        args.grid.traffic.len(),
         args.grid.utilizations.len(),
         args.grid.seeds.len(),
-        product - jobs.len(),
+        if args.grid.rest_bps.is_empty() {
+            String::new()
+        } else {
+            format!(", {} r_est values", args.grid.rest_bps.len())
+        },
         args.workers.clamp(1, jobs.len())
     );
 
     let t0 = Instant::now();
     let quiet = args.quiet;
     let stream_ref = &stream;
-    let (records, stats) = pool::run_jobs(&jobs, args.workers, move |_, spec| {
-        let rec = runner::run_job(spec);
-        stream_ref.append(&rec);
-        if !quiet {
-            let s = &rec.summary;
-            println!(
-                "job {:>3}  {:<16} {:<11} {:<8} util {:.2} seed {:<2}  {:>7} pkts  {} replay {}  {:.2}s",
-                rec.spec.job_id,
-                rec.spec.topology,
-                rec.spec.profile,
-                rec.spec.scheduler,
-                rec.spec.utilization,
-                rec.spec.seed,
-                s.packets,
-                if s.dropped > 0 {
-                    format!("dropped {}", s.dropped)
-                } else {
-                    "drop-free".into()
-                },
-                match s.replay_match_rate {
-                    Some(r) => format!("{:.4}", r),
-                    None => "-".into(),
-                },
-                rec.wall_s
-            );
-        }
-        rec
-    });
+    let (records, stats) = pool::run_jobs_labeled(
+        &jobs,
+        args.workers,
+        |_, spec| spec.label(),
+        move |_, spec| {
+            let rec = runner::run_job(spec);
+            stream_ref.append(&rec);
+            if !quiet {
+                let s = &rec.summary;
+                println!(
+                    "job {:>3}  {:<16} {:<11} {:<8} {:<11} util {:.2} seed {:<2}  {:>7} pkts  {} replay {}{}  {:.2}s",
+                    rec.spec.job_id,
+                    rec.spec.topology,
+                    rec.spec.profile,
+                    rec.spec.scheduler,
+                    rec.spec.traffic.name(),
+                    rec.spec.utilization,
+                    rec.spec.seed,
+                    s.packets,
+                    if s.dropped > 0 {
+                        format!("dropped {}", s.dropped)
+                    } else {
+                        "drop-free".into()
+                    },
+                    match s.replay_match_rate {
+                        Some(r) => format!("{:.4}", r),
+                        None => "-".into(),
+                    },
+                    match &s.transport {
+                        Some(t) => format!("  tcp {}fl/{}retx", t.completed_flows, t.retransmits),
+                        None => String::new(),
+                    },
+                    rec.wall_s
+                );
+            }
+            rec
+        },
+    );
     let wall_s = t0.elapsed().as_secs_f64();
 
     let doc = bench_sweep_json(&args.grid, &records, stats, wall_s);

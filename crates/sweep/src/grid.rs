@@ -1,14 +1,15 @@
 //! Declarative scenario grids.
 //!
-//! A [`ScenarioGrid`] is the cartesian product of five axes — topology ×
-//! workload profile × scheduler discipline × utilization × seed — plus
-//! filters. `expand` validates every axis value against the registries
-//! (`ups_topology::registry`, `ups_workload::registry`,
-//! `SchedulerKind::from_name`) and materializes the independent
-//! [`JobSpec`]s the pool executes. Job ids are assigned in expansion
-//! order, so a grid fully determines its job list — the sweep result
-//! record for job *k* is a pure function of the grid, never of worker
-//! scheduling.
+//! A [`ScenarioGrid`] is the cartesian product of six axes — topology ×
+//! workload profile × scheduler discipline × **traffic mode** ×
+//! utilization × seed (plus a sweepable `r_est` sub-axis for closed-loop
+//! LSTF) — plus filters. `expand` validates every axis value against the
+//! registries (`ups_topology::registry`, `ups_workload::registry`,
+//! `SchedulerKind::from_name`, [`TrafficMode::from_name`]) and
+//! materializes the independent [`JobSpec`]s the pool executes. Job ids
+//! are assigned in expansion order, so a grid fully determines its job
+//! list — the sweep result record for job *k* is a pure function of the
+//! grid, never of worker scheduling.
 
 use ups_metrics::json_escape;
 use ups_netsim::prelude::{Dur, SchedulerKind};
@@ -16,6 +17,39 @@ use ups_netsim::prelude::{Dur, SchedulerKind};
 /// The mixed Table 1 row — half the routers FQ, half FIFO+ — is the one
 /// non-uniform assignment grids can name.
 pub const MIXED_FQ_FIFOPLUS: &str = "FQ/FIFO+";
+
+/// How a job's traffic is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficMode {
+    /// Open-loop UDP packet trains paced by the host NIC (§2.3) — no
+    /// feedback, the workload is fixed up front.
+    OpenLoop,
+    /// Closed-loop TCP Reno endpoints (§3): acks gate the send window,
+    /// loss backs senders off, and the slack headers come from the
+    /// [`SlackPolicy`] derived from the scheduler under test.
+    ///
+    /// [`SlackPolicy`]: ups_transport::SlackPolicy
+    ClosedLoop,
+}
+
+impl TrafficMode {
+    /// Stable axis label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficMode::OpenLoop => "open-loop",
+            TrafficMode::ClosedLoop => "closed-loop",
+        }
+    }
+
+    /// Parse an axis label.
+    pub fn from_name(name: &str) -> Option<TrafficMode> {
+        match name {
+            "open-loop" => Some(TrafficMode::OpenLoop),
+            "closed-loop" => Some(TrafficMode::ClosedLoop),
+            _ => None,
+        }
+    }
+}
 
 /// One fully-specified, independently-executable scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,12 +62,23 @@ pub struct JobSpec {
     pub profile: String,
     /// Scheduler label (`SchedulerKind::name` or `"FQ/FIFO+"`).
     pub scheduler: String,
+    /// Open-loop UDP or closed-loop TCP.
+    pub traffic: TrafficMode,
+    /// Fair-rate estimate (bits/s) for the closed-loop LSTF fairness
+    /// slack policy; `None` everywhere else (LSTF then uses the §3.1
+    /// FCT assignment).
+    pub rest_bps: Option<u64>,
     /// Target mean core-link utilization.
     pub utilization: f64,
     /// Workload + simulation seed.
     pub seed: u64,
     /// Flow-arrival window.
     pub window: Dur,
+    /// Simulated-time horizon for closed-loop runs (TCP feedback loops
+    /// never drain on their own); `None` for open-loop jobs.
+    pub horizon: Option<Dur>,
+    /// Router buffer bytes; `None` = unbounded (drop-free, replayable).
+    pub buffer_bytes: Option<u64>,
     /// Whether to run the LSTF replay and report the match rate.
     pub replay: bool,
     /// Optional cap on injected packets (CI smoke grids).
@@ -44,22 +89,49 @@ impl JobSpec {
     /// The scenario as a compact JSON object — embedded in every result
     /// record so each line is self-describing.
     pub fn scenario_json(&self) -> String {
+        let opt_u64 = |v: Option<u64>| match v {
+            Some(n) => n.to_string(),
+            None => "null".into(),
+        };
         format!(
             concat!(
-                r#"{{"topology":"{}","profile":"{}","scheduler":"{}","#,
-                r#""utilization":{},"seed":{},"window_ms":{},"replay":{},"max_packets":{}}}"#
+                r#"{{"topology":"{}","profile":"{}","scheduler":"{}","traffic":"{}","#,
+                r#""rest_bps":{},"utilization":{},"seed":{},"window_ms":{},"horizon_ms":{},"#,
+                r#""buffer_bytes":{},"replay":{},"max_packets":{}}}"#
             ),
             json_escape(&self.topology),
             json_escape(&self.profile),
             json_escape(&self.scheduler),
+            self.traffic.name(),
+            opt_u64(self.rest_bps),
             ups_metrics::json_num(self.utilization),
             self.seed,
             ups_metrics::json_num(self.window.as_secs_f64() * 1e3),
+            ups_metrics::json_opt_num(self.horizon.map(|h| h.as_secs_f64() * 1e3)),
+            opt_u64(self.buffer_bytes),
             self.replay,
             match self.max_packets {
                 Some(n) => n.to_string(),
                 None => "null".into(),
             }
+        )
+    }
+
+    /// Human-readable one-line label (pool diagnostics, progress lines).
+    pub fn label(&self) -> String {
+        let rest = match self.rest_bps {
+            Some(r) => format!(" r_est {r}"),
+            None => String::new(),
+        };
+        format!(
+            "{} {} {} {}{} util {} seed {}",
+            self.topology,
+            self.profile,
+            self.scheduler,
+            self.traffic.name(),
+            rest,
+            self.utilization,
+            self.seed
         )
     }
 }
@@ -76,17 +148,27 @@ pub struct Exclude {
     pub profile: Option<String>,
     /// Match on scheduler label.
     pub scheduler: Option<String>,
+    /// Match on traffic-mode label (`"open-loop"` / `"closed-loop"`).
+    pub traffic: Option<String>,
     /// Match when utilization is strictly above this.
     pub utilization_above: Option<f64>,
 }
 
 impl Exclude {
-    fn matches(&self, topo: &str, profile: &str, sched: &str, util: f64) -> bool {
+    fn matches(
+        &self,
+        topo: &str,
+        profile: &str,
+        sched: &str,
+        traffic: TrafficMode,
+        util: f64,
+    ) -> bool {
         let mut any = false;
         for (field, value) in [
             (&self.topology, topo),
             (&self.profile, profile),
             (&self.scheduler, sched),
+            (&self.traffic, traffic.name()),
         ] {
             if let Some(want) = field {
                 if want != value {
@@ -112,16 +194,17 @@ impl Exclude {
             None => "null".into(),
         };
         format!(
-            r#"{{"topology":{},"profile":{},"scheduler":{},"utilization_above":{}}}"#,
+            r#"{{"topology":{},"profile":{},"scheduler":{},"traffic":{},"utilization_above":{}}}"#,
             opt_str(&self.topology),
             opt_str(&self.profile),
             opt_str(&self.scheduler),
+            opt_str(&self.traffic),
             ups_metrics::json_opt_num(self.utilization_above),
         )
     }
 }
 
-/// A declarative sweep: five axes, filters, and per-job run options.
+/// A declarative sweep: six axes, filters, and per-job run options.
 #[derive(Debug, Clone)]
 pub struct ScenarioGrid {
     /// Topology registry names.
@@ -130,12 +213,23 @@ pub struct ScenarioGrid {
     pub profiles: Vec<String>,
     /// Scheduler labels.
     pub schedulers: Vec<String>,
+    /// Traffic-mode labels (`"open-loop"` / `"closed-loop"`).
+    pub traffic: Vec<String>,
+    /// Fair-rate estimates (bits/s) for closed-loop LSTF — each value is
+    /// an independent job running the §3.3 `Fairness(r_est)` slack
+    /// policy. Empty ⇒ closed-loop LSTF uses the §3.1 FCT assignment.
+    /// The axis multiplies *only* closed-loop × LSTF combinations.
+    pub rest_bps: Vec<u64>,
     /// Utilization targets.
     pub utilizations: Vec<f64>,
     /// Seeds (each seed is an independent job).
     pub seeds: Vec<u64>,
     /// Flow-arrival window per job.
     pub window: Dur,
+    /// Simulated horizon for closed-loop jobs; `None` ⇒ `window × 20`.
+    pub horizon: Option<Dur>,
+    /// Router buffer bytes per job; `None` = unbounded (drop-free).
+    pub buffer_bytes: Option<u64>,
     /// Run the LSTF replay per job.
     pub replay: bool,
     /// Cap injected packets per job.
@@ -148,22 +242,40 @@ pub struct ScenarioGrid {
 
 impl Default for ScenarioGrid {
     /// The paper-evaluation default: Table 1's three flagship networks ×
-    /// five original disciplines × two seeds at 70% — 30 jobs.
+    /// six original disciplines × two traffic modes × two seeds at 70%.
+    /// The closed-loop sub-grid drops LIFO and Random (the §3
+    /// experiments never drive TCP through them), leaving
+    /// 3 × 6 × 2 open-loop + 3 × 4 × 2 closed-loop = 60 jobs.
     fn default() -> Self {
         ScenarioGrid {
             topologies: ["I2:1Gbps-10Gbps", "RocketFuel", "FatTree(k=4)"]
                 .map(String::from)
                 .to_vec(),
             profiles: vec!["web-search".into()],
-            schedulers: ["FIFO", "FQ", "SJF", "LIFO", "Random"]
+            schedulers: ["FIFO", "FQ", "SJF", "LIFO", "Random", "LSTF"]
                 .map(String::from)
                 .to_vec(),
+            traffic: vec!["open-loop".into(), "closed-loop".into()],
+            rest_bps: Vec::new(),
             utilizations: vec![0.7],
             seeds: vec![1, 2],
             window: Dur::from_ms(10),
+            horizon: None,
+            buffer_bytes: None,
             replay: true,
             max_packets: None,
-            excludes: Vec::new(),
+            excludes: vec![
+                Exclude {
+                    traffic: Some("closed-loop".into()),
+                    scheduler: Some("LIFO".into()),
+                    ..Exclude::default()
+                },
+                Exclude {
+                    traffic: Some("closed-loop".into()),
+                    scheduler: Some("Random".into()),
+                    ..Exclude::default()
+                },
+            ],
             max_jobs: None,
         }
     }
@@ -179,6 +291,11 @@ pub enum GridError {
     /// A scheduler label `SchedulerKind::from_name` rejects (or one that
     /// cannot run as an *original* schedule, like `Omniscient`).
     UnknownScheduler(String),
+    /// A traffic-mode label that isn't `open-loop` / `closed-loop`.
+    UnknownTraffic(String),
+    /// A closed-loop-only profile (long-lived flows) combined with
+    /// open-loop traffic — no finite packet train exists.
+    ProfileNeedsClosedLoop(String),
     /// Every combination was filtered out (or an axis was empty).
     Empty,
 }
@@ -199,6 +316,17 @@ impl std::fmt::Display for GridError {
             GridError::UnknownScheduler(n) => {
                 write!(f, "unknown or non-original scheduler {n:?}")
             }
+            GridError::UnknownTraffic(n) => {
+                write!(
+                    f,
+                    "unknown traffic mode {n:?} (known: open-loop, closed-loop)"
+                )
+            }
+            GridError::ProfileNeedsClosedLoop(n) => write!(
+                f,
+                "profile {n:?} is closed-loop only (long-lived flows) but the grid \
+                 includes open-loop traffic — exclude the combination or drop the mode"
+            ),
             GridError::Empty => write!(f, "grid expanded to zero jobs"),
         }
     }
@@ -219,6 +347,11 @@ pub fn is_original_scheduler(label: &str) -> bool {
 }
 
 impl ScenarioGrid {
+    /// The horizon closed-loop jobs run to when none is set explicitly.
+    pub fn effective_horizon(&self) -> Dur {
+        self.horizon.unwrap_or_else(|| self.window.times(20))
+    }
+
     /// Validate every axis value and expand to the ordered job list.
     pub fn expand(&self) -> Result<Vec<JobSpec>, GridError> {
         for t in &self.topologies {
@@ -236,30 +369,64 @@ impl ScenarioGrid {
                 return Err(GridError::UnknownScheduler(s.clone()));
             }
         }
+        let modes: Vec<TrafficMode> = self
+            .traffic
+            .iter()
+            .map(|t| TrafficMode::from_name(t).ok_or_else(|| GridError::UnknownTraffic(t.clone())))
+            .collect::<Result<_, _>>()?;
+        let horizon = self.effective_horizon();
         let mut jobs = Vec::new();
         for topo in &self.topologies {
             for profile in &self.profiles {
                 for sched in &self.schedulers {
-                    for &util in &self.utilizations {
-                        for &seed in &self.seeds {
-                            if self
-                                .excludes
-                                .iter()
-                                .any(|e| e.matches(topo, profile, sched, util))
-                            {
-                                continue;
+                    for &mode in &modes {
+                        // The r_est sub-axis multiplies only closed-loop
+                        // LSTF (the one scheduler whose slack policy
+                        // takes a fair-rate estimate).
+                        let rests: Vec<Option<u64>> = if mode == TrafficMode::ClosedLoop
+                            && sched == "LSTF"
+                            && !self.rest_bps.is_empty()
+                        {
+                            self.rest_bps.iter().map(|&r| Some(r)).collect()
+                        } else {
+                            vec![None]
+                        };
+                        for rest in rests {
+                            for &util in &self.utilizations {
+                                for &seed in &self.seeds {
+                                    if self
+                                        .excludes
+                                        .iter()
+                                        .any(|e| e.matches(topo, profile, sched, mode, util))
+                                    {
+                                        continue;
+                                    }
+                                    let closed_only = ups_workload::profile_by_name(profile)
+                                        .expect("validated above")
+                                        .closed_loop_only();
+                                    if closed_only && mode == TrafficMode::OpenLoop {
+                                        return Err(GridError::ProfileNeedsClosedLoop(
+                                            profile.clone(),
+                                        ));
+                                    }
+                                    jobs.push(JobSpec {
+                                        job_id: jobs.len(),
+                                        topology: topo.clone(),
+                                        profile: profile.clone(),
+                                        scheduler: sched.clone(),
+                                        traffic: mode,
+                                        rest_bps: rest,
+                                        utilization: util,
+                                        seed,
+                                        window: self.window,
+                                        horizon: (mode == TrafficMode::ClosedLoop)
+                                            .then_some(horizon),
+                                        buffer_bytes: self.buffer_bytes,
+                                        replay: self.replay,
+                                        max_packets: self.max_packets,
+                                    });
+                                }
                             }
-                            jobs.push(JobSpec {
-                                job_id: jobs.len(),
-                                topology: topo.clone(),
-                                profile: profile.clone(),
-                                scheduler: sched.clone(),
-                                utilization: util,
-                                seed,
-                                window: self.window,
-                                replay: self.replay,
-                                max_packets: self.max_packets,
-                            });
                         }
                     }
                 }
@@ -288,22 +455,33 @@ impl ScenarioGrid {
                 .collect::<Vec<_>>()
                 .join(",")
         };
+        let ints = |v: &[u64]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let opt_u64 = |v: Option<u64>| match v {
+            Some(n) => n.to_string(),
+            None => "null".into(),
+        };
         format!(
             concat!(
-                r#"{{"topologies":[{}],"profiles":[{}],"schedulers":[{}],"#,
-                r#""utilizations":[{}],"seeds":[{}],"window_ms":{},"replay":{},"#,
+                r#"{{"topologies":[{}],"profiles":[{}],"schedulers":[{}],"traffic":[{}],"#,
+                r#""rest_bps":[{}],"utilizations":[{}],"seeds":[{}],"window_ms":{},"#,
+                r#""horizon_ms":{},"buffer_bytes":{},"replay":{},"#,
                 r#""max_packets":{},"excludes":[{}],"max_jobs":{}}}"#
             ),
             strs(&self.topologies),
             strs(&self.profiles),
             strs(&self.schedulers),
+            strs(&self.traffic),
+            ints(&self.rest_bps),
             nums(&self.utilizations),
-            self.seeds
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>()
-                .join(","),
+            ints(&self.seeds),
             ups_metrics::json_num(self.window.as_secs_f64() * 1e3),
+            ups_metrics::json_opt_num(self.horizon.map(|h| h.as_secs_f64() * 1e3)),
+            opt_u64(self.buffer_bytes),
             self.replay,
             match self.max_packets {
                 Some(n) => n.to_string(),
@@ -331,9 +509,13 @@ mod tests {
             topologies: vec!["Line(3)".into(), "Dumbbell(4)".into()],
             profiles: vec!["web-search".into()],
             schedulers: vec!["FIFO".into(), "Random".into()],
+            traffic: vec!["open-loop".into()],
+            rest_bps: Vec::new(),
             utilizations: vec![0.5, 0.7],
             seeds: vec![1, 2],
             window: Dur::from_ms(1),
+            horizon: None,
+            buffer_bytes: None,
             replay: false,
             max_packets: Some(1000),
             excludes: Vec::new(),
@@ -353,6 +535,79 @@ mod tests {
         assert_eq!(jobs[0].seed, 1);
         assert_eq!(jobs[1].seed, 2);
         assert_eq!(jobs[0].utilization, jobs[1].utilization);
+        // Open-loop jobs carry no horizon and no r_est.
+        assert!(jobs.iter().all(|j| j.horizon.is_none()));
+        assert!(jobs.iter().all(|j| j.rest_bps.is_none()));
+    }
+
+    #[test]
+    fn traffic_axis_multiplies_and_closed_loop_jobs_get_a_horizon() {
+        let mut g = tiny();
+        g.traffic = vec!["open-loop".into(), "closed-loop".into()];
+        let jobs = g.expand().unwrap();
+        assert_eq!(jobs.len(), 32);
+        let closed: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.traffic == TrafficMode::ClosedLoop)
+            .collect();
+        assert_eq!(closed.len(), 16);
+        // Default horizon = window × 20.
+        assert!(closed.iter().all(|j| j.horizon == Some(Dur::from_ms(20))));
+        g.horizon = Some(Dur::from_ms(7));
+        let jobs = g.expand().unwrap();
+        assert!(jobs
+            .iter()
+            .filter(|j| j.traffic == TrafficMode::ClosedLoop)
+            .all(|j| j.horizon == Some(Dur::from_ms(7))));
+    }
+
+    #[test]
+    fn rest_axis_applies_only_to_closed_loop_lstf() {
+        let mut g = tiny();
+        g.schedulers = vec!["FIFO".into(), "LSTF".into()];
+        g.traffic = vec!["open-loop".into(), "closed-loop".into()];
+        g.rest_bps = vec![1_000_000_000, 100_000_000];
+        let jobs = g.expand().unwrap();
+        // FIFO jobs and open-loop LSTF jobs: one each; closed-loop LSTF:
+        // one per r_est value.
+        let lstf_closed: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.scheduler == "LSTF" && j.traffic == TrafficMode::ClosedLoop)
+            .collect();
+        assert_eq!(
+            lstf_closed.len(),
+            2 * 2 * 2 * 2,
+            "2 topos × 2 rests × 2 utils × 2 seeds"
+        );
+        assert!(lstf_closed
+            .iter()
+            .any(|j| j.rest_bps == Some(1_000_000_000)));
+        assert!(lstf_closed.iter().any(|j| j.rest_bps == Some(100_000_000)));
+        assert!(jobs
+            .iter()
+            .filter(|j| j.scheduler != "LSTF" || j.traffic == TrafficMode::OpenLoop)
+            .all(|j| j.rest_bps.is_none()));
+    }
+
+    #[test]
+    fn closed_loop_only_profile_rejected_for_open_loop() {
+        let mut g = tiny();
+        g.profiles = vec!["long-lived".into()];
+        assert_eq!(
+            g.expand(),
+            Err(GridError::ProfileNeedsClosedLoop("long-lived".into()))
+        );
+        // The same profile is fine when the grid is closed-loop only.
+        g.traffic = vec!["closed-loop".into()];
+        assert!(g.expand().is_ok());
+        // ...or when an exclude removes the open-loop combination.
+        g.traffic = vec!["open-loop".into(), "closed-loop".into()];
+        g.excludes.push(Exclude {
+            profile: Some("long-lived".into()),
+            traffic: Some("open-loop".into()),
+            ..Exclude::default()
+        });
+        assert!(g.expand().is_ok());
     }
 
     #[test]
@@ -363,6 +618,17 @@ mod tests {
         assert!(g.schedulers.len() >= 4);
         assert!(g.seeds.len() >= 2);
         assert!(jobs.len() >= 24, "default grid has {} jobs", jobs.len());
+        // The closed-loop sub-grid is present: all four §3 disciplines,
+        // no closed-loop LIFO/Random.
+        let closed: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.traffic == TrafficMode::ClosedLoop)
+            .collect();
+        assert_eq!(closed.len(), 3 * 4 * 2, "closed-loop sub-grid");
+        assert!(closed
+            .iter()
+            .all(|j| j.scheduler != "LIFO" && j.scheduler != "Random"));
+        assert!(closed.iter().any(|j| j.scheduler == "LSTF"));
     }
 
     #[test]
@@ -379,6 +645,12 @@ mod tests {
         let mut g = tiny();
         g.schedulers = vec!["Omniscient".into()];
         assert!(matches!(g.expand(), Err(GridError::UnknownScheduler(_))));
+        let mut g = tiny();
+        g.traffic = vec!["half-open".into()];
+        assert_eq!(
+            g.expand(),
+            Err(GridError::UnknownTraffic("half-open".into()))
+        );
     }
 
     #[test]
@@ -469,5 +741,18 @@ mod tests {
         assert_eq!(v.get("seed").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("window_ms").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("max_packets").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(v.get("traffic").unwrap().as_str(), Some("open-loop"));
+        assert_eq!(v.get("rest_bps"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(v.get("horizon_ms"), Some(&crate::json::JsonValue::Null));
+        // And a closed-loop LSTF job round-trips its r_est and horizon.
+        let mut g = tiny();
+        g.schedulers = vec!["LSTF".into()];
+        g.traffic = vec!["closed-loop".into()];
+        g.rest_bps = vec![500_000_000];
+        let jobs = g.expand().unwrap();
+        let v = crate::json::parse(&jobs[0].scenario_json()).unwrap();
+        assert_eq!(v.get("traffic").unwrap().as_str(), Some("closed-loop"));
+        assert_eq!(v.get("rest_bps").unwrap().as_f64(), Some(500_000_000.0));
+        assert_eq!(v.get("horizon_ms").unwrap().as_f64(), Some(20.0));
     }
 }

@@ -264,16 +264,26 @@ mod tests {
             delay_mean_s: 0.001,
             delay_p99_s: 0.002,
             fct_mean_s: 0.5,
-            fct_buckets: vec![(1460, 0.1, 1)],
-            jain: 1.0,
+            fct_buckets: vec![(1460, 0.1, 1), (u64::MAX, 0.2, 1)],
+            jain: None,
             replay_match_rate: None,
             replay_frac_gt_t: None,
+            transport: Some(ups_metrics::TransportSummary {
+                completed_flows: 2,
+                goodput_bytes: 12_345,
+                retransmits: 1,
+                rto_events: 0,
+            }),
         };
         let v = parse(&summary.to_json()).unwrap();
         assert_eq!(v.get("packets").unwrap().as_f64(), Some(10.0));
         assert_eq!(v.get("replay_match_rate"), Some(&JsonValue::Null));
+        assert_eq!(v.get("jain"), Some(&JsonValue::Null));
+        let t = v.get("transport").unwrap();
+        assert_eq!(t.get("goodput_bytes").unwrap().as_f64(), Some(12_345.0));
         let buckets = v.get("fct_buckets").unwrap().as_array().unwrap();
         assert_eq!(buckets[0].get("edge_bytes").unwrap().as_f64(), Some(1460.0));
+        assert_eq!(buckets[1].get("edge_bytes"), Some(&JsonValue::Null));
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! # ups-sweep — the parallel scenario-sweep engine
 //!
 //! Runs *grids* of scheduling scenarios across all cores: a declarative
-//! [`ScenarioGrid`] (topology × workload profile × scheduler ×
-//! utilization × seed, with filters) expands to independent [`JobSpec`]s;
-//! a hand-rolled work-stealing [`pool`] over `std::thread` executes them
-//! with per-job seeded determinism; and the [`store`] streams one JSON
-//! line per finished job before aggregating everything into a
-//! schema-tagged `BENCH_sweep.json` (DESIGN.md §5 artifact pattern,
-//! §7 for this subsystem).
+//! [`ScenarioGrid`] (topology × workload profile × scheduler × traffic
+//! mode × utilization × seed, with filters) expands to independent
+//! [`JobSpec`]s; a hand-rolled work-stealing [`pool`] over `std::thread`
+//! executes them with per-job seeded determinism; and the [`store`]
+//! streams one JSON line per finished job before aggregating everything
+//! into a schema-tagged `BENCH_sweep.json` (DESIGN.md §5 artifact
+//! pattern, §7–§8 for this subsystem).
+//!
+//! The traffic axis closes the loop: `open-loop` jobs inject §2.3's
+//! paced UDP trains; `closed-loop` jobs drive live TCP Reno endpoints
+//! (via `ups-transport`'s shared driver) with the §3 slack policy
+//! derived from the scheduler under test, then replay the **as-executed**
+//! schedule through black-box LSTF.
 //!
 //! The `sweep` binary is the command-line face: "run the whole paper
 //! evaluation, 8-wide, in one command". Library consumers (`ups-bench`
@@ -31,10 +37,12 @@
 //! let grid = ScenarioGrid {
 //!     topologies: vec!["Line(3)".into()],
 //!     schedulers: vec!["FIFO".into(), "LSTF".into()],
+//!     traffic: vec!["open-loop".into()],
 //!     seeds: vec![1],
 //!     window: Dur::from_ms(1),
 //!     replay: false,
 //!     max_packets: Some(500),
+//!     excludes: Vec::new(),
 //!     ..ScenarioGrid::default()
 //! };
 //! let jobs = grid.expand().unwrap();
@@ -52,7 +60,10 @@ pub mod pool;
 pub mod runner;
 pub mod store;
 
-pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, MIXED_FQ_FIFOPLUS};
-pub use pool::{run_jobs, PoolStats};
-pub use runner::{run_job, JobRecord};
-pub use store::{bench_sweep_json, validate_bench_sweep, ResultStream, SweepDigest, SWEEP_SCHEMA};
+pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, TrafficMode, MIXED_FQ_FIFOPLUS};
+pub use pool::{run_jobs, run_jobs_labeled, PoolStats};
+pub use runner::{run_job, slack_policy_for, JobRecord, RECORD_SCHEMA};
+pub use store::{
+    bench_sweep_json, validate_bench_sweep, ResultStream, SweepDigest, ACCEPTED_SWEEP_SCHEMAS,
+    SWEEP_SCHEMA,
+};

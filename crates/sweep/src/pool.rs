@@ -17,6 +17,7 @@
 //! [`JobSpec`]: crate::grid::JobSpec
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -31,6 +32,18 @@ pub struct PoolStats {
     pub steals: u64,
 }
 
+/// Render a `catch_unwind` payload (the panic message is almost always a
+/// `String` or `&'static str`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
 /// Execute `f` over every job on `workers` threads; returns results in
 /// job order (index `i` holds `f(i, &jobs[i])`) plus pool stats.
 ///
@@ -40,12 +53,34 @@ pub struct PoolStats {
 /// is not).
 ///
 /// # Panics
-/// Propagates the first worker panic after all threads stop.
+/// A job that panics is caught on its worker (the rest of the sweep
+/// still runs) and re-raised from the collector with the job id attached
+/// — use [`run_jobs_labeled`] to also name the scenario.
 pub fn run_jobs<J, R, F>(jobs: &[J], workers: usize, f: F) -> (Vec<R>, PoolStats)
 where
     J: Sync,
     R: Send,
     F: Fn(usize, &J) -> R + Sync,
+{
+    run_jobs_labeled(jobs, workers, |i, _| format!("job {i}"), f)
+}
+
+/// [`run_jobs`] with a diagnostic label per job: when job *i* panics,
+/// the re-raised collector panic reads
+/// `"sweep job {i} ({label}) panicked: {original message}"` instead of a
+/// bogus bookkeeping error, so the failing scenario is identifiable from
+/// the report alone.
+pub fn run_jobs_labeled<J, R, F, L>(
+    jobs: &[J],
+    workers: usize,
+    label: L,
+    f: F,
+) -> (Vec<R>, PoolStats)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+    L: Fn(usize, &J) -> String + Sync,
 {
     let workers = workers.clamp(1, jobs.len().max(1));
     // Deal jobs round-robin so every queue starts with a similar mix.
@@ -54,7 +89,8 @@ where
         .collect();
     let steals = AtomicU64::new(0);
 
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(jobs.len()).collect();
+    let mut slots: Vec<Option<Result<R, String>>> =
+        std::iter::repeat_with(|| None).take(jobs.len()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -62,7 +98,7 @@ where
                 let steals = &steals;
                 let f = &f;
                 scope.spawn(move || {
-                    let mut done: Vec<(usize, R)> = Vec::new();
+                    let mut done: Vec<(usize, Result<R, String>)> = Vec::new();
                     loop {
                         // Own queue first (front: dealt order)...
                         let next = queues[w].lock().expect("queue poisoned").pop_front();
@@ -80,7 +116,15 @@ where
                             })
                         });
                         match next {
-                            Some(i) => done.push((i, f(i, &jobs[i]))),
+                            Some(i) => {
+                                // Catch per job: a panicking scenario must
+                                // surface as *its own* failure, not as the
+                                // collector's "job never executed".
+                                let r =
+                                    std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &jobs[i])))
+                                        .map_err(|payload| panic_message(payload.as_ref()));
+                                done.push((i, r));
+                            }
                             None => return done,
                         }
                     }
@@ -88,7 +132,7 @@ where
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("sweep worker panicked") {
+            for (i, r) in h.join().expect("sweep worker panicked outside a job") {
                 debug_assert!(slots[i].is_none(), "job {i} executed twice");
                 slots[i] = Some(r);
             }
@@ -98,7 +142,12 @@ where
     let results: Vec<R> = slots
         .into_iter()
         .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never executed")))
+        .map(
+            |(i, r)| match r.unwrap_or_else(|| panic!("job {i} never executed")) {
+                Ok(r) => r,
+                Err(msg) => panic!("sweep job {i} ({}) panicked: {msg}", label(i, &jobs[i])),
+            },
+        )
         .collect();
     let stats = PoolStats {
         workers,
@@ -153,6 +202,58 @@ mod tests {
         // Not asserting an exact count (timing-dependent) — only that the
         // mechanism exists and fired under a 60 ms imbalance.
         assert!(stats.steals > 0, "no steals under skewed load");
+    }
+
+    #[test]
+    fn panicking_job_reports_its_id_and_label_not_a_collector_error() {
+        // Regression: a worker panic used to tear the thread down and
+        // surface as the collector's misleading "job {i} never executed".
+        let jobs: Vec<usize> = (0..8).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_jobs_labeled(
+                &jobs,
+                2,
+                |i, &j| format!("scenario-{j}/seed-{i}"),
+                |_, &j| {
+                    if j == 5 {
+                        panic!("bottleneck bandwidth must be positive");
+                    }
+                    j
+                },
+            )
+        }))
+        .expect_err("the job panic must propagate");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("sweep job 5"), "bad message: {msg}");
+        assert!(msg.contains("scenario-5/seed-5"), "bad message: {msg}");
+        assert!(
+            msg.contains("bottleneck bandwidth must be positive"),
+            "original panic text lost: {msg}"
+        );
+        assert!(
+            !msg.contains("never executed"),
+            "bogus collector error: {msg}"
+        );
+    }
+
+    #[test]
+    fn other_jobs_still_run_when_one_panics() {
+        let count = AtomicUsize::new(0);
+        let jobs: Vec<usize> = (0..20).collect();
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_jobs(&jobs, 4, |_, &j| {
+                count.fetch_add(1, Ordering::Relaxed);
+                if j == 0 {
+                    panic!("boom");
+                }
+                j
+            })
+        }));
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            20,
+            "a panic must not take the worker's remaining queue down with it"
+        );
     }
 
     #[test]

@@ -1,22 +1,40 @@
 //! Executing one [`JobSpec`]: build the scenario from the registries,
-//! run the original schedule, optionally run the LSTF replay, and distill
-//! a [`RunSummary`].
+//! run the original schedule (open-loop UDP train or closed-loop TCP
+//! endpoints), optionally run the LSTF replay, and distill a
+//! [`RunSummary`].
 //!
 //! A job is a pure function of its spec — the topology and workload are
 //! rebuilt from (name, seed) inside the worker thread, nothing is shared
 //! between jobs, and all metrics aggregate in packet-/flow-id order. That
 //! purity is what lets the pool run jobs on any worker in any order and
 //! still produce identical result records (see `tests/determinism.rs`).
+//!
+//! ## Closed-loop jobs
+//!
+//! `traffic: closed-loop` drives the simulator with live TCP Reno
+//! endpoints through the shared [`ups_transport::driver`]: the slack
+//! policy is derived from the scheduler under test (see
+//! [`slack_policy_for`]), the run stops at the job's horizon (or packet
+//! cap), and the §2 replay then re-runs the **as-executed** schedule —
+//! every data segment and ack the endpoints actually emitted, at its
+//! recorded injection time — through black-box LSTF. The summary gains a
+//! transport block (completions, goodput, retransmits, RTOs) distilled
+//! from [`TransportStats`].
 
 use std::time::Instant;
 
 use ups_core::{compare, replay_packets, run_schedule, HeaderInit};
-use ups_metrics::{jain_index, mean_fct_by_bucket, Cdf, FlowSample, RunSummary, FIG2_BUCKETS};
-use ups_netsim::prelude::{RecordMode, SchedulerKind, SimTime, Trace};
+use ups_metrics::{
+    jain_index, mean_fct_by_bucket, Cdf, FlowSample, RunSummary, TransportSummary, FIG2_BUCKETS,
+};
+use ups_netsim::prelude::{
+    Dur, PacketBuilder, PacketKind, RecordMode, SchedulerKind, SimTime, Trace,
+};
 use ups_topology::{topology_by_name, BuildOptions, SchedulerAssignment, Topology};
+use ups_transport::{run_tcp, SlackPolicy, TcpConfig, TcpScenario, TransportStats};
 use ups_workload::{profile_by_name, udp_packet_train, FlowSpec, MTU};
 
-use crate::grid::{JobSpec, MIXED_FQ_FIFOPLUS};
+use crate::grid::{JobSpec, TrafficMode, MIXED_FQ_FIFOPLUS};
 
 /// Resolve a grid scheduler label into a per-node assignment on `topo`.
 /// Returns `None` for labels that can't run as an original schedule
@@ -37,6 +55,28 @@ pub fn assignment_for(topo: &Topology, label: &str) -> Option<SchedulerAssignmen
     }
 }
 
+/// The §3 slack policy a closed-loop job stamps, derived from the
+/// scheduler under test:
+///
+/// * `LSTF` — [`SlackPolicy::FctSjf`] (§3.1, LSTF approximates SJF), or
+///   [`SlackPolicy::Fairness`] when the job carries an `r_est` (§3.3);
+/// * `FIFO+` — [`SlackPolicy::Constant`] (§3.2's uniform slack; FIFO+
+///   ignores the header, but the stamped schedule is the one §3.2
+///   equates with constant-slack LSTF);
+/// * everything else (FIFO/FQ/SJF/SRPT/…) — [`SlackPolicy::None`]; the
+///   endpoints still stamp `flow_size`/`remaining` so SJF and SRPT
+///   routers can prioritize.
+pub fn slack_policy_for(label: &str, rest_bps: Option<u64>) -> SlackPolicy {
+    match label {
+        "LSTF" => match rest_bps {
+            Some(rest) => SlackPolicy::Fairness(rest),
+            None => SlackPolicy::FctSjf,
+        },
+        "FIFO+" => SlackPolicy::Constant(ups_core::tail_slack()),
+        _ => SlackPolicy::None,
+    }
+}
+
 /// One finished job: the spec it ran, what it measured, how long it took.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
@@ -47,6 +87,9 @@ pub struct JobRecord {
     /// Wall-clock seconds this job took on its worker.
     pub wall_s: f64,
 }
+
+/// Schema tag of one result line.
+pub const RECORD_SCHEMA: &str = "ups-sweep-record/v2";
 
 impl JobRecord {
     /// The record as one JSON line. `with_timing: false` omits the
@@ -59,7 +102,8 @@ impl JobRecord {
             String::new()
         };
         format!(
-            r#"{{"schema":"ups-sweep-record/v1","job_id":{},"scenario":{},"metrics":{}{}}}"#,
+            r#"{{"schema":"{}","job_id":{},"scenario":{},"metrics":{}{}}}"#,
+            RECORD_SCHEMA,
             self.spec.job_id,
             self.spec.scenario_json(),
             self.summary.to_json(),
@@ -90,26 +134,60 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
         spec.window,
         spec.seed,
     );
-    let mut packets = udp_packet_train(&flows, MTU);
-    if let Some(cap) = spec.max_packets {
-        packets.truncate(cap);
-    }
-
     let opts = BuildOptions {
         record: RecordMode::EndToEnd,
         seed: spec.seed,
+        router_buffer_bytes: spec.buffer_bytes,
         ..BuildOptions::default()
     };
-    let original = run_schedule(&topo, &assign, packets.iter().cloned(), &opts);
-    let mut summary = summarize(&original, &flows, packets.len() as u64);
 
-    // Replay needs every packet delivered (§2.3 runs drop-free); buffers
-    // are unbounded here, so dropped > 0 can't happen — but keep the gate
-    // so a future buffered grid degrades to "no replay" instead of a panic.
+    let (original, mut summary, as_executed) = match spec.traffic {
+        TrafficMode::OpenLoop => {
+            let mut packets = udp_packet_train(&flows, MTU);
+            if let Some(cap) = spec.max_packets {
+                packets.truncate(cap);
+            }
+            let original = run_schedule(&topo, &assign, packets.iter().cloned(), &opts);
+            let summary = summarize(&original, &flows, packets.len() as u64, None);
+            (original, summary, packets)
+        }
+        TrafficMode::ClosedLoop => {
+            let run = run_tcp(
+                &TcpScenario {
+                    topo: &topo,
+                    assign: &assign,
+                    opts,
+                    flows: &flows,
+                    config: TcpConfig::default(),
+                    policy: slack_policy_for(&spec.scheduler, spec.rest_bps),
+                    horizon: spec.horizon.expect("closed-loop jobs carry a horizon"),
+                    max_packets: spec.max_packets.map(|n| n as u64),
+                    goodput_bucket: Dur::from_ms(1),
+                },
+                &mut routing,
+            );
+            let summary = summarize(&run.trace, &flows, run.sim.injected, Some(&run.stats));
+            // The §2 replay re-runs the schedule the endpoints actually
+            // executed: reconstruct that packet set from the trace.
+            let packets = as_executed_packets(&run.trace);
+            (run.trace, summary, packets)
+        }
+    };
+
+    // Replay needs every packet delivered (§2.3 runs drop-free); with
+    // unbounded buffers dropped > 0 can't happen — the gate makes a
+    // buffered grid degrade to "no replay" instead of a panic. Closed-loop
+    // packet sets are already restricted to delivered packets, so a
+    // horizon-truncated run still replays its delivered prefix.
     if spec.replay && summary.dropped == 0 && summary.delivered > 0 {
-        let replay_set = replay_packets(&topo, &original, &packets, HeaderInit::LstfSlack);
+        let replay_set = replay_packets(&topo, &original, &as_executed, HeaderInit::LstfSlack);
         let replay_assign = SchedulerAssignment::uniform(SchedulerKind::Lstf { preemptive: false });
-        let replay = run_schedule(&topo, &replay_assign, replay_set, &opts);
+        let replay_opts = BuildOptions {
+            record: RecordMode::EndToEnd,
+            seed: spec.seed,
+            ..BuildOptions::default()
+        };
+        let replay = run_schedule(&topo, &replay_assign, replay_set, &replay_opts);
         let threshold = topo.bottleneck_bandwidth().tx_time(MTU);
         let report = compare(&original, &replay, threshold);
         summary.replay_match_rate = Some(1.0 - report.frac_overdue());
@@ -123,9 +201,40 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
     }
 }
 
+/// Rebuild the injectable packet set a recorded schedule executed —
+/// identical `(id, flow, size, kind, path, i(p))`, headers clean — so a
+/// closed-loop trace can feed the same replay pipeline as an open-loop
+/// train. Restricted to delivered packets: segments still in flight at
+/// the horizon have no `o(p)` to replay against.
+fn as_executed_packets(trace: &Trace) -> Vec<ups_netsim::prelude::Packet> {
+    trace
+        .iter()
+        .filter(|(_, r)| r.exited.is_some())
+        .map(|(id, r)| {
+            let mut b = PacketBuilder::new(id, r.flow, r.size, r.path.clone(), r.injected);
+            if r.kind == PacketKind::Ack {
+                b = b.ack();
+            }
+            b.build()
+        })
+        .collect()
+}
+
 /// Distill an original-run trace into the summary metrics. All loops run
 /// in packet-/flow-id order so float accumulation is deterministic.
-fn summarize(trace: &Trace, flows: &[FlowSpec], injected: u64) -> RunSummary {
+///
+/// Delay, throughput and per-flow byte accounting consider **data**
+/// packets only (acks are transport control); `dropped` counts every
+/// kind, because any drop disqualifies the drop-free replay. For
+/// closed-loop runs (`transport: Some`), flow completion times come from
+/// the receiver-side [`TransportStats`] — the paper's FCT — instead of
+/// last-packet-exit spans, and the summary gains the transport block.
+fn summarize(
+    trace: &Trace,
+    flows: &[FlowSpec],
+    injected: u64,
+    transport: Option<&TransportStats>,
+) -> RunSummary {
     let mut delays: Vec<f64> = Vec::new();
     let mut dropped = 0u64;
     // Dense per-flow accumulation: (delivered bytes, last exit).
@@ -134,6 +243,9 @@ fn summarize(trace: &Trace, flows: &[FlowSpec], injected: u64) -> RunSummary {
     for (_, rec) in trace.iter() {
         if rec.dropped {
             dropped += 1;
+            continue;
+        }
+        if rec.kind != PacketKind::Data {
             continue;
         }
         let Some(exited) = rec.exited else { continue };
@@ -159,10 +271,24 @@ fn summarize(trace: &Trace, flows: &[FlowSpec], injected: u64) -> RunSummary {
             rates.push(flow_bytes[i] as f64 / span);
         }
     }
+    let flows_seen = fct_samples.len();
+
+    // Closed loop: the true FCT is "last in-order byte received",
+    // measured by the receivers — completed flows only.
+    let completions = transport.map(|stats| stats.completions());
+    if let Some(completions) = &completions {
+        fct_samples = completions
+            .iter()
+            .map(|c| FlowSample {
+                size: c.bytes,
+                fct_secs: c.fct().as_secs_f64(),
+            })
+            .collect();
+    }
 
     let cdf = Cdf::new(delays);
     RunSummary {
-        flows: fct_samples.len(),
+        flows: flows_seen,
         packets: injected,
         delivered,
         dropped,
@@ -174,9 +300,19 @@ fn summarize(trace: &Trace, flows: &[FlowSpec], injected: u64) -> RunSummary {
         },
         fct_mean_s: ups_metrics::overall_mean_fct(&fct_samples),
         fct_buckets: mean_fct_by_bucket(&fct_samples, &FIG2_BUCKETS),
-        jain: jain_index(&rates),
+        jain: if rates.is_empty() {
+            None // a dead run must not report "perfectly fair"
+        } else {
+            Some(jain_index(&rates))
+        },
         replay_match_rate: None,
         replay_frac_gt_t: None,
+        transport: transport.map(|stats| TransportSummary {
+            completed_flows: completions.as_ref().map_or(0, Vec::len),
+            goodput_bytes: stats.goodput_total(),
+            retransmits: stats.retransmits_total(),
+            rto_events: stats.timeouts_total(),
+        }),
     }
 }
 
@@ -194,11 +330,23 @@ mod tests {
             topology: "Line(3)".into(),
             profile: "fixed-mtu".into(),
             scheduler: scheduler.into(),
+            traffic: TrafficMode::OpenLoop,
+            rest_bps: None,
             utilization: 0.6,
             seed: 11,
             window: Dur::from_ms(4),
+            horizon: None,
+            buffer_bytes: None,
             replay,
             max_packets: None,
+        }
+    }
+
+    fn closed_spec(scheduler: &str, replay: bool) -> JobSpec {
+        JobSpec {
+            traffic: TrafficMode::ClosedLoop,
+            horizon: Some(Dur::from_ms(80)),
+            ..spec(scheduler, replay)
         }
     }
 
@@ -212,8 +360,13 @@ mod tests {
         assert!(s.flows > 0 && s.flows <= s.packets as usize);
         assert!(s.delay_mean_s > 0.0 && s.delay_mean_s <= s.delay_p99_s);
         assert!(s.fct_mean_s > 0.0);
-        assert!(s.jain > 0.0 && s.jain <= 1.0 + 1e-12);
+        let jain = s.jain.expect("delivering run has a Jain index");
+        assert!(jain > 0.0 && jain <= 1.0 + 1e-12);
         assert!(s.replay_match_rate.is_none());
+        assert!(
+            s.transport.is_none(),
+            "open-loop runs carry no transport block"
+        );
         assert!(rec.wall_s > 0.0);
     }
 
@@ -235,7 +388,7 @@ mod tests {
         let v = crate::json::parse(&a.to_json(true)).unwrap();
         assert_eq!(
             v.get("schema").unwrap().as_str(),
-            Some("ups-sweep-record/v1")
+            Some("ups-sweep-record/v2")
         );
         assert!(v.get("wall_s").unwrap().as_f64().unwrap() > 0.0);
     }
@@ -254,5 +407,72 @@ mod tests {
         assert!(assignment_for(&topo, MIXED_FQ_FIFOPLUS).is_some());
         assert!(assignment_for(&topo, "Omniscient").is_none());
         assert!(assignment_for(&topo, "EDF").is_none());
+    }
+
+    #[test]
+    fn slack_policy_mapping_follows_the_scheduler_under_test() {
+        assert!(matches!(
+            slack_policy_for("LSTF", None),
+            SlackPolicy::FctSjf
+        ));
+        assert!(matches!(
+            slack_policy_for("LSTF", Some(7)),
+            SlackPolicy::Fairness(7)
+        ));
+        assert!(matches!(
+            slack_policy_for("FIFO+", None),
+            SlackPolicy::Constant(_)
+        ));
+        for label in ["FIFO", "FQ", "SJF", "SRPT", MIXED_FQ_FIFOPLUS] {
+            assert!(matches!(slack_policy_for(label, None), SlackPolicy::None));
+        }
+    }
+
+    #[test]
+    fn closed_loop_job_reports_transport_metrics_and_replays() {
+        let rec = run_job(&closed_spec("FIFO", true));
+        let s = &rec.summary;
+        let t = s.transport.as_ref().expect("closed-loop transport block");
+        assert!(t.completed_flows > 0, "single-MTU flows complete fast");
+        assert!(t.goodput_bytes > 0);
+        assert!(s.packets > s.delivered, "acks inflate injected over data");
+        assert!(s.delay_mean_s > 0.0);
+        assert!(s.fct_mean_s > 0.0, "FCT from receiver completions");
+        assert!(s.jain.is_some());
+        let rate = s.replay_match_rate.expect("as-executed schedule replayed");
+        assert!(rate > 0.9, "LSTF replay of a TCP FIFO line: {rate}");
+    }
+
+    #[test]
+    fn closed_loop_jobs_are_deterministic() {
+        let a = run_job(&closed_spec("SJF", true));
+        let b = run_job(&closed_spec("SJF", true));
+        assert_eq!(a.to_json(false), b.to_json(false));
+    }
+
+    #[test]
+    fn closed_loop_respects_the_packet_cap() {
+        let mut s = closed_spec("FIFO", false);
+        s.max_packets = Some(60);
+        let rec = run_job(&s);
+        assert!(rec.summary.packets >= 60, "cap binds");
+        assert!(
+            rec.summary.packets < 600,
+            "run stopped early: {}",
+            rec.summary.packets
+        );
+    }
+
+    #[test]
+    fn long_lived_closed_loop_job_runs_without_completions() {
+        let mut s = closed_spec("LSTF", false);
+        s.profile = "long-lived".into();
+        s.rest_bps = Some(100_000_000);
+        let rec = run_job(&s);
+        let t = rec.summary.transport.as_ref().unwrap();
+        assert_eq!(t.completed_flows, 0, "persistent flows never finish");
+        assert!(t.goodput_bytes > 0, "but they move data");
+        assert_eq!(rec.summary.fct_mean_s, 0.0, "no completions, no FCT");
+        assert!(rec.summary.jain.is_some());
     }
 }

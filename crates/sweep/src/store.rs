@@ -22,8 +22,12 @@ use crate::json::{parse, JsonValue};
 use crate::pool::PoolStats;
 use crate::runner::JobRecord;
 
-/// Schema tag of the aggregate artifact.
-pub const SWEEP_SCHEMA: &str = "ups-sweep/v1";
+/// Schema tag of the aggregate artifact this build writes.
+pub const SWEEP_SCHEMA: &str = "ups-sweep/v2";
+
+/// Aggregate schema tags [`validate_bench_sweep`] accepts (v1 artifacts
+/// predate the traffic-mode axis and the transport block).
+pub const ACCEPTED_SWEEP_SCHEMAS: [&str; 2] = ["ups-sweep/v1", "ups-sweep/v2"];
 
 /// Streams one JSON line per finished job. Shared across workers behind
 /// a mutex — append is one short write per multi-second job.
@@ -43,8 +47,18 @@ impl ResultStream {
 
     /// Append one record (with timing — the stream is a log, not the
     /// determinism surface).
+    ///
+    /// # Panics
+    /// On write failure (e.g. disk full) — the sweep cannot report
+    /// results it cannot record. A poisoned lock is recovered rather
+    /// than re-panicked: one job's write failure is caught per job by
+    /// the pool, and later jobs must surface the *real* I/O error, not
+    /// a cascade of "stream poisoned".
     pub fn append(&self, record: &JobRecord) {
-        let mut out = self.out.lock().expect("stream poisoned");
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         writeln!(out, "{}", record.to_json(true)).expect("write JSONL record");
         out.flush().expect("flush JSONL record");
     }
@@ -110,15 +124,22 @@ pub struct SweepDigest {
     pub jobs_per_sec: f64,
 }
 
-/// Validate a `BENCH_sweep.json` document against its schema.
+/// Validate a `BENCH_sweep.json` document against its schema. Both
+/// `ups-sweep/v1` artifacts (pre-traffic-axis) and `ups-sweep/v2` ones
+/// validate; each record line is checked against its own
+/// `ups-sweep-record/v{1,2}` tag. Every failure is a `Result::Err`
+/// naming the offending field — never a panic — so `sweep --check` can
+/// print a usable diagnosis.
 pub fn validate_bench_sweep(doc: &str) -> Result<SweepDigest, String> {
     let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
     let schema = v
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or("missing schema tag")?;
-    if schema != SWEEP_SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SWEEP_SCHEMA:?}"));
+    if !ACCEPTED_SWEEP_SCHEMAS.contains(&schema) {
+        return Err(format!(
+            "unexpected schema {schema:?} (expected one of {ACCEPTED_SWEEP_SCHEMAS:?})"
+        ));
     }
     v.get("grid").ok_or("missing grid block")?;
     let jobs = v
@@ -154,49 +175,123 @@ pub fn validate_bench_sweep(doc: &str) -> Result<SweepDigest, String> {
         if id as usize != i {
             return Err(format!("result {i} has job_id {id} — not sorted/dense"));
         }
-        let scenario = r
-            .get("scenario")
-            .ok_or_else(|| format!("result {i}: missing scenario"))?;
-        for field in ["topology", "profile", "scheduler"] {
-            if scenario.get(field).and_then(JsonValue::as_str).is_none() {
-                return Err(format!("result {i}: scenario.{field} missing"));
-            }
-        }
-        for field in ["utilization", "seed", "window_ms"] {
-            if scenario.get(field).and_then(JsonValue::as_f64).is_none() {
-                return Err(format!("result {i}: scenario.{field} missing"));
-            }
-        }
-        let metrics = r
-            .get("metrics")
-            .ok_or_else(|| format!("result {i}: missing metrics"))?;
-        for field in [
-            "flows",
-            "packets",
-            "delivered",
-            "dropped",
-            "delay_mean_s",
-            "delay_p99_s",
-            "fct_mean_s",
-            "jain",
-        ] {
-            if metrics.get(field).and_then(JsonValue::as_f64).is_none() {
-                return Err(format!("result {i}: metrics.{field} missing"));
-            }
-        }
-        if metrics
-            .get("fct_buckets")
-            .and_then(JsonValue::as_array)
-            .is_none()
-        {
-            return Err(format!("result {i}: metrics.fct_buckets missing"));
-        }
+        validate_record(i, r)?;
     }
     Ok(SweepDigest {
         jobs,
         workers,
         jobs_per_sec,
     })
+}
+
+/// Validate one result record against its own schema tag (`v1` or `v2`).
+fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
+    let record_schema = r
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("result {i}: missing record schema tag"))?;
+    let v2 = match record_schema {
+        "ups-sweep-record/v1" => false,
+        "ups-sweep-record/v2" => true,
+        other => {
+            return Err(format!(
+                "result {i}: unexpected record schema {other:?} \
+                 (expected ups-sweep-record/v1 or ups-sweep-record/v2)"
+            ))
+        }
+    };
+    let scenario = r
+        .get("scenario")
+        .ok_or_else(|| format!("result {i}: missing scenario"))?;
+    for field in ["topology", "profile", "scheduler"] {
+        if scenario.get(field).and_then(JsonValue::as_str).is_none() {
+            return Err(format!("result {i}: scenario.{field} missing"));
+        }
+    }
+    for field in ["utilization", "seed", "window_ms"] {
+        if scenario.get(field).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("result {i}: scenario.{field} missing"));
+        }
+    }
+    let metrics = r
+        .get("metrics")
+        .ok_or_else(|| format!("result {i}: missing metrics"))?;
+    for field in [
+        "flows",
+        "packets",
+        "delivered",
+        "dropped",
+        "delay_mean_s",
+        "delay_p99_s",
+        "fct_mean_s",
+    ] {
+        if metrics.get(field).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("result {i}: metrics.{field} missing"));
+        }
+    }
+    if metrics
+        .get("fct_buckets")
+        .and_then(JsonValue::as_array)
+        .is_none()
+    {
+        return Err(format!("result {i}: metrics.fct_buckets missing"));
+    }
+    if !v2 {
+        // v1: Jain was unconditionally numeric; no traffic/transport.
+        if metrics.get("jain").and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("result {i}: metrics.jain missing"));
+        }
+        return Ok(());
+    }
+    // v2: the traffic axis is part of the scenario, Jain may be null
+    // (zero-delivery run), and closed-loop records carry a transport
+    // block.
+    let traffic = scenario
+        .get("traffic")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("result {i}: scenario.traffic missing"))?;
+    if traffic != "open-loop" && traffic != "closed-loop" {
+        return Err(format!(
+            "result {i}: unexpected scenario.traffic {traffic:?}"
+        ));
+    }
+    match metrics.get("jain") {
+        Some(JsonValue::Null) | Some(JsonValue::Number(_)) => {}
+        Some(other) => {
+            return Err(format!(
+                "result {i}: metrics.jain must be number or null, got {other:?}"
+            ))
+        }
+        None => return Err(format!("result {i}: metrics.jain missing")),
+    }
+    match metrics.get("transport") {
+        Some(JsonValue::Null) => {
+            if traffic == "closed-loop" {
+                return Err(format!(
+                    "result {i}: closed-loop record lacks a transport block"
+                ));
+            }
+        }
+        Some(t @ JsonValue::Object(_)) => {
+            for field in [
+                "completed_flows",
+                "goodput_bytes",
+                "retransmits",
+                "rto_events",
+            ] {
+                if t.get(field).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("result {i}: metrics.transport.{field} missing"));
+                }
+            }
+        }
+        Some(other) => {
+            return Err(format!(
+                "result {i}: metrics.transport must be object or null, got {other:?}"
+            ))
+        }
+        None => return Err(format!("result {i}: metrics.transport missing")),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -213,9 +308,13 @@ mod tests {
                 topology: "Line(3)".into(),
                 profile: "web-search".into(),
                 scheduler: "FIFO".into(),
+                traffic: crate::grid::TrafficMode::OpenLoop,
+                rest_bps: None,
                 utilization: 0.7,
                 seed: 1,
                 window: Dur::from_ms(1),
+                horizon: None,
+                buffer_bytes: None,
                 replay: false,
                 max_packets: None,
             },
@@ -228,12 +327,26 @@ mod tests {
                 delay_p99_s: 0.002,
                 fct_mean_s: 0.1,
                 fct_buckets: vec![(1460, 0.1, 1)],
-                jain: 1.0,
+                jain: Some(1.0),
                 replay_match_rate: None,
                 replay_frac_gt_t: None,
+                transport: None,
             },
             wall_s: 0.5,
         }
+    }
+
+    fn closed_record(job_id: usize) -> JobRecord {
+        let mut r = record(job_id);
+        r.spec.traffic = crate::grid::TrafficMode::ClosedLoop;
+        r.spec.horizon = Some(Dur::from_ms(20));
+        r.summary.transport = Some(ups_metrics::TransportSummary {
+            completed_flows: 1,
+            goodput_bytes: 9000,
+            retransmits: 0,
+            rto_events: 0,
+        });
+        r
     }
 
     fn grid() -> ScenarioGrid {
@@ -297,6 +410,72 @@ mod tests {
         assert!(validate_bench_sweep(&missing_metric)
             .unwrap_err()
             .contains("jain"));
+        // A record schema from the future names the unexpected tag.
+        let future = good.replace("ups-sweep-record/v2", "ups-sweep-record/v9");
+        let err = validate_bench_sweep(&future).unwrap_err();
+        assert!(
+            err.contains("ups-sweep-record/v9") && err.contains("unexpected record schema"),
+            "unhelpful error: {err}"
+        );
+        // A bogus traffic label is caught.
+        let bad_traffic = good.replace(r#""traffic":"open-loop""#, r#""traffic":"sideways""#);
+        assert!(validate_bench_sweep(&bad_traffic)
+            .unwrap_err()
+            .contains("traffic"));
+    }
+
+    #[test]
+    fn v1_and_v2_artifacts_both_validate() {
+        // A v2 artifact with open- and closed-loop records.
+        let records = [record(0), closed_record(1)];
+        let stats = PoolStats {
+            workers: 1,
+            jobs: 2,
+            steals: 0,
+        };
+        let v2_doc = bench_sweep_json(&grid(), &records, stats, 1.0);
+        validate_bench_sweep(&v2_doc).expect("v2 artifact validates");
+
+        // A hand-rolled v1 artifact (numeric jain, no traffic/transport)
+        // — the form every pre-traffic-axis BENCH_sweep.json has.
+        let v1_doc = r#"{
+  "schema": "ups-sweep/v1",
+  "grid": {"topologies": ["Line(3)"]},
+  "workers": 1,
+  "steals": 0,
+  "jobs": 1,
+  "wall_s": 1.0,
+  "jobs_per_sec": 1.0,
+  "results": [
+    {"schema": "ups-sweep-record/v1", "job_id": 0,
+     "scenario": {"topology": "Line(3)", "profile": "web-search", "scheduler": "FIFO",
+                  "utilization": 0.7, "seed": 1, "window_ms": 1, "replay": false,
+                  "max_packets": null},
+     "metrics": {"flows": 1, "packets": 10, "delivered": 10, "dropped": 0,
+                 "delay_mean_s": 0.001, "delay_p99_s": 0.002, "fct_mean_s": 0.1,
+                 "jain": 1.0, "replay_match_rate": null, "replay_frac_gt_t": null,
+                 "fct_buckets": []},
+     "wall_s": 0.5}
+  ]
+}"#;
+        validate_bench_sweep(v1_doc).expect("v1 artifact still validates");
+        // But a v1 record may not drop jain.
+        let broken = v1_doc.replace(r#""jain": 1.0"#, r#""joan": 1.0"#);
+        assert!(validate_bench_sweep(&broken).unwrap_err().contains("jain"));
+    }
+
+    #[test]
+    fn closed_loop_record_requires_a_transport_block() {
+        let mut r = closed_record(0);
+        r.summary.transport = None;
+        let stats = PoolStats {
+            workers: 1,
+            jobs: 1,
+            steals: 0,
+        };
+        let doc = bench_sweep_json(&grid(), &[r], stats, 1.0);
+        let err = validate_bench_sweep(&doc).unwrap_err();
+        assert!(err.contains("transport"), "bad error: {err}");
     }
 
     #[test]
@@ -314,7 +493,7 @@ mod tests {
             let v = parse(line).expect("each line parses alone");
             assert_eq!(
                 v.get("schema").unwrap().as_str(),
-                Some("ups-sweep-record/v1")
+                Some("ups-sweep-record/v2")
             );
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -15,9 +15,15 @@ fn tiny_grid() -> ScenarioGrid {
         topologies: vec!["Line(3)".into(), "Dumbbell(4)".into()],
         profiles: vec!["fixed-mtu".into()],
         schedulers: vec!["FIFO".into(), "Random".into()],
+        // The determinism contract must hold for TCP-driven jobs too: a
+        // mixed grid runs every combination both open- and closed-loop.
+        traffic: vec!["open-loop".into(), "closed-loop".into()],
+        rest_bps: Vec::new(),
         utilizations: vec![0.7],
         seeds: vec![1, 2],
         window: Dur::from_ms(2),
+        horizon: Some(Dur::from_ms(30)),
+        buffer_bytes: None,
         replay: true,
         max_packets: Some(3_000),
         excludes: Vec::new(),
@@ -29,7 +35,11 @@ fn tiny_grid() -> ScenarioGrid {
 /// lines, timing stripped (wall time is the one field that may differ).
 fn sorted_records(workers: usize) -> (Vec<String>, PoolStats) {
     let jobs = tiny_grid().expand().expect("grid expands");
-    assert_eq!(jobs.len(), 8, "2 topologies × 2 schedulers × 2 seeds");
+    assert_eq!(
+        jobs.len(),
+        16,
+        "2 topologies × 2 schedulers × 2 traffic modes × 2 seeds"
+    );
     let (records, stats) = pool::run_jobs(&jobs, workers, |_, spec| runner::run_job(spec));
     let mut lines: Vec<String> = records.iter().map(|r| r.to_json(false)).collect();
     lines.sort();
@@ -57,6 +67,21 @@ fn one_worker_and_four_workers_agree_byte_for_byte() {
                 .any(|l| l.contains(r#""replay_match_rate":1"#)),
         "replay ran somewhere in the grid"
     );
+    // Both traffic modes produced records, and the closed-loop ones
+    // carry transport blocks with actual completions.
+    assert!(serial
+        .iter()
+        .any(|l| l.contains(r#""traffic":"open-loop""#)));
+    let closed: Vec<&String> = serial
+        .iter()
+        .filter(|l| l.contains(r#""traffic":"closed-loop""#))
+        .collect();
+    assert_eq!(closed.len(), 8);
+    assert!(closed.iter().all(|l| l.contains(r#""transport":{"#)));
+    assert!(
+        closed.iter().any(|l| !l.contains(r#""completed_flows":0"#)),
+        "TCP flows completed somewhere in the closed sub-grid"
+    );
 }
 
 #[test]
@@ -75,7 +100,7 @@ fn aggregate_artifact_from_parallel_run_validates() {
     let t0 = std::time::Instant::now();
     let (records, stats) = pool::run_jobs(&jobs, 4, |_, spec| runner::run_job(spec));
     let doc = store::bench_sweep_json(&grid, &records, stats, t0.elapsed().as_secs_f64());
-    let digest = store::validate_bench_sweep(&doc).expect("artifact conforms to ups-sweep/v1");
-    assert_eq!(digest.jobs, 8);
+    let digest = store::validate_bench_sweep(&doc).expect("artifact conforms to ups-sweep/v2");
+    assert_eq!(digest.jobs, 16);
     assert!(digest.jobs_per_sec > 0.0);
 }

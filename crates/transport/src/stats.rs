@@ -31,6 +31,10 @@ struct Inner {
     completions: Vec<FlowCompletion>,
     /// flow → goodput bytes per time bucket.
     goodput: HashMap<FlowId, Vec<u64>>,
+    /// flow → data segments re-sent (fast retransmit + go-back-N).
+    retransmits: HashMap<FlowId, u64>,
+    /// flow → RTO firings that actually rolled the sender back.
+    timeouts: HashMap<FlowId, u64>,
 }
 
 /// Cheaply clonable collector shared by all host agents of a run.
@@ -68,6 +72,76 @@ impl TransportStats {
             v.resize(idx + 1, 0);
         }
         v[idx] += bytes;
+    }
+
+    /// Record one retransmitted data segment for `flow`.
+    pub fn record_retransmit(&self, flow: FlowId) {
+        *self
+            .inner
+            .lock()
+            .expect("poisoned")
+            .retransmits
+            .entry(flow)
+            .or_insert(0) += 1;
+    }
+
+    /// Record one retransmission-timeout event for `flow`.
+    pub fn record_timeout(&self, flow: FlowId) {
+        *self
+            .inner
+            .lock()
+            .expect("poisoned")
+            .timeouts
+            .entry(flow)
+            .or_insert(0) += 1;
+    }
+
+    /// Retransmitted segments for one flow.
+    pub fn retransmits(&self, flow: FlowId) -> u64 {
+        self.inner
+            .lock()
+            .expect("poisoned")
+            .retransmits
+            .get(&flow)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// RTO events for one flow.
+    pub fn timeouts(&self, flow: FlowId) -> u64 {
+        self.inner
+            .lock()
+            .expect("poisoned")
+            .timeouts
+            .get(&flow)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Retransmitted segments summed over all flows.
+    pub fn retransmits_total(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("poisoned")
+            .retransmits
+            .values()
+            .sum()
+    }
+
+    /// RTO events summed over all flows.
+    pub fn timeouts_total(&self) -> u64 {
+        self.inner.lock().expect("poisoned").timeouts.values().sum()
+    }
+
+    /// Total in-order bytes delivered across all flows and buckets.
+    pub fn goodput_total(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("poisoned")
+            .goodput
+            .values()
+            .map(|v| v.iter().sum::<u64>())
+            .sum()
     }
 
     /// All completions so far (sorted by flow id for determinism).
@@ -140,5 +214,23 @@ mod tests {
         let t = s.clone();
         t.record_goodput(FlowId(0), SimTime::ZERO, 1);
         assert_eq!(s.goodput_matrix(&[FlowId(0)]), vec![vec![1]]);
+    }
+
+    #[test]
+    fn retransmit_and_timeout_counters_accumulate() {
+        let s = TransportStats::new(Dur::from_ms(1));
+        s.record_retransmit(FlowId(0));
+        s.record_retransmit(FlowId(0));
+        s.record_retransmit(FlowId(1));
+        s.record_timeout(FlowId(1));
+        assert_eq!(s.retransmits(FlowId(0)), 2);
+        assert_eq!(s.retransmits(FlowId(1)), 1);
+        assert_eq!(s.retransmits(FlowId(9)), 0);
+        assert_eq!(s.retransmits_total(), 3);
+        assert_eq!(s.timeouts(FlowId(1)), 1);
+        assert_eq!(s.timeouts_total(), 1);
+        s.record_goodput(FlowId(0), SimTime::ZERO, 10);
+        s.record_goodput(FlowId(1), SimTime::from_ms(2), 5);
+        assert_eq!(s.goodput_total(), 15);
     }
 }

@@ -120,6 +120,10 @@ struct TcpSender {
     /// Fast-retransmit high-water mark: no second fast retransmit until
     /// acks pass this.
     recovery_until: u64,
+    /// Highest byte ever sent (`next_seq` rewinds on RTO; this doesn't).
+    /// Any segment below it is a retransmission — fast retransmit and
+    /// go-back-N alike — for both Karn's rule and the retransmit counter.
+    high_seq: u64,
     started: bool,
 }
 
@@ -153,6 +157,7 @@ impl TcpSender {
             rto_deadline: None,
             timer_armed: false,
             recovery_until: 0,
+            high_seq: 0,
             started: false,
         }
     }
@@ -240,23 +245,24 @@ impl TcpHost {
                 return;
             }
             let seq = s.next_seq;
-            self.send_segment(idx, seq, len, false, api);
+            self.send_segment(idx, seq, len, api);
             let s = &mut self.senders[idx];
             s.next_seq += len as u64;
         }
     }
 
-    fn send_segment(
-        &mut self,
-        idx: usize,
-        seq: u64,
-        len: u32,
-        retransmit: bool,
-        api: &mut SimApi<'_>,
-    ) {
+    fn send_segment(&mut self, idx: usize, seq: u64, len: u32, api: &mut SimApi<'_>) {
         let now = api.now();
         let (slack, flow_size, remaining) = self.stamp_header(idx, seq, len, now);
+        // Anything below the historic high-water mark is a re-send: the
+        // fast-retransmit segment, and every go-back-N segment `pump`
+        // re-emits after an RTO rewound `next_seq`.
+        let retransmit = seq < self.senders[idx].high_seq;
+        if retransmit {
+            self.stats.record_retransmit(self.senders[idx].flow);
+        }
         let s = &mut self.senders[idx];
+        s.high_seq = s.high_seq.max(seq + len as u64);
         let id = api.alloc_packet_id();
         let pkt = PacketBuilder::new(id, s.flow, len, s.path.clone(), now)
             .seq(seq)
@@ -332,7 +338,7 @@ impl TcpHost {
                 s.recovery_until = s.next_seq;
                 let seq = s.acked;
                 let len = self.segment_len(idx, seq);
-                self.send_segment(idx, seq, len, true, api);
+                self.send_segment(idx, seq, len, api);
             }
         }
     }
@@ -373,6 +379,8 @@ impl TcpHost {
         }
         // Timeout: multiplicative backoff, shrink to one segment,
         // go-back-N from the last cumulative ack.
+        self.stats.record_timeout(s.flow);
+        let s = &mut self.senders[idx];
         let inflight = s.inflight() as f64;
         s.ssthresh = (inflight / 2.0).max(2.0 * config.mss as f64);
         s.cwnd = config.mss as f64;
@@ -641,6 +649,19 @@ mod tests {
         let c = stats.completions();
         assert_eq!(c.len(), 1, "flow must survive drops");
         assert!(sim.stats().dropped > 0, "the test must actually drop");
+        assert!(
+            stats.retransmits_total() > 0,
+            "drops imply recorded retransmissions"
+        );
+        assert_eq!(stats.retransmits(FlowId(0)), stats.retransmits_total());
+        // Every RTO rewinds and re-sends at least one segment below the
+        // high-water mark, so go-back-N resends must be counted too.
+        assert!(
+            stats.timeouts_total() == 0 || stats.retransmits_total() >= stats.timeouts_total(),
+            "RTO recovery must count its go-back-N resends ({} RTOs, {} retx)",
+            stats.timeouts_total(),
+            stats.retransmits_total()
+        );
     }
 
     #[test]

@@ -11,8 +11,21 @@ use ups_netsim::prelude::{Dur, Packet};
 use ups_topology::{Routing, Topology};
 
 use crate::dist::{BoundedPareto, Empirical, Fixed, SizeDist};
-use crate::flows::{FlowSpec, PoissonWorkload};
+use crate::flows::{long_lived_flows, FlowSpec, PoissonWorkload};
 use crate::udp::{udp_packet_train, MTU};
+
+/// How a profile turns (topology, utilization, window, seed) into flows.
+enum ProfileKind {
+    /// Utilization-calibrated Poisson arrivals with sizes drawn from the
+    /// named distribution — realizable open-loop (UDP trains) or
+    /// closed-loop (TCP endpoints).
+    Poisson(fn() -> Box<dyn SizeDist>),
+    /// Persistent (`size == u64::MAX`) flows that never finish — the
+    /// Figure 4 regime. Only a closed-loop transport can realize these;
+    /// the flow count scales with the utilization axis (see
+    /// [`WorkloadProfile::flows`]).
+    LongLived,
+}
 
 /// One named workload profile.
 pub struct WorkloadProfile {
@@ -20,7 +33,7 @@ pub struct WorkloadProfile {
     pub name: &'static str,
     /// One-line description for listings.
     pub description: &'static str,
-    sizes: fn() -> Box<dyn SizeDist>,
+    kind: ProfileKind,
 }
 
 /// Every registered profile, in listing order.
@@ -28,22 +41,27 @@ pub const PROFILES: &[WorkloadProfile] = &[
     WorkloadProfile {
         name: "web-search",
         description: "empirical web-search flow sizes [4] (paper default)",
-        sizes: || Box::new(Empirical::web_search()),
+        kind: ProfileKind::Poisson(|| Box::new(Empirical::web_search())),
     },
     WorkloadProfile {
         name: "data-mining",
         description: "empirical data-mining flow sizes [5]",
-        sizes: || Box::new(Empirical::data_mining()),
+        kind: ProfileKind::Poisson(|| Box::new(Empirical::data_mining())),
     },
     WorkloadProfile {
         name: "pareto",
         description: "bounded-Pareto heavy tail",
-        sizes: || Box::new(BoundedPareto::traffic_default()),
+        kind: ProfileKind::Poisson(|| Box::new(BoundedPareto::traffic_default())),
     },
     WorkloadProfile {
         name: "fixed-mtu",
         description: "every flow exactly one MTU (pure scheduling stress)",
-        sizes: || Box::new(Fixed(MTU as u64)),
+        kind: ProfileKind::Poisson(|| Box::new(Fixed(MTU as u64))),
+    },
+    WorkloadProfile {
+        name: "long-lived",
+        description: "persistent flows, never complete (closed-loop only; Fig. 4 regime)",
+        kind: ProfileKind::LongLived,
     },
 ];
 
@@ -68,12 +86,37 @@ pub struct CalibratedTrain {
 }
 
 impl WorkloadProfile {
-    /// Instantiate this profile's size distribution.
-    pub fn sizes(&self) -> Box<dyn SizeDist> {
-        (self.sizes)()
+    /// True when only a closed-loop transport can realize this profile
+    /// (its flows never complete, so there is no finite packet train).
+    /// Grids must reject `open-loop × closed-loop-only` combinations.
+    pub fn closed_loop_only(&self) -> bool {
+        matches!(self.kind, ProfileKind::LongLived)
     }
 
-    /// Generate the calibrated Poisson flow list for this profile.
+    /// Instantiate this profile's size distribution.
+    ///
+    /// # Panics
+    /// For closed-loop-only profiles, which have no size distribution.
+    pub fn sizes(&self) -> Box<dyn SizeDist> {
+        match self.kind {
+            ProfileKind::Poisson(sizes) => sizes(),
+            ProfileKind::LongLived => {
+                panic!(
+                    "profile {:?} has no size distribution (long-lived)",
+                    self.name
+                )
+            }
+        }
+    }
+
+    /// Generate the flow list for this profile.
+    ///
+    /// Poisson profiles calibrate the arrival rate so expected mean
+    /// core-link utilization hits the target. Long-lived profiles
+    /// instead scale the *flow count* with the utilization axis
+    /// (`⌈2 · hosts · utilization⌉`, at least 2) and jitter starts over
+    /// the window — more "utilization" means more competing persistent
+    /// flows, the quantity Figure 4 varies.
     pub fn flows(
         &self,
         topo: &Topology,
@@ -82,15 +125,26 @@ impl WorkloadProfile {
         window: Dur,
         seed: u64,
     ) -> Vec<FlowSpec> {
-        let sizes = self.sizes();
-        PoissonWorkload::at_utilization(utilization, window, seed).generate(
-            topo,
-            routing,
-            sizes.as_ref(),
-        )
+        match self.kind {
+            ProfileKind::Poisson(sizes) => {
+                let sizes = sizes();
+                PoissonWorkload::at_utilization(utilization, window, seed).generate(
+                    topo,
+                    routing,
+                    sizes.as_ref(),
+                )
+            }
+            ProfileKind::LongLived => {
+                let n = ((topo.hosts().len() as f64 * 2.0 * utilization).ceil() as usize).max(2);
+                long_lived_flows(topo, routing, n, window, seed)
+            }
+        }
     }
 
     /// Flows + UDP packet train in one step.
+    ///
+    /// # Panics
+    /// For closed-loop-only profiles (no finite train exists).
     pub fn udp_train(
         &self,
         topo: &Topology,
@@ -140,7 +194,7 @@ impl WorkloadProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ups_netsim::prelude::Bandwidth;
+    use ups_netsim::prelude::{Bandwidth, SimTime};
     use ups_topology::line;
 
     fn tiny_topo() -> Topology {
@@ -160,7 +214,7 @@ mod tests {
     #[test]
     fn profiles_generate_deterministic_trains() {
         let topo = tiny_topo();
-        for p in PROFILES {
+        for p in PROFILES.iter().filter(|p| !p.closed_loop_only()) {
             // Window sized for the profile's mean: the empirical mixes
             // have multi-MB means, so a 2-host line needs a long window
             // before the Poisson process emits anything.
@@ -171,6 +225,30 @@ mod tests {
             assert!(!a.packets.is_empty(), "{} generated nothing", p.name);
             assert_eq!(a.flows, b.flows);
         }
+    }
+
+    #[test]
+    fn long_lived_profile_is_closed_loop_only_and_scales_with_utilization() {
+        let p = profile_by_name("long-lived").unwrap();
+        assert!(p.closed_loop_only());
+        assert!(!profile_by_name("web-search").unwrap().closed_loop_only());
+        let topo = tiny_topo();
+        let mut routing = ups_topology::Routing::new(&topo);
+        let lo = p.flows(&topo, &mut routing, 0.3, Dur::from_ms(5), 3);
+        let hi = p.flows(&topo, &mut routing, 0.9, Dur::from_ms(5), 3);
+        assert!(lo.len() >= 2);
+        assert!(hi.len() >= lo.len(), "{} vs {}", hi.len(), lo.len());
+        for f in lo.iter().chain(&hi) {
+            assert_eq!(f.size, u64::MAX, "long-lived flows never complete");
+            assert!(f.start <= SimTime::from_ms(5));
+        }
+        // Deterministic per seed.
+        let again = p.flows(&topo, &mut routing, 0.3, Dur::from_ms(5), 3);
+        assert_eq!(lo.len(), again.len());
+        assert!(lo
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| (a.src, a.dst, a.start) == (b.src, b.dst, b.start)));
     }
 
     #[test]

@@ -71,11 +71,13 @@ pub mod prelude {
     };
     pub use ups_metrics::{jain_index, jain_series, mean_fct_by_bucket, Cdf, FlowSample};
     pub use ups_netsim::prelude::*;
-    pub use ups_sweep::{JobRecord, JobSpec, ScenarioGrid};
+    pub use ups_sweep::{JobRecord, JobSpec, ScenarioGrid, TrafficMode};
     pub use ups_topology::{
         build_simulator, BuildOptions, NodeRole, Routing, SchedulerAssignment, Topology,
     };
-    pub use ups_transport::{install_tcp, SlackPolicy, TcpConfig, TransportStats};
+    pub use ups_transport::{
+        install_tcp, run_tcp, SlackPolicy, TcpConfig, TcpRun, TcpScenario, TransportStats,
+    };
     pub use ups_workload::{
         udp_packet_train, BoundedPareto, Empirical, FlowSpec, PoissonWorkload, SizeDist, MTU,
     };
