@@ -57,6 +57,9 @@ pub struct FairnessSlackAssigner {
     state: HashMap<FlowId, (i128, SimTime)>,
     /// Per-flow weight ×1000 (integer to keep slack arithmetic exact).
     weights_milli: HashMap<FlowId, u64>,
+    /// Out-of-order arrivals seen (and clamped) so far — see
+    /// [`Self::out_of_order_arrivals`].
+    out_of_order: u64,
 }
 
 impl FairnessSlackAssigner {
@@ -67,6 +70,7 @@ impl FairnessSlackAssigner {
             rest_bps,
             state: HashMap::new(),
             weights_milli: HashMap::new(),
+            out_of_order: 0,
         }
     }
 
@@ -93,20 +97,43 @@ impl FairnessSlackAssigner {
     }
 
     /// Slack for the next packet of `flow`, `size` bytes, entering at
-    /// `arrival`. Must be called in per-flow arrival order.
+    /// `arrival`. Should be called in per-flow arrival order: the §3.3
+    /// recurrence charges each packet the gap since its predecessor.
+    ///
+    /// An out-of-order call (arrival before the flow's previous one) is
+    /// clamped to a zero gap — the packet is charged its full service
+    /// time, the conservative direction — and counted in
+    /// [`Self::out_of_order_arrivals`] instead of silently over-granting
+    /// slack in release builds.
     pub fn slack_for(&mut self, flow: FlowId, arrival: SimTime, size: u32) -> i128 {
         let rest = self.rest_for(flow).max(1);
         let service_ps = (size as u128 * 8 * PS_PER_SEC as u128 / rest) as i128;
-        let slack = match self.state.get(&flow) {
-            None => 0,
+        // `anchor` keeps the later of the two timestamps so one
+        // misordered packet does not shrink the gap charged to its
+        // successors.
+        let (slack, anchor) = match self.state.get(&flow) {
+            None => (0, arrival),
             Some(&(prev_slack, prev_arrival)) => {
-                debug_assert!(arrival >= prev_arrival, "packets must arrive in order");
+                if arrival < prev_arrival {
+                    self.out_of_order += 1;
+                }
                 let gap = arrival.saturating_since(prev_arrival).as_ps() as i128;
-                (prev_slack + service_ps - gap).max(0)
+                (
+                    (prev_slack + service_ps - gap).max(0),
+                    prev_arrival.max(arrival),
+                )
             }
         };
-        self.state.insert(flow, (slack, arrival));
+        self.state.insert(flow, (slack, anchor));
         slack
+    }
+
+    /// How many packets arrived out of per-flow order and had their gap
+    /// clamped to zero. The closed-loop driver forwards this into
+    /// `TransportStats` so a misbehaving caller is visible in run
+    /// reports rather than silently over-granting slack.
+    pub fn out_of_order_arrivals(&self) -> u64 {
+        self.out_of_order
     }
 }
 
@@ -206,6 +233,30 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_weight_rejected() {
         FairnessSlackAssigner::new(1).set_weight(FlowId(0), 0.0);
+    }
+
+    /// Regression (accounting bug 3): an out-of-order arrival used to
+    /// saturate the gap to 0 silently (release builds) or abort (debug
+    /// builds). It must now clamp, count, and leave the flow's time
+    /// anchor at the later arrival — in every build profile.
+    #[test]
+    fn out_of_order_arrival_is_clamped_and_counted() {
+        let mut a = FairnessSlackAssigner::new(1_000_000_000);
+        assert_eq!(a.slack_for(FlowId(1), SimTime::from_us(100), 1500), 0);
+        assert_eq!(a.out_of_order_arrivals(), 0);
+        // Arrives "before" its predecessor: zero gap ⇒ full 12us service
+        // charge, and the misorder is counted.
+        let s = a.slack_for(FlowId(1), SimTime::from_us(40), 1500);
+        assert_eq!(s, Dur::from_us(12).as_ps() as i128);
+        assert_eq!(a.out_of_order_arrivals(), 1);
+        // The anchor stayed at 100us: a packet at 106us is charged the
+        // 6us gap since the *latest* arrival, not 66us since the stale
+        // one.
+        let s = a.slack_for(FlowId(1), SimTime::from_us(106), 1500);
+        assert_eq!(s, Dur::from_us(12 + 12 - 6).as_ps() as i128);
+        assert_eq!(a.out_of_order_arrivals(), 1, "in-order call not counted");
+        // Other flows are unaffected.
+        assert_eq!(a.slack_for(FlowId(2), SimTime::ZERO, 1500), 0);
     }
 
     #[test]

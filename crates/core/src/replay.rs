@@ -171,16 +171,23 @@ pub fn replay_packets(
 /// Outcome of comparing a replay trace against its original.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
-    /// Packets compared (delivered in both runs).
+    /// Packets compared: every packet the original delivered, whether or
+    /// not the replay delivered it too.
     pub total: usize,
-    /// Packets with `o′(p) > o(p) + tolerance`.
+    /// Packets with `o′(p) > o(p) + tolerance`, plus every missing packet
+    /// (a packet the replay never got out is late by any measure).
     pub overdue: usize,
     /// Packets with `o′(p) > o(p) + T + tolerance` (Table 1's second
-    /// column; `T` = one bottleneck transmission time).
+    /// column; `T` = one bottleneck transmission time), plus every
+    /// missing packet.
     pub overdue_gt_t: usize,
+    /// Packets delivered in the original but dropped or never delivered
+    /// in the replay. A lossy replay must score *worse*, not better —
+    /// these count in `total`, `overdue` and `overdue_gt_t`.
+    pub missing: usize,
     /// The `T` used.
     pub threshold: Dur,
-    /// Largest lateness seen.
+    /// Largest lateness seen among packets delivered in both runs.
     pub max_lateness: Dur,
     /// Per-packet queueing-delay ratios `wait′(p) / wait(p)` over packets
     /// with nonzero original queueing (Figure 1's CDF).
@@ -206,9 +213,24 @@ impl ReplayReport {
         }
     }
 
-    /// True when the replay met every target (a *perfect* replay).
+    /// Fraction of packets the replay got out on time
+    /// (`1 − frac_overdue`), or `None` when the comparison covered no
+    /// packets — an empty comparison matched nothing and must not be
+    /// reported as a perfect score.
+    pub fn match_rate(&self) -> Option<f64> {
+        (self.total > 0).then(|| 1.0 - self.frac_overdue())
+    }
+
+    /// `frac_overdue_gt_t` as an `Option`, `None` on the empty
+    /// comparison (mirrors [`Self::match_rate`]).
+    pub fn frac_gt_t_rate(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.frac_overdue_gt_t())
+    }
+
+    /// True when the replay met every target (a *perfect* replay). A
+    /// comparison that covered no packets is vacuous, not perfect.
     pub fn perfect(&self) -> bool {
-        self.overdue == 0
+        self.total > 0 && self.overdue == 0
     }
 }
 
@@ -216,6 +238,10 @@ impl ReplayReport {
 /// sub-threshold noise in micro-topologies (the appendix networks model
 /// "instant" links as 12 Tbps, i.e. nanosecond residuals); the paper-scale
 /// experiments use zero tolerance.
+///
+/// Every packet the original delivered participates: one the replay
+/// dropped (or never finished) counts as `missing` *and* overdue in both
+/// columns, so a lossy replay scores strictly worse than a late one.
 pub fn compare_with_tolerance(
     original: &Trace,
     replay: &Trace,
@@ -226,15 +252,22 @@ pub fn compare_with_tolerance(
         total: 0,
         overdue: 0,
         overdue_gt_t: 0,
+        missing: 0,
         threshold,
         max_lateness: Dur::ZERO,
         queueing_ratios: Vec::new(),
     };
     for (id, orig) in original.delivered() {
-        let Some(rep) = replay.get(id) else { continue };
-        let Some(o_replay) = rep.exited else { continue };
-        let o_orig = orig.exited.expect("delivered() guarantees exit");
         report.total += 1;
+        let Some((rep, o_replay)) = replay.get(id).and_then(|rep| Some((rep, rep.exited?))) else {
+            // Delivered originally, missing/dropped in the replay: late by
+            // any measure.
+            report.missing += 1;
+            report.overdue += 1;
+            report.overdue_gt_t += 1;
+            continue;
+        };
+        let o_orig = orig.exited.expect("delivered() guarantees exit");
         let lateness = o_replay.saturating_since(o_orig);
         report.max_lateness = report.max_lateness.max(lateness);
         if lateness > tolerance {
@@ -571,13 +604,77 @@ mod tests {
             total: 200,
             overdue: 10,
             overdue_gt_t: 2,
+            missing: 0,
             threshold: Dur::from_us(12),
             max_lateness: Dur::from_us(50),
             queueing_ratios: vec![],
         };
         assert!((r.frac_overdue() - 0.05).abs() < 1e-12);
         assert!((r.frac_overdue_gt_t() - 0.01).abs() < 1e-12);
+        assert_eq!(r.match_rate(), Some(0.95));
         assert!(!r.perfect());
+    }
+
+    /// Helper for the accounting regressions: a synthetic delivered
+    /// record with the given exit time.
+    fn delivered_rec(exit_us: u64) -> PacketRecord {
+        PacketRecord {
+            flow: FlowId(0),
+            size: 1500,
+            kind: PacketKind::Data,
+            path: vec![NodeId(0), NodeId(1)].into(),
+            injected: SimTime::ZERO,
+            exited: Some(SimTime::from_us(exit_us)),
+            total_wait: Dur::ZERO,
+            dropped: false,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Regression (accounting bug 1): a replay that drops a packet the
+    /// original delivered must lower the match rate — the packet counts
+    /// in `total`, as `missing`, and as overdue in both columns.
+    #[test]
+    fn missing_replay_packet_lowers_match_rate() {
+        let original = Trace::synthetic(
+            RecordMode::EndToEnd,
+            [
+                (PacketId(0), delivered_rec(100)),
+                (PacketId(1), delivered_rec(200)),
+            ],
+        );
+        // The replay delivered packet 0 on time and *lost* packet 1.
+        let mut lost = delivered_rec(0);
+        lost.exited = None;
+        lost.dropped = true;
+        let replay = Trace::synthetic(
+            RecordMode::EndToEnd,
+            [(PacketId(0), delivered_rec(100)), (PacketId(1), lost)],
+        );
+        let r = compare(&original, &replay, Dur::from_us(12));
+        assert_eq!(r.total, 2, "the lost packet still counts");
+        assert_eq!(r.missing, 1);
+        assert_eq!(r.overdue, 1);
+        assert_eq!(r.overdue_gt_t, 1);
+        assert_eq!(r.match_rate(), Some(0.5));
+        assert!(!r.perfect());
+        // A replay record that is absent entirely counts the same way.
+        let replay = Trace::synthetic(RecordMode::EndToEnd, [(PacketId(0), delivered_rec(100))]);
+        let r = compare(&original, &replay, Dur::from_us(12));
+        assert_eq!((r.total, r.missing, r.overdue), (2, 1, 1));
+    }
+
+    /// Regression (accounting bug 2): a comparison that covered no
+    /// packets must not read as a perfect replay.
+    #[test]
+    fn empty_comparison_is_not_perfect() {
+        let original = Trace::synthetic(RecordMode::EndToEnd, []);
+        let replay = Trace::synthetic(RecordMode::EndToEnd, []);
+        let r = compare(&original, &replay, Dur::from_us(12));
+        assert_eq!(r.total, 0);
+        assert!(!r.perfect(), "vacuous comparison must not be perfect");
+        assert_eq!(r.match_rate(), None, "no packets ⇒ no match rate");
+        assert_eq!(r.frac_gt_t_rate(), None);
     }
 
     #[test]

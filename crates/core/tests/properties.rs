@@ -15,7 +15,7 @@ use proptest::prelude::*;
 
 use ups_core::replay::{max_congestion_points, HeaderInit, ReplayExperiment};
 use ups_netsim::prelude::*;
-use ups_topology::{dumbbell, line, Routing, SchedulerAssignment, Topology};
+use ups_topology::{dumbbell, line, BuildOptions, Routing, SchedulerAssignment, Topology};
 
 /// A randomized replay scenario.
 #[derive(Debug, Clone)]
@@ -241,6 +241,57 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Finite-priority-queue layer: `Quantized{inner: LSTF}` under the
+    /// dynamic (queue-remapping) mapper is **bit-identical** to exact
+    /// LSTF — the full replay trace compares equal — whenever K is at
+    /// least the number of distinct ranks in the run (K = packet count
+    /// bounds that from above). Randomized topologies, arrivals and
+    /// original disciplines.
+    #[test]
+    fn quantized_lstf_replay_is_bit_identical_when_k_covers_ranks(
+        scenario in scenario_strategy(3, 25, &[400, 1000, 1500])
+    ) {
+        use ups_core::replay::{compare, replay_packets, run_schedule};
+        let (topo, packets) = scenario.materialize();
+        prop_assume!(packets.len() >= 2);
+        let opts = BuildOptions {
+            record: RecordMode::EndToEnd,
+            seed: scenario.seed,
+            ..BuildOptions::default()
+        };
+        let original = run_schedule(
+            &topo,
+            &SchedulerAssignment::uniform(scenario.discipline.kind()),
+            packets.iter().cloned(),
+            &opts,
+        );
+        let replay_set = replay_packets(&topo, &original, &packets, HeaderInit::LstfSlack);
+        let exact = run_schedule(
+            &topo,
+            &SchedulerAssignment::uniform(SchedulerKind::Lstf { preemptive: false }),
+            replay_set.iter().cloned(),
+            &opts,
+        );
+        let k = packets.len() as u32; // ≥ #distinct ranks, trivially
+        let quant = run_schedule(
+            &topo,
+            &SchedulerAssignment::uniform(SchedulerKind::quantized_lstf(k, MapperKind::Dynamic)),
+            replay_set.iter().cloned(),
+            &opts,
+        );
+        prop_assert_eq!(
+            &quant, &exact,
+            "quantized K={} trace diverged from exact LSTF under {:?}",
+            k, scenario.discipline
+        );
+        // And the reports agree, trivially, since the traces do.
+        let threshold = topo.bottleneck_bandwidth().tx_time(1500);
+        let a = compare(&original, &exact, threshold);
+        let b = compare(&original, &quant, threshold);
+        prop_assert_eq!(a.match_rate(), b.match_rate());
+        prop_assert_eq!(a.missing, b.missing);
     }
 
     /// Replay experiments are deterministic: running twice gives

@@ -18,6 +18,10 @@ pub struct TransportSummary {
     pub retransmits: u64,
     /// Retransmission-timeout events (each shrinks cwnd to one segment).
     pub rto_events: u64,
+    /// Out-of-order arrivals the fairness slack assigner clamped — a
+    /// warning counter: non-zero means a sender fed the §3.3 recurrence
+    /// against arrival order and its flows got conservatively less slack.
+    pub slack_ooo: u64,
 }
 
 impl TransportSummary {
@@ -26,9 +30,13 @@ impl TransportSummary {
         format!(
             concat!(
                 r#"{{"completed_flows":{},"goodput_bytes":{},"#,
-                r#""retransmits":{},"rto_events":{}}}"#
+                r#""retransmits":{},"rto_events":{},"slack_ooo":{}}}"#
             ),
-            self.completed_flows, self.goodput_bytes, self.retransmits, self.rto_events
+            self.completed_flows,
+            self.goodput_bytes,
+            self.retransmits,
+            self.rto_events,
+            self.slack_ooo
         )
     }
 }
@@ -60,10 +68,21 @@ pub struct RunSummary {
     /// fairness).
     pub jain: Option<f64>,
     /// Fraction of packets the LSTF replay got out on time
-    /// (`1 − frac_overdue`); `None` when the job ran without a replay.
+    /// (`1 − frac_overdue`); `None` when the job ran without a replay
+    /// **or** the comparison covered no packets (an empty comparison
+    /// matched nothing and must not read as a perfect score).
     pub replay_match_rate: Option<f64>,
     /// Fraction of packets the replay missed by more than `T`.
     pub replay_frac_gt_t: Option<f64>,
+    /// Match rate of the *quantized* LSTF replay (K strict-priority
+    /// queues); `None` when the job carried no `--queues` axis value.
+    pub quantized_match_rate: Option<f64>,
+    /// Fraction the quantized replay missed by more than `T`.
+    pub quantized_frac_gt_t: Option<f64>,
+    /// Mean-FCT penalty of quantization: quantized-replay mean FCT minus
+    /// exact-LSTF-replay mean FCT, in seconds (positive = quantization
+    /// made flows slower).
+    pub quantized_fct_delta_s: Option<f64>,
     /// Closed-loop transport metrics; `None` for open-loop (UDP) runs.
     pub transport: Option<TransportSummary>,
 }
@@ -91,6 +110,8 @@ impl RunSummary {
                 r#"{{"flows":{},"packets":{},"delivered":{},"dropped":{},"#,
                 r#""delay_mean_s":{},"delay_p99_s":{},"fct_mean_s":{},"#,
                 r#""jain":{},"replay_match_rate":{},"replay_frac_gt_t":{},"#,
+                r#""quantized_match_rate":{},"quantized_frac_gt_t":{},"#,
+                r#""quantized_fct_delta_s":{},"#,
                 r#""transport":{},"fct_buckets":[{}]}}"#
             ),
             self.flows,
@@ -103,6 +124,9 @@ impl RunSummary {
             json_opt_num(self.jain),
             json_opt_num(self.replay_match_rate),
             json_opt_num(self.replay_frac_gt_t),
+            json_opt_num(self.quantized_match_rate),
+            json_opt_num(self.quantized_frac_gt_t),
+            json_opt_num(self.quantized_fct_delta_s),
             match &self.transport {
                 Some(t) => t.to_json(),
                 None => "null".into(),
@@ -164,6 +188,9 @@ mod tests {
             jain: Some(0.97),
             replay_match_rate: Some(0.9984),
             replay_frac_gt_t: Some(0.0),
+            quantized_match_rate: None,
+            quantized_frac_gt_t: None,
+            quantized_fct_delta_s: None,
             transport: None,
         }
     }
@@ -192,6 +219,19 @@ mod tests {
     }
 
     #[test]
+    fn quantized_fields_serialize_as_numbers_or_null() {
+        let mut r = sample();
+        assert!(r.to_json().contains(r#""quantized_match_rate":null"#));
+        r.quantized_match_rate = Some(0.75);
+        r.quantized_frac_gt_t = Some(0.1);
+        r.quantized_fct_delta_s = Some(0.0025);
+        let s = r.to_json();
+        assert!(s.contains(r#""quantized_match_rate":0.75"#));
+        assert!(s.contains(r#""quantized_frac_gt_t":0.1"#));
+        assert!(s.contains(r#""quantized_fct_delta_s":0.0025"#));
+    }
+
+    #[test]
     fn dead_run_jain_is_null_not_one() {
         let mut r = sample();
         r.jain = None;
@@ -206,11 +246,13 @@ mod tests {
             goodput_bytes: 123_456,
             retransmits: 3,
             rto_events: 1,
+            slack_ooo: 2,
         });
         let s = r.to_json();
-        assert!(s.contains(
-            r#""transport":{"completed_flows":7,"goodput_bytes":123456,"retransmits":3,"rto_events":1}"#
-        ));
+        assert!(s.contains(concat!(
+            r#""transport":{"completed_flows":7,"goodput_bytes":123456,"#,
+            r#""retransmits":3,"rto_events":1,"slack_ooo":2}"#
+        )));
     }
 
     #[test]

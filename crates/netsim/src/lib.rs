@@ -74,7 +74,7 @@ pub mod prelude {
     pub use crate::node::{Link, Node, Port};
     pub use crate::packet::{Header, Packet, PacketBuilder, PacketKind};
     pub use crate::queue::{PortCtx, QueuedPacket, Scheduler};
-    pub use crate::sched::SchedulerKind;
+    pub use crate::sched::{MapperKind, Quantized, SchedulerKind};
     pub use crate::sim::{Agent, SimApi, SimConfig, SimStats, Simulator};
     pub use crate::time::{Bandwidth, Dur, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
     pub use crate::trace::{HopRecord, PacketRecord, RecordMode, Trace};

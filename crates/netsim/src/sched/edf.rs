@@ -49,19 +49,15 @@ impl Scheduler for Edf {
         arrival_seq: u64,
         ctx: PortCtx,
     ) {
-        let p = arena.get(pkt);
-        let tmin_rem = p
-            .tmin_remaining()
-            .expect("EDF needs packets with a tmin_rem table (attach via routing layer)");
-        let t_here = ctx.bandwidth.tx_time(p.size);
-        let rank =
-            p.header.deadline.as_ps() as i128 - tmin_rem.as_ps() as i128 + t_here.as_ps() as i128;
+        let rank = self
+            .rank_for(pkt, arena, now, ctx)
+            .expect("EDF ranks every packet");
         self.q.push(QueuedPacket {
             pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
-            size: p.size,
+            size: arena.get(pkt).size,
         });
     }
 
@@ -92,6 +88,38 @@ impl Scheduler for Edf {
 
     fn is_preemptive(&self) -> bool {
         self.preemptive
+    }
+
+    /// The App. E local deadline `o(p) − tmin(p, α, dest) + T(p, α)`.
+    ///
+    /// # Panics
+    /// If the packet carries no `tmin_rem` table — silently scheduling
+    /// with a wrong deadline would invalidate any experiment using it.
+    fn rank_for(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        _now: SimTime,
+        ctx: PortCtx,
+    ) -> Option<i128> {
+        let p = arena.get(pkt);
+        let tmin_rem = p
+            .tmin_remaining()
+            .expect("EDF needs packets with a tmin_rem table (attach via routing layer)");
+        let t_here = ctx.bandwidth.tx_time(p.size);
+        Some(p.header.deadline.as_ps() as i128 - tmin_rem.as_ps() as i128 + t_here.as_ps() as i128)
+    }
+
+    /// Time until the local deadline — stationary form of the rank.
+    fn quantize_key(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        ctx: PortCtx,
+    ) -> Option<i128> {
+        self.rank_for(pkt, arena, now, ctx)
+            .map(|r| r - now.as_ps() as i128)
     }
 
     fn name(&self) -> &'static str {

@@ -44,19 +44,17 @@ impl Scheduler for FifoPlus {
         arena: &PacketArena,
         now: SimTime,
         arrival_seq: u64,
-        _ctx: PortCtx,
+        ctx: PortCtx,
     ) {
-        let p = arena.get(pkt);
-        // Expected arrival = actual arrival − upstream excess. A positive
-        // offset (delayed more than average so far) ranks the packet as if
-        // it had arrived earlier.
-        let rank = now.as_ps() as i128 - p.header.fifo_plus_offset as i128;
+        let rank = self
+            .rank_for(pkt, arena, now, ctx)
+            .expect("FIFO+ ranks every packet");
         self.q.push(QueuedPacket {
             pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
-            size: p.size,
+            size: arena.get(pkt).size,
         });
     }
 
@@ -64,16 +62,51 @@ impl Scheduler for FifoPlus {
         &mut self,
         arena: &mut PacketArena,
         now: SimTime,
-        _ctx: PortCtx,
+        ctx: PortCtx,
     ) -> Option<QueuedPacket> {
         let qp = self.q.pop_min()?;
+        self.on_serve(&qp, arena, now, ctx);
+        Some(qp)
+    }
+
+    /// Expected arrival = actual arrival − upstream excess. A positive
+    /// offset (delayed more than average so far) ranks the packet as if
+    /// it had arrived earlier.
+    fn rank_for(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<i128> {
+        Some(now.as_ps() as i128 - arena.get(pkt).header.fifo_plus_offset as i128)
+    }
+
+    /// The negated upstream excess (`rank − now`): the header field a
+    /// hardware mapper quantizes, stationary across the run.
+    fn quantize_key(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<i128> {
+        Some(-(arena.get(pkt).header.fifo_plus_offset as i128))
+    }
+
+    /// Fold this hop's excess into the header before the packet moves on.
+    fn on_serve(
+        &mut self,
+        qp: &QueuedPacket,
+        arena: &mut PacketArena,
+        now: SimTime,
+        _ctx: PortCtx,
+    ) {
         let wait = now.saturating_since(qp.enqueued_at).as_ps();
-        // Fold this hop's excess into the header before the packet moves on.
         let mean = self.mean_wait_ps();
         arena.get_mut(qp.pkt).header.fifo_plus_offset += wait as i64 - mean;
         self.total_wait_ps += wait as u128;
         self.served += 1;
-        Some(qp)
     }
 
     fn peek_rank(&self) -> Option<i128> {

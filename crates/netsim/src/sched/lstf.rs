@@ -58,15 +58,15 @@ impl Scheduler for Lstf {
         arrival_seq: u64,
         ctx: PortCtx,
     ) {
-        let p = arena.get(pkt);
-        let last_bit = ctx.bandwidth.tx_time(p.size).as_ps() as i128;
-        let rank = p.header.slack + now.as_ps() as i128 + last_bit;
+        let rank = self
+            .rank_for(pkt, arena, now, ctx)
+            .expect("LSTF ranks every packet");
         self.q.push(QueuedPacket {
             pkt,
             rank,
             enqueued_at: now,
             arrival_seq,
-            size: p.size,
+            size: arena.get(pkt).size,
         });
     }
 
@@ -74,16 +74,52 @@ impl Scheduler for Lstf {
         &mut self,
         arena: &mut PacketArena,
         now: SimTime,
-        _ctx: PortCtx,
+        ctx: PortCtx,
     ) -> Option<QueuedPacket> {
         let qp = self.q.pop_min()?;
-        // Slack spent = time waited at this hop (service and propagation
-        // are accounted in tmin, not slack). This is the header rewrite of
-        // §2.2. A preempted-and-resumed packet re-enters the queue with a
-        // fresh `enqueued_at`, so each waiting episode is charged once.
+        self.on_serve(&qp, arena, now, ctx);
+        Some(qp)
+    }
+
+    fn rank_for(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        now: SimTime,
+        ctx: PortCtx,
+    ) -> Option<i128> {
+        let p = arena.get(pkt);
+        let last_bit = ctx.bandwidth.tx_time(p.size).as_ps() as i128;
+        Some(p.header.slack + now.as_ps() as i128 + last_bit)
+    }
+
+    /// Remaining slack at the last transmitted bit — the §2.2 header field
+    /// a hardware mapper quantizes (`rank − now`, so it does not drift).
+    fn quantize_key(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        _now: SimTime,
+        ctx: PortCtx,
+    ) -> Option<i128> {
+        let p = arena.get(pkt);
+        let last_bit = ctx.bandwidth.tx_time(p.size).as_ps() as i128;
+        Some(p.header.slack + last_bit)
+    }
+
+    /// Slack spent = time waited at this hop (service and propagation are
+    /// accounted in tmin, not slack). This is the header rewrite of §2.2.
+    /// A preempted-and-resumed packet re-enters the queue with a fresh
+    /// `enqueued_at`, so each waiting episode is charged once.
+    fn on_serve(
+        &mut self,
+        qp: &QueuedPacket,
+        arena: &mut PacketArena,
+        now: SimTime,
+        _ctx: PortCtx,
+    ) {
         let waited = now.saturating_since(qp.enqueued_at).as_ps() as i128;
         arena.get_mut(qp.pkt).header.slack -= waited;
-        Some(qp)
     }
 
     fn peek_rank(&self) -> Option<i128> {

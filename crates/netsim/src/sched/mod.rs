@@ -22,6 +22,7 @@ mod lifo;
 mod lstf;
 mod omniscient;
 mod priority;
+mod quantized;
 mod random;
 mod sjf;
 mod srpt;
@@ -35,6 +36,7 @@ pub use lifo::Lifo;
 pub use lstf::Lstf;
 pub use omniscient::Omniscient;
 pub use priority::Priority;
+pub use quantized::{MapperKind, Quantized, LOG_GRANULARITY_PS, MAX_FIXED_QUEUES};
 pub use random::Random;
 pub use sjf::Sjf;
 pub use srpt::Srpt;
@@ -88,7 +90,23 @@ pub enum SchedulerKind {
     /// Omniscient per-hop replay (App. B). Requires packets to carry
     /// `header.omniscient` vectors.
     Omniscient,
+    /// Finite-priority-queue emulation of a rank-based discipline: the
+    /// inner kind's rank is mapped onto `k` strict-priority drop-tail
+    /// FIFO queues by `mapper` (the hardware model real switches expose;
+    /// see [`Quantized`]).
+    Quantized {
+        /// The rank-based discipline being emulated (e.g. `&LSTF`).
+        inner: &'static SchedulerKind,
+        /// Number of strict-priority queues.
+        k: u32,
+        /// The rank→queue mapping policy.
+        mapper: MapperKind,
+    },
 }
+
+/// The canonical quantization target: non-preemptive LSTF (the paper's
+/// default replay scheduler). `SchedulerKind::quantized_lstf` wraps it.
+pub const LSTF: SchedulerKind = SchedulerKind::Lstf { preemptive: false };
 
 impl SchedulerKind {
     /// Instantiate a scheduler of this kind.
@@ -108,8 +126,33 @@ impl SchedulerKind {
             SchedulerKind::Edf { preemptive: false } => Box::new(Edf::new()),
             SchedulerKind::Edf { preemptive: true } => Box::new(Edf::preemptive()),
             SchedulerKind::Omniscient => Box::new(Omniscient::new()),
+            SchedulerKind::Quantized { inner, k, mapper } => {
+                Box::new(Quantized::new(inner.build(seed), k, mapper))
+            }
         }
     }
+
+    /// Quantized LSTF at `k` strict-priority queues — the
+    /// finite-priority-queue replay candidate the sweep's `--queues` axis
+    /// and the `quantized` bench instantiate.
+    pub const fn quantized_lstf(k: u32, mapper: MapperKind) -> SchedulerKind {
+        SchedulerKind::Quantized {
+            inner: &LSTF,
+            k,
+            mapper,
+        }
+    }
+
+    /// Representative quantized kinds — one per mapper at K = 8 —
+    /// enumerated alongside [`Self::ALL`] by the Send audit and the
+    /// scheduler property tests (`ALL` itself stays the closed set of
+    /// nameable base disciplines: quantized kinds are parameterized and
+    /// have no bare-name round trip).
+    pub const QUANTIZED_SAMPLES: [SchedulerKind; 3] = [
+        SchedulerKind::quantized_lstf(8, MapperKind::Log),
+        SchedulerKind::quantized_lstf(8, MapperKind::SpPifo),
+        SchedulerKind::quantized_lstf(8, MapperKind::Dynamic),
+    ];
 
     /// Every kind, in a stable listing order (the sweep grids and the
     /// Send audit enumerate disciplines through this).
@@ -156,6 +199,10 @@ impl SchedulerKind {
             SchedulerKind::Edf { preemptive: false } => "EDF",
             SchedulerKind::Edf { preemptive: true } => "EDF-P",
             SchedulerKind::Omniscient => "Omniscient",
+            // Parameterized; experiment tables label the (inner, k,
+            // mapper) triple themselves. Not in `ALL`, so `from_name`
+            // never has to invert this.
+            SchedulerKind::Quantized { .. } => "Quantized",
         }
     }
 }
@@ -278,11 +325,21 @@ mod tests {
             SchedulerKind::Edf { preemptive: false },
             SchedulerKind::Edf { preemptive: true },
         ];
-        for k in kinds {
+        for k in kinds.into_iter().chain(SchedulerKind::QUANTIZED_SAMPLES) {
             let s = k.build(42);
             assert!(s.is_empty(), "{} starts empty", s.name());
             assert_eq!(s.queued_bytes(), 0);
         }
         assert_eq!(SchedulerKind::Lstf { preemptive: true }.name(), "LSTF-P");
+        assert_eq!(
+            SchedulerKind::quantized_lstf(8, MapperKind::Log).name(),
+            "Quantized"
+        );
+        assert_eq!(
+            SchedulerKind::quantized_lstf(4, MapperKind::SpPifo)
+                .build(0)
+                .name(),
+            "Quantized/sppifo"
+        );
     }
 }

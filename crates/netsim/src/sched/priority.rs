@@ -44,14 +44,26 @@ impl Scheduler for Priority {
         arrival_seq: u64,
         _ctx: PortCtx,
     ) {
-        let p = arena.get(pkt);
+        let rank = self
+            .rank_for(pkt, arena, now, _ctx)
+            .expect("Priority ranks every packet");
         self.q.push(QueuedPacket {
             pkt,
-            rank: p.header.prio,
+            rank,
             enqueued_at: now,
             arrival_seq,
-            size: p.size,
+            size: arena.get(pkt).size,
         });
+    }
+
+    fn rank_for(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<i128> {
+        Some(arena.get(pkt).header.prio)
     }
 
     fn dequeue(

@@ -33,14 +33,26 @@ impl Scheduler for Sjf {
         arrival_seq: u64,
         _ctx: PortCtx,
     ) {
-        let p = arena.get(pkt);
+        let rank = self
+            .rank_for(pkt, arena, now, _ctx)
+            .expect("SJF ranks every packet");
         self.q.push(QueuedPacket {
             pkt,
-            rank: p.header.flow_size as i128,
+            rank,
             enqueued_at: now,
             arrival_seq,
-            size: p.size,
+            size: arena.get(pkt).size,
         });
+    }
+
+    fn rank_for(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<i128> {
+        Some(arena.get(pkt).header.flow_size as i128)
     }
 
     fn dequeue(

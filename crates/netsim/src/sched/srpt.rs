@@ -75,7 +75,9 @@ impl Scheduler for Srpt {
     ) {
         let p = arena.get(pkt);
         let flow = p.flow;
-        let rank = p.header.remaining as i128;
+        let rank = self
+            .rank_for(pkt, arena, now, _ctx)
+            .expect("SRPT ranks every packet");
         self.len += 1;
         self.bytes += p.size as u64;
         let qp = QueuedPacket {
@@ -113,6 +115,16 @@ impl Scheduler for Srpt {
 
     fn peek_rank(&self) -> Option<i128> {
         self.order.iter().next().map(|&(r, _)| r)
+    }
+
+    fn rank_for(
+        &self,
+        pkt: PacketRef,
+        arena: &PacketArena,
+        _now: SimTime,
+        _ctx: PortCtx,
+    ) -> Option<i128> {
+        Some(arena.get(pkt).header.remaining as i128)
     }
 
     fn len(&self) -> usize {

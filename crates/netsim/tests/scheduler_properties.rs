@@ -8,9 +8,10 @@ use std::sync::Arc;
 use ups_netsim::prelude::*;
 
 /// All general-purpose disciplines (the oracle-dependent EDF/Omniscient
-/// need per-packet tables and are covered by ups-core tests).
+/// need per-packet tables and are covered by ups-core tests), plus the
+/// quantized-LSTF presets — one per rank→queue mapper.
 fn all_kinds() -> Vec<SchedulerKind> {
-    vec![
+    let mut kinds = vec![
         SchedulerKind::Fifo,
         SchedulerKind::Lifo,
         SchedulerKind::Random,
@@ -21,7 +22,9 @@ fn all_kinds() -> Vec<SchedulerKind> {
         SchedulerKind::Drr,
         SchedulerKind::FifoPlus,
         SchedulerKind::Lstf { preemptive: false },
-    ]
+    ];
+    kinds.extend(SchedulerKind::QUANTIZED_SAMPLES);
+    kinds
 }
 
 fn ctx() -> PortCtx {
@@ -221,6 +224,46 @@ proptest! {
             let slack = lstf_arena.get(qp.pkt).header.slack;
             prop_assert!(slack >= last_slack);
             last_slack = slack;
+        }
+    }
+
+    /// The tentpole contract of the quantization layer: with the dynamic
+    /// (queue-remapping) mapper and K at least the number of distinct
+    /// ranks in the run, `Quantized{Lstf}` serves in *exactly* the order
+    /// exact LSTF does — per-packet, for any slack/size/arrival mix —
+    /// and applies the identical slack rewrite.
+    #[test]
+    fn quantized_lstf_is_exact_when_k_covers_distinct_ranks(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let k = ops.len() as u32; // ≥ #distinct ranks, trivially
+        let mut exact_arena = PacketArena::new();
+        let mut quant_arena = PacketArena::new();
+        let mut exact = SchedulerKind::Lstf { preemptive: false }.build(0);
+        let mut quant = SchedulerKind::quantized_lstf(k, MapperKind::Dynamic).build(0);
+        for (i, op) in ops.iter().enumerate() {
+            let now = SimTime::from_us(i as u64);
+            enq(&mut *exact, &mut exact_arena, packet(i, op), now, i as u64);
+            enq(&mut *quant, &mut quant_arena, packet(i, op), now, i as u64);
+        }
+        let mut t = SimTime::from_ms(1);
+        loop {
+            let a = exact.dequeue(&mut exact_arena, t, ctx());
+            let b = quant.dequeue(&mut quant_arena, t, ctx());
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    let (pa, pb) = (exact_arena.get(a.pkt), quant_arena.get(b.pkt));
+                    prop_assert_eq!(pa.id, pb.id, "service order diverged");
+                    prop_assert_eq!(a.rank, b.rank, "rank computation diverged");
+                    prop_assert_eq!(
+                        pa.header.slack, pb.header.slack,
+                        "slack rewrite diverged"
+                    );
+                }
+                (a, b) => prop_assert!(false, "queue lengths diverged: {a:?} vs {b:?}"),
+            }
+            t += Dur::from_us(3);
         }
     }
 

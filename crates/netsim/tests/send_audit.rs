@@ -12,7 +12,8 @@ use ups_netsim::arena::PacketArena;
 use ups_netsim::event::EventQueue;
 use ups_netsim::prelude::*;
 use ups_netsim::sched::{
-    Drr, Edf, FairQueueing, Fifo, FifoPlus, Lifo, Lstf, Omniscient, Priority, Random, Sjf, Srpt,
+    Drr, Edf, FairQueueing, Fifo, FifoPlus, Lifo, Lstf, Omniscient, Priority, Quantized, Random,
+    Sjf, Srpt,
 };
 
 const fn assert_send<T: Send>() {}
@@ -44,6 +45,7 @@ const _: () = {
     assert_send::<Lstf>();
     assert_send::<Edf>();
     assert_send::<Omniscient>();
+    assert_send::<Quantized>();
 };
 
 /// The audit is the `const` blocks above; this test exists so the target
@@ -76,4 +78,11 @@ fn every_kind_round_trips_through_its_name() {
         assert_eq!(SchedulerKind::from_name(kind.name()), Some(kind));
     }
     assert_eq!(SchedulerKind::from_name("WFQ2"), None);
+    // Quantized kinds are parameterized: they build and audit alongside
+    // ALL but deliberately have no bare-name inverse.
+    for kind in SchedulerKind::QUANTIZED_SAMPLES {
+        assert_eq!(kind.name(), "Quantized");
+        assert_eq!(SchedulerKind::from_name("Quantized"), None);
+        assert!(kind.build(7).is_empty());
+    }
 }

@@ -7,8 +7,10 @@
 //!       --window-ms 2 --max-packets 4000  # CI smoke grid
 //! sweep --traffic closed-loop --scheds LSTF \
 //!       --rest 1000000000,100000000       # TCP + §3.3 fairness r_est axis
+//! sweep --queues 1,2,8 --mapper sppifo    # finite-priority-queue replays
 //! sweep --list                            # registries and disciplines
 //! sweep --validate BENCH_sweep.json       # schema-check an artifact
+//! sweep --validate BENCH_quantized.json   # (dispatches on the schema tag)
 //! ```
 //!
 //! Writes one JSON line per finished job to `--jsonl` (completion order,
@@ -58,6 +60,11 @@ GRID AXES (comma-separated; defaults form the 60-job paper grid):
                       with the slack policy of the scheduler under test)
   --rest BPS          r_est axis (bits/s) for closed-loop LSTF: each value
                       runs the §3.3 Fairness slack policy as its own job
+  --queues KS         finite-priority-queue axis: per K, additionally replay
+                      through quantized LSTF on K strict-priority FIFO
+                      queues and report the match/FCT deltas vs exact LSTF
+  --mapper NAME       rank->queue mapper for --queues: log, sppifo or
+                      dynamic (default sppifo)
   --utils FRACS       utilization targets, e.g. 0.3,0.7
   --seeds INTS        one independent job per seed
 
@@ -68,7 +75,8 @@ GRID OPTIONS:
   --no-replay         skip the LSTF replay (original schedule only)
   --max-packets N     cap injected packets per job (smoke grids)
   --exclude SPEC      drop combinations, e.g. topo=RocketFuel,sched=Random
-                      (repeatable; traffic=closed-loop and util>0.8 work too)
+                      (repeatable; traffic=closed-loop, queues=8 and
+                      util>0.8 work too)
   --max-jobs N        keep at most N jobs
 
 EXECUTION & OUTPUT:
@@ -103,11 +111,13 @@ fn parse_exclude(spec: &str) -> Result<Exclude, String> {
             e.scheduler = Some(v.into());
         } else if let Some(v) = part.strip_prefix("traffic=") {
             e.traffic = Some(v.into());
+        } else if let Some(v) = part.strip_prefix("queues=") {
+            e.queues = Some(v.parse().map_err(|_| format!("bad queue count {v:?}"))?);
         } else if let Some(v) = part.strip_prefix("util>") {
             e.utilization_above = Some(v.parse().map_err(|_| format!("bad utilization {v:?}"))?);
         } else {
             return Err(format!(
-                "bad --exclude part {part:?} (want topo=/profile=/sched=/traffic=/util>)"
+                "bad --exclude part {part:?} (want topo=/profile=/sched=/traffic=/queues=/util>)"
             ));
         }
     }
@@ -139,6 +149,13 @@ fn parse_args() -> Result<Args, String> {
                     .map(|s| s.parse().map_err(|_| format!("bad r_est {s:?}")))
                     .collect::<Result<_, _>>()?;
             }
+            "--queues" => {
+                args.grid.queues = split_list(&value("--queues")?)
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| format!("bad queue count {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--mapper" => args.grid.mapper = value("--mapper")?,
             "--utils" => {
                 args.grid.utilizations = split_list(&value("--utils")?)
                     .iter()
@@ -246,18 +263,37 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if let Some(path) = &args.validate {
-        return match std::fs::read_to_string(path)
-            .map_err(|e| e.to_string())
-            .and_then(|doc| validate_bench_sweep(&doc).map_err(|e| e.to_string()))
-        {
-            Ok(d) => {
-                println!(
-                    "{} valid: {} jobs, {} workers, {:.2} jobs/sec",
-                    path.display(),
-                    d.jobs,
-                    d.workers,
-                    d.jobs_per_sec
-                );
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("sweep: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // Dispatch on the parsed schema tag: the quantized bench writes
+        // its own artifact family; everything else goes through the
+        // sweep validator (which names any unexpected tag).
+        let schema_tag = ups_sweep::json::parse(&doc)
+            .ok()
+            .and_then(|v| v.get("schema").and_then(|s| s.as_str().map(String::from)));
+        let outcome = if schema_tag.as_deref() == Some(ups_sweep::QUANTIZED_BENCH_SCHEMA) {
+            ups_sweep::validate_bench_quantized(&doc).map(|d| {
+                format!(
+                    "{} finite-K rows, exact-LSTF match rate {:.4}",
+                    d.rows, d.exact_match_rate
+                )
+            })
+        } else {
+            validate_bench_sweep(&doc).map(|d| {
+                format!(
+                    "{} jobs, {} workers, {:.2} jobs/sec",
+                    d.jobs, d.workers, d.jobs_per_sec
+                )
+            })
+        };
+        return match outcome {
+            Ok(line) => {
+                println!("{} valid: {line}", path.display());
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -310,6 +346,18 @@ fn main() -> ExitCode {
         },
         args.workers.clamp(1, jobs.len())
     );
+    if !args.grid.queues.is_empty() {
+        println!(
+            "# finite-priority-queue axis: K in {{{}}} via the {} mapper (quantized LSTF replays)",
+            args.grid
+                .queues
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            args.grid.mapper
+        );
+    }
 
     let t0 = Instant::now();
     let quiet = args.quiet;
@@ -324,7 +372,7 @@ fn main() -> ExitCode {
             if !quiet {
                 let s = &rec.summary;
                 println!(
-                    "job {:>3}  {:<16} {:<11} {:<8} {:<11} util {:.2} seed {:<2}  {:>7} pkts  {} replay {}{}  {:.2}s",
+                    "job {:>3}  {:<16} {:<11} {:<8} {:<11} util {:.2} seed {:<2}  {:>7} pkts  {} replay {}{}{}  {:.2}s",
                     rec.spec.job_id,
                     rec.spec.topology,
                     rec.spec.profile,
@@ -341,6 +389,10 @@ fn main() -> ExitCode {
                     match s.replay_match_rate {
                         Some(r) => format!("{:.4}", r),
                         None => "-".into(),
+                    },
+                    match (rec.spec.queues, s.quantized_match_rate) {
+                        (Some(k), Some(q)) => format!("  K{k} {q:.4}"),
+                        _ => String::new(),
                     },
                     match &s.transport {
                         Some(t) => format!("  tcp {}fl/{}retx", t.completed_flows, t.retransmits),

@@ -12,7 +12,8 @@
 //! grid, never of worker scheduling.
 
 use ups_metrics::json_escape;
-use ups_netsim::prelude::{Dur, SchedulerKind};
+use ups_netsim::prelude::{Dur, MapperKind, SchedulerKind};
+use ups_netsim::sched::MAX_FIXED_QUEUES;
 
 /// The mixed Table 1 row — half the routers FQ, half FIFO+ — is the one
 /// non-uniform assignment grids can name.
@@ -81,6 +82,14 @@ pub struct JobSpec {
     pub buffer_bytes: Option<u64>,
     /// Whether to run the LSTF replay and report the match rate.
     pub replay: bool,
+    /// Finite-priority-queue sub-axis: when set, the job *additionally*
+    /// replays the original schedule through quantized LSTF on this many
+    /// strict-priority queues, reporting match-rate/FCT deltas against
+    /// the exact-LSTF replay baseline. `None` = exact replay only.
+    pub queues: Option<u32>,
+    /// Rank→queue mapper label for the quantized replay (`"log"`,
+    /// `"sppifo"`, `"dynamic"`); `None` exactly when `queues` is `None`.
+    pub mapper: Option<String>,
     /// Optional cap on injected packets (CI smoke grids).
     pub max_packets: Option<usize>,
 }
@@ -97,7 +106,7 @@ impl JobSpec {
             concat!(
                 r#"{{"topology":"{}","profile":"{}","scheduler":"{}","traffic":"{}","#,
                 r#""rest_bps":{},"utilization":{},"seed":{},"window_ms":{},"horizon_ms":{},"#,
-                r#""buffer_bytes":{},"replay":{},"max_packets":{}}}"#
+                r#""buffer_bytes":{},"replay":{},"queues":{},"mapper":{},"max_packets":{}}}"#
             ),
             json_escape(&self.topology),
             json_escape(&self.profile),
@@ -110,6 +119,11 @@ impl JobSpec {
             ups_metrics::json_opt_num(self.horizon.map(|h| h.as_secs_f64() * 1e3)),
             opt_u64(self.buffer_bytes),
             self.replay,
+            opt_u64(self.queues.map(u64::from)),
+            match &self.mapper {
+                Some(m) => format!("\"{}\"", json_escape(m)),
+                None => "null".into(),
+            },
             match self.max_packets {
                 Some(n) => n.to_string(),
                 None => "null".into(),
@@ -123,13 +137,18 @@ impl JobSpec {
             Some(r) => format!(" r_est {r}"),
             None => String::new(),
         };
+        let queues = match (self.queues, &self.mapper) {
+            (Some(k), Some(m)) => format!(" K{k}/{m}"),
+            _ => String::new(),
+        };
         format!(
-            "{} {} {} {}{} util {} seed {}",
+            "{} {} {} {}{}{} util {} seed {}",
             self.topology,
             self.profile,
             self.scheduler,
             self.traffic.name(),
             rest,
+            queues,
             self.utilization,
             self.seed
         )
@@ -150,6 +169,9 @@ pub struct Exclude {
     pub scheduler: Option<String>,
     /// Match on traffic-mode label (`"open-loop"` / `"closed-loop"`).
     pub traffic: Option<String>,
+    /// Match on the `--queues` sub-axis value (a job with no queues
+    /// value never matches this field).
+    pub queues: Option<u32>,
     /// Match when utilization is strictly above this.
     pub utilization_above: Option<f64>,
 }
@@ -161,6 +183,7 @@ impl Exclude {
         profile: &str,
         sched: &str,
         traffic: TrafficMode,
+        queues: Option<u32>,
         util: f64,
     ) -> bool {
         let mut any = false;
@@ -176,6 +199,12 @@ impl Exclude {
                 }
                 any = true;
             }
+        }
+        if let Some(want_k) = self.queues {
+            if queues != Some(want_k) {
+                return false;
+            }
+            any = true;
         }
         if let Some(cap) = self.utilization_above {
             if util <= cap {
@@ -194,11 +223,18 @@ impl Exclude {
             None => "null".into(),
         };
         format!(
-            r#"{{"topology":{},"profile":{},"scheduler":{},"traffic":{},"utilization_above":{}}}"#,
+            concat!(
+                r#"{{"topology":{},"profile":{},"scheduler":{},"traffic":{},"#,
+                r#""queues":{},"utilization_above":{}}}"#
+            ),
             opt_str(&self.topology),
             opt_str(&self.profile),
             opt_str(&self.scheduler),
             opt_str(&self.traffic),
+            match self.queues {
+                Some(k) => k.to_string(),
+                None => "null".into(),
+            },
             ups_metrics::json_opt_num(self.utilization_above),
         )
     }
@@ -232,6 +268,13 @@ pub struct ScenarioGrid {
     pub buffer_bytes: Option<u64>,
     /// Run the LSTF replay per job.
     pub replay: bool,
+    /// Finite-priority-queue axis: each K is an independent job that
+    /// additionally replays through quantized LSTF on K strict-priority
+    /// queues. Empty ⇒ exact replay only. Requires `replay`.
+    pub queues: Vec<u32>,
+    /// Rank→queue mapper for the quantized replays (`"log"`, `"sppifo"`,
+    /// `"dynamic"`). One mapper per grid — sweep K, pin the policy.
+    pub mapper: String,
     /// Cap injected packets per job.
     pub max_packets: Option<usize>,
     /// Exclusion filters applied during expansion.
@@ -263,6 +306,8 @@ impl Default for ScenarioGrid {
             horizon: None,
             buffer_bytes: None,
             replay: true,
+            queues: Vec::new(),
+            mapper: "sppifo".into(),
             max_packets: None,
             excludes: vec![
                 Exclude {
@@ -296,6 +341,13 @@ pub enum GridError {
     /// A closed-loop-only profile (long-lived flows) combined with
     /// open-loop traffic — no finite packet train exists.
     ProfileNeedsClosedLoop(String),
+    /// A rank→queue mapper label `MapperKind::from_name` rejects.
+    UnknownMapper(String),
+    /// A `--queues` value outside `1..=MAX_FIXED_QUEUES`.
+    BadQueues(u32),
+    /// A `--queues` axis on a grid that skips the replay — the quantized
+    /// replay *is* a replay; there is nothing to quantize without one.
+    QueuesNeedReplay,
     /// Every combination was filtered out (or an axis was empty).
     Empty,
 }
@@ -326,6 +378,20 @@ impl std::fmt::Display for GridError {
                 f,
                 "profile {n:?} is closed-loop only (long-lived flows) but the grid \
                  includes open-loop traffic — exclude the combination or drop the mode"
+            ),
+            GridError::UnknownMapper(n) => write!(
+                f,
+                "unknown rank->queue mapper {n:?} (known: {})",
+                MapperKind::ALL.map(MapperKind::name).join(", ")
+            ),
+            GridError::BadQueues(k) => write!(
+                f,
+                "queue count {k} out of range (want 1..={MAX_FIXED_QUEUES}; \
+                 the dynamic mapper alone accepts any K >= 1)"
+            ),
+            GridError::QueuesNeedReplay => write!(
+                f,
+                "--queues quantizes the LSTF replay; it cannot combine with --no-replay"
             ),
             GridError::Empty => write!(f, "grid expanded to zero jobs"),
         }
@@ -374,6 +440,29 @@ impl ScenarioGrid {
             .iter()
             .map(|t| TrafficMode::from_name(t).ok_or_else(|| GridError::UnknownTraffic(t.clone())))
             .collect::<Result<_, _>>()?;
+        // The finite-priority-queue axis: validated up front, expanded as
+        // an innermost sub-axis so K-sweeps of one scenario sit on
+        // adjacent job ids.
+        let Some(mapper) = MapperKind::from_name(&self.mapper) else {
+            return Err(GridError::UnknownMapper(self.mapper.clone()));
+        };
+        for &k in &self.queues {
+            // The bucketing mappers allocate K physical queues eagerly;
+            // the dynamic mapper scales to any K (the netsim layer has
+            // the same split).
+            let capped = mapper != MapperKind::Dynamic;
+            if k == 0 || (capped && k > MAX_FIXED_QUEUES) {
+                return Err(GridError::BadQueues(k));
+            }
+        }
+        if !self.queues.is_empty() && !self.replay {
+            return Err(GridError::QueuesNeedReplay);
+        }
+        let queue_axis: Vec<Option<u32>> = if self.queues.is_empty() {
+            vec![None]
+        } else {
+            self.queues.iter().copied().map(Some).collect()
+        };
         let horizon = self.effective_horizon();
         let mut jobs = Vec::new();
         for topo in &self.topologies {
@@ -394,37 +483,39 @@ impl ScenarioGrid {
                         for rest in rests {
                             for &util in &self.utilizations {
                                 for &seed in &self.seeds {
-                                    if self
-                                        .excludes
-                                        .iter()
-                                        .any(|e| e.matches(topo, profile, sched, mode, util))
-                                    {
-                                        continue;
+                                    for &queues in &queue_axis {
+                                        if self.excludes.iter().any(|e| {
+                                            e.matches(topo, profile, sched, mode, queues, util)
+                                        }) {
+                                            continue;
+                                        }
+                                        let closed_only = ups_workload::profile_by_name(profile)
+                                            .expect("validated above")
+                                            .closed_loop_only();
+                                        if closed_only && mode == TrafficMode::OpenLoop {
+                                            return Err(GridError::ProfileNeedsClosedLoop(
+                                                profile.clone(),
+                                            ));
+                                        }
+                                        jobs.push(JobSpec {
+                                            job_id: jobs.len(),
+                                            topology: topo.clone(),
+                                            profile: profile.clone(),
+                                            scheduler: sched.clone(),
+                                            traffic: mode,
+                                            rest_bps: rest,
+                                            utilization: util,
+                                            seed,
+                                            window: self.window,
+                                            horizon: (mode == TrafficMode::ClosedLoop)
+                                                .then_some(horizon),
+                                            buffer_bytes: self.buffer_bytes,
+                                            replay: self.replay,
+                                            queues,
+                                            mapper: queues.is_some().then(|| self.mapper.clone()),
+                                            max_packets: self.max_packets,
+                                        });
                                     }
-                                    let closed_only = ups_workload::profile_by_name(profile)
-                                        .expect("validated above")
-                                        .closed_loop_only();
-                                    if closed_only && mode == TrafficMode::OpenLoop {
-                                        return Err(GridError::ProfileNeedsClosedLoop(
-                                            profile.clone(),
-                                        ));
-                                    }
-                                    jobs.push(JobSpec {
-                                        job_id: jobs.len(),
-                                        topology: topo.clone(),
-                                        profile: profile.clone(),
-                                        scheduler: sched.clone(),
-                                        traffic: mode,
-                                        rest_bps: rest,
-                                        utilization: util,
-                                        seed,
-                                        window: self.window,
-                                        horizon: (mode == TrafficMode::ClosedLoop)
-                                            .then_some(horizon),
-                                        buffer_bytes: self.buffer_bytes,
-                                        replay: self.replay,
-                                        max_packets: self.max_packets,
-                                    });
                                 }
                             }
                         }
@@ -470,6 +561,7 @@ impl ScenarioGrid {
                 r#"{{"topologies":[{}],"profiles":[{}],"schedulers":[{}],"traffic":[{}],"#,
                 r#""rest_bps":[{}],"utilizations":[{}],"seeds":[{}],"window_ms":{},"#,
                 r#""horizon_ms":{},"buffer_bytes":{},"replay":{},"#,
+                r#""queues":[{}],"mapper":"{}","#,
                 r#""max_packets":{},"excludes":[{}],"max_jobs":{}}}"#
             ),
             strs(&self.topologies),
@@ -483,6 +575,12 @@ impl ScenarioGrid {
             ups_metrics::json_opt_num(self.horizon.map(|h| h.as_secs_f64() * 1e3)),
             opt_u64(self.buffer_bytes),
             self.replay,
+            self.queues
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            json_escape(&self.mapper),
             match self.max_packets {
                 Some(n) => n.to_string(),
                 None => "null".into(),
@@ -517,6 +615,8 @@ mod tests {
             horizon: None,
             buffer_bytes: None,
             replay: false,
+            queues: Vec::new(),
+            mapper: "dynamic".into(),
             max_packets: Some(1000),
             excludes: Vec::new(),
             max_jobs: None,
@@ -632,6 +732,83 @@ mod tests {
     }
 
     #[test]
+    fn queues_axis_multiplies_replay_jobs() {
+        let mut g = tiny();
+        g.replay = true;
+        g.queues = vec![1, 8];
+        let jobs = g.expand().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2 * 2, "one job per K value");
+        for j in &jobs {
+            let k = j.queues.expect("every job carries a K");
+            assert!(k == 1 || k == 8);
+            assert_eq!(j.mapper.as_deref(), Some("dynamic"));
+        }
+        // Innermost axis: adjacent ids sweep K within one scenario.
+        assert_eq!(jobs[0].queues, Some(1));
+        assert_eq!(jobs[1].queues, Some(8));
+        assert_eq!(jobs[0].seed, jobs[1].seed);
+        // Without the axis, jobs carry no quantization fields.
+        let plain = tiny().expand().unwrap();
+        assert!(plain
+            .iter()
+            .all(|j| j.queues.is_none() && j.mapper.is_none()));
+    }
+
+    #[test]
+    fn queues_axis_is_validated() {
+        let mut g = tiny();
+        g.replay = true;
+        g.queues = vec![4];
+        g.mapper = "afq".into();
+        assert_eq!(g.expand(), Err(GridError::UnknownMapper("afq".into())));
+        let mut g = tiny();
+        g.replay = true;
+        g.queues = vec![0];
+        assert_eq!(g.expand(), Err(GridError::BadQueues(0)));
+        // The bucketing mappers allocate K physical queues, so their K is
+        // capped; the dynamic mapper accepts any K ≥ 1.
+        g.mapper = "log".into();
+        g.queues = vec![MAX_FIXED_QUEUES + 1];
+        assert_eq!(g.expand(), Err(GridError::BadQueues(MAX_FIXED_QUEUES + 1)));
+        g.mapper = "dynamic".into();
+        assert!(g.expand().is_ok(), "dynamic mapper has no upper K bound");
+        // --queues without the replay is a contradiction, not a no-op.
+        let mut g = tiny();
+        g.replay = false;
+        g.queues = vec![8];
+        assert_eq!(g.expand(), Err(GridError::QueuesNeedReplay));
+    }
+
+    #[test]
+    fn excludes_can_filter_a_queue_count() {
+        let mut g = tiny();
+        g.replay = true;
+        g.queues = vec![1, 8];
+        g.excludes.push(Exclude {
+            queues: Some(1),
+            ..Exclude::default()
+        });
+        let jobs = g.expand().unwrap();
+        assert!(jobs.iter().all(|j| j.queues == Some(8)));
+        // And a scoped version: drop K=8 only on one topology.
+        let mut g = tiny();
+        g.replay = true;
+        g.queues = vec![1, 8];
+        g.excludes.push(Exclude {
+            topology: Some("Line(3)".into()),
+            queues: Some(8),
+            ..Exclude::default()
+        });
+        let jobs = g.expand().unwrap();
+        assert!(!jobs
+            .iter()
+            .any(|j| j.topology == "Line(3)" && j.queues == Some(8)));
+        assert!(jobs
+            .iter()
+            .any(|j| j.topology == "Dumbbell(4)" && j.queues == Some(8)));
+    }
+
+    #[test]
     fn unknown_names_are_rejected() {
         let mut g = tiny();
         g.topologies.push("Torus(9)".into());
@@ -744,6 +921,17 @@ mod tests {
         assert_eq!(v.get("traffic").unwrap().as_str(), Some("open-loop"));
         assert_eq!(v.get("rest_bps"), Some(&crate::json::JsonValue::Null));
         assert_eq!(v.get("horizon_ms"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(v.get("queues"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(v.get("mapper"), Some(&crate::json::JsonValue::Null));
+        // A quantized job round-trips its K and mapper.
+        let mut g = tiny();
+        g.replay = true;
+        g.queues = vec![8];
+        g.mapper = "sppifo".into();
+        let jobs = g.expand().unwrap();
+        let v = crate::json::parse(&jobs[0].scenario_json()).unwrap();
+        assert_eq!(v.get("queues").unwrap().as_f64(), Some(8.0));
+        assert_eq!(v.get("mapper").unwrap().as_str(), Some("sppifo"));
         // And a closed-loop LSTF job round-trips its r_est and horizon.
         let mut g = tiny();
         g.schedulers = vec!["LSTF".into()];

@@ -268,17 +268,26 @@ mod tests {
             jain: None,
             replay_match_rate: None,
             replay_frac_gt_t: None,
+            quantized_match_rate: Some(0.5),
+            quantized_frac_gt_t: Some(0.25),
+            quantized_fct_delta_s: Some(0.003),
             transport: Some(ups_metrics::TransportSummary {
                 completed_flows: 2,
                 goodput_bytes: 12_345,
                 retransmits: 1,
                 rto_events: 0,
+                slack_ooo: 2,
             }),
         };
         let v = parse(&summary.to_json()).unwrap();
         assert_eq!(v.get("packets").unwrap().as_f64(), Some(10.0));
         assert_eq!(v.get("replay_match_rate"), Some(&JsonValue::Null));
         assert_eq!(v.get("jain"), Some(&JsonValue::Null));
+        assert_eq!(v.get("quantized_match_rate").unwrap().as_f64(), Some(0.5));
+        assert_eq!(
+            v.get("quantized_fct_delta_s").unwrap().as_f64(),
+            Some(0.003)
+        );
         let t = v.get("transport").unwrap();
         assert_eq!(t.get("goodput_bytes").unwrap().as_f64(), Some(12_345.0));
         let buckets = v.get("fct_buckets").unwrap().as_array().unwrap();

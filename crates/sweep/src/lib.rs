@@ -64,6 +64,6 @@ pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, TrafficMode, MIXED_FQ_
 pub use pool::{run_jobs, run_jobs_labeled, PoolStats};
 pub use runner::{run_job, slack_policy_for, JobRecord, RECORD_SCHEMA};
 pub use store::{
-    bench_sweep_json, validate_bench_sweep, ResultStream, SweepDigest, ACCEPTED_SWEEP_SCHEMAS,
-    SWEEP_SCHEMA,
+    bench_sweep_json, validate_bench_quantized, validate_bench_sweep, QuantizedDigest,
+    ResultStream, SweepDigest, ACCEPTED_SWEEP_SCHEMAS, QUANTIZED_BENCH_SCHEMA, SWEEP_SCHEMA,
 };

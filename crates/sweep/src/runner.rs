@@ -28,7 +28,7 @@ use ups_metrics::{
     jain_index, mean_fct_by_bucket, Cdf, FlowSample, RunSummary, TransportSummary, FIG2_BUCKETS,
 };
 use ups_netsim::prelude::{
-    Dur, PacketBuilder, PacketKind, RecordMode, SchedulerKind, SimTime, Trace,
+    Dur, MapperKind, PacketBuilder, PacketKind, RecordMode, SchedulerKind, SimTime, Trace,
 };
 use ups_topology::{topology_by_name, BuildOptions, SchedulerAssignment, Topology};
 use ups_transport::{run_tcp, SlackPolicy, TcpConfig, TcpScenario, TransportStats};
@@ -88,8 +88,9 @@ pub struct JobRecord {
     pub wall_s: f64,
 }
 
-/// Schema tag of one result line.
-pub const RECORD_SCHEMA: &str = "ups-sweep-record/v2";
+/// Schema tag of one result line (v3 added the `queues`/`mapper`
+/// scenario fields and the `quantized_*` metrics).
+pub const RECORD_SCHEMA: &str = "ups-sweep-record/v3";
 
 impl JobRecord {
     /// The record as one JSON line. `with_timing: false` omits the
@@ -187,11 +188,41 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
             seed: spec.seed,
             ..BuildOptions::default()
         };
-        let replay = run_schedule(&topo, &replay_assign, replay_set, &replay_opts);
+        let replay = run_schedule(
+            &topo,
+            &replay_assign,
+            replay_set.iter().cloned(),
+            &replay_opts,
+        );
         let threshold = topo.bottleneck_bandwidth().tx_time(MTU);
         let report = compare(&original, &replay, threshold);
-        summary.replay_match_rate = Some(1.0 - report.frac_overdue());
-        summary.replay_frac_gt_t = Some(report.frac_overdue_gt_t());
+        // An empty comparison matched nothing: null, not a perfect 1.0.
+        summary.replay_match_rate = report.match_rate();
+        summary.replay_frac_gt_t = report.frac_gt_t_rate();
+
+        // The finite-priority-queue sub-axis: the identical packet set
+        // replayed through quantized LSTF, scored against the same
+        // original, with FCT degradation measured against the exact
+        // replay above.
+        if let Some(k) = spec.queues {
+            let mapper = spec
+                .mapper
+                .as_deref()
+                .and_then(MapperKind::from_name)
+                .unwrap_or_else(|| panic!("unvalidated mapper {:?}", spec.mapper));
+            let q_assign = SchedulerAssignment::uniform(SchedulerKind::quantized_lstf(k, mapper));
+            let q_replay = run_schedule(&topo, &q_assign, replay_set, &replay_opts);
+            let q_report = compare(&original, &q_replay, threshold);
+            summary.quantized_match_rate = q_report.match_rate();
+            summary.quantized_frac_gt_t = q_report.frac_gt_t_rate();
+            summary.quantized_fct_delta_s = match (
+                trace_mean_fct(&q_replay, &flows),
+                trace_mean_fct(&replay, &flows),
+            ) {
+                (Some(q), Some(exact)) => Some(q - exact),
+                _ => None,
+            };
+        }
     }
 
     JobRecord {
@@ -199,6 +230,31 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
         summary,
         wall_s: t0.elapsed().as_secs_f64(),
     }
+}
+
+/// Mean flow completion time over a (replay) trace: per flow, last data
+/// packet exit minus the flow's start, averaged in flow-id order. `None`
+/// when the trace delivered nothing — the quantized-vs-exact FCT delta
+/// has no meaning on an empty run.
+fn trace_mean_fct(trace: &Trace, flows: &[FlowSpec]) -> Option<f64> {
+    let mut last_exit = vec![None::<SimTime>; flows.len()];
+    for (_, rec) in trace.iter() {
+        if rec.kind != PacketKind::Data {
+            continue;
+        }
+        let Some(exited) = rec.exited else { continue };
+        let slot = &mut last_exit[rec.flow.index()];
+        *slot = Some(slot.map_or(exited, |e| e.max(exited)));
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (flow, exit) in flows.iter().zip(&last_exit) {
+        if let Some(exit) = exit {
+            sum += exit.saturating_since(flow.start).as_secs_f64();
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
 }
 
 /// Rebuild the injectable packet set a recorded schedule executed —
@@ -307,11 +363,15 @@ fn summarize(
         },
         replay_match_rate: None,
         replay_frac_gt_t: None,
+        quantized_match_rate: None,
+        quantized_frac_gt_t: None,
+        quantized_fct_delta_s: None,
         transport: transport.map(|stats| TransportSummary {
             completed_flows: completions.as_ref().map_or(0, Vec::len),
             goodput_bytes: stats.goodput_total(),
             retransmits: stats.retransmits_total(),
             rto_events: stats.timeouts_total(),
+            slack_ooo: stats.slack_out_of_order(),
         }),
     }
 }
@@ -338,7 +398,17 @@ mod tests {
             horizon: None,
             buffer_bytes: None,
             replay,
+            queues: None,
+            mapper: None,
             max_packets: None,
+        }
+    }
+
+    fn quantized_spec(scheduler: &str, k: u32, mapper: &str) -> JobSpec {
+        JobSpec {
+            queues: Some(k),
+            mapper: Some(mapper.into()),
+            ..spec(scheduler, true)
         }
     }
 
@@ -388,9 +458,44 @@ mod tests {
         let v = crate::json::parse(&a.to_json(true)).unwrap();
         assert_eq!(
             v.get("schema").unwrap().as_str(),
-            Some("ups-sweep-record/v2")
+            Some("ups-sweep-record/v3")
         );
         assert!(v.get("wall_s").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn quantized_job_reports_degradation_against_exact_replay() {
+        // K=1 degrades the replay to per-port FIFO: on a Random original
+        // the quantized match rate must fall visibly below exact LSTF's.
+        let rec = run_job(&quantized_spec("Random", 1, "dynamic"));
+        let s = &rec.summary;
+        let exact = s.replay_match_rate.expect("exact replay ran");
+        let quant = s.quantized_match_rate.expect("quantized replay ran");
+        assert!(quant <= exact + 1e-12, "quantized {quant} vs exact {exact}");
+        assert!(
+            s.quantized_frac_gt_t.unwrap() <= 1.0 - quant + 1e-12,
+            "gt-T bounded by overdue"
+        );
+        assert!(s.quantized_fct_delta_s.is_some());
+    }
+
+    #[test]
+    fn large_k_dynamic_quantization_is_exact() {
+        // With K far above the distinct ranks in flight, the dynamic
+        // mapper is bit-exact: identical match rate and zero FCT delta.
+        let rec = run_job(&quantized_spec("Random", 4096, "dynamic"));
+        let s = &rec.summary;
+        assert_eq!(s.quantized_match_rate, s.replay_match_rate);
+        assert_eq!(s.quantized_frac_gt_t, s.replay_frac_gt_t);
+        assert_eq!(s.quantized_fct_delta_s, Some(0.0));
+    }
+
+    #[test]
+    fn jobs_without_the_queues_axis_skip_quantized_metrics() {
+        let rec = run_job(&spec("Random", true));
+        assert!(rec.summary.replay_match_rate.is_some());
+        assert!(rec.summary.quantized_match_rate.is_none());
+        assert!(rec.summary.quantized_fct_delta_s.is_none());
     }
 
     #[test]

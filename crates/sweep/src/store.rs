@@ -23,11 +23,16 @@ use crate::pool::PoolStats;
 use crate::runner::JobRecord;
 
 /// Schema tag of the aggregate artifact this build writes.
-pub const SWEEP_SCHEMA: &str = "ups-sweep/v2";
+pub const SWEEP_SCHEMA: &str = "ups-sweep/v3";
 
 /// Aggregate schema tags [`validate_bench_sweep`] accepts (v1 artifacts
-/// predate the traffic-mode axis and the transport block).
-pub const ACCEPTED_SWEEP_SCHEMAS: [&str; 2] = ["ups-sweep/v1", "ups-sweep/v2"];
+/// predate the traffic-mode axis and the transport block; v2 predates
+/// the finite-priority-queue axis).
+pub const ACCEPTED_SWEEP_SCHEMAS: [&str; 3] = ["ups-sweep/v1", "ups-sweep/v2", "ups-sweep/v3"];
+
+/// Schema tag of the quantized-replay bench artifact
+/// (`BENCH_quantized.json`), validated by [`validate_bench_quantized`].
+pub const QUANTIZED_BENCH_SCHEMA: &str = "ups-bench-quantized/v1";
 
 /// Streams one JSON line per finished job. Shared across workers behind
 /// a mutex — append is one short write per multi-second job.
@@ -124,10 +129,10 @@ pub struct SweepDigest {
     pub jobs_per_sec: f64,
 }
 
-/// Validate a `BENCH_sweep.json` document against its schema. Both
-/// `ups-sweep/v1` artifacts (pre-traffic-axis) and `ups-sweep/v2` ones
-/// validate; each record line is checked against its own
-/// `ups-sweep-record/v{1,2}` tag. Every failure is a `Result::Err`
+/// Validate a `BENCH_sweep.json` document against its schema.
+/// `ups-sweep/v1` (pre-traffic-axis), `/v2` (pre-queues-axis) and `/v3`
+/// artifacts all validate; each record line is checked against its own
+/// `ups-sweep-record/v{1,2,3}` tag. Every failure is a `Result::Err`
 /// naming the offending field — never a panic — so `sweep --check` can
 /// print a usable diagnosis.
 pub fn validate_bench_sweep(doc: &str) -> Result<SweepDigest, String> {
@@ -184,19 +189,21 @@ pub fn validate_bench_sweep(doc: &str) -> Result<SweepDigest, String> {
     })
 }
 
-/// Validate one result record against its own schema tag (`v1` or `v2`).
+/// Validate one result record against its own schema tag (`v1`, `v2` or
+/// `v3`).
 fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
     let record_schema = r
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("result {i}: missing record schema tag"))?;
-    let v2 = match record_schema {
-        "ups-sweep-record/v1" => false,
-        "ups-sweep-record/v2" => true,
+    let (v2, v3) = match record_schema {
+        "ups-sweep-record/v1" => (false, false),
+        "ups-sweep-record/v2" => (true, false),
+        "ups-sweep-record/v3" => (true, true),
         other => {
             return Err(format!(
                 "result {i}: unexpected record schema {other:?} \
-                 (expected ups-sweep-record/v1 or ups-sweep-record/v2)"
+                 (expected ups-sweep-record/v1, /v2 or /v3)"
             ))
         }
     };
@@ -273,12 +280,25 @@ fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
             }
         }
         Some(t @ JsonValue::Object(_)) => {
-            for field in [
-                "completed_flows",
-                "goodput_bytes",
-                "retransmits",
-                "rto_events",
-            ] {
+            // v3 transport blocks additionally carry the fairness-slack
+            // out-of-order warning counter.
+            let fields: &[&str] = if v3 {
+                &[
+                    "completed_flows",
+                    "goodput_bytes",
+                    "retransmits",
+                    "rto_events",
+                    "slack_ooo",
+                ]
+            } else {
+                &[
+                    "completed_flows",
+                    "goodput_bytes",
+                    "retransmits",
+                    "rto_events",
+                ]
+            };
+            for field in fields {
                 if t.get(field).and_then(JsonValue::as_f64).is_none() {
                     return Err(format!("result {i}: metrics.transport.{field} missing"));
                 }
@@ -291,7 +311,131 @@ fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
         }
         None => return Err(format!("result {i}: metrics.transport missing")),
     }
+    if !v3 {
+        return Ok(());
+    }
+    // v3: the finite-priority-queue sub-axis. `queues`/`mapper` travel
+    // together, and the quantized metrics are number-or-null.
+    let queues = match scenario.get("queues") {
+        Some(JsonValue::Null) => None,
+        Some(JsonValue::Number(k)) if *k >= 1.0 => Some(*k),
+        other => {
+            return Err(format!(
+                "result {i}: scenario.queues must be a positive number or null, got {other:?}"
+            ))
+        }
+    };
+    let mapper = match scenario.get("mapper") {
+        Some(JsonValue::Null) => None,
+        Some(JsonValue::String(m)) => Some(m.clone()),
+        other => {
+            return Err(format!(
+                "result {i}: scenario.mapper must be a string or null, got {other:?}"
+            ))
+        }
+    };
+    if queues.is_some() != mapper.is_some() {
+        return Err(format!(
+            "result {i}: scenario.queues and scenario.mapper must be set together"
+        ));
+    }
+    for field in [
+        "quantized_match_rate",
+        "quantized_frac_gt_t",
+        "quantized_fct_delta_s",
+    ] {
+        match metrics.get(field) {
+            Some(JsonValue::Null) | Some(JsonValue::Number(_)) => {}
+            other => {
+                return Err(format!(
+                    "result {i}: metrics.{field} must be number or null, got {other:?}"
+                ))
+            }
+        }
+        if queues.is_none() && matches!(metrics.get(field), Some(JsonValue::Number(_))) {
+            return Err(format!(
+                "result {i}: metrics.{field} set but the scenario has no queues axis"
+            ));
+        }
+    }
     Ok(())
+}
+
+/// What a valid quantized-bench artifact reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDigest {
+    /// Finite-K rows recorded (the `k = null` row is the ∞ point).
+    pub rows: usize,
+    /// Match rate of the exact (K=∞) replay.
+    pub exact_match_rate: f64,
+}
+
+/// Validate a `BENCH_quantized.json` document (the `quantized` bench's
+/// K-sweep artifact; schema [`QUANTIZED_BENCH_SCHEMA`]). Checked by the
+/// same `sweep --validate` entry point as the sweep artifacts: the tag
+/// dispatches. Every failure is an `Err` naming the offending field.
+pub fn validate_bench_quantized(doc: &str) -> Result<QuantizedDigest, String> {
+    let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != QUANTIZED_BENCH_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (expected {QUANTIZED_BENCH_SCHEMA:?})"
+        ));
+    }
+    let scenario = v.get("scenario").ok_or("missing scenario block")?;
+    for field in ["topology", "original", "mapper"] {
+        if scenario.get(field).and_then(JsonValue::as_str).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    for field in ["packets", "seed", "utilization"] {
+        if scenario.get(field).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    let results = v
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing results array")?;
+    if results.is_empty() {
+        return Err("results array is empty".into());
+    }
+    let mut exact_match_rate = None;
+    for (i, r) in results.iter().enumerate() {
+        // k: finite queue count, or null for the ∞ (exact) row.
+        let k = match r.get("k") {
+            Some(JsonValue::Null) => None,
+            Some(JsonValue::Number(k)) if *k >= 1.0 => Some(*k),
+            other => return Err(format!("row {i}: bad k {other:?}")),
+        };
+        for field in ["match_rate", "frac_gt_t", "mean_fct_s"] {
+            if r.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("row {i}: {field} missing"));
+            }
+        }
+        if k.is_none() {
+            if exact_match_rate.is_some() {
+                return Err("more than one k = null (exact) row".into());
+            }
+            exact_match_rate = r.get("match_rate").and_then(JsonValue::as_f64);
+            match r.get("bit_identical_to_exact_lstf") {
+                Some(JsonValue::Bool(true)) => {}
+                other => {
+                    return Err(format!(
+                        "exact row must assert bit_identical_to_exact_lstf: true, got {other:?}"
+                    ))
+                }
+            }
+        }
+    }
+    let exact_match_rate = exact_match_rate.ok_or("no k = null (exact) row")?;
+    Ok(QuantizedDigest {
+        rows: results.len() - 1,
+        exact_match_rate,
+    })
 }
 
 #[cfg(test)]
@@ -316,6 +460,8 @@ mod tests {
                 horizon: None,
                 buffer_bytes: None,
                 replay: false,
+                queues: None,
+                mapper: None,
                 max_packets: None,
             },
             summary: RunSummary {
@@ -330,10 +476,26 @@ mod tests {
                 jain: Some(1.0),
                 replay_match_rate: None,
                 replay_frac_gt_t: None,
+                quantized_match_rate: None,
+                quantized_frac_gt_t: None,
+                quantized_fct_delta_s: None,
                 transport: None,
             },
             wall_s: 0.5,
         }
+    }
+
+    fn quantized_record(job_id: usize) -> JobRecord {
+        let mut r = record(job_id);
+        r.spec.replay = true;
+        r.spec.queues = Some(8);
+        r.spec.mapper = Some("dynamic".into());
+        r.summary.replay_match_rate = Some(0.99);
+        r.summary.replay_frac_gt_t = Some(0.001);
+        r.summary.quantized_match_rate = Some(0.91);
+        r.summary.quantized_frac_gt_t = Some(0.02);
+        r.summary.quantized_fct_delta_s = Some(0.0004);
+        r
     }
 
     fn closed_record(job_id: usize) -> JobRecord {
@@ -345,6 +507,7 @@ mod tests {
             goodput_bytes: 9000,
             retransmits: 0,
             rto_events: 0,
+            slack_ooo: 0,
         });
         r
     }
@@ -411,7 +574,7 @@ mod tests {
             .unwrap_err()
             .contains("jain"));
         // A record schema from the future names the unexpected tag.
-        let future = good.replace("ups-sweep-record/v2", "ups-sweep-record/v9");
+        let future = good.replace("ups-sweep-record/v3", "ups-sweep-record/v9");
         let err = validate_bench_sweep(&future).unwrap_err();
         assert!(
             err.contains("ups-sweep-record/v9") && err.contains("unexpected record schema"),
@@ -425,16 +588,56 @@ mod tests {
     }
 
     #[test]
-    fn v1_and_v2_artifacts_both_validate() {
-        // A v2 artifact with open- and closed-loop records.
-        let records = [record(0), closed_record(1)];
+    fn v1_v2_and_v3_artifacts_all_validate() {
+        // A v3 artifact with open-loop, closed-loop and quantized records.
+        let records = [record(0), closed_record(1), quantized_record(2)];
         let stats = PoolStats {
             workers: 1,
-            jobs: 2,
+            jobs: 3,
             steals: 0,
         };
-        let v2_doc = bench_sweep_json(&grid(), &records, stats, 1.0);
-        validate_bench_sweep(&v2_doc).expect("v2 artifact validates");
+        let v3_doc = bench_sweep_json(&grid(), &records, stats, 1.0);
+        validate_bench_sweep(&v3_doc).expect("v3 artifact validates");
+        // queues and mapper must travel together.
+        let torn = v3_doc.replace(
+            r#""queues":8,"mapper":"dynamic""#,
+            r#""queues":8,"mapper":null"#,
+        );
+        assert!(validate_bench_sweep(&torn)
+            .unwrap_err()
+            .contains("set together"));
+        // Quantized metrics without the axis are inconsistent.
+        let orphan = v3_doc.replace(
+            r#""quantized_match_rate":null"#,
+            r#""quantized_match_rate":0.5"#,
+        );
+        assert!(validate_bench_sweep(&orphan)
+            .unwrap_err()
+            .contains("no queues axis"));
+
+        // A hand-rolled v2 artifact (pre-queues-axis) still validates.
+        let v2_doc = r#"{
+  "schema": "ups-sweep/v2",
+  "grid": {"topologies": ["Line(3)"]},
+  "workers": 1,
+  "steals": 0,
+  "jobs": 1,
+  "wall_s": 1.0,
+  "jobs_per_sec": 1.0,
+  "results": [
+    {"schema": "ups-sweep-record/v2", "job_id": 0,
+     "scenario": {"topology": "Line(3)", "profile": "web-search", "scheduler": "FIFO",
+                  "traffic": "open-loop", "rest_bps": null, "utilization": 0.7,
+                  "seed": 1, "window_ms": 1, "horizon_ms": null, "buffer_bytes": null,
+                  "replay": false, "max_packets": null},
+     "metrics": {"flows": 1, "packets": 10, "delivered": 10, "dropped": 0,
+                 "delay_mean_s": 0.001, "delay_p99_s": 0.002, "fct_mean_s": 0.1,
+                 "jain": 1.0, "replay_match_rate": null, "replay_frac_gt_t": null,
+                 "transport": null, "fct_buckets": []},
+     "wall_s": 0.5}
+  ]
+}"#;
+        validate_bench_sweep(v2_doc).expect("v2 artifact still validates");
 
         // A hand-rolled v1 artifact (numeric jain, no traffic/transport)
         // — the form every pre-traffic-axis BENCH_sweep.json has.
@@ -478,6 +681,48 @@ mod tests {
         assert!(err.contains("transport"), "bad error: {err}");
     }
 
+    const QUANT_DOC: &str = r#"{
+  "schema": "ups-bench-quantized/v1",
+  "scenario": {"topology": "FatTree(k=4)", "original": "Random", "mapper": "dynamic",
+               "utilization": 0.7, "seed": 42, "packets": 20000},
+  "results": [
+    {"k": 1, "match_rate": 0.42, "frac_gt_t": 0.3, "mean_fct_s": 0.011},
+    {"k": 8, "match_rate": 0.9, "frac_gt_t": 0.01, "mean_fct_s": 0.009},
+    {"k": null, "match_rate": 0.99, "frac_gt_t": 0.0, "mean_fct_s": 0.008,
+     "bit_identical_to_exact_lstf": true}
+  ]
+}"#;
+
+    #[test]
+    fn quantized_bench_artifact_validates() {
+        let d = validate_bench_quantized(QUANT_DOC).expect("valid artifact");
+        assert_eq!(
+            d,
+            QuantizedDigest {
+                rows: 2,
+                exact_match_rate: 0.99
+            }
+        );
+        // Sweep artifacts are not quantized-bench artifacts and vice versa.
+        assert!(validate_bench_quantized("{}").is_err());
+        let wrong = QUANT_DOC.replace("ups-bench-quantized/v1", "ups-sweep/v3");
+        assert!(validate_bench_quantized(&wrong)
+            .unwrap_err()
+            .contains("schema"));
+        // The ∞ row must assert bit-identity with exact LSTF.
+        let unasserted = QUANT_DOC.replace(
+            r#""bit_identical_to_exact_lstf": true"#,
+            r#""bit_identical_to_exact_lstf": false"#,
+        );
+        assert!(validate_bench_quantized(&unasserted)
+            .unwrap_err()
+            .contains("bit_identical_to_exact_lstf"));
+        let missing = QUANT_DOC.replace(r#""match_rate": 0.9, "#, "");
+        assert!(validate_bench_quantized(&missing)
+            .unwrap_err()
+            .contains("match_rate"));
+    }
+
     #[test]
     fn stream_appends_one_line_per_record() {
         let dir = std::env::temp_dir().join("ups-sweep-store-test");
@@ -493,7 +738,7 @@ mod tests {
             let v = parse(line).expect("each line parses alone");
             assert_eq!(
                 v.get("schema").unwrap().as_str(),
-                Some("ups-sweep-record/v2")
+                Some("ups-sweep-record/v3")
             );
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -25,6 +25,10 @@ fn tiny_grid() -> ScenarioGrid {
         horizon: Some(Dur::from_ms(30)),
         buffer_bytes: None,
         replay: true,
+        // Every job also runs the K=8 quantized replay, so the
+        // cross-thread contract covers the finite-priority-queue path.
+        queues: vec![8],
+        mapper: "sppifo".into(),
         max_packets: Some(3_000),
         excludes: Vec::new(),
         max_jobs: None,
@@ -67,6 +71,15 @@ fn one_worker_and_four_workers_agree_byte_for_byte() {
                 .any(|l| l.contains(r#""replay_match_rate":1"#)),
         "replay ran somewhere in the grid"
     );
+    // The quantized sub-replay ran and serialized on every record.
+    assert!(serial.iter().all(|l| l.contains(r#""queues":8"#)));
+    assert!(
+        serial
+            .iter()
+            .any(|l| l.contains(r#""quantized_match_rate":0"#)
+                || l.contains(r#""quantized_match_rate":1"#)),
+        "quantized replay reported a rate somewhere in the grid"
+    );
     // Both traffic modes produced records, and the closed-loop ones
     // carry transport blocks with actual completions.
     assert!(serial
@@ -100,7 +113,7 @@ fn aggregate_artifact_from_parallel_run_validates() {
     let t0 = std::time::Instant::now();
     let (records, stats) = pool::run_jobs(&jobs, 4, |_, spec| runner::run_job(spec));
     let doc = store::bench_sweep_json(&grid, &records, stats, t0.elapsed().as_secs_f64());
-    let digest = store::validate_bench_sweep(&doc).expect("artifact conforms to ups-sweep/v2");
+    let digest = store::validate_bench_sweep(&doc).expect("artifact conforms to ups-sweep/v3");
     assert_eq!(digest.jobs, 16);
     assert!(digest.jobs_per_sec > 0.0);
 }

@@ -79,6 +79,13 @@ proptest! {
 
         let traffic = if closed { TrafficMode::ClosedLoop } else { TrafficMode::OpenLoop };
         let jain = jain_some.then_some(delay_p99); // reuse an arbitrary float
+        // The queues sub-axis rides on replay jobs; exercise both a
+        // quantized and an exact-only shape. `rest_some` doubles as "the
+        // replay compared zero packets" so the None-vs-Some(match rate)
+        // distinction of the empty comparison is pinned here: a replay
+        // that matched nothing round-trips as null, never as a number.
+        let quantized = replay_some && transport_some;
+        let empty_comparison = replay_some && rest_some;
         let spec = JobSpec {
             job_id,
             topology: topology.to_string(),
@@ -92,6 +99,8 @@ proptest! {
             horizon: closed.then_some(Dur::from_ms(40)),
             buffer_bytes: rest_some.then_some(5_000_000),
             replay: replay_some,
+            queues: quantized.then_some((retx as u32).max(1)),
+            mapper: quantized.then(|| "dynamic".to_string()),
             max_packets: jain_some.then_some(4096),
         };
         let summary = RunSummary {
@@ -104,13 +113,17 @@ proptest! {
             fct_mean_s: fct_mean,
             fct_buckets: buckets.clone(),
             jain,
-            replay_match_rate: replay_some.then_some(fct_mean),
-            replay_frac_gt_t: replay_some.then_some(0.0),
+            replay_match_rate: (replay_some && !empty_comparison).then_some(fct_mean),
+            replay_frac_gt_t: (replay_some && !empty_comparison).then_some(0.0),
+            quantized_match_rate: (quantized && !empty_comparison).then_some(delay_mean),
+            quantized_frac_gt_t: (quantized && !empty_comparison).then_some(0.0),
+            quantized_fct_delta_s: (quantized && !empty_comparison).then_some(delay_p99),
             transport: transport_some.then_some(TransportSummary {
                 completed_flows: completed,
                 goodput_bytes: goodput,
                 retransmits: retx,
                 rto_events: rtos,
+                slack_ooo: goodput % 7,
             }),
         };
         let record = JobRecord { spec, summary, wall_s: wall };
@@ -121,7 +134,7 @@ proptest! {
             TestCaseError::Fail(format!("emitted line does not parse: {e}\n{line}"))
         })?;
 
-        prop_assert_eq!(v.get("schema").unwrap().as_str(), Some("ups-sweep-record/v2"));
+        prop_assert_eq!(v.get("schema").unwrap().as_str(), Some("ups-sweep-record/v3"));
         prop_assert_eq!(v.get("job_id").unwrap().as_f64(), Some(job_id as f64));
 
         let scenario = v.get("scenario").unwrap();
@@ -136,6 +149,16 @@ proptest! {
             Some(r) => prop_assert_eq!(scenario.get("rest_bps").unwrap().as_f64(), Some(r as f64)),
             None => prop_assert_eq!(scenario.get("rest_bps"), Some(&JsonValue::Null)),
         }
+        match record.spec.queues {
+            Some(k) => {
+                prop_assert_eq!(scenario.get("queues").unwrap().as_f64(), Some(k as f64));
+                prop_assert_eq!(scenario.get("mapper").unwrap().as_str(), Some("dynamic"));
+            }
+            None => {
+                prop_assert_eq!(scenario.get("queues"), Some(&JsonValue::Null));
+                prop_assert_eq!(scenario.get("mapper"), Some(&JsonValue::Null));
+            }
+        }
 
         let metrics = v.get("metrics").unwrap();
         prop_assert_eq!(metrics.get("packets").unwrap().as_f64(), Some(packets as f64));
@@ -146,6 +169,25 @@ proptest! {
         match jain {
             Some(j) => assert_float_field(metrics.get("jain"), j, "jain"),
             None => prop_assert_eq!(metrics.get("jain"), Some(&JsonValue::Null)),
+        }
+        // The empty-comparison distinction: a requested replay whose
+        // comparison covered no packets emits null, never 1.0 (and the
+        // quantized fields follow the same rule).
+        for (field, value) in [
+            ("replay_match_rate", record.summary.replay_match_rate),
+            ("quantized_match_rate", record.summary.quantized_match_rate),
+            ("quantized_frac_gt_t", record.summary.quantized_frac_gt_t),
+            ("quantized_fct_delta_s", record.summary.quantized_fct_delta_s),
+        ] {
+            match value {
+                Some(x) => assert_float_field(metrics.get(field), x, field),
+                None => prop_assert_eq!(
+                    metrics.get(field),
+                    Some(&JsonValue::Null),
+                    "{} must be null when absent — an empty comparison is not a match",
+                    field
+                ),
+            }
         }
 
         let parsed_buckets = metrics.get("fct_buckets").unwrap().as_array().unwrap();
@@ -178,6 +220,10 @@ proptest! {
                 prop_assert_eq!(
                     block.get("rto_events").unwrap().as_f64(),
                     Some(t.rto_events as f64)
+                );
+                prop_assert_eq!(
+                    block.get("slack_ooo").unwrap().as_f64(),
+                    Some(t.slack_ooo as f64)
                 );
             }
             None => prop_assert_eq!(metrics.get("transport"), Some(&JsonValue::Null)),

@@ -35,6 +35,9 @@ struct Inner {
     retransmits: HashMap<FlowId, u64>,
     /// flow → RTO firings that actually rolled the sender back.
     timeouts: HashMap<FlowId, u64>,
+    /// Out-of-order arrivals the fairness slack assigner clamped (see
+    /// `ups_core::FairnessSlackAssigner::out_of_order_arrivals`).
+    slack_out_of_order: u64,
 }
 
 /// Cheaply clonable collector shared by all host agents of a run.
@@ -83,6 +86,20 @@ impl TransportStats {
             .retransmits
             .entry(flow)
             .or_insert(0) += 1;
+    }
+
+    /// Record `n` out-of-order arrivals the fairness slack assigner had
+    /// to clamp — a warning counter, not a per-flow metric: the §3.3
+    /// recurrence is only meaningful called in per-flow arrival order.
+    pub fn record_slack_out_of_order(&self, n: u64) {
+        self.inner.lock().expect("poisoned").slack_out_of_order += n;
+    }
+
+    /// Out-of-order slack-assignment arrivals clamped across the run.
+    /// Non-zero means a sender called the fairness assigner against
+    /// arrival order; its flows received conservatively *less* slack.
+    pub fn slack_out_of_order(&self) -> u64 {
+        self.inner.lock().expect("poisoned").slack_out_of_order
     }
 
     /// Record one retransmission-timeout event for `flow`.
@@ -232,5 +249,14 @@ mod tests {
         s.record_goodput(FlowId(0), SimTime::ZERO, 10);
         s.record_goodput(FlowId(1), SimTime::from_ms(2), 5);
         assert_eq!(s.goodput_total(), 15);
+    }
+
+    #[test]
+    fn slack_out_of_order_counter_accumulates() {
+        let s = TransportStats::new(Dur::from_ms(1));
+        assert_eq!(s.slack_out_of_order(), 0);
+        s.record_slack_out_of_order(2);
+        s.clone().record_slack_out_of_order(1);
+        assert_eq!(s.slack_out_of_order(), 3);
     }
 }

@@ -219,7 +219,15 @@ impl TcpHost {
             }
             SlackPolicy::Constant(c) => c,
             SlackPolicy::Fairness(_) | SlackPolicy::WeightedFairness { .. } => {
-                self.fairness.slack_for(s.flow, now, len)
+                let before = self.fairness.out_of_order_arrivals();
+                let slack = self.fairness.slack_for(s.flow, now, len);
+                let clamped = self.fairness.out_of_order_arrivals() - before;
+                if clamped > 0 {
+                    // Surfaced as a run-level warning counter: the §3.3
+                    // recurrence was fed against arrival order.
+                    self.stats.record_slack_out_of_order(clamped);
+                }
+                slack
             }
         };
         (slack, s.size, remaining)
