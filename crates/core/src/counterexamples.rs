@@ -174,6 +174,7 @@ fn build(net: NamedTopology, label: &'static str, rows: &[Row]) -> Counterexampl
                 exited: Some(exited),
                 total_wait,
                 dropped: false,
+                drop_cause: None,
                 hops,
             },
         ));

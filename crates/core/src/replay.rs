@@ -168,6 +168,32 @@ pub fn replay_packets(
         .collect()
 }
 
+/// Rebuild the injectable packet set a recorded schedule **actually
+/// executed** — identical `(id, flow, size, kind, i(p))` and the
+/// *as-executed* path, headers clean — restricted to delivered packets.
+///
+/// This is what keeps the §2 replay well-defined when the original run
+/// broke the fixed-input premise: closed-loop transports decide the
+/// packet set as they run, and the dynamics layer reroutes or drops
+/// packets mid-flight. In both regimes the delivered packets' recorded
+/// `(i(p), o(p), path(p))` triples form a complete, replayable schedule
+/// — packets still in flight at a horizon or lost at a dead link have no
+/// `o(p)` and are excluded.
+pub fn as_executed_packets(trace: &Trace) -> Vec<Packet> {
+    use ups_netsim::prelude::{PacketBuilder, PacketKind};
+    trace
+        .iter()
+        .filter(|(_, r)| r.exited.is_some())
+        .map(|(id, r)| {
+            let mut b = PacketBuilder::new(id, r.flow, r.size, r.path.clone(), r.injected);
+            if r.kind == PacketKind::Ack {
+                b = b.ack();
+            }
+            b.build()
+        })
+        .collect()
+}
+
 /// Outcome of comparing a replay trace against its original.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
@@ -627,6 +653,7 @@ mod tests {
             exited: Some(SimTime::from_us(exit_us)),
             total_wait: Dur::ZERO,
             dropped: false,
+            drop_cause: None,
             hops: Vec::new(),
         }
     }

@@ -22,5 +22,7 @@ pub mod table;
 pub use fct::{mean_fct_by_bucket, overall_mean_fct, FlowSample, FIG2_BUCKETS, OVERFLOW_EDGE};
 pub use jain::{jain_index, jain_series};
 pub use stats::{fraction_where, mean, percentile, Cdf};
-pub use summary::{json_escape, json_num, json_opt_num, RunSummary, TransportSummary};
+pub use summary::{
+    json_escape, json_num, json_opt_num, DisruptionSummary, RunSummary, TransportSummary,
+};
 pub use table::{frac, render_series, Table};

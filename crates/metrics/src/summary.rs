@@ -41,6 +41,42 @@ impl TransportSummary {
     }
 }
 
+/// What a job on a *churning* network (the `--failures` axis) reports —
+/// distilled from `ups_netsim::SimStats` and the failure schedule by the
+/// sweep runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisruptionSummary {
+    /// Distinct links the failure schedule took down during the run.
+    pub links_failed: u64,
+    /// Packets rerouted at their current hop by the dynamics layer.
+    pub rerouted: u64,
+    /// Packets lost at a dead link (flushed under the drop policy, or
+    /// unroutable after the failure disconnected their destination).
+    pub dropped_at_dead_link: u64,
+    /// Match rate of the churn replay: the delivered packets, re-run at
+    /// their observed `i(p)` along their observed (as-executed) paths
+    /// through black-box LSTF on the intact topology, scored against the
+    /// original `o(p)`. `None` when the job skipped the replay or
+    /// delivered nothing.
+    pub churn_replay_match_rate: Option<f64>,
+}
+
+impl DisruptionSummary {
+    /// Compact JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"links_failed":{},"rerouted":{},"dropped_at_dead_link":{},"#,
+                r#""churn_replay_match_rate":{}}}"#
+            ),
+            self.links_failed,
+            self.rerouted,
+            self.dropped_at_dead_link,
+            json_opt_num(self.churn_replay_match_rate)
+        )
+    }
+}
+
 /// Everything one sweep job reports about its run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
@@ -85,6 +121,9 @@ pub struct RunSummary {
     pub quantized_fct_delta_s: Option<f64>,
     /// Closed-loop transport metrics; `None` for open-loop (UDP) runs.
     pub transport: Option<TransportSummary>,
+    /// Network-dynamics metrics; `None` when the job ran on a static
+    /// (failure-free) network.
+    pub disruption: Option<DisruptionSummary>,
 }
 
 impl RunSummary {
@@ -112,7 +151,7 @@ impl RunSummary {
                 r#""jain":{},"replay_match_rate":{},"replay_frac_gt_t":{},"#,
                 r#""quantized_match_rate":{},"quantized_frac_gt_t":{},"#,
                 r#""quantized_fct_delta_s":{},"#,
-                r#""transport":{},"fct_buckets":[{}]}}"#
+                r#""transport":{},"disruption":{},"fct_buckets":[{}]}}"#
             ),
             self.flows,
             self.packets,
@@ -129,6 +168,10 @@ impl RunSummary {
             json_opt_num(self.quantized_fct_delta_s),
             match &self.transport {
                 Some(t) => t.to_json(),
+                None => "null".into(),
+            },
+            match &self.disruption {
+                Some(d) => d.to_json(),
                 None => "null".into(),
             },
             buckets.join(",")
@@ -192,6 +235,7 @@ mod tests {
             quantized_frac_gt_t: None,
             quantized_fct_delta_s: None,
             transport: None,
+            disruption: None,
         }
     }
 
@@ -253,6 +297,25 @@ mod tests {
             r#""transport":{"completed_flows":7,"goodput_bytes":123456,"#,
             r#""retransmits":3,"rto_events":1,"slack_ooo":2}"#
         )));
+    }
+
+    #[test]
+    fn disruption_block_serializes_with_nullable_match_rate() {
+        let mut r = sample();
+        assert!(r.to_json().contains(r#""disruption":null"#));
+        r.disruption = Some(DisruptionSummary {
+            links_failed: 4,
+            rerouted: 120,
+            dropped_at_dead_link: 7,
+            churn_replay_match_rate: Some(0.91),
+        });
+        let s = r.to_json();
+        assert!(s.contains(concat!(
+            r#""disruption":{"links_failed":4,"rerouted":120,"#,
+            r#""dropped_at_dead_link":7,"churn_replay_match_rate":0.91}"#
+        )));
+        r.disruption.as_mut().unwrap().churn_replay_match_rate = None;
+        assert!(r.to_json().contains(r#""churn_replay_match_rate":null"#));
     }
 
     #[test]

@@ -70,6 +70,19 @@ pub enum Event {
         /// Caller-chosen discriminator.
         key: u64,
     },
+    /// A bidirectional link between `a` and `b` goes down (`up: false`)
+    /// or comes back up (`up: true`) at this instant — the network
+    /// dynamics subsystem's churn events. State changes take effect in
+    /// the calendar queue's usual `(time, seq)` order, so a link event
+    /// and a packet event at the same instant resolve deterministically.
+    LinkState {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// New state for both direction ports.
+        up: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]

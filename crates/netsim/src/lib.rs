@@ -75,7 +75,9 @@ pub mod prelude {
     pub use crate::packet::{Header, Packet, PacketBuilder, PacketKind};
     pub use crate::queue::{PortCtx, QueuedPacket, Scheduler};
     pub use crate::sched::{MapperKind, Quantized, SchedulerKind};
-    pub use crate::sim::{Agent, SimApi, SimConfig, SimStats, Simulator};
+    pub use crate::sim::{
+        Agent, DeadLinkPolicy, RerouteOracle, SimApi, SimConfig, SimStats, Simulator,
+    };
     pub use crate::time::{Bandwidth, Dur, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
-    pub use crate::trace::{HopRecord, PacketRecord, RecordMode, Trace};
+    pub use crate::trace::{DropCause, HopRecord, PacketRecord, RecordMode, Trace};
 }

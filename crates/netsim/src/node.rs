@@ -14,7 +14,7 @@ use crate::event::{Event, EventQueue};
 use crate::id::{NodeId, PortId};
 use crate::queue::{PortCtx, QueuedPacket, Scheduler};
 use crate::time::{Bandwidth, Dur, SimTime};
-use crate::trace::Trace;
+use crate::trace::{DropCause, Trace};
 
 /// A unidirectional link: the serialization rate of the port feeding it
 /// plus the propagation delay to the peer.
@@ -51,6 +51,11 @@ pub struct Port {
     /// service is not counted); `None` = unbounded (the paper's replay
     /// experiments use buffers "large enough to ensure no packet drops").
     pub buffer_bytes: Option<u64>,
+    /// Whether the link this port feeds is currently alive. Ports start
+    /// up; the dynamics subsystem flips this through `LinkState` events.
+    /// A down port never holds packets — they are flushed to the
+    /// simulator's dead-link policy the instant the link fails.
+    pub up: bool,
     scheduler: Box<dyn Scheduler>,
     inflight: Option<InFlight>,
     next_token: u64,
@@ -86,6 +91,7 @@ impl Port {
             peer,
             link,
             buffer_bytes,
+            up: true,
             scheduler,
             inflight: None,
             next_token: 0,
@@ -138,6 +144,7 @@ impl Port {
         events: &mut EventQueue,
         trace: &mut Trace,
     ) -> Vec<PacketRef> {
+        debug_assert!(self.up, "accept() on a down port — route() must divert");
         let seq = self.arrival_seq;
         self.arrival_seq += 1;
         self.scheduler.enqueue(pkt, arena, now, seq, self.ctx());
@@ -149,7 +156,7 @@ impl Port {
             while self.scheduler.queued_bytes() > cap {
                 match self.scheduler.select_drop() {
                     Some(victim) => {
-                        trace.on_drop(arena.get(victim.pkt));
+                        trace.on_drop(arena.get(victim.pkt), DropCause::Buffer);
                         drops.push(victim.pkt);
                     }
                     None => break,
@@ -263,6 +270,36 @@ impl Port {
             },
         );
         self.start_next(now, arena, events, trace);
+    }
+
+    /// The link died: abort any in-service transmission and drain the
+    /// queue, returning every displaced packet in deterministic service
+    /// order (in-flight first, then scheduler order) for the simulator's
+    /// dead-link policy. The aborted transmission's pending `PortReady`
+    /// goes stale through the token; bits already past this port (pending
+    /// `Arrive`s) are on the wire and still land.
+    pub(crate) fn flush_dead(&mut self, now: SimTime, arena: &mut PacketArena) -> Vec<PacketRef> {
+        debug_assert!(!self.up, "flush_dead() on a live port");
+        let mut out = Vec::new();
+        if let Some(InFlight { qp, ends, .. }) = self.inflight.take() {
+            // The unfinished tail of the transmission never happened.
+            self.busy_time = self.busy_time - ends.saturating_since(now);
+            arena.get_mut(qp.pkt).remaining_tx = None;
+            out.push(qp.pkt);
+        }
+        while let Some(qp) = self.scheduler.dequeue(arena, now, self.ctx()) {
+            // Universal wait accounting, as in start_next: the time spent
+            // queued here was real even though service never came.
+            let waited = now.saturating_since(qp.enqueued_at);
+            let p = arena.get_mut(qp.pkt);
+            p.cum_wait += waited;
+            // A previously-preempted packet still carries its partial
+            // serialization time; wherever it lands next is a different
+            // link, so it must restart a full transmission there.
+            p.remaining_tx = None;
+            out.push(qp.pkt);
+        }
+        out
     }
 }
 

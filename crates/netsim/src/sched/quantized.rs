@@ -66,6 +66,17 @@ impl MapperKind {
     pub fn from_name(name: &str) -> Option<MapperKind> {
         MapperKind::ALL.into_iter().find(|m| m.name() == name)
     }
+
+    /// One-line description for registry listings (`sweep --list`).
+    pub fn description(self) -> &'static str {
+        match self {
+            MapperKind::Log => "static log-spaced buckets over a ~1us granule",
+            MapperKind::SpPifo => "SP-PIFO push-up/push-down on the stationary key (default)",
+            MapperKind::Dynamic => {
+                "Chameleon-style rank->queue remapping; exact when K covers the ranks"
+            }
+        }
+    }
 }
 
 /// Granule of the [`MapperKind::Log`] boundaries: ~1.05 µs in

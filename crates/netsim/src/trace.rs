@@ -22,6 +22,18 @@ pub enum RecordMode {
     PerHop,
 }
 
+/// Why a packet left the network without being delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Evicted from a full port buffer (the only cause before the
+    /// dynamics subsystem existed).
+    Buffer,
+    /// Lost at a dead link: its link went down while it was queued or in
+    /// service (drop-at-dead-link policy), or no alternative path to its
+    /// destination existed when a reroute was attempted.
+    DeadLink,
+}
+
 /// One hop's history for one packet (PerHop mode).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HopRecord {
@@ -45,7 +57,10 @@ pub struct PacketRecord {
     pub size: u32,
     /// Data or ack.
     pub kind: PacketKind,
-    /// Node path.
+    /// The **as-executed** node path. Starts as the routed path at
+    /// injection; updated whenever the dynamics layer reroutes the packet
+    /// at a dead link, so a delivered packet's record always names the
+    /// links it actually traversed (what a churn-robust replay needs).
     pub path: std::sync::Arc<[NodeId]>,
     /// `i(p)` — network entry time.
     pub injected: SimTime,
@@ -54,8 +69,10 @@ pub struct PacketRecord {
     pub exited: Option<SimTime>,
     /// Total queueing delay accumulated across all hops.
     pub total_wait: Dur,
-    /// Set if the packet was evicted from a full buffer.
+    /// Set if the packet left the network undelivered.
     pub dropped: bool,
+    /// Why, when `dropped` is set; `None` for delivered/in-flight packets.
+    pub drop_cause: Option<DropCause>,
     /// Per-hop detail (empty in EndToEnd mode).
     pub hops: Vec<HopRecord>,
 }
@@ -141,8 +158,20 @@ impl Trace {
             exited: None,
             total_wait: Dur::ZERO,
             dropped: false,
+            drop_cause: None,
             hops: Vec::new(),
         });
+    }
+
+    /// The dynamics layer spliced a new route onto `p` at its current
+    /// hop; keep the record's path the as-executed one.
+    pub(crate) fn on_reroute(&mut self, p: &Packet) {
+        if self.mode == RecordMode::Off {
+            return;
+        }
+        if let Some(r) = self.slot(p.id).as_mut() {
+            r.path = p.path.clone();
+        }
     }
 
     pub(crate) fn on_arrive_at_hop(&mut self, p: &Packet, node: NodeId, now: SimTime) {
@@ -186,12 +215,13 @@ impl Trace {
         }
     }
 
-    pub(crate) fn on_drop(&mut self, p: &Packet) {
+    pub(crate) fn on_drop(&mut self, p: &Packet, cause: DropCause) {
         if self.mode == RecordMode::Off {
             return;
         }
         if let Some(r) = self.slot(p.id).as_mut() {
             r.dropped = true;
+            r.drop_cause = Some(cause);
         }
     }
 
@@ -301,14 +331,26 @@ mod tests {
     }
 
     #[test]
-    fn drops_are_marked() {
+    fn drops_are_marked_with_cause() {
         let mut t = Trace::new(RecordMode::EndToEnd);
         let p = pkt(1);
         t.on_inject(&p, SimTime::ZERO);
-        t.on_drop(&p);
+        t.on_drop(&p, DropCause::DeadLink);
         let r = t.get(PacketId(1)).unwrap();
         assert!(r.dropped);
+        assert_eq!(r.drop_cause, Some(DropCause::DeadLink));
         assert_eq!(r.exited, None);
         assert_eq!(t.delivered().count(), 0);
+    }
+
+    #[test]
+    fn reroute_updates_the_recorded_path() {
+        let mut t = Trace::new(RecordMode::EndToEnd);
+        let mut p = pkt(0);
+        t.on_inject(&p, SimTime::ZERO);
+        // The dynamics layer splices a detour in at hop 1.
+        p.path = vec![NodeId(0), NodeId(1), NodeId(5), NodeId(2)].into();
+        t.on_reroute(&p);
+        assert_eq!(&*t.get(PacketId(0)).unwrap().path, &*p.path);
     }
 }

@@ -8,6 +8,8 @@
 //! sweep --traffic closed-loop --scheds LSTF \
 //!       --rest 1000000000,100000000       # TCP + §3.3 fairness r_est axis
 //! sweep --queues 1,2,8 --mapper sppifo    # finite-priority-queue replays
+//! sweep --failures none,random-links:0.3 \
+//!       --traffic open-loop              # link-failure (churn) sweeps
 //! sweep --list                            # registries and disciplines
 //! sweep --validate BENCH_sweep.json       # schema-check an artifact
 //! sweep --validate BENCH_quantized.json   # (dispatches on the schema tag)
@@ -65,6 +67,13 @@ GRID AXES (comma-separated; defaults form the 60-job paper grid):
                       queues and report the match/FCT deltas vs exact LSTF
   --mapper NAME       rank->queue mapper for --queues: log, sppifo or
                       dynamic (default sppifo)
+  --failures SPECS    network-dynamics axis: failure specs PROFILE[:rate]
+                      (random-links, core-links, burst; rate = fraction of
+                      eligible links, default 0.3) or the literal none
+                      for a static-network row; open-loop only
+  --inflight POLICY   what happens to packets at a dead link: reroute
+                      (epoch-based re-pathing at the current hop; default)
+                      or drop
   --utils FRACS       utilization targets, e.g. 0.3,0.7
   --seeds INTS        one independent job per seed
 
@@ -75,8 +84,8 @@ GRID OPTIONS:
   --no-replay         skip the LSTF replay (original schedule only)
   --max-packets N     cap injected packets per job (smoke grids)
   --exclude SPEC      drop combinations, e.g. topo=RocketFuel,sched=Random
-                      (repeatable; traffic=closed-loop, queues=8 and
-                      util>0.8 work too)
+                      (repeatable; traffic=closed-loop, queues=8,
+                      failures=burst:0.5 and util>0.8 work too)
   --max-jobs N        keep at most N jobs
 
 EXECUTION & OUTPUT:
@@ -113,11 +122,14 @@ fn parse_exclude(spec: &str) -> Result<Exclude, String> {
             e.traffic = Some(v.into());
         } else if let Some(v) = part.strip_prefix("queues=") {
             e.queues = Some(v.parse().map_err(|_| format!("bad queue count {v:?}"))?);
+        } else if let Some(v) = part.strip_prefix("failures=") {
+            e.failures = Some(v.into());
         } else if let Some(v) = part.strip_prefix("util>") {
             e.utilization_above = Some(v.parse().map_err(|_| format!("bad utilization {v:?}"))?);
         } else {
             return Err(format!(
-                "bad --exclude part {part:?} (want topo=/profile=/sched=/traffic=/queues=/util>)"
+                "bad --exclude part {part:?} \
+                 (want topo=/profile=/sched=/traffic=/queues=/failures=/util>)"
             ));
         }
     }
@@ -156,6 +168,8 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--mapper" => args.grid.mapper = value("--mapper")?,
+            "--failures" => args.grid.failures = split_list(&value("--failures")?),
+            "--inflight" => args.grid.inflight = value("--inflight")?,
             "--utils" => {
                 args.grid.utilizations = split_list(&value("--utils")?)
                     .iter()
@@ -247,6 +261,21 @@ fn list_registries() {
     println!("traffic modes:");
     println!("  open-loop          UDP packet trains paced by the host NIC (§2.3)");
     println!("  closed-loop        TCP Reno endpoints, slack policy per scheduler (§3)");
+    println!("rank->queue mappers (--mapper, for --queues):");
+    for m in ups_netsim::prelude::MapperKind::ALL {
+        println!("  {:<18} {}", m.name(), m.description());
+    }
+    println!(
+        "failure profiles (--failures PROFILE[:rate]; rate defaults to {}):",
+        ups_dynamics::FailureProfile::DEFAULT_RATE
+    );
+    for (p, desc) in ups_dynamics::FAILURE_PROFILES {
+        println!("  {:<18} {}", p.name(), desc);
+    }
+    println!("  none               static-network row (the baseline inside a failure grid)");
+    println!("in-flight policies (--inflight, at a dead link):");
+    println!("  reroute            epoch-based re-pathing at the packet's current hop");
+    println!("  drop               lose the packet, recorded with its drop cause");
 }
 
 fn main() -> ExitCode {
@@ -281,6 +310,13 @@ fn main() -> ExitCode {
                 format!(
                     "{} finite-K rows, exact-LSTF match rate {:.4}",
                     d.rows, d.exact_match_rate
+                )
+            })
+        } else if schema_tag.as_deref() == Some(ups_sweep::FAILURES_BENCH_SCHEMA) {
+            ups_sweep::validate_bench_failures(&doc).map(|d| {
+                format!(
+                    "{} intensity rows, match rate {:.4} (static) -> {:.4} (worst)",
+                    d.rows, d.baseline_match_rate, d.worst_match_rate
                 )
             })
         } else {
@@ -359,20 +395,32 @@ fn main() -> ExitCode {
         );
     }
 
+    if !args.grid.failures.is_empty() {
+        println!(
+            "# failure axis: {{{}}} with in-flight policy {}",
+            args.grid.failures.join(","),
+            args.grid.inflight
+        );
+    }
+
     let t0 = Instant::now();
     let quiet = args.quiet;
     let stream_ref = &stream;
+    // One topology build + all-pairs BFS per *distinct* topology, shared
+    // read-only across workers, instead of one per job.
+    let shared = runner::SharedScenarios::for_jobs(&jobs);
+    let shared_ref = &shared;
     let (records, stats) = pool::run_jobs_labeled(
         &jobs,
         args.workers,
         |_, spec| spec.label(),
         move |_, spec| {
-            let rec = runner::run_job(spec);
+            let rec = runner::run_job_shared(spec, shared_ref);
             stream_ref.append(&rec);
             if !quiet {
                 let s = &rec.summary;
                 println!(
-                    "job {:>3}  {:<16} {:<11} {:<8} {:<11} util {:.2} seed {:<2}  {:>7} pkts  {} replay {}{}{}  {:.2}s",
+                    "job {:>3}  {:<16} {:<11} {:<8} {:<11} util {:.2} seed {:<2}  {:>7} pkts  {} replay {}{}{}{}  {:.2}s",
                     rec.spec.job_id,
                     rec.spec.topology,
                     rec.spec.profile,
@@ -396,6 +444,13 @@ fn main() -> ExitCode {
                     },
                     match &s.transport {
                         Some(t) => format!("  tcp {}fl/{}retx", t.completed_flows, t.retransmits),
+                        None => String::new(),
+                    },
+                    match &s.disruption {
+                        Some(d) => format!(
+                            "  churn {}dn/{}rr/{}dd",
+                            d.links_failed, d.rerouted, d.dropped_at_dead_link
+                        ),
                         None => String::new(),
                     },
                     rec.wall_s

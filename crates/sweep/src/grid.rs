@@ -90,6 +90,15 @@ pub struct JobSpec {
     /// Rank→queue mapper label for the quantized replay (`"log"`,
     /// `"sppifo"`, `"dynamic"`); `None` exactly when `queues` is `None`.
     pub mapper: Option<String>,
+    /// Network-dynamics axis: a failure spec `"profile:rate"` (e.g.
+    /// `"random-links:0.3"`) generating a seeded link-outage schedule for
+    /// the run, or `None` for a static network. Failure jobs replay the
+    /// **as-executed** schedule (observed paths, delivered packets only)
+    /// and report a `disruption` metrics block.
+    pub failures: Option<String>,
+    /// In-flight policy at a dead link (`"reroute"` / `"drop"`); `None`
+    /// exactly when `failures` is `None`.
+    pub inflight: Option<String>,
     /// Optional cap on injected packets (CI smoke grids).
     pub max_packets: Option<usize>,
 }
@@ -102,11 +111,16 @@ impl JobSpec {
             Some(n) => n.to_string(),
             None => "null".into(),
         };
+        let opt_str = |v: &Option<String>| match v {
+            Some(s) => format!("\"{}\"", json_escape(s)),
+            None => "null".into(),
+        };
         format!(
             concat!(
                 r#"{{"topology":"{}","profile":"{}","scheduler":"{}","traffic":"{}","#,
                 r#""rest_bps":{},"utilization":{},"seed":{},"window_ms":{},"horizon_ms":{},"#,
-                r#""buffer_bytes":{},"replay":{},"queues":{},"mapper":{},"max_packets":{}}}"#
+                r#""buffer_bytes":{},"replay":{},"queues":{},"mapper":{},"#,
+                r#""failures":{},"inflight":{},"max_packets":{}}}"#
             ),
             json_escape(&self.topology),
             json_escape(&self.profile),
@@ -120,10 +134,9 @@ impl JobSpec {
             opt_u64(self.buffer_bytes),
             self.replay,
             opt_u64(self.queues.map(u64::from)),
-            match &self.mapper {
-                Some(m) => format!("\"{}\"", json_escape(m)),
-                None => "null".into(),
-            },
+            opt_str(&self.mapper),
+            opt_str(&self.failures),
+            opt_str(&self.inflight),
             match self.max_packets {
                 Some(n) => n.to_string(),
                 None => "null".into(),
@@ -141,14 +154,19 @@ impl JobSpec {
             (Some(k), Some(m)) => format!(" K{k}/{m}"),
             _ => String::new(),
         };
+        let failures = match (&self.failures, &self.inflight) {
+            (Some(f), Some(p)) => format!(" fail {f}/{p}"),
+            _ => String::new(),
+        };
         format!(
-            "{} {} {} {}{}{} util {} seed {}",
+            "{} {} {} {}{}{}{} util {} seed {}",
             self.topology,
             self.profile,
             self.scheduler,
             self.traffic.name(),
             rest,
             queues,
+            failures,
             self.utilization,
             self.seed
         )
@@ -172,11 +190,17 @@ pub struct Exclude {
     /// Match on the `--queues` sub-axis value (a job with no queues
     /// value never matches this field).
     pub queues: Option<u32>,
+    /// Match on the failure-axis label (a static-network job never
+    /// matches this field).
+    pub failures: Option<String>,
     /// Match when utilization is strictly above this.
     pub utilization_above: Option<f64>,
 }
 
 impl Exclude {
+    // One parameter per matchable axis; a struct would just restate the
+    // field list.
+    #[allow(clippy::too_many_arguments)]
     fn matches(
         &self,
         topo: &str,
@@ -184,6 +208,7 @@ impl Exclude {
         sched: &str,
         traffic: TrafficMode,
         queues: Option<u32>,
+        failures: Option<&str>,
         util: f64,
     ) -> bool {
         let mut any = false;
@@ -202,6 +227,12 @@ impl Exclude {
         }
         if let Some(want_k) = self.queues {
             if queues != Some(want_k) {
+                return false;
+            }
+            any = true;
+        }
+        if let Some(want_f) = &self.failures {
+            if failures != Some(want_f.as_str()) {
                 return false;
             }
             any = true;
@@ -225,7 +256,7 @@ impl Exclude {
         format!(
             concat!(
                 r#"{{"topology":{},"profile":{},"scheduler":{},"traffic":{},"#,
-                r#""queues":{},"utilization_above":{}}}"#
+                r#""queues":{},"failures":{},"utilization_above":{}}}"#
             ),
             opt_str(&self.topology),
             opt_str(&self.profile),
@@ -235,6 +266,7 @@ impl Exclude {
                 Some(k) => k.to_string(),
                 None => "null".into(),
             },
+            opt_str(&self.failures),
             ups_metrics::json_opt_num(self.utilization_above),
         )
     }
@@ -275,6 +307,15 @@ pub struct ScenarioGrid {
     /// Rank→queue mapper for the quantized replays (`"log"`, `"sppifo"`,
     /// `"dynamic"`). One mapper per grid — sweep K, pin the policy.
     pub mapper: String,
+    /// Network-dynamics axis: failure specs (`"random-links:0.3"`,
+    /// `"burst:0.5"`, or the literal `"none"` for a static-network row).
+    /// Each value is an independent job. Empty ⇒ every job runs on a
+    /// static network. Open-loop only, and mutually exclusive with the
+    /// `queues` axis.
+    pub failures: Vec<String>,
+    /// In-flight policy at a dead link for every failure job
+    /// (`"reroute"` / `"drop"`). One policy per grid.
+    pub inflight: String,
     /// Cap injected packets per job.
     pub max_packets: Option<usize>,
     /// Exclusion filters applied during expansion.
@@ -308,6 +349,8 @@ impl Default for ScenarioGrid {
             replay: true,
             queues: Vec::new(),
             mapper: "sppifo".into(),
+            failures: Vec::new(),
+            inflight: "reroute".into(),
             max_packets: None,
             excludes: vec![
                 Exclude {
@@ -348,6 +391,19 @@ pub enum GridError {
     /// A `--queues` axis on a grid that skips the replay — the quantized
     /// replay *is* a replay; there is nothing to quantize without one.
     QueuesNeedReplay,
+    /// A `--failures` spec that doesn't parse (unknown profile or a rate
+    /// outside [0, 1]); carries the parser's message.
+    BadFailures(String),
+    /// An in-flight policy label that isn't `reroute` / `drop`.
+    UnknownInflight(String),
+    /// A failure axis combined with closed-loop traffic — the TCP driver
+    /// runs on a static network; exclude the combination or drop the
+    /// mode.
+    FailuresNeedOpenLoop(String),
+    /// A failure axis combined with the `--queues` axis; the quantized
+    /// replay baseline is defined against the static-network exact
+    /// replay, which a churn job doesn't run.
+    FailuresExcludeQueues,
     /// Every combination was filtered out (or an axis was empty).
     Empty,
 }
@@ -392,6 +448,20 @@ impl std::fmt::Display for GridError {
             GridError::QueuesNeedReplay => write!(
                 f,
                 "--queues quantizes the LSTF replay; it cannot combine with --no-replay"
+            ),
+            GridError::BadFailures(msg) => write!(f, "bad --failures value: {msg}"),
+            GridError::UnknownInflight(p) => {
+                write!(f, "unknown in-flight policy {p:?} (known: reroute, drop)")
+            }
+            GridError::FailuresNeedOpenLoop(spec) => write!(
+                f,
+                "failure spec {spec:?} combined with closed-loop traffic — link churn \
+                 drives open-loop schedules only; exclude the combination or drop the mode"
+            ),
+            GridError::FailuresExcludeQueues => write!(
+                f,
+                "--failures and --queues cannot combine: the quantized replay is \
+                 defined against the static-network exact replay"
             ),
             GridError::Empty => write!(f, "grid expanded to zero jobs"),
         }
@@ -463,6 +533,28 @@ impl ScenarioGrid {
         } else {
             self.queues.iter().copied().map(Some).collect()
         };
+        // The dynamics axis: `"none"` names the static-network row so a
+        // single grid can hold its own baseline; everything else must
+        // parse as a failure spec.
+        for spec in &self.failures {
+            if spec != "none" {
+                ups_dynamics::parse_failure_spec(spec).map_err(GridError::BadFailures)?;
+            }
+        }
+        if !matches!(self.inflight.as_str(), "reroute" | "drop") {
+            return Err(GridError::UnknownInflight(self.inflight.clone()));
+        }
+        if !self.queues.is_empty() && self.failures.iter().any(|f| f != "none") {
+            return Err(GridError::FailuresExcludeQueues);
+        }
+        let failure_axis: Vec<Option<String>> = if self.failures.is_empty() {
+            vec![None]
+        } else {
+            self.failures
+                .iter()
+                .map(|f| (f != "none").then(|| f.clone()))
+                .collect()
+        };
         let horizon = self.effective_horizon();
         let mut jobs = Vec::new();
         for topo in &self.topologies {
@@ -484,37 +576,61 @@ impl ScenarioGrid {
                             for &util in &self.utilizations {
                                 for &seed in &self.seeds {
                                     for &queues in &queue_axis {
-                                        if self.excludes.iter().any(|e| {
-                                            e.matches(topo, profile, sched, mode, queues, util)
-                                        }) {
-                                            continue;
+                                        for failures in &failure_axis {
+                                            if self.excludes.iter().any(|e| {
+                                                e.matches(
+                                                    topo,
+                                                    profile,
+                                                    sched,
+                                                    mode,
+                                                    queues,
+                                                    failures.as_deref(),
+                                                    util,
+                                                )
+                                            }) {
+                                                continue;
+                                            }
+                                            let closed_only =
+                                                ups_workload::profile_by_name(profile)
+                                                    .expect("validated above")
+                                                    .closed_loop_only();
+                                            if closed_only && mode == TrafficMode::OpenLoop {
+                                                return Err(GridError::ProfileNeedsClosedLoop(
+                                                    profile.clone(),
+                                                ));
+                                            }
+                                            if let Some(f) = failures {
+                                                if mode == TrafficMode::ClosedLoop {
+                                                    return Err(GridError::FailuresNeedOpenLoop(
+                                                        f.clone(),
+                                                    ));
+                                                }
+                                            }
+                                            jobs.push(JobSpec {
+                                                job_id: jobs.len(),
+                                                topology: topo.clone(),
+                                                profile: profile.clone(),
+                                                scheduler: sched.clone(),
+                                                traffic: mode,
+                                                rest_bps: rest,
+                                                utilization: util,
+                                                seed,
+                                                window: self.window,
+                                                horizon: (mode == TrafficMode::ClosedLoop)
+                                                    .then_some(horizon),
+                                                buffer_bytes: self.buffer_bytes,
+                                                replay: self.replay,
+                                                queues,
+                                                mapper: queues
+                                                    .is_some()
+                                                    .then(|| self.mapper.clone()),
+                                                failures: failures.clone(),
+                                                inflight: failures
+                                                    .is_some()
+                                                    .then(|| self.inflight.clone()),
+                                                max_packets: self.max_packets,
+                                            });
                                         }
-                                        let closed_only = ups_workload::profile_by_name(profile)
-                                            .expect("validated above")
-                                            .closed_loop_only();
-                                        if closed_only && mode == TrafficMode::OpenLoop {
-                                            return Err(GridError::ProfileNeedsClosedLoop(
-                                                profile.clone(),
-                                            ));
-                                        }
-                                        jobs.push(JobSpec {
-                                            job_id: jobs.len(),
-                                            topology: topo.clone(),
-                                            profile: profile.clone(),
-                                            scheduler: sched.clone(),
-                                            traffic: mode,
-                                            rest_bps: rest,
-                                            utilization: util,
-                                            seed,
-                                            window: self.window,
-                                            horizon: (mode == TrafficMode::ClosedLoop)
-                                                .then_some(horizon),
-                                            buffer_bytes: self.buffer_bytes,
-                                            replay: self.replay,
-                                            queues,
-                                            mapper: queues.is_some().then(|| self.mapper.clone()),
-                                            max_packets: self.max_packets,
-                                        });
                                     }
                                 }
                             }
@@ -562,6 +678,7 @@ impl ScenarioGrid {
                 r#""rest_bps":[{}],"utilizations":[{}],"seeds":[{}],"window_ms":{},"#,
                 r#""horizon_ms":{},"buffer_bytes":{},"replay":{},"#,
                 r#""queues":[{}],"mapper":"{}","#,
+                r#""failures":[{}],"inflight":"{}","#,
                 r#""max_packets":{},"excludes":[{}],"max_jobs":{}}}"#
             ),
             strs(&self.topologies),
@@ -581,6 +698,8 @@ impl ScenarioGrid {
                 .collect::<Vec<_>>()
                 .join(","),
             json_escape(&self.mapper),
+            strs(&self.failures),
+            json_escape(&self.inflight),
             match self.max_packets {
                 Some(n) => n.to_string(),
                 None => "null".into(),
@@ -617,6 +736,8 @@ mod tests {
             replay: false,
             queues: Vec::new(),
             mapper: "dynamic".into(),
+            failures: Vec::new(),
+            inflight: "reroute".into(),
             max_packets: Some(1000),
             excludes: Vec::new(),
             max_jobs: None,
@@ -809,6 +930,84 @@ mod tests {
     }
 
     #[test]
+    fn failure_axis_multiplies_and_none_is_the_static_row() {
+        let mut g = tiny();
+        g.failures = vec!["none".into(), "random-links:0.5".into()];
+        let jobs = g.expand().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2 * 2, "one job per axis value");
+        let churn: Vec<_> = jobs.iter().filter(|j| j.failures.is_some()).collect();
+        assert_eq!(churn.len(), jobs.len() / 2);
+        for j in &churn {
+            assert_eq!(j.failures.as_deref(), Some("random-links:0.5"));
+            assert_eq!(j.inflight.as_deref(), Some("reroute"));
+        }
+        // The "none" rows are indistinguishable from a no-axis job.
+        assert!(jobs
+            .iter()
+            .filter(|j| j.failures.is_none())
+            .all(|j| j.inflight.is_none()));
+        // Adjacent ids sweep the failure axis within one scenario.
+        assert_eq!(jobs[0].failures, None);
+        assert_eq!(jobs[1].failures.as_deref(), Some("random-links:0.5"));
+        assert_eq!(jobs[0].seed, jobs[1].seed);
+    }
+
+    #[test]
+    fn failure_axis_is_validated() {
+        let mut g = tiny();
+        g.failures = vec!["meteor-strike:0.5".into()];
+        assert!(matches!(g.expand(), Err(GridError::BadFailures(_))));
+        let mut g = tiny();
+        g.failures = vec!["random-links:1.5".into()];
+        assert!(matches!(g.expand(), Err(GridError::BadFailures(_))));
+        let mut g = tiny();
+        g.failures = vec!["burst".into()];
+        g.inflight = "pray".into();
+        assert_eq!(g.expand(), Err(GridError::UnknownInflight("pray".into())));
+        // Churn drives open-loop schedules only.
+        let mut g = tiny();
+        g.failures = vec!["burst:0.4".into()];
+        g.traffic = vec!["open-loop".into(), "closed-loop".into()];
+        assert_eq!(
+            g.expand(),
+            Err(GridError::FailuresNeedOpenLoop("burst:0.4".into()))
+        );
+        // ...unless an exclude removes the combination.
+        g.excludes.push(Exclude {
+            traffic: Some("closed-loop".into()),
+            ..Exclude::default()
+        });
+        assert!(g.expand().is_ok());
+        // Failures and queues don't compose.
+        let mut g = tiny();
+        g.replay = true;
+        g.queues = vec![8];
+        g.failures = vec!["random-links:0.3".into()];
+        assert_eq!(g.expand(), Err(GridError::FailuresExcludeQueues));
+        // ...but an all-"none" failure axis is no failure axis.
+        g.failures = vec!["none".into()];
+        assert!(g.expand().is_ok());
+    }
+
+    #[test]
+    fn excludes_can_filter_a_failure_spec() {
+        let mut g = tiny();
+        g.failures = vec!["none".into(), "burst:0.6".into()];
+        g.excludes.push(Exclude {
+            topology: Some("Line(3)".into()),
+            failures: Some("burst:0.6".into()),
+            ..Exclude::default()
+        });
+        let jobs = g.expand().unwrap();
+        assert!(!jobs
+            .iter()
+            .any(|j| j.topology == "Line(3)" && j.failures.is_some()));
+        assert!(jobs
+            .iter()
+            .any(|j| j.topology == "Dumbbell(4)" && j.failures.is_some()));
+    }
+
+    #[test]
     fn unknown_names_are_rejected() {
         let mut g = tiny();
         g.topologies.push("Torus(9)".into());
@@ -923,6 +1122,16 @@ mod tests {
         assert_eq!(v.get("horizon_ms"), Some(&crate::json::JsonValue::Null));
         assert_eq!(v.get("queues"), Some(&crate::json::JsonValue::Null));
         assert_eq!(v.get("mapper"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(v.get("failures"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(v.get("inflight"), Some(&crate::json::JsonValue::Null));
+        // A failure job round-trips its spec and policy.
+        let mut g = tiny();
+        g.failures = vec!["core-links:0.25".into()];
+        g.inflight = "drop".into();
+        let jobs = g.expand().unwrap();
+        let v = crate::json::parse(&jobs[0].scenario_json()).unwrap();
+        assert_eq!(v.get("failures").unwrap().as_str(), Some("core-links:0.25"));
+        assert_eq!(v.get("inflight").unwrap().as_str(), Some("drop"));
         // A quantized job round-trips its K and mapper.
         let mut g = tiny();
         g.replay = true;

@@ -278,6 +278,12 @@ mod tests {
                 rto_events: 0,
                 slack_ooo: 2,
             }),
+            disruption: Some(ups_metrics::DisruptionSummary {
+                links_failed: 2,
+                rerouted: 17,
+                dropped_at_dead_link: 1,
+                churn_replay_match_rate: None,
+            }),
         };
         let v = parse(&summary.to_json()).unwrap();
         assert_eq!(v.get("packets").unwrap().as_f64(), Some(10.0));
@@ -290,6 +296,9 @@ mod tests {
         );
         let t = v.get("transport").unwrap();
         assert_eq!(t.get("goodput_bytes").unwrap().as_f64(), Some(12_345.0));
+        let d = v.get("disruption").unwrap();
+        assert_eq!(d.get("rerouted").unwrap().as_f64(), Some(17.0));
+        assert_eq!(d.get("churn_replay_match_rate"), Some(&JsonValue::Null));
         let buckets = v.get("fct_buckets").unwrap().as_array().unwrap();
         assert_eq!(buckets[0].get("edge_bytes").unwrap().as_f64(), Some(1460.0));
         assert_eq!(buckets[1].get("edge_bytes"), Some(&JsonValue::Null));

@@ -62,8 +62,11 @@ pub mod store;
 
 pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, TrafficMode, MIXED_FQ_FIFOPLUS};
 pub use pool::{run_jobs, run_jobs_labeled, PoolStats};
-pub use runner::{run_job, slack_policy_for, JobRecord, RECORD_SCHEMA};
+pub use runner::{
+    run_job, run_job_shared, slack_policy_for, JobRecord, SharedScenarios, RECORD_SCHEMA,
+};
 pub use store::{
-    bench_sweep_json, validate_bench_quantized, validate_bench_sweep, QuantizedDigest,
-    ResultStream, SweepDigest, ACCEPTED_SWEEP_SCHEMAS, QUANTIZED_BENCH_SCHEMA, SWEEP_SCHEMA,
+    bench_sweep_json, validate_bench_failures, validate_bench_quantized, validate_bench_sweep,
+    FailuresDigest, QuantizedDigest, ResultStream, SweepDigest, ACCEPTED_SWEEP_SCHEMAS,
+    FAILURES_BENCH_SCHEMA, QUANTIZED_BENCH_SCHEMA, SWEEP_SCHEMA,
 };

@@ -21,20 +21,76 @@
 //! transport block (completions, goodput, retransmits, RTOs) distilled
 //! from [`TransportStats`].
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
-use ups_core::{compare, replay_packets, run_schedule, HeaderInit};
+use ups_core::{as_executed_packets, compare, replay_packets, run_schedule, HeaderInit};
+use ups_dynamics::{churn_replay, parse_failure_spec, run_schedule_with_failures, FailureSchedule};
 use ups_metrics::{
-    jain_index, mean_fct_by_bucket, Cdf, FlowSample, RunSummary, TransportSummary, FIG2_BUCKETS,
+    jain_index, mean_fct_by_bucket, Cdf, DisruptionSummary, FlowSample, RunSummary,
+    TransportSummary, FIG2_BUCKETS,
 };
 use ups_netsim::prelude::{
-    Dur, MapperKind, PacketBuilder, PacketKind, RecordMode, SchedulerKind, SimTime, Trace,
+    DeadLinkPolicy, Dur, MapperKind, PacketKind, RecordMode, SchedulerKind, SimTime, Trace,
 };
-use ups_topology::{topology_by_name, BuildOptions, SchedulerAssignment, Topology};
+use ups_topology::{
+    topology_by_name, BuildOptions, Routing, RoutingCore, SchedulerAssignment, Topology,
+};
 use ups_transport::{run_tcp, SlackPolicy, TcpConfig, TcpScenario, TransportStats};
 use ups_workload::{profile_by_name, udp_packet_train, FlowSpec, MTU};
 
 use crate::grid::{JobSpec, TrafficMode, MIXED_FQ_FIFOPLUS};
+
+/// Topology + all-pairs routing, built **once per distinct topology** in
+/// a sweep and shared read-only across every job (and worker thread)
+/// that names it. Before this cache each job redid the whole
+/// `O(V·(V+E))` BFS; now a job only carries its own cheap per-(src, dst)
+/// path cache on top of the shared core.
+pub struct SharedScenarios {
+    map: HashMap<String, (Arc<Topology>, Arc<RoutingCore>)>,
+}
+
+impl SharedScenarios {
+    /// Build the shared topology/routing pair for every distinct
+    /// topology named by `jobs`.
+    pub fn for_jobs(jobs: &[JobSpec]) -> Self {
+        let mut map = HashMap::new();
+        for spec in jobs {
+            if !map.contains_key(&spec.topology) {
+                let topo = topology_by_name(&spec.topology)
+                    .unwrap_or_else(|| panic!("unvalidated topology {:?}", spec.topology));
+                let core = Arc::new(RoutingCore::new(&topo));
+                map.insert(spec.topology.clone(), (Arc::new(topo), core));
+            }
+        }
+        SharedScenarios { map }
+    }
+
+    /// The shared pair for a topology name, building it on the fly for a
+    /// spec the cache was not primed with.
+    fn get(&self, name: &str) -> (Arc<Topology>, Arc<RoutingCore>) {
+        match self.map.get(name) {
+            Some((t, c)) => (t.clone(), c.clone()),
+            None => {
+                let topo = topology_by_name(name)
+                    .unwrap_or_else(|| panic!("unvalidated topology {name:?}"));
+                let core = Arc::new(RoutingCore::new(&topo));
+                (Arc::new(topo), core)
+            }
+        }
+    }
+
+    /// Distinct topologies held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// Resolve a grid scheduler label into a per-node assignment on `topo`.
 /// Returns `None` for labels that can't run as an original schedule
@@ -88,9 +144,9 @@ pub struct JobRecord {
     pub wall_s: f64,
 }
 
-/// Schema tag of one result line (v3 added the `queues`/`mapper`
-/// scenario fields and the `quantized_*` metrics).
-pub const RECORD_SCHEMA: &str = "ups-sweep-record/v3";
+/// Schema tag of one result line (v4 added the `failures`/`inflight`
+/// scenario fields and the `disruption` metrics block).
+pub const RECORD_SCHEMA: &str = "ups-sweep-record/v4";
 
 impl JobRecord {
     /// The record as one JSON line. `with_timing: false` omits the
@@ -113,28 +169,29 @@ impl JobRecord {
     }
 }
 
-/// Execute one job to completion.
+/// Execute one job to completion, building its topology and routing
+/// from scratch. Prefer [`run_job_shared`] when running many jobs — it
+/// reuses one all-pairs BFS per distinct topology.
 ///
 /// # Panics
 /// On registry/label lookups the grid already validated, and on the
 /// internal invariants of the replay framework.
 pub fn run_job(spec: &JobSpec) -> JobRecord {
+    run_job_shared(spec, &SharedScenarios::for_jobs(std::slice::from_ref(spec)))
+}
+
+/// [`run_job`] against a prebuilt [`SharedScenarios`] cache.
+pub fn run_job_shared(spec: &JobSpec, shared: &SharedScenarios) -> JobRecord {
     let t0 = Instant::now();
-    let topo = topology_by_name(&spec.topology)
-        .unwrap_or_else(|| panic!("unvalidated topology {:?}", spec.topology));
+    let (topo, routing_core) = shared.get(&spec.topology);
+    let topo = &*topo;
     let profile = profile_by_name(&spec.profile)
         .unwrap_or_else(|| panic!("unvalidated profile {:?}", spec.profile));
-    let assign = assignment_for(&topo, &spec.scheduler)
+    let assign = assignment_for(topo, &spec.scheduler)
         .unwrap_or_else(|| panic!("unvalidated scheduler {:?}", spec.scheduler));
 
-    let mut routing = ups_topology::Routing::new(&topo);
-    let flows = profile.flows(
-        &topo,
-        &mut routing,
-        spec.utilization,
-        spec.window,
-        spec.seed,
-    );
+    let mut routing = Routing::from_core(routing_core);
+    let flows = profile.flows(topo, &mut routing, spec.utilization, spec.window, spec.seed);
     let opts = BuildOptions {
         record: RecordMode::EndToEnd,
         seed: spec.seed,
@@ -142,20 +199,70 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
         ..BuildOptions::default()
     };
 
+    // The failure sub-axis: generate the seeded outage schedule up front
+    // so its distinct-link count lands in the disruption block even when
+    // the replay is skipped.
+    let failure = spec.failures.as_deref().map(|f| {
+        // Grids reject this combination (GridError::FailuresNeedOpenLoop);
+        // a hand-built spec must fail just as loudly, not run a silently
+        // static TCP scenario labeled as churn.
+        assert_eq!(
+            spec.traffic,
+            TrafficMode::OpenLoop,
+            "failure spec {f:?} on a closed-loop job — link churn drives open-loop schedules only"
+        );
+        let (profile, rate) =
+            parse_failure_spec(f).unwrap_or_else(|e| panic!("unvalidated failure spec: {e}"));
+        let policy = match spec.inflight.as_deref() {
+            Some("drop") => DeadLinkPolicy::Drop,
+            Some("reroute") => DeadLinkPolicy::Reroute,
+            other => panic!("unvalidated in-flight policy {other:?}"),
+        };
+        (
+            FailureSchedule::generate(topo, profile, rate, spec.window, spec.seed),
+            policy,
+        )
+    });
+
     let (original, mut summary, as_executed) = match spec.traffic {
         TrafficMode::OpenLoop => {
             let mut packets = udp_packet_train(&flows, MTU);
             if let Some(cap) = spec.max_packets {
                 packets.truncate(cap);
             }
-            let original = run_schedule(&topo, &assign, packets.iter().cloned(), &opts);
-            let summary = summarize(&original, &flows, packets.len() as u64, None);
-            (original, summary, packets)
+            match &failure {
+                Some((schedule, policy)) => {
+                    let churn = run_schedule_with_failures(
+                        topo,
+                        &assign,
+                        packets.iter().cloned(),
+                        schedule,
+                        *policy,
+                        &opts,
+                    );
+                    let mut summary = summarize(&churn.trace, &flows, packets.len() as u64, None);
+                    summary.disruption = Some(DisruptionSummary {
+                        links_failed: schedule.links_failed(),
+                        rerouted: churn.stats.rerouted,
+                        dropped_at_dead_link: churn.stats.dropped_dead_link,
+                        churn_replay_match_rate: None, // filled below
+                    });
+                    // The replay targets what actually ran: the delivered
+                    // packets at their observed paths.
+                    let executed = as_executed_packets(&churn.trace);
+                    (churn.trace, summary, executed)
+                }
+                None => {
+                    let original = run_schedule(topo, &assign, packets.iter().cloned(), &opts);
+                    let summary = summarize(&original, &flows, packets.len() as u64, None);
+                    (original, summary, packets)
+                }
+            }
         }
         TrafficMode::ClosedLoop => {
             let run = run_tcp(
                 &TcpScenario {
-                    topo: &topo,
+                    topo,
                     assign: &assign,
                     opts,
                     flows: &flows,
@@ -175,13 +282,27 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
         }
     };
 
+    // A churn job replays the delivered subset along observed paths —
+    // drops at dead links are *expected* and excluded on both sides, so
+    // the drop-free gate below doesn't apply.
+    if spec.replay && summary.delivered > 0 && failure.is_some() {
+        let report = churn_replay(topo, &original, spec.seed);
+        summary.replay_match_rate = report.match_rate();
+        summary.replay_frac_gt_t = report.frac_gt_t_rate();
+        summary
+            .disruption
+            .as_mut()
+            .expect("failure jobs carry a disruption block")
+            .churn_replay_match_rate = report.match_rate();
+    }
+
     // Replay needs every packet delivered (§2.3 runs drop-free); with
     // unbounded buffers dropped > 0 can't happen — the gate makes a
     // buffered grid degrade to "no replay" instead of a panic. Closed-loop
     // packet sets are already restricted to delivered packets, so a
     // horizon-truncated run still replays its delivered prefix.
-    if spec.replay && summary.dropped == 0 && summary.delivered > 0 {
-        let replay_set = replay_packets(&topo, &original, &as_executed, HeaderInit::LstfSlack);
+    if spec.replay && summary.dropped == 0 && summary.delivered > 0 && failure.is_none() {
+        let replay_set = replay_packets(topo, &original, &as_executed, HeaderInit::LstfSlack);
         let replay_assign = SchedulerAssignment::uniform(SchedulerKind::Lstf { preemptive: false });
         let replay_opts = BuildOptions {
             record: RecordMode::EndToEnd,
@@ -189,7 +310,7 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
             ..BuildOptions::default()
         };
         let replay = run_schedule(
-            &topo,
+            topo,
             &replay_assign,
             replay_set.iter().cloned(),
             &replay_opts,
@@ -211,7 +332,7 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
                 .and_then(MapperKind::from_name)
                 .unwrap_or_else(|| panic!("unvalidated mapper {:?}", spec.mapper));
             let q_assign = SchedulerAssignment::uniform(SchedulerKind::quantized_lstf(k, mapper));
-            let q_replay = run_schedule(&topo, &q_assign, replay_set, &replay_opts);
+            let q_replay = run_schedule(topo, &q_assign, replay_set, &replay_opts);
             let q_report = compare(&original, &q_replay, threshold);
             summary.quantized_match_rate = q_report.match_rate();
             summary.quantized_frac_gt_t = q_report.frac_gt_t_rate();
@@ -255,25 +376,6 @@ fn trace_mean_fct(trace: &Trace, flows: &[FlowSpec]) -> Option<f64> {
         }
     }
     (n > 0).then(|| sum / n as f64)
-}
-
-/// Rebuild the injectable packet set a recorded schedule executed —
-/// identical `(id, flow, size, kind, path, i(p))`, headers clean — so a
-/// closed-loop trace can feed the same replay pipeline as an open-loop
-/// train. Restricted to delivered packets: segments still in flight at
-/// the horizon have no `o(p)` to replay against.
-fn as_executed_packets(trace: &Trace) -> Vec<ups_netsim::prelude::Packet> {
-    trace
-        .iter()
-        .filter(|(_, r)| r.exited.is_some())
-        .map(|(id, r)| {
-            let mut b = PacketBuilder::new(id, r.flow, r.size, r.path.clone(), r.injected);
-            if r.kind == PacketKind::Ack {
-                b = b.ack();
-            }
-            b.build()
-        })
-        .collect()
 }
 
 /// Distill an original-run trace into the summary metrics. All loops run
@@ -373,6 +475,7 @@ fn summarize(
             rto_events: stats.timeouts_total(),
             slack_ooo: stats.slack_out_of_order(),
         }),
+        disruption: None,
     }
 }
 
@@ -400,7 +503,18 @@ mod tests {
             replay,
             queues: None,
             mapper: None,
+            failures: None,
+            inflight: None,
             max_packets: None,
+        }
+    }
+
+    fn failure_spec(scheduler: &str, spec_str: &str, inflight: &str, replay: bool) -> JobSpec {
+        JobSpec {
+            topology: "FatTree(k=4)".into(),
+            failures: Some(spec_str.into()),
+            inflight: Some(inflight.into()),
+            ..spec(scheduler, replay)
         }
     }
 
@@ -458,7 +572,7 @@ mod tests {
         let v = crate::json::parse(&a.to_json(true)).unwrap();
         assert_eq!(
             v.get("schema").unwrap().as_str(),
-            Some("ups-sweep-record/v3")
+            Some("ups-sweep-record/v4")
         );
         assert!(v.get("wall_s").unwrap().as_f64().unwrap() > 0.0);
     }
@@ -496,6 +610,76 @@ mod tests {
         assert!(rec.summary.replay_match_rate.is_some());
         assert!(rec.summary.quantized_match_rate.is_none());
         assert!(rec.summary.quantized_fct_delta_s.is_none());
+    }
+
+    #[test]
+    fn failure_job_reports_a_disruption_block_and_churn_replay() {
+        let rec = run_job(&failure_spec("FIFO", "random-links:0.6", "reroute", true));
+        let s = &rec.summary;
+        let d = s.disruption.as_ref().expect("failure job disruption block");
+        assert!(d.links_failed > 0, "schedule must actually fail links");
+        assert!(
+            d.rerouted > 0,
+            "a 60% cut on the fat-tree must divert someone"
+        );
+        let churn_rate = d.churn_replay_match_rate.expect("replay ran");
+        assert_eq!(
+            s.replay_match_rate,
+            Some(churn_rate),
+            "top-level replay rate is the churn replay's"
+        );
+        assert!((0.0..=1.0).contains(&churn_rate));
+        assert!(s.delivered > 0);
+    }
+
+    #[test]
+    fn failure_job_drop_policy_counts_dead_link_losses() {
+        let rec = run_job(&failure_spec("FIFO", "burst:0.5", "drop", false));
+        let s = &rec.summary;
+        let d = s.disruption.as_ref().unwrap();
+        assert_eq!(d.rerouted, 0, "drop policy never reroutes");
+        assert!(d.dropped_at_dead_link > 0);
+        assert_eq!(s.dropped, d.dropped_at_dead_link, "no buffer drops here");
+        assert!(
+            d.churn_replay_match_rate.is_none(),
+            "replay skipped on request"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "open-loop schedules only")]
+    fn closed_loop_failure_spec_panics_loudly() {
+        let mut s = failure_spec("FIFO", "burst:0.5", "drop", false);
+        s.traffic = TrafficMode::ClosedLoop;
+        s.horizon = Some(Dur::from_ms(20));
+        let _ = run_job(&s);
+    }
+
+    #[test]
+    fn static_jobs_carry_no_disruption_block() {
+        let rec = run_job(&spec("FIFO", false));
+        assert!(rec.summary.disruption.is_none());
+    }
+
+    #[test]
+    fn failure_jobs_are_deterministic() {
+        let a = run_job(&failure_spec("Random", "random-links:0.4", "reroute", true));
+        let b = run_job(&failure_spec("Random", "random-links:0.4", "reroute", true));
+        assert_eq!(a.to_json(false), b.to_json(false));
+    }
+
+    #[test]
+    fn shared_scenarios_match_fresh_builds() {
+        // The memoized path must be invisible in the records.
+        let specs = [spec("FIFO", true), spec("Random", true)];
+        let shared = SharedScenarios::for_jobs(&specs);
+        assert_eq!(shared.len(), 1, "one distinct topology");
+        for s in &specs {
+            assert_eq!(
+                run_job_shared(s, &shared).to_json(false),
+                run_job(s).to_json(false)
+            );
+        }
     }
 
     #[test]

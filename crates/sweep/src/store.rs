@@ -23,16 +23,26 @@ use crate::pool::PoolStats;
 use crate::runner::JobRecord;
 
 /// Schema tag of the aggregate artifact this build writes.
-pub const SWEEP_SCHEMA: &str = "ups-sweep/v3";
+pub const SWEEP_SCHEMA: &str = "ups-sweep/v4";
 
 /// Aggregate schema tags [`validate_bench_sweep`] accepts (v1 artifacts
 /// predate the traffic-mode axis and the transport block; v2 predates
-/// the finite-priority-queue axis).
-pub const ACCEPTED_SWEEP_SCHEMAS: [&str; 3] = ["ups-sweep/v1", "ups-sweep/v2", "ups-sweep/v3"];
+/// the finite-priority-queue axis; v3 predates the failure axis and the
+/// disruption block).
+pub const ACCEPTED_SWEEP_SCHEMAS: [&str; 4] = [
+    "ups-sweep/v1",
+    "ups-sweep/v2",
+    "ups-sweep/v3",
+    "ups-sweep/v4",
+];
 
 /// Schema tag of the quantized-replay bench artifact
 /// (`BENCH_quantized.json`), validated by [`validate_bench_quantized`].
 pub const QUANTIZED_BENCH_SCHEMA: &str = "ups-bench-quantized/v1";
+
+/// Schema tag of the link-failure bench artifact
+/// (`BENCH_failures.json`), validated by [`validate_bench_failures`].
+pub const FAILURES_BENCH_SCHEMA: &str = "ups-bench-failures/v1";
 
 /// Streams one JSON line per finished job. Shared across workers behind
 /// a mutex — append is one short write per multi-second job.
@@ -189,21 +199,21 @@ pub fn validate_bench_sweep(doc: &str) -> Result<SweepDigest, String> {
     })
 }
 
-/// Validate one result record against its own schema tag (`v1`, `v2` or
-/// `v3`).
+/// Validate one result record against its own schema tag (`v1` — `v4`).
 fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
     let record_schema = r
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("result {i}: missing record schema tag"))?;
-    let (v2, v3) = match record_schema {
-        "ups-sweep-record/v1" => (false, false),
-        "ups-sweep-record/v2" => (true, false),
-        "ups-sweep-record/v3" => (true, true),
+    let (v2, v3, v4) = match record_schema {
+        "ups-sweep-record/v1" => (false, false, false),
+        "ups-sweep-record/v2" => (true, false, false),
+        "ups-sweep-record/v3" => (true, true, false),
+        "ups-sweep-record/v4" => (true, true, true),
         other => {
             return Err(format!(
                 "result {i}: unexpected record schema {other:?} \
-                 (expected ups-sweep-record/v1, /v2 or /v3)"
+                 (expected ups-sweep-record/v1 through /v4)"
             ))
         }
     };
@@ -358,6 +368,66 @@ fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
             ));
         }
     }
+    if !v4 {
+        return Ok(());
+    }
+    // v4: the network-dynamics axis. `failures`/`inflight` travel
+    // together, and the disruption block is present exactly when the
+    // scenario carries a failure spec.
+    let failures = match scenario.get("failures") {
+        Some(JsonValue::Null) => None,
+        Some(JsonValue::String(f)) => Some(f.clone()),
+        other => {
+            return Err(format!(
+                "result {i}: scenario.failures must be a string or null, got {other:?}"
+            ))
+        }
+    };
+    match scenario.get("inflight") {
+        Some(JsonValue::Null) if failures.is_none() => {}
+        Some(JsonValue::String(p)) if failures.is_some() && (p == "reroute" || p == "drop") => {}
+        other => {
+            return Err(format!(
+                "result {i}: scenario.inflight must be reroute/drop exactly when \
+                 failures is set, got {other:?}"
+            ))
+        }
+    }
+    match metrics.get("disruption") {
+        Some(JsonValue::Null) => {
+            if failures.is_some() {
+                return Err(format!(
+                    "result {i}: failure record lacks a disruption block"
+                ));
+            }
+        }
+        Some(d @ JsonValue::Object(_)) => {
+            if failures.is_none() {
+                return Err(format!(
+                    "result {i}: disruption block on a static-network record"
+                ));
+            }
+            for field in ["links_failed", "rerouted", "dropped_at_dead_link"] {
+                if d.get(field).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("result {i}: metrics.disruption.{field} missing"));
+                }
+            }
+            match d.get("churn_replay_match_rate") {
+                Some(JsonValue::Null) | Some(JsonValue::Number(_)) => {}
+                other => {
+                    return Err(format!(
+                        "result {i}: disruption.churn_replay_match_rate must be \
+                         number or null, got {other:?}"
+                    ))
+                }
+            }
+        }
+        other => {
+            return Err(format!(
+                "result {i}: metrics.disruption must be object or null, got {other:?}"
+            ))
+        }
+    }
     Ok(())
 }
 
@@ -438,6 +508,103 @@ pub fn validate_bench_quantized(doc: &str) -> Result<QuantizedDigest, String> {
     })
 }
 
+/// What a valid failures-bench artifact reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailuresDigest {
+    /// Intensity rows recorded (including the zero-failure baseline).
+    pub rows: usize,
+    /// Match rate of the zero-failure (static-network) row.
+    pub baseline_match_rate: f64,
+    /// Match rate of the highest-intensity row.
+    pub worst_match_rate: f64,
+}
+
+/// Validate a `BENCH_failures.json` document (the `failures` bench's
+/// match-rate-vs-failure-intensity curve; schema
+/// [`FAILURES_BENCH_SCHEMA`]). Dispatched from the same
+/// `sweep --validate` entry point by its schema tag. Rows must be sorted
+/// by ascending `rate`, start at `rate: 0`, and the zero row must assert
+/// bit-identity with the static-routing run.
+pub fn validate_bench_failures(doc: &str) -> Result<FailuresDigest, String> {
+    let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != FAILURES_BENCH_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (expected {FAILURES_BENCH_SCHEMA:?})"
+        ));
+    }
+    let scenario = v.get("scenario").ok_or("missing scenario block")?;
+    for field in ["topology", "original", "profile", "inflight"] {
+        if scenario.get(field).and_then(JsonValue::as_str).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    for field in ["packets", "seed", "utilization"] {
+        if scenario.get(field).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    let results = v
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing results array")?;
+    if results.len() < 2 {
+        return Err("need at least the zero-failure row and one churn row".into());
+    }
+    let mut last_rate = f64::NEG_INFINITY;
+    let mut baseline = None;
+    let mut worst = None;
+    for (i, r) in results.iter().enumerate() {
+        let rate = r
+            .get("rate")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("row {i}: rate missing"))?;
+        if !(0.0..=1.0).contains(&rate) || rate <= last_rate {
+            return Err(format!(
+                "row {i}: rate {rate} must ascend within [0, 1] (prev {last_rate})"
+            ));
+        }
+        last_rate = rate;
+        for field in [
+            "links_failed",
+            "rerouted",
+            "dropped_at_dead_link",
+            "delivered",
+            "match_rate",
+            "frac_gt_t",
+        ] {
+            if r.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("row {i}: {field} missing"));
+            }
+        }
+        let match_rate = r.get("match_rate").and_then(JsonValue::as_f64).unwrap();
+        if i == 0 {
+            if rate != 0.0 {
+                return Err("first row must be the zero-failure baseline".into());
+            }
+            match r.get("bit_identical_to_static_routing") {
+                Some(JsonValue::Bool(true)) => {}
+                other => {
+                    return Err(format!(
+                        "zero-failure row must assert bit_identical_to_static_routing: \
+                         true, got {other:?}"
+                    ))
+                }
+            }
+            baseline = Some(match_rate);
+        }
+        worst = Some(match_rate);
+    }
+    Ok(FailuresDigest {
+        rows: results.len(),
+        baseline_match_rate: baseline.expect("checked row 0"),
+        worst_match_rate: worst.expect("non-empty"),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +629,8 @@ mod tests {
                 replay: false,
                 queues: None,
                 mapper: None,
+                failures: None,
+                inflight: None,
                 max_packets: None,
             },
             summary: RunSummary {
@@ -480,9 +649,26 @@ mod tests {
                 quantized_frac_gt_t: None,
                 quantized_fct_delta_s: None,
                 transport: None,
+                disruption: None,
             },
             wall_s: 0.5,
         }
+    }
+
+    fn failure_record(job_id: usize) -> JobRecord {
+        let mut r = record(job_id);
+        r.spec.replay = true;
+        r.spec.failures = Some("random-links:0.4".into());
+        r.spec.inflight = Some("reroute".into());
+        r.summary.replay_match_rate = Some(0.87);
+        r.summary.replay_frac_gt_t = Some(0.01);
+        r.summary.disruption = Some(ups_metrics::DisruptionSummary {
+            links_failed: 3,
+            rerouted: 42,
+            dropped_at_dead_link: 5,
+            churn_replay_match_rate: Some(0.87),
+        });
+        r
     }
 
     fn quantized_record(job_id: usize) -> JobRecord {
@@ -574,7 +760,7 @@ mod tests {
             .unwrap_err()
             .contains("jain"));
         // A record schema from the future names the unexpected tag.
-        let future = good.replace("ups-sweep-record/v3", "ups-sweep-record/v9");
+        let future = good.replace("ups-sweep-record/v4", "ups-sweep-record/v9");
         let err = validate_bench_sweep(&future).unwrap_err();
         assert!(
             err.contains("ups-sweep-record/v9") && err.contains("unexpected record schema"),
@@ -588,18 +774,24 @@ mod tests {
     }
 
     #[test]
-    fn v1_v2_and_v3_artifacts_all_validate() {
-        // A v3 artifact with open-loop, closed-loop and quantized records.
-        let records = [record(0), closed_record(1), quantized_record(2)];
+    fn v1_through_v4_artifacts_all_validate() {
+        // A v4 artifact with open-loop, closed-loop, quantized and
+        // failure records.
+        let records = [
+            record(0),
+            closed_record(1),
+            quantized_record(2),
+            failure_record(3),
+        ];
         let stats = PoolStats {
             workers: 1,
-            jobs: 3,
+            jobs: 4,
             steals: 0,
         };
-        let v3_doc = bench_sweep_json(&grid(), &records, stats, 1.0);
-        validate_bench_sweep(&v3_doc).expect("v3 artifact validates");
+        let v4_doc = bench_sweep_json(&grid(), &records, stats, 1.0);
+        validate_bench_sweep(&v4_doc).expect("v4 artifact validates");
         // queues and mapper must travel together.
-        let torn = v3_doc.replace(
+        let torn = v4_doc.replace(
             r#""queues":8,"mapper":"dynamic""#,
             r#""queues":8,"mapper":null"#,
         );
@@ -607,13 +799,38 @@ mod tests {
             .unwrap_err()
             .contains("set together"));
         // Quantized metrics without the axis are inconsistent.
-        let orphan = v3_doc.replace(
+        let orphan = v4_doc.replace(
             r#""quantized_match_rate":null"#,
             r#""quantized_match_rate":0.5"#,
         );
         assert!(validate_bench_sweep(&orphan)
             .unwrap_err()
             .contains("no queues axis"));
+        // failures and inflight must travel together.
+        let torn = v4_doc.replace(
+            r#""failures":"random-links:0.4","inflight":"reroute""#,
+            r#""failures":"random-links:0.4","inflight":null"#,
+        );
+        assert!(validate_bench_sweep(&torn)
+            .unwrap_err()
+            .contains("inflight"));
+        // A failure record must carry its disruption block...
+        let gone = v4_doc.replace(
+            r#""disruption":{"links_failed":3,"rerouted":42,"dropped_at_dead_link":5,"churn_replay_match_rate":0.87}"#,
+            r#""disruption":null"#,
+        );
+        assert!(validate_bench_sweep(&gone)
+            .unwrap_err()
+            .contains("disruption"));
+        // ...and a static record must not.
+        let sprouted = v4_doc.replacen(
+            r#""disruption":null"#,
+            r#""disruption":{"links_failed":1,"rerouted":0,"dropped_at_dead_link":0,"churn_replay_match_rate":null}"#,
+            1,
+        );
+        assert!(validate_bench_sweep(&sprouted)
+            .unwrap_err()
+            .contains("static-network"));
 
         // A hand-rolled v2 artifact (pre-queues-axis) still validates.
         let v2_doc = r#"{
@@ -665,6 +882,81 @@ mod tests {
         // But a v1 record may not drop jain.
         let broken = v1_doc.replace(r#""jain": 1.0"#, r#""joan": 1.0"#);
         assert!(validate_bench_sweep(&broken).unwrap_err().contains("jain"));
+
+        // A hand-rolled v3 artifact (pre-failure-axis) still validates.
+        let v3_doc = r#"{
+  "schema": "ups-sweep/v3",
+  "grid": {"topologies": ["Line(3)"]},
+  "workers": 1,
+  "steals": 0,
+  "jobs": 1,
+  "wall_s": 1.0,
+  "jobs_per_sec": 1.0,
+  "results": [
+    {"schema": "ups-sweep-record/v3", "job_id": 0,
+     "scenario": {"topology": "Line(3)", "profile": "web-search", "scheduler": "FIFO",
+                  "traffic": "open-loop", "rest_bps": null, "utilization": 0.7,
+                  "seed": 1, "window_ms": 1, "horizon_ms": null, "buffer_bytes": null,
+                  "replay": false, "queues": null, "mapper": null, "max_packets": null},
+     "metrics": {"flows": 1, "packets": 10, "delivered": 10, "dropped": 0,
+                 "delay_mean_s": 0.001, "delay_p99_s": 0.002, "fct_mean_s": 0.1,
+                 "jain": 1.0, "replay_match_rate": null, "replay_frac_gt_t": null,
+                 "quantized_match_rate": null, "quantized_frac_gt_t": null,
+                 "quantized_fct_delta_s": null, "transport": null, "fct_buckets": []},
+     "wall_s": 0.5}
+  ]
+}"#;
+        validate_bench_sweep(v3_doc).expect("v3 artifact still validates");
+    }
+
+    const FAIL_DOC: &str = r#"{
+  "schema": "ups-bench-failures/v1",
+  "scenario": {"topology": "FatTree(k=4)", "original": "Random", "profile": "random-links",
+               "inflight": "reroute", "utilization": 0.7, "seed": 42, "packets": 20000},
+  "results": [
+    {"rate": 0, "links_failed": 0, "rerouted": 0, "dropped_at_dead_link": 0,
+     "delivered": 20000, "match_rate": 0.99, "frac_gt_t": 0.001,
+     "bit_identical_to_static_routing": true},
+    {"rate": 0.25, "links_failed": 8, "rerouted": 900, "dropped_at_dead_link": 12,
+     "delivered": 19988, "match_rate": 0.93, "frac_gt_t": 0.02},
+    {"rate": 0.5, "links_failed": 16, "rerouted": 2100, "dropped_at_dead_link": 60,
+     "delivered": 19940, "match_rate": 0.81, "frac_gt_t": 0.09}
+  ]
+}"#;
+
+    #[test]
+    fn failures_bench_artifact_validates() {
+        let d = validate_bench_failures(FAIL_DOC).expect("valid artifact");
+        assert_eq!(
+            d,
+            FailuresDigest {
+                rows: 3,
+                baseline_match_rate: 0.99,
+                worst_match_rate: 0.81
+            }
+        );
+        assert!(validate_bench_failures("{}").is_err());
+        let wrong = FAIL_DOC.replace("ups-bench-failures/v1", "ups-sweep/v4");
+        assert!(validate_bench_failures(&wrong)
+            .unwrap_err()
+            .contains("schema"));
+        // The zero row must assert bit-identity with static routing.
+        let unasserted = FAIL_DOC.replace(
+            r#""bit_identical_to_static_routing": true"#,
+            r#""bit_identical_to_static_routing": false"#,
+        );
+        assert!(validate_bench_failures(&unasserted)
+            .unwrap_err()
+            .contains("bit_identical_to_static_routing"));
+        // Rates must ascend.
+        let shuffled = FAIL_DOC.replace(r#""rate": 0.25"#, r#""rate": 0.75"#);
+        assert!(validate_bench_failures(&shuffled)
+            .unwrap_err()
+            .contains("ascend"));
+        let missing = FAIL_DOC.replace(r#""rerouted": 900, "#, "");
+        assert!(validate_bench_failures(&missing)
+            .unwrap_err()
+            .contains("rerouted"));
     }
 
     #[test]
@@ -738,7 +1030,7 @@ mod tests {
             let v = parse(line).expect("each line parses alone");
             assert_eq!(
                 v.get("schema").unwrap().as_str(),
-                Some("ups-sweep-record/v3")
+                Some("ups-sweep-record/v4")
             );
         }
         std::fs::remove_dir_all(&dir).ok();

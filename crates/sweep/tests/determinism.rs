@@ -29,6 +29,33 @@ fn tiny_grid() -> ScenarioGrid {
         // cross-thread contract covers the finite-priority-queue path.
         queues: vec![8],
         mapper: "sppifo".into(),
+        failures: Vec::new(),
+        inflight: "reroute".into(),
+        max_packets: Some(3_000),
+        excludes: Vec::new(),
+        max_jobs: None,
+    }
+}
+
+/// An open-loop grid sweeping the failure axis: a static baseline plus a
+/// reroute-heavy churn row on a path-diverse topology.
+fn failure_grid() -> ScenarioGrid {
+    ScenarioGrid {
+        topologies: vec!["FatTree(k=4)".into(), "I2:small".into()],
+        profiles: vec!["fixed-mtu".into()],
+        schedulers: vec!["FIFO".into(), "Random".into()],
+        traffic: vec!["open-loop".into()],
+        rest_bps: Vec::new(),
+        utilizations: vec![0.7],
+        seeds: vec![1, 2],
+        window: Dur::from_ms(2),
+        horizon: None,
+        buffer_bytes: None,
+        replay: true,
+        queues: Vec::new(),
+        mapper: "sppifo".into(),
+        failures: vec!["none".into(), "random-links:0.5".into()],
+        inflight: "reroute".into(),
         max_packets: Some(3_000),
         excludes: Vec::new(),
         max_jobs: None,
@@ -95,6 +122,61 @@ fn one_worker_and_four_workers_agree_byte_for_byte() {
         closed.iter().any(|l| !l.contains(r#""completed_flows":0"#)),
         "TCP flows completed somewhere in the closed sub-grid"
     );
+}
+
+/// Run the failure grid with `workers` threads through the shared
+/// topology cache (the memoized path is the one the CLI uses).
+fn sorted_failure_records(workers: usize) -> Vec<String> {
+    let jobs = failure_grid().expand().expect("grid expands");
+    assert_eq!(
+        jobs.len(),
+        16,
+        "2 topologies × 2 schedulers × 2 seeds × 2 failure-axis values"
+    );
+    let shared = runner::SharedScenarios::for_jobs(&jobs);
+    let (records, _) = pool::run_jobs(&jobs, workers, |_, spec| {
+        runner::run_job_shared(spec, &shared)
+    });
+    let mut lines: Vec<String> = records.iter().map(|r| r.to_json(false)).collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn failure_axis_grid_is_deterministic_across_worker_counts() {
+    let serial = sorted_failure_records(1);
+    let parallel = sorted_failure_records(4);
+    assert_eq!(
+        serial, parallel,
+        "churn records must be byte-identical across worker counts"
+    );
+    // The churn rows actually churned: every failure record carries a
+    // disruption block, and rerouting happened somewhere in the grid.
+    let churn: Vec<&String> = serial
+        .iter()
+        .filter(|l| l.contains(r#""failures":"random-links:0.5""#))
+        .collect();
+    assert_eq!(churn.len(), 8);
+    assert!(churn.iter().all(|l| l.contains(r#""disruption":{"#)));
+    assert!(churn.iter().all(|l| l.contains(r#""inflight":"reroute""#)));
+    assert!(
+        churn.iter().any(|l| !l.contains(r#""rerouted":0"#)),
+        "a 50% cut must reroute something somewhere"
+    );
+    assert!(
+        churn
+            .iter()
+            .any(|l| l.contains(r#""churn_replay_match_rate":0"#)
+                || l.contains(r#""churn_replay_match_rate":1"#)),
+        "churn replay reported a rate somewhere"
+    );
+    // The static rows are plain v4 records with a null disruption.
+    let baseline: Vec<&String> = serial
+        .iter()
+        .filter(|l| l.contains(r#""failures":null"#))
+        .collect();
+    assert_eq!(baseline.len(), 8);
+    assert!(baseline.iter().all(|l| l.contains(r#""disruption":null"#)));
 }
 
 #[test]

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use proptest::{bool as any_bool, collection, sample};
-use ups_metrics::{RunSummary, TransportSummary};
+use ups_metrics::{DisruptionSummary, RunSummary, TransportSummary};
 use ups_netsim::prelude::Dur;
 use ups_sweep::json::{parse, JsonValue};
 use ups_sweep::{JobRecord, JobSpec, TrafficMode};
@@ -101,8 +101,13 @@ proptest! {
             replay: replay_some,
             queues: quantized.then_some((retx as u32).max(1)),
             mapper: quantized.then(|| "dynamic".to_string()),
+            // The dynamics axis is open-loop only and excludes queues;
+            // exercise it on the records that carry neither.
+            failures: (!closed && !quantized).then(|| "random-links:0.4".to_string()),
+            inflight: (!closed && !quantized).then(|| "drop".to_string()),
             max_packets: jain_some.then_some(4096),
         };
+        let churned = spec.failures.is_some();
         let summary = RunSummary {
             flows: completed,
             packets,
@@ -125,6 +130,12 @@ proptest! {
                 rto_events: rtos,
                 slack_ooo: goodput % 7,
             }),
+            disruption: churned.then_some(DisruptionSummary {
+                links_failed: rtos,
+                rerouted: retx,
+                dropped_at_dead_link: goodput % 11,
+                churn_replay_match_rate: jain_some.then_some(fct_mean),
+            }),
         };
         let record = JobRecord { spec, summary, wall_s: wall };
 
@@ -134,7 +145,7 @@ proptest! {
             TestCaseError::Fail(format!("emitted line does not parse: {e}\n{line}"))
         })?;
 
-        prop_assert_eq!(v.get("schema").unwrap().as_str(), Some("ups-sweep-record/v3"));
+        prop_assert_eq!(v.get("schema").unwrap().as_str(), Some("ups-sweep-record/v4"));
         prop_assert_eq!(v.get("job_id").unwrap().as_f64(), Some(job_id as f64));
 
         let scenario = v.get("scenario").unwrap();
@@ -158,6 +169,16 @@ proptest! {
                 prop_assert_eq!(scenario.get("queues"), Some(&JsonValue::Null));
                 prop_assert_eq!(scenario.get("mapper"), Some(&JsonValue::Null));
             }
+        }
+        if churned {
+            prop_assert_eq!(
+                scenario.get("failures").unwrap().as_str(),
+                Some("random-links:0.4")
+            );
+            prop_assert_eq!(scenario.get("inflight").unwrap().as_str(), Some("drop"));
+        } else {
+            prop_assert_eq!(scenario.get("failures"), Some(&JsonValue::Null));
+            prop_assert_eq!(scenario.get("inflight"), Some(&JsonValue::Null));
         }
 
         let metrics = v.get("metrics").unwrap();
@@ -227,6 +248,36 @@ proptest! {
                 );
             }
             None => prop_assert_eq!(metrics.get("transport"), Some(&JsonValue::Null)),
+        }
+
+        match &record.summary.disruption {
+            Some(d) => {
+                let block = metrics.get("disruption").unwrap();
+                prop_assert_eq!(
+                    block.get("links_failed").unwrap().as_f64(),
+                    Some(d.links_failed as f64)
+                );
+                prop_assert_eq!(
+                    block.get("rerouted").unwrap().as_f64(),
+                    Some(d.rerouted as f64)
+                );
+                prop_assert_eq!(
+                    block.get("dropped_at_dead_link").unwrap().as_f64(),
+                    Some(d.dropped_at_dead_link as f64)
+                );
+                match d.churn_replay_match_rate {
+                    Some(x) => assert_float_field(
+                        block.get("churn_replay_match_rate"),
+                        x,
+                        "churn_replay_match_rate",
+                    ),
+                    None => prop_assert_eq!(
+                        block.get("churn_replay_match_rate"),
+                        Some(&JsonValue::Null)
+                    ),
+                }
+            }
+            None => prop_assert_eq!(metrics.get("disruption"), Some(&JsonValue::Null)),
         }
 
         if with_timing {

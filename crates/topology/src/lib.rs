@@ -37,4 +37,7 @@ pub use internet2::{i2_10g_10g, i2_1g_1g, i2_default, i2_fairness, internet2, In
 pub use micro::{appendix_c, appendix_f, appendix_g, dumbbell, line, NamedTopology};
 pub use registry::{topology_by_name, topology_entry, topology_names, TopologyEntry, TOPOLOGIES};
 pub use rocketfuel::{rocketfuel, rocketfuel_default, RocketFuelParams};
-pub use routing::{attach_tmin, tmin, tmin_rem_table, tmin_suffix, Routing};
+pub use routing::{
+    attach_tmin, bfs_dist_avoiding, shortest_path_avoiding, shortest_path_from_dist, tmin,
+    tmin_rem_table, tmin_suffix, Routing, RoutingCore,
+};

@@ -17,14 +17,36 @@ use ups_netsim::prelude::{Dur, NodeId};
 
 use crate::graph::Topology;
 
-/// All-pairs routing over a topology: BFS distance fields per source,
-/// with hash-spread path reconstruction cached per (src, dst).
-pub struct Routing {
+/// The immutable, shareable part of [`Routing`]: per-source BFS distance
+/// fields and a sorted adjacency copy. Computing this is the O(V·(V+E))
+/// cost of routing; the sweep engine builds it **once per distinct
+/// topology** and shares it across jobs behind an `Arc` (every job then
+/// carries only its own cheap path cache).
+pub struct RoutingCore {
     /// `dist[s][n]` = hop distance from source `s` to `n`.
     dist: Vec<Vec<u32>>,
     /// Sorted adjacency copy (path reconstruction needs neighbor sets
     /// without borrowing the topology).
     adjacency: Vec<Vec<NodeId>>,
+}
+
+impl RoutingCore {
+    /// All-pairs BFS over `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut dist = Vec::with_capacity(n);
+        for s in topo.nodes() {
+            dist.push(bfs_dist(topo, s, &alive_all));
+        }
+        let adjacency = topo.nodes().map(|u| topo.neighbors(u).collect()).collect();
+        RoutingCore { dist, adjacency }
+    }
+}
+
+/// All-pairs routing over a topology: a shared [`RoutingCore`] plus
+/// hash-spread path reconstruction cached per (src, dst).
+pub struct Routing {
+    core: Arc<RoutingCore>,
     cache: HashMap<(NodeId, NodeId), Arc<[NodeId]>>,
 }
 
@@ -36,19 +58,56 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The trivial link filter: everything is alive.
+fn alive_all(_a: NodeId, _b: NodeId) -> bool {
+    true
+}
+
+/// Walk backwards from `dst` along a BFS distance field rooted at `src`:
+/// at every step the candidates are the (alive) neighbors one hop closer
+/// to `src`, picked by the (src, dst)-seeded hash. This single function
+/// is the tie-break rule — static [`Routing`] and the dynamics layer's
+/// failover routing both call it, so a zero-failure dynamic table is the
+/// static table by construction.
+///
+/// `neighbors_of(cur, out)` must fill `out` with `cur`'s neighbors whose
+/// link to `cur` is alive, in ascending-id order.
+fn walk_back(
+    dist: &[u32],
+    src: NodeId,
+    dst: NodeId,
+    mut neighbors_of: impl FnMut(NodeId, &mut Vec<NodeId>),
+) -> Vec<NodeId> {
+    let seed = mix(((src.0 as u64) << 32) | dst.0 as u64);
+    let mut rev = vec![dst];
+    let mut cur = dst;
+    let mut candidates = Vec::new();
+    while cur != src {
+        let want = dist[cur.index()] - 1;
+        candidates.clear();
+        neighbors_of(cur, &mut candidates);
+        candidates.retain(|n| dist[n.index()] == want);
+        debug_assert!(!candidates.is_empty(), "broken BFS field");
+        let pick = mix(seed ^ cur.0 as u64) as usize % candidates.len();
+        cur = candidates[pick];
+        rev.push(cur);
+    }
+    rev.reverse();
+    rev
+}
+
 impl Routing {
     /// Compute routing for `topo`. O(V·(V+E)); instantaneous at the
     /// paper's scales (≤ a few thousand nodes).
     pub fn new(topo: &Topology) -> Self {
-        let n = topo.node_count();
-        let mut dist = Vec::with_capacity(n);
-        for s in topo.nodes() {
-            dist.push(bfs_dist(topo, s));
-        }
-        let adjacency = topo.nodes().map(|u| topo.neighbors(u).collect()).collect();
+        Routing::from_core(Arc::new(RoutingCore::new(topo)))
+    }
+
+    /// Wrap an already-computed (typically shared) core. The path cache
+    /// starts empty and is private to this instance.
+    pub fn from_core(core: Arc<RoutingCore>) -> Self {
         Routing {
-            dist,
-            adjacency,
+            core,
             cache: HashMap::new(),
         }
     }
@@ -62,26 +121,12 @@ impl Routing {
         if let Some(p) = self.cache.get(&(src, dst)) {
             return p.clone();
         }
-        let dist = &self.dist[src.index()];
+        let dist = &self.core.dist[src.index()];
         assert_ne!(dist[dst.index()], u32::MAX, "{dst} unreachable from {src}");
-        // Walk backwards from dst: at every step the candidates are the
-        // neighbors one hop closer to src; pick by pair-seeded hash.
-        let seed = mix(((src.0 as u64) << 32) | dst.0 as u64);
-        let mut rev = vec![dst];
-        let mut cur = dst;
-        while cur != src {
-            let want = dist[cur.index()] - 1;
-            let candidates: Vec<NodeId> = self.adjacency[cur.index()]
-                .iter()
-                .copied()
-                .filter(|n| dist[n.index()] == want)
-                .collect();
-            debug_assert!(!candidates.is_empty(), "broken BFS field");
-            let pick = mix(seed ^ cur.0 as u64) as usize % candidates.len();
-            cur = candidates[pick];
-            rev.push(cur);
-        }
-        rev.reverse();
+        let adjacency = &self.core.adjacency;
+        let rev = walk_back(dist, src, dst, |cur, out| {
+            out.extend_from_slice(&adjacency[cur.index()]);
+        });
         let path: Arc<[NodeId]> = rev.into();
         self.cache.insert((src, dst), path.clone());
         path
@@ -93,8 +138,55 @@ impl Routing {
     }
 }
 
-/// BFS hop distances from `s`.
-fn bfs_dist(topo: &Topology, s: NodeId) -> Vec<u32> {
+/// Hash-spread shortest path from `src` to `dst` over the links `alive`
+/// admits, or `None` when the surviving graph disconnects them — the
+/// primitive behind the dynamics layer's per-epoch failover routing.
+/// With an all-true filter this returns exactly [`Routing::path`]'s
+/// answer (same BFS, same [`walk_back`] tie-break).
+pub fn shortest_path_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    alive: &dyn Fn(NodeId, NodeId) -> bool,
+) -> Option<Arc<[NodeId]>> {
+    shortest_path_from_dist(topo, &bfs_dist_avoiding(topo, src, alive), src, dst, alive)
+}
+
+/// The BFS half of [`shortest_path_avoiding`]: hop distances from `src`
+/// over the links `alive` admits. The field depends only on the source
+/// and the alive set, so callers answering many destinations per source
+/// (the dynamics layer's burst reroutes) compute it once and reconstruct
+/// per destination with [`shortest_path_from_dist`].
+pub fn bfs_dist_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    alive: &dyn Fn(NodeId, NodeId) -> bool,
+) -> Vec<u32> {
+    bfs_dist(topo, src, alive)
+}
+
+/// The reconstruction half of [`shortest_path_avoiding`]: walk a
+/// precomputed distance field (from [`bfs_dist_avoiding`] with the same
+/// `src` and `alive`) back from `dst` with the hash-spread tie-break.
+pub fn shortest_path_from_dist(
+    topo: &Topology,
+    dist: &[u32],
+    src: NodeId,
+    dst: NodeId,
+    alive: &dyn Fn(NodeId, NodeId) -> bool,
+) -> Option<Arc<[NodeId]>> {
+    assert_ne!(src, dst, "degenerate path {src} -> {src}");
+    if dist[dst.index()] == u32::MAX {
+        return None;
+    }
+    let rev = walk_back(dist, src, dst, |cur, out| {
+        out.extend(topo.neighbors(cur).filter(|&n| alive(n, cur)));
+    });
+    Some(rev.into())
+}
+
+/// BFS hop distances from `s` over the links `alive` admits.
+fn bfs_dist(topo: &Topology, s: NodeId, alive: &dyn Fn(NodeId, NodeId) -> bool) -> Vec<u32> {
     let n = topo.node_count();
     let mut dist: Vec<u32> = vec![u32::MAX; n];
     dist[s.index()] = 0;
@@ -102,7 +194,7 @@ fn bfs_dist(topo: &Topology, s: NodeId) -> Vec<u32> {
     q.push_back(s);
     while let Some(u) = q.pop_front() {
         for v in topo.neighbors(u) {
-            if dist[v.index()] == u32::MAX {
+            if dist[v.index()] == u32::MAX && alive(u, v) {
                 dist[v.index()] = dist[u.index()] + 1;
                 q.push_back(v);
             }
@@ -248,5 +340,64 @@ mod tests {
     fn rejects_self_path() {
         let mut r = Routing::new(&diamond());
         let _ = r.path(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn filtered_path_with_everything_alive_matches_static_routing() {
+        let t = diamond();
+        let mut r = Routing::new(&t);
+        for (src, dst) in [(0u32, 3u32), (3, 0), (1, 4), (4, 2), (0, 1)] {
+            let (src, dst) = (NodeId(src), NodeId(dst));
+            let filtered = shortest_path_avoiding(&t, src, dst, &|_, _| true).expect("connected");
+            assert_eq!(&*filtered, &*r.path(src, dst), "{src}->{dst}");
+        }
+    }
+
+    #[test]
+    fn filtered_path_detours_around_dead_links() {
+        let t = diamond();
+        let mut r = Routing::new(&t);
+        let via = r.path(NodeId(0), NodeId(3))[1];
+        // Kill the first hop of the chosen path: the detour must avoid it
+        // and still be a 2-hop shortest path through another middle node.
+        let dead = (NodeId(0), via);
+        let alive = move |a: NodeId, b: NodeId| !((a, b) == dead || (b, a) == dead);
+        let p = shortest_path_avoiding(&t, NodeId(0), NodeId(3), &alive).expect("still connected");
+        assert_eq!(p.len(), 3);
+        assert_ne!(p[1], via, "detour must not use the dead link");
+    }
+
+    #[test]
+    fn filtered_path_reports_disconnection() {
+        // Line 0-1-2: killing 1-2 cuts 0 off from 2.
+        let mut t = Topology::new("cut");
+        for _ in 0..3 {
+            t.add_node(NodeRole::Core);
+        }
+        let bw = Bandwidth::from_gbps(1);
+        t.add_link(NodeId(0), NodeId(1), bw, Dur::from_us(1));
+        t.add_link(NodeId(1), NodeId(2), bw, Dur::from_us(1));
+        let alive = |a: NodeId, b: NodeId| {
+            !((a, b) == (NodeId(1), NodeId(2)) || (a, b) == (NodeId(2), NodeId(1)))
+        };
+        assert!(shortest_path_avoiding(&t, NodeId(0), NodeId(2), &alive).is_none());
+        assert!(shortest_path_avoiding(&t, NodeId(0), NodeId(1), &alive).is_some());
+    }
+
+    #[test]
+    fn shared_core_yields_identical_paths() {
+        let t = diamond();
+        let core = Arc::new(RoutingCore::new(&t));
+        let mut a = Routing::from_core(core.clone());
+        let mut b = Routing::from_core(core);
+        let mut fresh = Routing::new(&t);
+        assert_eq!(
+            &*a.path(NodeId(0), NodeId(3)),
+            &*fresh.path(NodeId(0), NodeId(3))
+        );
+        assert_eq!(
+            &*b.path(NodeId(4), NodeId(1)),
+            &*fresh.path(NodeId(4), NodeId(1))
+        );
     }
 }

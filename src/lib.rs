@@ -18,6 +18,7 @@
 //! | [`workload`] | Poisson arrivals, heavy-tailed sizes, utilization calibration |
 //! | [`transport`] | simplified TCP with §3 slack-stamping policies |
 //! | [`core`] | the replay framework, slack heuristics, appendix counterexamples |
+//! | [`dynamics`] | link-failure schedules, epoch-based rerouting, churn-robust replay |
 //! | [`metrics`] | CDFs, Jain index, FCT buckets, run summaries, table rendering |
 //! | [`sweep`] | parallel scenario-sweep engine: grids, work-stealing pool, result store |
 //!
@@ -56,6 +57,7 @@
 //! system inventory.
 
 pub use ups_core as core;
+pub use ups_dynamics as dynamics;
 pub use ups_metrics as metrics;
 pub use ups_netsim as netsim;
 pub use ups_sweep as sweep;
@@ -68,6 +70,9 @@ pub mod prelude {
     pub use ups_core::{
         compare, compare_with_tolerance, fct_slack, max_congestion_points, tail_slack,
         FairnessSlackAssigner, HeaderInit, ReplayExperiment, ReplayOutcome, ReplayReport, FCT_D,
+    };
+    pub use ups_dynamics::{
+        churn_replay, run_schedule_with_failures, DynamicRouting, FailureProfile, FailureSchedule,
     };
     pub use ups_metrics::{jain_index, jain_series, mean_fct_by_bucket, Cdf, FlowSample};
     pub use ups_netsim::prelude::*;
