@@ -27,7 +27,7 @@ pub use objectives::{
     TailResult,
 };
 pub use replay_exp::{ReplayResult, ReplayScenario};
-pub use scale::Scale;
+pub use scale::{peak_rss_bytes, Scale};
 pub use scenarios::{
     fattree_throughput_workload, fig1_scenarios, figure_setup, table1_scenarios, FigureSetup,
     PAPER_FQ_FIFOPLUS, PAPER_TABLE1,

@@ -167,7 +167,8 @@ mod tests {
         let res = tiny_scenario(SchedulerKind::Random, "Random").run_lstf();
         let ratios = &res.report.queueing_ratios;
         assert!(!ratios.is_empty());
-        let le_one = ratios.iter().filter(|&&r| r <= 1.0).count() as f64 / ratios.len() as f64;
+        // `fraction_le(1.0)` is exact: 1.0 is a sketch bucket edge.
+        let le_one = ratios.fraction_le(1.0);
         assert!(le_one > 0.5, "only {le_one} of ratios ≤ 1");
     }
 }

@@ -66,9 +66,39 @@ impl Scale {
     }
 }
 
+/// Peak resident-set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status` — the self-measurement the scale benchmark and its
+/// CI smoke test assert their memory budget against. Returns `0` on
+/// platforms without procfs (the callers' budget asserts then pass
+/// vacuously rather than faking a reading).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0, "VmHWM must parse on procfs hosts");
+        }
+    }
 
     #[test]
     fn quick_is_smaller_than_full() {

@@ -29,7 +29,8 @@ pub use counterexamples::{
 };
 pub use heuristics::{fct_slack, tail_slack, FairnessSlackAssigner, FCT_D};
 pub use replay::{
-    as_executed_packets, compare, compare_with_tolerance, max_congestion_points,
-    priorities_from_schedule, replay_packets, run_schedule, HeaderInit, PriorityAssignment,
-    ReplayExperiment, ReplayOutcome, ReplayReport,
+    as_executed_packets, as_executed_stream, compare, compare_streams, compare_with_tolerance,
+    lstf_replay_stream, max_congestion_points, priorities_from_schedule, replay_packets,
+    run_schedule, HeaderInit, PriorityAssignment, ReplayExperiment, ReplayOutcome, ReplayReport,
+    REORDER_WINDOW,
 };

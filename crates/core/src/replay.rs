@@ -10,10 +10,12 @@
 //!    (black-box) or from per-hop times (omniscient, App. B);
 //! 3. compare: the replay succeeds for packet `p` iff `o′(p) ≤ o(p)`.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use ups_metrics::QuantileSketch;
 use ups_netsim::prelude::{
-    Dur, Header, Packet, PacketId, RecordMode, SchedulerKind, SimTime, Trace,
+    Dur, Header, Packet, PacketId, PacketRecord, RecordMode, SchedulerKind, SimTime, Trace,
 };
 use ups_topology::{
     attach_tmin, build_simulator, tmin, BuildOptions, SchedulerAssignment, Topology,
@@ -157,10 +159,12 @@ pub fn replay_packets(
                         "per-hop record incomplete for packet {}",
                         p.id
                     );
-                    let mut v: Vec<SimTime> = rec.hops.iter().map(|h| h.tx_start).collect();
                     // The destination never schedules; pad for 1:1 indexing.
-                    v.push(SimTime::MAX);
-                    q.header.omniscient = Some(Arc::from(v.into_boxed_slice()));
+                    let v: Arc<[SimTime]> = rec
+                        .hop_tx_starts()
+                        .chain(std::iter::once(SimTime::MAX))
+                        .collect();
+                    q.header.omniscient = Some(v);
                 }
             }
             q
@@ -194,8 +198,48 @@ pub fn as_executed_packets(trace: &Trace) -> Vec<Packet> {
         .collect()
 }
 
+/// Lazy form of [`as_executed_packets`]: the same delivered packet set,
+/// yielded in the canonical stream order `(i(p), id)` — exactly what
+/// [`ups_netsim::prelude::Simulator::run_with_injections`] wants — one
+/// packet at a time, so a spilled streaming trace replays without ever
+/// materializing the set.
+pub fn as_executed_stream(trace: &Trace) -> impl Iterator<Item = Packet> + '_ {
+    use ups_netsim::prelude::{PacketBuilder, PacketKind};
+    trace.stream().filter_map(|(id, r)| {
+        r.exited?;
+        let mut b = PacketBuilder::new(id, r.flow, r.size, r.path, r.injected);
+        if r.kind == PacketKind::Ack {
+            b = b.ack();
+        }
+        Some(b.build())
+    })
+}
+
+/// Lazy LSTF replay set straight from a recorded schedule: delivered
+/// packets in canonical `(i(p), id)` stream order with clean headers and
+/// `slack(p) = o(p) − i(p) − tmin(p)` attached — the streaming-pipeline
+/// fusion of [`as_executed_stream`] and
+/// [`replay_packets`]`(…, HeaderInit::LstfSlack)`, sidestepping the
+/// random-access `Trace::get` that a spilled trace no longer offers.
+pub fn lstf_replay_stream<'a>(
+    topo: &'a Topology,
+    original: &'a Trace,
+) -> impl Iterator<Item = Packet> + 'a {
+    use ups_netsim::prelude::{PacketBuilder, PacketKind};
+    original.stream().filter_map(move |(id, r)| {
+        let o = r.exited?;
+        let t = tmin(topo, &r.path, r.size);
+        let slack = o.as_ps() as i128 - r.injected.as_ps() as i128 - t.as_ps() as i128;
+        let mut b = PacketBuilder::new(id, r.flow, r.size, r.path, r.injected).slack(slack);
+        if r.kind == PacketKind::Ack {
+            b = b.ack();
+        }
+        Some(b.build())
+    })
+}
+
 /// Outcome of comparing a replay trace against its original.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayReport {
     /// Packets compared: every packet the original delivered, whether or
     /// not the replay delivered it too.
@@ -216,8 +260,10 @@ pub struct ReplayReport {
     /// Largest lateness seen among packets delivered in both runs.
     pub max_lateness: Dur,
     /// Per-packet queueing-delay ratios `wait′(p) / wait(p)` over packets
-    /// with nonzero original queueing (Figure 1's CDF).
-    pub queueing_ratios: Vec<f64>,
+    /// with nonzero original queueing (Figure 1's CDF), held as a
+    /// fixed-size [`QuantileSketch`] so the comparison never stores a
+    /// per-packet sample vector.
+    pub queueing_ratios: QuantileSketch,
 }
 
 impl ReplayReport {
@@ -274,6 +320,27 @@ pub fn compare_with_tolerance(
     threshold: Dur,
     tolerance: Dur,
 ) -> ReplayReport {
+    compare_streams(original.stream(), replay.stream(), threshold, tolerance)
+}
+
+/// Streaming form of [`compare_with_tolerance`]: a merge-join over two
+/// record streams sorted by the canonical `(i(p), id)` key — exactly what
+/// [`Trace::stream`] yields in both layouts — so neither trace is ever
+/// held as a dense id-indexed map.
+///
+/// Replay records are buffered in a small reorder window only while their
+/// key is `≤` the original cursor's key; once the original cursor passes a
+/// key, unmatched window entries can never match (keys strictly increase)
+/// and are evicted. The window is therefore bounded by the key-skew
+/// between the two streams — zero for a faithful replay, which preserves
+/// every `(i(p), id)` — and is asserted to stay under
+/// [`REORDER_WINDOW`] as a misuse guard against unsorted inputs.
+pub fn compare_streams(
+    original: impl IntoIterator<Item = (PacketId, PacketRecord)>,
+    replay: impl IntoIterator<Item = (PacketId, PacketRecord)>,
+    threshold: Dur,
+    tolerance: Dur,
+) -> ReplayReport {
     let mut report = ReplayReport {
         total: 0,
         overdue: 0,
@@ -281,11 +348,38 @@ pub fn compare_with_tolerance(
         missing: 0,
         threshold,
         max_lateness: Dur::ZERO,
-        queueing_ratios: Vec::new(),
+        queueing_ratios: QuantileSketch::new(),
     };
-    for (id, orig) in original.delivered() {
+    // Reorder window: replay records pulled up to the original cursor,
+    // keyed by the canonical stream key. Values keep only what the
+    // comparison reads — `(o′(p), wait′(p))` — not whole records.
+    let mut window: BTreeMap<(SimTime, PacketId), (Option<SimTime>, Dur)> = BTreeMap::new();
+    let mut rep = replay.into_iter().peekable();
+    for (id, orig) in original {
+        let Some(o_orig) = orig.exited else {
+            continue; // only originally-delivered packets participate
+        };
+        let key = (orig.injected, id);
+        // Evict entries the original cursor has passed: their original
+        // twin (same key) was either matched already or never delivered.
+        while let Some((&k, _)) = window.first_key_value() {
+            if k < key {
+                window.pop_first();
+            } else {
+                break;
+            }
+        }
+        while rep.peek().is_some_and(|(rid, r)| (r.injected, *rid) <= key) {
+            let (rid, r) = rep.next().expect("peeked");
+            window.insert((r.injected, rid), (r.exited, r.total_wait));
+            assert!(
+                window.len() <= REORDER_WINDOW,
+                "replay stream diverged from the original by more than \
+                 {REORDER_WINDOW} records; are both streams (i(p), id)-sorted?"
+            );
+        }
         report.total += 1;
-        let Some((rep, o_replay)) = replay.get(id).and_then(|rep| Some((rep, rep.exited?))) else {
+        let Some((Some(o_replay), rep_wait)) = window.remove(&key) else {
             // Delivered originally, missing/dropped in the replay: late by
             // any measure.
             report.missing += 1;
@@ -293,7 +387,6 @@ pub fn compare_with_tolerance(
             report.overdue_gt_t += 1;
             continue;
         };
-        let o_orig = orig.exited.expect("delivered() guarantees exit");
         let lateness = o_replay.saturating_since(o_orig);
         report.max_lateness = report.max_lateness.max(lateness);
         if lateness > tolerance {
@@ -305,11 +398,17 @@ pub fn compare_with_tolerance(
         if orig.total_wait > Dur::ZERO {
             report
                 .queueing_ratios
-                .push(rep.total_wait.as_ps() as f64 / orig.total_wait.as_ps() as f64);
+                .insert(rep_wait.as_ps() as f64 / orig.total_wait.as_ps() as f64);
         }
     }
     report
 }
+
+/// Upper bound on the [`compare_streams`] reorder window — a guard rail,
+/// not a working size: two streams over the same packet set share every
+/// `(i(p), id)` key, so the window holds at most the records of one key
+/// pulled ahead of the join cursor.
+pub const REORDER_WINDOW: usize = 4096;
 
 /// [`compare_with_tolerance`] with zero tolerance — the paper-scale form.
 pub fn compare(original: &Trace, replay: &Trace, threshold: Dur) -> ReplayReport {
@@ -430,11 +529,16 @@ pub fn priorities_from_schedule(topo: &Topology, original: &Trace) -> Option<Pri
     );
     let bound = original.id_bound();
     let n_nodes = topo.node_count();
-    // Gather per-port service sequences, keyed by the dense directed-pair
-    // index `here * n + next`.
+    // Single pass over the delivered records: gather per-port service
+    // sequences (keyed by the dense directed-pair index `here * n + next`)
+    // and mark schedule membership as we go.
     let mut ports: Vec<Vec<(SimTime, SimTime, SimTime, PacketId)>> =
         vec![Vec::new(); n_nodes * n_nodes];
+    let mut in_schedule: Vec<bool> = vec![false; bound];
+    let mut scheduled = 0usize;
     for (id, rec) in original.delivered() {
+        in_schedule[id.index()] = true;
+        scheduled += 1;
         for (i, h) in rec.hops.iter().enumerate() {
             let next = rec.path[i + 1];
             let link = topo
@@ -448,12 +552,6 @@ pub fn priorities_from_schedule(topo: &Topology, original: &Trace) -> Option<Pri
     // Precedence edges q -> p, dense on packet id.
     let mut succ: Vec<Vec<PacketId>> = vec![Vec::new(); bound];
     let mut indegree: Vec<u32> = vec![0; bound];
-    let mut in_schedule: Vec<bool> = vec![false; bound];
-    let mut scheduled = 0usize;
-    for (id, _) in original.delivered() {
-        in_schedule[id.index()] = true;
-        scheduled += 1;
-    }
     for seq in ports.iter_mut().filter(|s| !s.is_empty()) {
         seq.sort_by_key(|&(tx_start, _, _, id)| (tx_start, id));
         for k in 1..seq.len() {
@@ -633,7 +731,7 @@ mod tests {
             missing: 0,
             threshold: Dur::from_us(12),
             max_lateness: Dur::from_us(50),
-            queueing_ratios: vec![],
+            queueing_ratios: QuantileSketch::new(),
         };
         assert!((r.frac_overdue() - 0.05).abs() < 1e-12);
         assert!((r.frac_overdue_gt_t() - 0.01).abs() < 1e-12);
@@ -689,6 +787,77 @@ mod tests {
         let replay = Trace::synthetic(RecordMode::EndToEnd, [(PacketId(0), delivered_rec(100))]);
         let r = compare(&original, &replay, Dur::from_us(12));
         assert_eq!((r.total, r.missing, r.overdue), (2, 1, 1));
+    }
+
+    /// The streamed comparison is the comparison: feeding the two streams
+    /// to `compare_streams` by hand matches `compare`, lazy replay-set
+    /// construction matches the eager one, and comparing a trace against
+    /// itself is perfect with every queueing ratio exactly 1.
+    #[test]
+    fn compare_streams_matches_compare() {
+        let topo = line(2, Bandwidth::from_gbps(1), Dur::from_us(10));
+        let packets = line_packets(&topo, 30, 1);
+        let exp = ReplayExperiment {
+            topo: &topo,
+            original_assign: SchedulerAssignment::uniform(SchedulerKind::Lifo),
+            init: HeaderInit::LstfSlack,
+            preemptive: false,
+            record: RecordMode::PerHop,
+            seed: 7,
+        };
+        let out = exp.run(&packets, Dur::ZERO);
+        let threshold = topo.bottleneck_bandwidth().tx_time(1500);
+        let streamed = compare_streams(
+            out.original.stream(),
+            out.replay.stream(),
+            threshold,
+            Dur::ZERO,
+        );
+        assert_eq!(streamed, out.report);
+
+        let lazy: Vec<Packet> = as_executed_stream(&out.original).collect();
+        let mut eager = as_executed_packets(&out.original);
+        eager.sort_by_key(|p| (p.injected_at, p.id));
+        assert_eq!(lazy.len(), eager.len());
+        for (l, e) in lazy.iter().zip(&eager) {
+            assert_eq!(
+                (l.id, l.flow, l.size, l.kind, &l.path, l.injected_at),
+                (e.id, e.flow, e.size, e.kind, &e.path, e.injected_at),
+                "lazy stream is the eager set, key-sorted"
+            );
+        }
+
+        let self_cmp = compare(&out.original, &out.original, threshold);
+        assert!(self_cmp.perfect());
+        assert_eq!(self_cmp.max_lateness, Dur::ZERO);
+        if !self_cmp.queueing_ratios.is_empty() {
+            assert_eq!(self_cmp.queueing_ratios.fraction_le(1.0), 1.0);
+            assert_eq!(self_cmp.queueing_ratios.min(), 1.0);
+        }
+    }
+
+    /// `lstf_replay_stream` attaches the same slacks `replay_packets`
+    /// computes, in canonical stream order.
+    #[test]
+    fn lstf_replay_stream_matches_replay_packets() {
+        let topo = line(2, Bandwidth::from_gbps(1), Dur::from_us(10));
+        let packets = line_packets(&topo, 25, 2);
+        let original = run_schedule(
+            &topo,
+            &SchedulerAssignment::uniform(SchedulerKind::Lifo),
+            packets.iter().cloned(),
+            &BuildOptions::default(),
+        );
+        let mut eager = replay_packets(&topo, &original, &packets, HeaderInit::LstfSlack);
+        eager.sort_by_key(|p| (p.injected_at, p.id));
+        let streamed: Vec<Packet> = lstf_replay_stream(&topo, &original).collect();
+        assert_eq!(streamed.len(), eager.len());
+        for (s, e) in streamed.iter().zip(&eager) {
+            assert_eq!(s.id, e.id);
+            assert_eq!(s.header.slack, e.header.slack);
+            assert_eq!(s.injected_at, e.injected_at);
+            assert_eq!(s.path, e.path);
+        }
     }
 
     /// Regression (accounting bug 2): a comparison that covered no

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use ups_core::{as_executed_packets, compare, replay_packets, run_schedule, HeaderInit};
+use ups_core::{compare, lstf_replay_stream};
 use ups_netsim::prelude::{DeadLinkPolicy, Packet, RecordMode, SchedulerKind, SimStats, Trace};
 use ups_topology::{build_simulator, BuildOptions, SchedulerAssignment, Topology};
 
@@ -73,16 +73,23 @@ pub fn run_schedule_with_failures(
 /// the original schedule got out. Returns the comparison report; the
 /// threshold `T` is one MTU transmission on the bottleneck link, as
 /// everywhere else in the repository.
+///
+/// The whole path is streaming: the replay set is never materialized —
+/// [`lstf_replay_stream`] walks the original trace in canonical
+/// `(i(p), id)` order straight into
+/// [`Simulator::run_with_injections`](ups_netsim::prelude::Simulator::run_with_injections),
+/// and the comparison merge-joins the two record streams — so a spilled
+/// original trace replays in bounded memory.
 pub fn churn_replay(topo: &Topology, original: &Trace, seed: u64) -> ups_core::ReplayReport {
-    let executed = as_executed_packets(original);
-    let replay_set = replay_packets(topo, original, &executed, HeaderInit::LstfSlack);
     let opts = BuildOptions {
         record: RecordMode::EndToEnd,
         seed,
         ..BuildOptions::default()
     };
     let assign = SchedulerAssignment::uniform(SchedulerKind::Lstf { preemptive: false });
-    let replay = run_schedule(topo, &assign, replay_set, &opts);
+    let mut sim = build_simulator(topo, &assign, &opts);
+    sim.run_with_injections(lstf_replay_stream(topo, original));
+    let replay = sim.into_trace();
     let threshold = topo.bottleneck_bandwidth().tx_time(1500);
     compare(original, &replay, threshold)
 }
@@ -91,6 +98,7 @@ pub fn churn_replay(topo: &Topology, original: &Trace, seed: u64) -> ups_core::R
 mod tests {
     use super::*;
     use crate::schedule::FailureProfile;
+    use ups_core::{as_executed_packets, run_schedule};
     use ups_netsim::prelude::{DropCause, Dur, PacketKind};
     use ups_topology::{topology_by_name, Routing};
 

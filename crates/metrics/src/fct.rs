@@ -1,7 +1,7 @@
 //! Flow-completion-time bucketing (Figure 2's presentation).
 
 /// One completed flow: its size and its completion time in seconds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSample {
     /// Flow size in bytes.
     pub size: u64,

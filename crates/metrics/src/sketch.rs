@@ -1,0 +1,260 @@
+//! A fixed-size logarithmic quantile sketch.
+//!
+//! The streaming pipeline cannot keep every delay sample (or every
+//! Figure 1 queueing ratio) in memory, so distribution metrics go through
+//! this sketch instead of [`crate::Cdf`]: values land in logarithmic
+//! buckets — `k = 32` subbuckets per octave, bucket `i` covering
+//! `(2^((i−1)/k), 2^(i/k)]` — and quantiles read back the bucket **upper
+//! bound**. The relative quantile error is therefore one-sided and at
+//! most `2^(1/k) − 1 ≈ 2.2%` (never an underestimate, and additionally
+//! clamped to the exact observed maximum).
+//!
+//! Properties the pipeline leans on:
+//!
+//! * **Order-insensitive**: inserting the same multiset in any order
+//!   yields a bit-identical sketch (buckets are integer counters in a
+//!   `BTreeMap`, extremes use `f64::min`/`max`), which is what lets the
+//!   resident and streaming trace layouts produce `==` summaries.
+//! * **Exact at bucket boundaries**: `fraction_le(x)` counts whole
+//!   buckets, and powers of two (in particular `x = 1.0 = 2^0`) are
+//!   bucket edges — so Figure 1's headline "fraction of ratios ≤ 1" is
+//!   exact up to float rounding of `log2` at the boundary itself.
+//! * **Fixed size**: memory is `O(occupied buckets)` ≤ a few KB for any
+//!   realistic value range, independent of sample count.
+//!
+//! Values `≤ 0` (a replay that never queues has ratio denominators of
+//! zero filtered out upstream; delays are positive) are counted in a
+//! dedicated zero bucket that reads back as `0.0`.
+
+use std::collections::BTreeMap;
+
+/// Subbuckets per octave; `2^(1/32) − 1 ≈ 2.2%` relative error.
+const SUBBUCKETS: f64 = 32.0;
+/// Bucket-index clamp covering the full `f64` exponent range.
+const MAX_INDEX: i32 = 40_000;
+
+/// Bucket index for a positive value: the smallest `i` with `2^(i/k) ≥ v`.
+fn bucket_of(v: f64) -> i32 {
+    let i = (SUBBUCKETS * v.log2()).ceil();
+    (i as i32).clamp(-MAX_INDEX, MAX_INDEX)
+}
+
+/// Upper bound of bucket `i`.
+fn upper_of(i: i32) -> f64 {
+    (i as f64 / SUBBUCKETS).exp2()
+}
+
+/// Streaming quantile/CDF sketch over positive `f64` samples. See the
+/// module docs for the error model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    buckets: BTreeMap<i32, u64>,
+    /// Samples `≤ 0`, kept apart (log buckets only cover positives).
+    zero: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            buckets: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Insert one sample. Non-finite samples are rejected.
+    pub fn insert(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite sample {v} in quantile sketch");
+        if v <= 0.0 {
+            self.zero += 1;
+        } else {
+            *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the
+    /// containing bucket's upper bound clamped to the observed maximum —
+    /// never below the exact quantile, at most `≈2.2%` above it.
+    ///
+    /// # Panics
+    /// On an empty sketch (mirrors [`crate::percentile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        assert!(self.count > 0, "quantile of empty sketch");
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero {
+            // All non-positive samples read back as the zero bucket; keep
+            // the exact minimum so pure-zero sketches report it.
+            return self.min.min(0.0);
+        }
+        let mut seen = self.zero;
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if rank <= seen {
+                return upper_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `P[X ≤ x]`, counting whole buckets whose upper bound is `≤ x` —
+    /// exact when `x` is a bucket edge (any power of two, e.g. `1.0`),
+    /// otherwise an underestimate by at most one bucket's worth of mass.
+    /// `0.0` on an empty sketch, like [`crate::Cdf::fraction_le`].
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut n = if x >= 0.0 { self.zero } else { 0 };
+        for (&i, &c) in &self.buckets {
+            if upper_of(i) <= x {
+                n += c;
+            } else {
+                break;
+            }
+        }
+        n as f64 / self.count as f64
+    }
+
+    /// Evaluate the CDF at each probe — `(x, P[X ≤ x])` rows, the shape
+    /// [`crate::render_series`] plots; mirrors [`crate::Cdf::series`].
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_le(x))).collect()
+    }
+
+    /// Merge another sketch into this one (same bucketing by construction).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_error_is_one_sided_and_bounded() {
+        let mut s = QuantileSketch::new();
+        let xs: Vec<f64> = (1..=10_000).map(|i| i as f64 * 1e-4).collect();
+        for &x in &xs {
+            s.insert(x);
+        }
+        let gamma = (1.0f64 / 32.0).exp2();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = crate::percentile(&xs, q);
+            let approx = s.quantile(q);
+            assert!(approx >= exact * 0.999_999, "q={q}: {approx} < {exact}");
+            assert!(
+                approx <= exact * gamma * 1.000_001,
+                "q={q}: {approx} vs {exact}"
+            );
+        }
+        assert_eq!(s.quantile(1.0), 1.0, "p100 clamps to the exact max");
+    }
+
+    #[test]
+    fn fraction_le_exact_at_power_of_two_edges() {
+        let mut s = QuantileSketch::new();
+        for v in [0.25, 0.5, 0.99, 1.0, 1.01, 2.0, 3.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.fraction_le(1.0), 4.0 / 7.0);
+        assert_eq!(s.fraction_le(2.0), 6.0 / 7.0);
+        assert_eq!(s.fraction_le(0.2), 0.0);
+        assert_eq!(s.fraction_le(1e9), 1.0);
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let xs = [3.7, 0.0, 1.0, 9e9, 1e-9, 2.0, 3.7];
+        let mut fwd = QuantileSketch::new();
+        let mut rev = QuantileSketch::new();
+        for &x in &xs {
+            fwd.insert(x);
+        }
+        for &x in xs.iter().rev() {
+            rev.insert(x);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn zero_and_negative_samples_live_in_the_zero_bucket() {
+        let mut s = QuantileSketch::new();
+        s.insert(0.0);
+        s.insert(-1.5);
+        s.insert(4.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.fraction_le(0.0), 2.0 / 3.0);
+        assert_eq!(s.fraction_le(-10.0), 0.0);
+        assert_eq!(s.quantile(0.5), -1.5, "zero bucket reads back the min");
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn empty_sketch_behaves_like_empty_cdf() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.fraction_le(1.0), 0.0);
+        assert_eq!(s.series(&[0.5, 1.0]), vec![(0.5, 0.0), (1.0, 0.0)]);
+    }
+
+    #[test]
+    fn merge_matches_bulk_insert() {
+        let (a_xs, b_xs) = ([1.0, 2.0, 0.5], [8.0, 0.0, 2.0]);
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for &x in &a_xs {
+            a.insert(x);
+            all.insert(x);
+        }
+        for &x in &b_xs {
+            b.insert(x);
+            all.insert(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

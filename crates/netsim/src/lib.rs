@@ -64,6 +64,7 @@ pub mod packet;
 pub mod queue;
 pub mod sched;
 pub mod sim;
+pub(crate) mod spill;
 pub mod time;
 pub mod trace;
 
@@ -79,5 +80,5 @@ pub mod prelude {
         Agent, DeadLinkPolicy, RerouteOracle, SimApi, SimConfig, SimStats, Simulator,
     };
     pub use crate::time::{Bandwidth, Dur, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
-    pub use crate::trace::{DropCause, HopRecord, PacketRecord, RecordMode, Trace};
+    pub use crate::trace::{DropCause, HopRecord, PacketRecord, RecordMode, RecordStream, Trace};
 }

@@ -60,12 +60,18 @@ pub trait RerouteOracle: Send {
 pub struct SimConfig {
     /// Trace detail level.
     pub record: RecordMode,
+    /// Streaming-trace spill capacities `(records per chunk, sealed
+    /// chunks kept in memory)`; `None` = built-in defaults. Only read
+    /// when `record` is [`RecordMode::Streaming`] — tests use tiny caps
+    /// to force spill behaviour on small runs.
+    pub trace_spill_caps: Option<(usize, usize)>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             record: RecordMode::EndToEnd,
+            trace_spill_caps: None,
         }
     }
 }
@@ -172,7 +178,7 @@ impl Simulator {
             events: EventQueue::new(),
             agents: Vec::new(),
             agent_at: Vec::new(),
-            trace: Trace::new(config.record),
+            trace: Trace::with_spill_caps(config.record, config.trace_spill_caps),
             stats: SimStats::default(),
             next_packet_id: 0,
             dead_link_policy: DeadLinkPolicy::default(),
@@ -309,6 +315,46 @@ impl Simulator {
     /// [`Self::run_until`]; this is for closed workloads that drain.
     pub fn run(&mut self) {
         while self.step() {}
+    }
+
+    /// Run to completion while pulling packets from `packets` on demand
+    /// instead of injecting the whole workload up front. The iterator must
+    /// be sorted by `injected_at` (ties in any order); each packet is
+    /// injected exactly when the event clock is about to pass its
+    /// injection time, so the event queue — and therefore memory — holds
+    /// only in-flight work, never the full future workload.
+    ///
+    /// Streamed injection is its own determinism domain: same-time events
+    /// fire in push order, and pulling packets lazily interleaves pushes
+    /// differently than [`Self::inject`]-all-then-[`Self::run`]. Two runs
+    /// are comparable bit-for-bit when both use the same injection style;
+    /// the streaming pipeline uses this one end to end.
+    ///
+    /// # Panics
+    /// If the iterator yields a packet whose `injected_at` is earlier
+    /// than one already consumed (debug builds).
+    pub fn run_with_injections(&mut self, packets: impl IntoIterator<Item = Packet>) {
+        let mut pending = packets.into_iter().peekable();
+        let mut last_injected = SimTime::ZERO;
+        loop {
+            let due_now = match (pending.peek(), self.events.peek_time()) {
+                (Some(p), Some(next)) => p.injected_at <= next,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if due_now {
+                let p = pending.next().expect("peeked");
+                debug_assert!(
+                    p.injected_at >= last_injected,
+                    "run_with_injections needs an injection-time-sorted stream"
+                );
+                last_injected = p.injected_at;
+                self.inject(p);
+            } else {
+                self.step();
+            }
+        }
     }
 
     /// Process all events up to and including time `t`.
@@ -534,6 +580,7 @@ mod tests {
         // n nodes in a line, 1Gbps links, 10us propagation, both directions.
         let mut sim = Simulator::new(SimConfig {
             record: RecordMode::PerHop,
+            ..SimConfig::default()
         });
         let link = Link {
             bandwidth: Bandwidth::from_gbps(1),
@@ -742,6 +789,7 @@ mod tests {
     fn triangle(kind: SchedulerKind) -> Simulator {
         let mut sim = Simulator::new(SimConfig {
             record: RecordMode::EndToEnd,
+            ..SimConfig::default()
         });
         let link = Link {
             bandwidth: Bandwidth::from_gbps(1),

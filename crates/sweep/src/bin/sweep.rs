@@ -276,6 +276,16 @@ fn list_registries() {
     println!("in-flight policies (--inflight, at a dead link):");
     println!("  reroute            epoch-based re-pathing at the packet's current hop");
     println!("  drop               lose the packet, recorded with its drop cause");
+    println!("trace record modes (engine-level; sweep jobs pick per traffic mode):");
+    for m in ups_netsim::prelude::RecordMode::ALL {
+        println!("  {:<18} {}", m.name(), m.describe());
+    }
+    println!("scale bench (cargo bench -p ups-bench --bench scale; env knobs):");
+    println!("  UPS_SCALE_PACKETS        packet floor for the streaming run (default 5000000)");
+    println!("  UPS_SCALE_MIN_FLOWS      minimum flow count asserted (default 10000)");
+    println!("  UPS_SCALE_FLOW_BYTES     fixed per-flow size in bytes (default 150000)");
+    println!("  UPS_SCALE_RSS_BUDGET_MB  peak-RSS budget asserted via VmHWM (default 512)");
+    println!("  UPS_SCALE_DIFF_PACKETS   differential-gate workload floor (default 120000)");
 }
 
 fn main() -> ExitCode {
@@ -319,6 +329,16 @@ fn main() -> ExitCode {
                     d.rows, d.baseline_match_rate, d.worst_match_rate
                 )
             })
+        } else if schema_tag.as_deref() == Some(ups_sweep::SCALE_BENCH_SCHEMA) {
+            ups_sweep::validate_bench_scale(&doc).map(|d| {
+                format!(
+                    "{} packets / {} flows streamed, peak RSS {:.1} MiB, match rate {:.4}",
+                    d.packets,
+                    d.flows,
+                    d.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                    d.replay_match_rate
+                )
+            })
         } else {
             validate_bench_sweep(&doc).map(|d| {
                 format!(
@@ -339,8 +359,10 @@ fn main() -> ExitCode {
         };
     }
 
-    let jobs = match args.grid.expand() {
-        Ok(j) => j,
+    // Specs are shared into each record via `Arc` (see `JobRecord`), so
+    // wrap them once at expansion instead of cloning per record.
+    let jobs: Vec<std::sync::Arc<ups_sweep::JobSpec>> = match args.grid.expand() {
+        Ok(j) => j.into_iter().map(std::sync::Arc::new).collect(),
         Err(e) => {
             eprintln!("sweep: {e}");
             return ExitCode::FAILURE;
@@ -408,14 +430,14 @@ fn main() -> ExitCode {
     let stream_ref = &stream;
     // One topology build + all-pairs BFS per *distinct* topology, shared
     // read-only across workers, instead of one per job.
-    let shared = runner::SharedScenarios::for_jobs(&jobs);
+    let shared = runner::SharedScenarios::for_jobs(jobs.iter().map(|j| j.as_ref()));
     let shared_ref = &shared;
     let (records, stats) = pool::run_jobs_labeled(
         &jobs,
         args.workers,
         |_, spec| spec.label(),
         move |_, spec| {
-            let rec = runner::run_job_shared(spec, shared_ref);
+            let rec = runner::run_job_arc(spec, shared_ref);
             stream_ref.append(&rec);
             if !quiet {
                 let s = &rec.summary;

@@ -63,10 +63,12 @@ pub mod store;
 pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, TrafficMode, MIXED_FQ_FIFOPLUS};
 pub use pool::{run_jobs, run_jobs_labeled, PoolStats};
 pub use runner::{
-    run_job, run_job_shared, slack_policy_for, JobRecord, SharedScenarios, RECORD_SCHEMA,
+    run_job, run_job_arc, run_job_shared, slack_policy_for, summarize_trace, JobRecord,
+    SharedScenarios, RECORD_SCHEMA,
 };
 pub use store::{
-    bench_sweep_json, validate_bench_failures, validate_bench_quantized, validate_bench_sweep,
-    FailuresDigest, QuantizedDigest, ResultStream, SweepDigest, ACCEPTED_SWEEP_SCHEMAS,
-    FAILURES_BENCH_SCHEMA, QUANTIZED_BENCH_SCHEMA, SWEEP_SCHEMA,
+    bench_sweep_json, validate_bench_failures, validate_bench_quantized, validate_bench_scale,
+    validate_bench_sweep, FailuresDigest, QuantizedDigest, ResultStream, ScaleDigest, SweepDigest,
+    ACCEPTED_SWEEP_SCHEMAS, FAILURES_BENCH_SCHEMA, QUANTIZED_BENCH_SCHEMA, SCALE_BENCH_SCHEMA,
+    SWEEP_SCHEMA,
 };

@@ -28,7 +28,7 @@ use std::time::Instant;
 use ups_core::{as_executed_packets, compare, replay_packets, run_schedule, HeaderInit};
 use ups_dynamics::{churn_replay, parse_failure_spec, run_schedule_with_failures, FailureSchedule};
 use ups_metrics::{
-    jain_index, mean_fct_by_bucket, Cdf, DisruptionSummary, FlowSample, RunSummary,
+    jain_index, mean_fct_by_bucket, DisruptionSummary, FlowSample, RunAccumulator, RunSummary,
     TransportSummary, FIG2_BUCKETS,
 };
 use ups_netsim::prelude::{
@@ -53,8 +53,9 @@ pub struct SharedScenarios {
 
 impl SharedScenarios {
     /// Build the shared topology/routing pair for every distinct
-    /// topology named by `jobs`.
-    pub fn for_jobs(jobs: &[JobSpec]) -> Self {
+    /// topology named by `jobs` — any borrowing iterable of specs
+    /// (slices, or `Arc<JobSpec>` collections via a deref map).
+    pub fn for_jobs<'a>(jobs: impl IntoIterator<Item = &'a JobSpec>) -> Self {
         let mut map = HashMap::new();
         for spec in jobs {
             if !map.contains_key(&spec.topology) {
@@ -134,10 +135,15 @@ pub fn slack_policy_for(label: &str, rest_bps: Option<u64>) -> SlackPolicy {
 }
 
 /// One finished job: the spec it ran, what it measured, how long it took.
+///
+/// The spec rides along as an `Arc`: a sweep holds every record in memory
+/// until the final report, and cloning the full `JobSpec` (five `String`s
+/// plus options) into each one doubled the per-record footprint for data
+/// the grid already owns.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
     /// The scenario executed.
-    pub spec: JobSpec,
+    pub spec: Arc<JobSpec>,
     /// Per-run metrics.
     pub summary: RunSummary,
     /// Wall-clock seconds this job took on its worker.
@@ -180,8 +186,16 @@ pub fn run_job(spec: &JobSpec) -> JobRecord {
     run_job_shared(spec, &SharedScenarios::for_jobs(std::slice::from_ref(spec)))
 }
 
-/// [`run_job`] against a prebuilt [`SharedScenarios`] cache.
+/// [`run_job`] against a prebuilt [`SharedScenarios`] cache. Clones the
+/// spec once into the record's `Arc`; callers that already hold
+/// `Arc<JobSpec>`s (the sweep binary) should use [`run_job_arc`].
 pub fn run_job_shared(spec: &JobSpec, shared: &SharedScenarios) -> JobRecord {
+    run_job_arc(&Arc::new(spec.clone()), shared)
+}
+
+/// [`run_job_shared`] for callers holding shared specs: the record reuses
+/// the caller's `Arc` instead of cloning the spec.
+pub fn run_job_arc(spec: &Arc<JobSpec>, shared: &SharedScenarios) -> JobRecord {
     let t0 = Instant::now();
     let (topo, routing_core) = shared.get(&spec.topology);
     let topo = &*topo;
@@ -240,7 +254,8 @@ pub fn run_job_shared(spec: &JobSpec, shared: &SharedScenarios) -> JobRecord {
                         *policy,
                         &opts,
                     );
-                    let mut summary = summarize(&churn.trace, &flows, packets.len() as u64, None);
+                    let mut summary =
+                        summarize_trace(&churn.trace, &flows, packets.len() as u64, None);
                     summary.disruption = Some(DisruptionSummary {
                         links_failed: schedule.links_failed(),
                         rerouted: churn.stats.rerouted,
@@ -254,7 +269,7 @@ pub fn run_job_shared(spec: &JobSpec, shared: &SharedScenarios) -> JobRecord {
                 }
                 None => {
                     let original = run_schedule(topo, &assign, packets.iter().cloned(), &opts);
-                    let summary = summarize(&original, &flows, packets.len() as u64, None);
+                    let summary = summarize_trace(&original, &flows, packets.len() as u64, None);
                     (original, summary, packets)
                 }
             }
@@ -274,7 +289,7 @@ pub fn run_job_shared(spec: &JobSpec, shared: &SharedScenarios) -> JobRecord {
                 },
                 &mut routing,
             );
-            let summary = summarize(&run.trace, &flows, run.sim.injected, Some(&run.stats));
+            let summary = summarize_trace(&run.trace, &flows, run.sim.injected, Some(&run.stats));
             // The §2 replay re-runs the schedule the endpoints actually
             // executed: reconstruct that packet set from the trace.
             let packets = as_executed_packets(&run.trace);
@@ -359,7 +374,7 @@ pub fn run_job_shared(spec: &JobSpec, shared: &SharedScenarios) -> JobRecord {
 /// has no meaning on an empty run.
 fn trace_mean_fct(trace: &Trace, flows: &[FlowSpec]) -> Option<f64> {
     let mut last_exit = vec![None::<SimTime>; flows.len()];
-    for (_, rec) in trace.iter() {
+    for (_, rec) in trace.stream() {
         if rec.kind != PacketKind::Data {
             continue;
         }
@@ -378,8 +393,13 @@ fn trace_mean_fct(trace: &Trace, flows: &[FlowSpec]) -> Option<f64> {
     (n > 0).then(|| sum / n as f64)
 }
 
-/// Distill an original-run trace into the summary metrics. All loops run
-/// in packet-/flow-id order so float accumulation is deterministic.
+/// Distill an original-run trace into the summary metrics, one record at
+/// a time: the trace is consumed through [`Trace::stream`] into a
+/// [`RunAccumulator`], so a streaming (spilled) trace summarizes in
+/// bounded memory and a resident one never allocates a per-packet sample
+/// vector. All accumulator state is order-insensitive (exact integer
+/// picosecond sums, a logarithmic quantile sketch for p99), so both trace
+/// layouts produce bit-identical summaries.
 ///
 /// Delay, throughput and per-flow byte accounting consider **data**
 /// packets only (acks are transport control); `dropped` counts every
@@ -387,48 +407,28 @@ fn trace_mean_fct(trace: &Trace, flows: &[FlowSpec]) -> Option<f64> {
 /// closed-loop runs (`transport: Some`), flow completion times come from
 /// the receiver-side [`TransportStats`] — the paper's FCT — instead of
 /// last-packet-exit spans, and the summary gains the transport block.
-fn summarize(
+pub fn summarize_trace(
     trace: &Trace,
     flows: &[FlowSpec],
     injected: u64,
     transport: Option<&TransportStats>,
 ) -> RunSummary {
-    let mut delays: Vec<f64> = Vec::new();
-    let mut dropped = 0u64;
-    // Dense per-flow accumulation: (delivered bytes, last exit).
-    let mut flow_bytes = vec![0u64; flows.len()];
-    let mut flow_last_exit = vec![SimTime::ZERO; flows.len()];
-    for (_, rec) in trace.iter() {
+    let mut acc = RunAccumulator::new(flows.len());
+    for (_, rec) in trace.stream() {
         if rec.dropped {
-            dropped += 1;
+            acc.on_drop();
             continue;
         }
         if rec.kind != PacketKind::Data {
             continue;
         }
         let Some(exited) = rec.exited else { continue };
-        delays.push(rec.delay().expect("exited implies delay").as_secs_f64());
-        let fi = rec.flow.index();
-        flow_bytes[fi] += rec.size as u64;
-        flow_last_exit[fi] = flow_last_exit[fi].max(exited);
+        let delay = rec.delay().expect("exited implies delay");
+        acc.on_delivery(rec.flow.index(), rec.size, delay.as_ps(), exited.as_ps());
     }
-    let delivered = delays.len() as u64;
 
-    let mut fct_samples: Vec<FlowSample> = Vec::new();
-    let mut rates: Vec<f64> = Vec::new();
-    for (i, flow) in flows.iter().enumerate() {
-        if flow_bytes[i] == 0 {
-            continue; // flow truncated away or nothing delivered yet
-        }
-        let span = flow_last_exit[i].saturating_since(flow.start).as_secs_f64();
-        fct_samples.push(FlowSample {
-            size: flow.size,
-            fct_secs: span,
-        });
-        if span > 0.0 {
-            rates.push(flow_bytes[i] as f64 / span);
-        }
-    }
+    let flow_meta: Vec<(u64, u64)> = flows.iter().map(|f| (f.size, f.start.as_ps())).collect();
+    let (mut fct_samples, rates) = acc.flow_samples(&flow_meta);
     let flows_seen = fct_samples.len();
 
     // Closed loop: the true FCT is "last in-order byte received",
@@ -444,18 +444,13 @@ fn summarize(
             .collect();
     }
 
-    let cdf = Cdf::new(delays);
     RunSummary {
         flows: flows_seen,
         packets: injected,
-        delivered,
-        dropped,
-        delay_mean_s: cdf.mean(),
-        delay_p99_s: if cdf.is_empty() {
-            0.0
-        } else {
-            cdf.quantile(0.99)
-        },
+        delivered: acc.delivered(),
+        dropped: acc.dropped(),
+        delay_mean_s: acc.delay_mean_s(),
+        delay_p99_s: acc.delay_p99_s(),
         fct_mean_s: ups_metrics::overall_mean_fct(&fct_samples),
         fct_buckets: mean_fct_by_bucket(&fct_samples, &FIG2_BUCKETS),
         jain: if rates.is_empty() {

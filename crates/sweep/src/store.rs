@@ -44,6 +44,10 @@ pub const QUANTIZED_BENCH_SCHEMA: &str = "ups-bench-quantized/v1";
 /// (`BENCH_failures.json`), validated by [`validate_bench_failures`].
 pub const FAILURES_BENCH_SCHEMA: &str = "ups-bench-failures/v1";
 
+/// Schema tag of the streaming-pipeline scale bench artifact
+/// (`BENCH_scale.json`), validated by [`validate_bench_scale`].
+pub const SCALE_BENCH_SCHEMA: &str = "ups-bench-scale/v1";
+
 /// Streams one JSON line per finished job. Shared across workers behind
 /// a mutex — append is one short write per multi-second job.
 pub struct ResultStream {
@@ -605,6 +609,116 @@ pub fn validate_bench_failures(doc: &str) -> Result<FailuresDigest, String> {
     })
 }
 
+/// What a valid scale-bench artifact reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleDigest {
+    /// Packets simulated through the streaming path.
+    pub packets: u64,
+    /// Flows in the workload.
+    pub flows: u64,
+    /// Peak resident-set size of the bench process, bytes.
+    pub peak_rss_bytes: u64,
+    /// LSTF replay match rate on the scale scenario.
+    pub replay_match_rate: f64,
+}
+
+/// Validate a `BENCH_scale.json` document (the `scale` bench's
+/// bounded-memory streaming-pipeline artifact; schema
+/// [`SCALE_BENCH_SCHEMA`]). Dispatched from the same `sweep --validate`
+/// entry point by its schema tag. Enforces the issue's floors — ≥5M
+/// packets, ≥10k flows — plus peak RSS within the recorded budget and a
+/// fully-green differential block (streaming and resident layouts
+/// bit-identical on records, reports and summaries).
+pub fn validate_bench_scale(doc: &str) -> Result<ScaleDigest, String> {
+    let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != SCALE_BENCH_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (expected {SCALE_BENCH_SCHEMA:?})"
+        ));
+    }
+    let scenario = v.get("scenario").ok_or("missing scenario block")?;
+    for field in ["topology", "scheduler"] {
+        if scenario.get(field).and_then(JsonValue::as_str).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    for field in ["utilization", "flow_bytes", "window_ms", "seed"] {
+        if scenario.get(field).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    let num = |field: &str| -> Result<f64, String> {
+        v.get(field)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{field} missing"))
+    };
+    let packets = num("packets")?;
+    if packets < 5_000_000.0 {
+        return Err(format!("packets {packets} below the 5M floor"));
+    }
+    let flows = num("flows")?;
+    if flows < 10_000.0 {
+        return Err(format!("flows {flows} below the 10k floor"));
+    }
+    let delivered = num("delivered")?;
+    let dropped = num("dropped")?;
+    if delivered + dropped != packets {
+        return Err(format!(
+            "delivered {delivered} + dropped {dropped} != packets {packets}"
+        ));
+    }
+    let peak = num("peak_rss_bytes")?;
+    let budget = num("rss_budget_bytes")?;
+    if peak <= 0.0 || peak > budget {
+        return Err(format!(
+            "peak_rss_bytes {peak} outside (0, budget {budget}]"
+        ));
+    }
+    if num("packets_per_sec")? <= 0.0 {
+        return Err("packets_per_sec must be positive".into());
+    }
+    let match_rate = num("replay_match_rate")?;
+    if !(0.0..=1.0).contains(&match_rate) {
+        return Err(format!("replay_match_rate {match_rate} outside [0, 1]"));
+    }
+    let frac_gt_t = num("replay_frac_gt_t")?;
+    if !(0.0..=1.0).contains(&frac_gt_t) {
+        return Err(format!("replay_frac_gt_t {frac_gt_t} outside [0, 1]"));
+    }
+    let diff = v.get("differential").ok_or("missing differential block")?;
+    if diff
+        .get("workload_packets")
+        .and_then(JsonValue::as_f64)
+        .is_none_or(|p| p < 100_000.0)
+    {
+        return Err("differential.workload_packets must be ≥ 100k".into());
+    }
+    for field in [
+        "records_identical",
+        "reports_identical",
+        "summaries_identical",
+    ] {
+        match diff.get(field) {
+            Some(JsonValue::Bool(true)) => {}
+            other => {
+                return Err(format!(
+                    "differential.{field} must assert true, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(ScaleDigest {
+        packets: packets as u64,
+        flows: flows as u64,
+        peak_rss_bytes: peak as u64,
+        replay_match_rate: match_rate,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,7 +728,7 @@ mod tests {
 
     fn record(job_id: usize) -> JobRecord {
         JobRecord {
-            spec: JobSpec {
+            spec: std::sync::Arc::new(JobSpec {
                 job_id,
                 topology: "Line(3)".into(),
                 profile: "web-search".into(),
@@ -632,7 +746,7 @@ mod tests {
                 failures: None,
                 inflight: None,
                 max_packets: None,
-            },
+            }),
             summary: RunSummary {
                 flows: 1,
                 packets: 10,
@@ -657,9 +771,10 @@ mod tests {
 
     fn failure_record(job_id: usize) -> JobRecord {
         let mut r = record(job_id);
-        r.spec.replay = true;
-        r.spec.failures = Some("random-links:0.4".into());
-        r.spec.inflight = Some("reroute".into());
+        let spec = std::sync::Arc::make_mut(&mut r.spec);
+        spec.replay = true;
+        spec.failures = Some("random-links:0.4".into());
+        spec.inflight = Some("reroute".into());
         r.summary.replay_match_rate = Some(0.87);
         r.summary.replay_frac_gt_t = Some(0.01);
         r.summary.disruption = Some(ups_metrics::DisruptionSummary {
@@ -673,9 +788,10 @@ mod tests {
 
     fn quantized_record(job_id: usize) -> JobRecord {
         let mut r = record(job_id);
-        r.spec.replay = true;
-        r.spec.queues = Some(8);
-        r.spec.mapper = Some("dynamic".into());
+        let spec = std::sync::Arc::make_mut(&mut r.spec);
+        spec.replay = true;
+        spec.queues = Some(8);
+        spec.mapper = Some("dynamic".into());
         r.summary.replay_match_rate = Some(0.99);
         r.summary.replay_frac_gt_t = Some(0.001);
         r.summary.quantized_match_rate = Some(0.91);
@@ -686,8 +802,9 @@ mod tests {
 
     fn closed_record(job_id: usize) -> JobRecord {
         let mut r = record(job_id);
-        r.spec.traffic = crate::grid::TrafficMode::ClosedLoop;
-        r.spec.horizon = Some(Dur::from_ms(20));
+        let spec = std::sync::Arc::make_mut(&mut r.spec);
+        spec.traffic = crate::grid::TrafficMode::ClosedLoop;
+        spec.horizon = Some(Dur::from_ms(20));
         r.summary.transport = Some(ups_metrics::TransportSummary {
             completed_flows: 1,
             goodput_bytes: 9000,
@@ -1013,6 +1130,66 @@ mod tests {
         assert!(validate_bench_quantized(&missing)
             .unwrap_err()
             .contains("match_rate"));
+    }
+
+    const SCALE_DOC: &str = r#"{
+  "schema": "ups-bench-scale/v1",
+  "scenario": {"topology": "FatTree(k=8)", "scheduler": "FIFO", "utilization": 0.7,
+               "flow_bytes": 150000, "window_ms": 128, "seed": 42},
+  "packets": 5401700,
+  "flows": 54017,
+  "delivered": 5401700,
+  "dropped": 0,
+  "peak_rss_bytes": 239599616,
+  "rss_budget_bytes": 536870912,
+  "packets_per_sec": 205074,
+  "replay_match_rate": 0.948206,
+  "replay_frac_gt_t": 0.027197,
+  "differential": {"workload_packets": 120000, "records_identical": true,
+                   "reports_identical": true, "summaries_identical": true}
+}"#;
+
+    #[test]
+    fn scale_bench_artifact_validates() {
+        let d = validate_bench_scale(SCALE_DOC).expect("valid artifact");
+        assert_eq!(
+            d,
+            ScaleDigest {
+                packets: 5_401_700,
+                flows: 54_017,
+                peak_rss_bytes: 239_599_616,
+                replay_match_rate: 0.948206
+            }
+        );
+        assert!(validate_bench_scale("{}").is_err());
+        let wrong = SCALE_DOC.replace("ups-bench-scale/v1", "ups-sweep/v4");
+        assert!(validate_bench_scale(&wrong).unwrap_err().contains("schema"));
+        // The issue's floors are part of validity, not just presence.
+        let small = SCALE_DOC.replace(r#""packets": 5401700"#, r#""packets": 400000"#);
+        assert!(validate_bench_scale(&small).unwrap_err().contains("floor"));
+        let few = SCALE_DOC.replace(r#""flows": 54017"#, r#""flows": 5000"#);
+        assert!(validate_bench_scale(&few).unwrap_err().contains("floor"));
+        // Peak RSS must sit inside the recorded budget.
+        let blown = SCALE_DOC.replace(
+            r#""peak_rss_bytes": 239599616"#,
+            r#""peak_rss_bytes": 639599616"#,
+        );
+        assert!(validate_bench_scale(&blown)
+            .unwrap_err()
+            .contains("peak_rss_bytes"));
+        // Conservation: delivered + dropped == packets.
+        let leaky = SCALE_DOC.replace(r#""dropped": 0"#, r#""dropped": 7"#);
+        assert!(validate_bench_scale(&leaky)
+            .unwrap_err()
+            .contains("dropped"));
+        // The differential gate must be green across all three layers.
+        let diverged = SCALE_DOC.replace(
+            r#""summaries_identical": true"#,
+            r#""summaries_identical": false"#,
+        );
+        assert!(validate_bench_scale(&diverged)
+            .unwrap_err()
+            .contains("summaries_identical"));
     }
 
     #[test]

@@ -137,7 +137,7 @@ proptest! {
                 churn_replay_match_rate: jain_some.then_some(fct_mean),
             }),
         };
-        let record = JobRecord { spec, summary, wall_s: wall };
+        let record = JobRecord { spec: std::sync::Arc::new(spec), summary, wall_s: wall };
 
         let line = record.to_json(with_timing);
         prop_assert!(!line.contains('\n'), "JSONL lines must be single-line: {line}");

@@ -73,6 +73,11 @@ pub struct BuildOptions {
     /// Base seed; each port derives an independent deterministic stream
     /// (only `Random` consumes it).
     pub seed: u64,
+    /// Streaming-trace spill capacities `(records per chunk, sealed
+    /// chunks in memory)`; `None` = defaults. Only read when `record` is
+    /// [`RecordMode::Streaming`] — tests use tiny caps to force spill
+    /// behaviour on small runs.
+    pub trace_spill_caps: Option<(usize, usize)>,
 }
 
 impl Default for BuildOptions {
@@ -82,6 +87,7 @@ impl Default for BuildOptions {
             router_buffer_bytes: None,
             host_buffer_bytes: None,
             seed: 1,
+            trace_spill_caps: None,
         }
     }
 }
@@ -102,6 +108,7 @@ pub fn build_simulator(
 ) -> Simulator {
     let mut sim = Simulator::new(SimConfig {
         record: opts.record,
+        trace_spill_caps: opts.trace_spill_caps,
     });
     for _ in topo.nodes() {
         sim.add_node();

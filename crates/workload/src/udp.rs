@@ -21,35 +21,47 @@ pub const MTU: u32 = 1500;
 /// SRPT) — stamped here because the paper's SJF/SRPT originals rely on
 /// source-provided priorities.
 pub fn udp_packet_train(flows: &[FlowSpec], mtu: u32) -> Vec<Packet> {
+    udp_packet_stream(flows, mtu).collect()
+}
+
+/// Lazy form of [`udp_packet_train`]: the same packets, one at a time, so
+/// a multi-million-packet train can feed
+/// [`Simulator::run_with_injections`](ups_netsim::prelude::Simulator::run_with_injections)
+/// without ever existing as a `Vec`.
+///
+/// The yield order is the canonical stream order `(i(p), id)`: flows are
+/// packetized in slice order (the workload generators emit them sorted by
+/// start time), every packet of a flow shares the flow's start as its
+/// injection time, and ids are dense in yield order.
+pub fn udp_packet_stream<'a>(flows: &'a [FlowSpec], mtu: u32) -> impl Iterator<Item = Packet> + 'a {
     assert!(mtu > 0);
-    let mut packets = Vec::new();
     let mut next_id = 0u64;
-    for flow in flows {
+    flows.iter().flat_map(move |flow| {
         assert!(
             flow.size != u64::MAX,
             "long-lived flows need a closed-loop transport, not a UDP train"
         );
+        // Reserve this flow's dense id range up front so the outer
+        // counter and the inner lazy iterator don't share state.
+        let mut id = next_id;
+        next_id += flow.size.div_ceil(mtu as u64);
         let mut remaining = flow.size;
         let mut seq = 0u64;
-        while remaining > 0 {
+        std::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
+            }
             let size = remaining.min(mtu as u64) as u32;
-            let p = PacketBuilder::new(
-                PacketId(next_id),
-                flow.id,
-                size,
-                flow.path.clone(),
-                flow.start,
-            )
-            .seq(seq)
-            .flow_bytes(flow.size, remaining)
-            .build();
-            packets.push(p);
-            next_id += 1;
+            let p = PacketBuilder::new(PacketId(id), flow.id, size, flow.path.clone(), flow.start)
+                .seq(seq)
+                .flow_bytes(flow.size, remaining)
+                .build();
+            id += 1;
             seq += size as u64;
             remaining -= size as u64;
-        }
-    }
-    packets
+            Some(p)
+        })
+    })
 }
 
 /// Total bytes across a packet list — workload sanity checks.

@@ -57,11 +57,11 @@ fn main() {
         r.frac_overdue_gt_t() * 100.0,
         r.max_lateness
     );
-    let at_or_below: usize = r.queueing_ratios.iter().filter(|&&x| x <= 1.0).count();
     if !r.queueing_ratios.is_empty() {
+        // Exact: 1.0 is an edge of the report's quantile sketch.
         println!(
             "queueing delay: {:.1}% of queued packets waited no longer than in the original",
-            100.0 * at_or_below as f64 / r.queueing_ratios.len() as f64
+            100.0 * r.queueing_ratios.fraction_le(1.0)
         );
     }
 }

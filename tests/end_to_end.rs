@@ -217,7 +217,7 @@ fn bidirectional_tcp_over_lstf() {
     assert_eq!(stats.completions().len(), 2, "both directions complete");
 }
 
-/// Metrics glue: replay queueing ratios feed the Cdf, FCTs feed the
+/// Metrics glue: replay queueing ratios feed the report sketch, FCTs feed the
 /// bucketing, goodput feeds Jain — types line up and values are sane.
 #[test]
 fn metrics_integration() {
@@ -238,10 +238,11 @@ fn metrics_integration() {
         seed: 21,
     }
     .run(&packets, Dur::ZERO);
-    let cdf = Cdf::new(outcome.report.queueing_ratios.clone());
-    if !cdf.is_empty() {
-        // Figure 1's claim: replay queueing mostly no worse than original.
-        assert!(cdf.fraction_le(1.0) > 0.5);
+    let ratios = &outcome.report.queueing_ratios;
+    if !ratios.is_empty() {
+        // Figure 1's claim: replay queueing mostly no worse than original
+        // (exact read: 1.0 is a sketch bucket edge).
+        assert!(ratios.fraction_le(1.0) > 0.5);
     }
     let samples: Vec<FlowSample> = flows
         .iter()
