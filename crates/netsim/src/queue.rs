@@ -254,19 +254,23 @@ impl RankHeap {
     }
 
     fn sift_up(&mut self, mut i: usize) {
+        let mut steps = 0u64;
         while i > 0 {
             let parent = (i - 1) / 2;
             if self.v[i].key() < self.v[parent].key() {
                 self.v.swap(i, parent);
                 i = parent;
+                steps += 1;
             } else {
                 break;
             }
         }
+        ups_obs::count(ups_obs::Counter::RankHeapSiftSteps, steps);
     }
 
     fn sift_down(&mut self, mut i: usize) {
         let n = self.v.len();
+        let mut steps = 0u64;
         loop {
             let l = 2 * i + 1;
             if l >= n {
@@ -281,10 +285,12 @@ impl RankHeap {
             if self.v[smallest].key() < self.v[i].key() {
                 self.v.swap(i, smallest);
                 i = smallest;
+                steps += 1;
             } else {
                 break;
             }
         }
+        ups_obs::count(ups_obs::Counter::RankHeapSiftSteps, steps);
     }
 
     #[cfg(test)]

@@ -15,6 +15,8 @@
 
 use std::sync::Arc;
 
+use ups_obs::{Counter, Phase, PhaseTimer, SimProbe, SimSample};
+
 use crate::arena::{PacketArena, PacketRef};
 use crate::event::{Event, EventQueue};
 use crate::id::{AgentId, NodeId, PacketId};
@@ -167,6 +169,13 @@ pub struct Simulator {
     next_packet_id: u64,
     dead_link_policy: DeadLinkPolicy,
     oracle: Option<Box<dyn RerouteOracle>>,
+    probe: Option<Box<dyn SimProbe>>,
+    /// Cached `probe.sample_interval_ps()` so the per-event check never
+    /// touches the boxed probe.
+    probe_interval_ps: u64,
+    /// Virtual time of the next sample tick; `u64::MAX` with no probe
+    /// attached, so the per-event check is one always-false compare.
+    next_sample_ps: u64,
 }
 
 impl Simulator {
@@ -183,7 +192,32 @@ impl Simulator {
             next_packet_id: 0,
             dead_link_policy: DeadLinkPolicy::default(),
             oracle: None,
+            probe: None,
+            probe_interval_ps: 0,
+            next_sample_ps: u64::MAX,
         }
+    }
+
+    /// Attach a sampled observer (see [`ups_obs::SimProbe`]). The probe
+    /// is driven on its own virtual-time interval and only ever *reads*
+    /// aggregate state — attaching one cannot change the schedule, which
+    /// the `obs_determinism` test pins.
+    ///
+    /// # Panics
+    /// If the probe reports a zero sampling interval.
+    pub fn set_probe(&mut self, probe: Box<dyn SimProbe>) {
+        let interval = probe.sample_interval_ps();
+        assert!(interval > 0, "probe sampling interval must be positive");
+        self.probe_interval_ps = interval;
+        self.next_sample_ps = self.now().as_ps().saturating_add(interval);
+        self.probe = Some(probe);
+    }
+
+    /// Detach the probe, if any.
+    pub fn take_probe(&mut self) -> Option<Box<dyn SimProbe>> {
+        self.probe_interval_ps = 0;
+        self.next_sample_ps = u64::MAX;
+        self.probe.take()
     }
 
     /// Set the in-flight policy applied at dead links (default: `Drop`).
@@ -317,6 +351,16 @@ impl Simulator {
         while self.step() {}
     }
 
+    /// [`Self::run`] through a build of the event loop with every
+    /// observability hook compiled out (`step_impl::<false>`): no gate
+    /// loads, no sample-tick compare, no inert timer guards. This is the
+    /// reference the `obs_overhead` bench measures the gated loop
+    /// against — it produces the identical schedule, as every run of
+    /// that bench asserts. Not for probing: an attached probe is ignored.
+    pub fn run_uninstrumented(&mut self) {
+        while self.step_impl::<false>() {}
+    }
+
     /// Run to completion while pulling packets from `packets` on demand
     /// instead of injecting the whole workload up front. The iterator must
     /// be sorted by `injected_at` (ties in any order); each packet is
@@ -380,15 +424,46 @@ impl Simulator {
 
     /// Process one event. Returns false when the queue is exhausted.
     pub fn step(&mut self) -> bool {
+        self.step_impl::<true>()
+    }
+
+    /// One event dispatch, monomorphized with (`OBS = true`) or without
+    /// (`OBS = false`) observability hooks. The shipped [`Self::step`] is
+    /// the `true` instantiation — its hooks cost one relaxed load and a
+    /// predictable branch each while the gate is off. The `false`
+    /// instantiation ([`Self::run_uninstrumented`]) is the hook-free
+    /// baseline the overhead bench compares against. Both produce
+    /// bit-identical schedules: no hook mutates engine state.
+    fn step_impl<const OBS: bool>(&mut self) -> bool {
+        let _dispatch = if OBS {
+            ups_obs::timer(Phase::Dispatch)
+        } else {
+            PhaseTimer::off()
+        };
         let Some((now, event)) = self.events.pop() else {
             return false;
         };
         self.stats.events += 1;
+        if OBS {
+            ups_obs::count(
+                match event {
+                    Event::Inject(_) => Counter::EventsInject,
+                    Event::Arrive { .. } => Counter::EventsArrive,
+                    Event::PortReady { .. } => Counter::EventsPortReady,
+                    Event::Timer { .. } => Counter::EventsTimer,
+                    Event::LinkState { .. } => Counter::EventsLinkState,
+                },
+                1,
+            );
+        }
         match event {
             Event::Inject(pkt) => {
                 self.stats.injected += 1;
+                if OBS {
+                    ups_obs::count_max(Counter::ArenaHighWater, self.arena.live() as u64);
+                }
                 self.trace.on_inject(self.arena.get(pkt), now);
-                self.route(pkt, now);
+                self.route::<OBS>(pkt, now);
             }
             Event::Arrive { node, pkt } => {
                 let packet = self.arena.get(pkt);
@@ -396,10 +471,15 @@ impl Simulator {
                 if packet.at_destination() {
                     self.deliver(node, pkt, now);
                 } else {
-                    self.route(pkt, now);
+                    self.route::<OBS>(pkt, now);
                 }
             }
             Event::PortReady { node, port, token } => {
+                let _t = if OBS {
+                    ups_obs::timer(Phase::Dequeue)
+                } else {
+                    PhaseTimer::off()
+                };
                 self.nodes[node.index()].ports[port.index()].on_ready(
                     token,
                     now,
@@ -418,9 +498,48 @@ impl Simulator {
                 };
                 self.agents[agent.index()].on_timer(key, &mut api);
             }
-            Event::LinkState { a, b, up } => self.apply_link_state(a, b, up, now),
+            Event::LinkState { a, b, up } => self.apply_link_state::<OBS>(a, b, up, now),
+        }
+        if OBS && now.as_ps() >= self.next_sample_ps {
+            self.sample(now);
         }
         true
+    }
+
+    /// Drive the attached probe for one tick: one `on_port_depth` per
+    /// port in deterministic (node, port) order, then the aggregate
+    /// [`SimSample`]. Out of line — this runs once per sample interval,
+    /// not per event.
+    #[cold]
+    fn sample(&mut self, now: SimTime) {
+        let Some(probe) = self.probe.as_mut() else {
+            return;
+        };
+        let mut queued_packets = 0u64;
+        let mut queued_bytes = 0u64;
+        let mut max_port_depth = 0u64;
+        for node in &self.nodes {
+            for port in &node.ports {
+                let depth = port.queue_len() as u32;
+                let bytes = port.queued_bytes();
+                probe.on_port_depth(depth, bytes);
+                queued_packets += depth as u64;
+                queued_bytes += bytes;
+                max_port_depth = max_port_depth.max(depth as u64);
+            }
+        }
+        probe.on_sample(&SimSample {
+            t_ps: now.as_ps(),
+            in_flight: self.arena.live() as u64,
+            pending_events: self.events.len() as u64,
+            queued_packets,
+            queued_bytes,
+            max_port_depth,
+            events: self.stats.events,
+        });
+        // Next boundary strictly after `now`; idle gaps are not
+        // backfilled (a quiet network yields no rows, not zero rows).
+        self.next_sample_ps = now.as_ps().saturating_add(self.probe_interval_ps);
     }
 
     /// Flip both direction ports of link `a — b`, flushing displaced
@@ -428,7 +547,7 @@ impl Simulator {
     /// oracle hears about the change first so its reroutes never use the
     /// newly-dead link; both ports are marked before any packet is
     /// diverted so a reroute cannot sneak through the reverse direction.
-    fn apply_link_state(&mut self, a: NodeId, b: NodeId, up: bool, now: SimTime) {
+    fn apply_link_state<const OBS: bool>(&mut self, a: NodeId, b: NodeId, up: bool, now: SimTime) {
         self.stats.link_events += 1;
         if let Some(oracle) = self.oracle.as_mut() {
             oracle.link_state_changed(a, b, up, now);
@@ -451,14 +570,19 @@ impl Simulator {
             }
         }
         for pkt in displaced {
-            self.divert(pkt, now);
+            self.divert::<OBS>(pkt, now);
         }
     }
 
     /// Apply the dead-link policy to a packet whose next link is down:
     /// reroute it at its current hop (splicing the oracle's fresh path
     /// onto the executed prefix) or drop it with [`DropCause::DeadLink`].
-    fn divert(&mut self, pkt: PacketRef, now: SimTime) {
+    fn divert<const OBS: bool>(&mut self, pkt: PacketRef, now: SimTime) {
+        let _t = if OBS {
+            ups_obs::timer(Phase::Reroute)
+        } else {
+            PhaseTimer::off()
+        };
         let (here, dst) = {
             let p = self.arena.get(pkt);
             (p.current_node(), p.dst())
@@ -484,7 +608,7 @@ impl Simulator {
                 p.tmin_rem = None;
                 self.stats.rerouted += 1;
                 self.trace.on_reroute(self.arena.get(pkt));
-                self.forward(pkt, now);
+                self.forward::<OBS>(pkt, now);
             }
             None => {
                 self.stats.dropped += 1;
@@ -497,17 +621,17 @@ impl Simulator {
 
     /// Record the hop arrival and enqueue `pkt` at the output port of its
     /// current node towards its next hop.
-    fn route(&mut self, pkt: PacketRef, now: SimTime) {
+    fn route<const OBS: bool>(&mut self, pkt: PacketRef, now: SimTime) {
         let packet = self.arena.get(pkt);
         let here = packet.current_node();
         self.trace.on_arrive_at_hop(packet, here, now);
-        self.forward(pkt, now);
+        self.forward::<OBS>(pkt, now);
     }
 
     /// [`Self::route`] minus the hop-arrival record — also the re-entry
     /// point after a reroute, whose hop arrival was already recorded when
     /// the packet first reached this node.
-    fn forward(&mut self, pkt: PacketRef, now: SimTime) {
+    fn forward<const OBS: bool>(&mut self, pkt: PacketRef, now: SimTime) {
         let packet = self.arena.get(pkt);
         let here = packet.current_node();
         let next = packet
@@ -518,16 +642,23 @@ impl Simulator {
             .unwrap_or_else(|| panic!("no link {here} -> {next} for packet path"));
         if !self.nodes[here.index()].ports[port.index()].up {
             // The precomputed path runs over a dead link.
-            self.divert(pkt, now);
+            self.divert::<OBS>(pkt, now);
             return;
         }
-        let drops = self.nodes[here.index()].ports[port.index()].accept(
-            pkt,
-            now,
-            &mut self.arena,
-            &mut self.events,
-            &mut self.trace,
-        );
+        let drops = {
+            let _t = if OBS {
+                ups_obs::timer(Phase::Enqueue)
+            } else {
+                PhaseTimer::off()
+            };
+            self.nodes[here.index()].ports[port.index()].accept(
+                pkt,
+                now,
+                &mut self.arena,
+                &mut self.events,
+                &mut self.trace,
+            )
+        };
         self.stats.dropped += drops.len() as u64;
         for victim in drops {
             self.arena.free(victim);
@@ -986,6 +1117,50 @@ mod tests {
         // The oracle is consumed with the simulator; verify indirectly:
         // both events processed without panic and stats counted them.
         assert_eq!(sim.stats().link_events, 2);
+    }
+
+    #[test]
+    fn probe_samples_without_changing_the_schedule() {
+        let run = |probed: bool| {
+            let mut sim = line_network(2, SchedulerKind::Lstf { preemptive: false });
+            let shared = ups_obs::SharedProbe::new(12_000_000); // 12 µs: one tx time
+            if probed {
+                sim.set_probe(shared.attachment());
+            }
+            for i in 0..20 {
+                sim.inject(pkt_on(&[0, 1], i, SimTime::ZERO));
+            }
+            sim.run();
+            (sim.stats(), sim.into_trace(), shared)
+        };
+        let (stats_off, trace_off, _) = run(false);
+        let (stats_on, trace_on, shared) = run(true);
+        assert_eq!(stats_off, stats_on, "probe must not alter stats");
+        assert_eq!(trace_off, trace_on, "probe must not alter the schedule");
+        let series = shared.take_series();
+        assert!(!series.rows.is_empty(), "20 tx × 12us crosses ticks");
+        assert!(series.rows[0].sample.queued_packets > 0);
+        // Ticks advance in virtual time and never repeat.
+        for w in series.rows.windows(2) {
+            assert!(w[1].sample.t_ps > w[0].sample.t_ps);
+        }
+    }
+
+    #[test]
+    fn uninstrumented_run_matches_instrumented() {
+        let run = |instrumented: bool| {
+            let mut sim = line_network(3, SchedulerKind::Lstf { preemptive: true });
+            for i in 0..30 {
+                sim.inject(pkt_on(&[0, 1, 2], i, SimTime::from_us(i)));
+            }
+            if instrumented {
+                sim.run();
+            } else {
+                sim.run_uninstrumented();
+            }
+            (sim.stats(), sim.into_trace())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

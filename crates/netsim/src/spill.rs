@@ -75,11 +75,13 @@ impl SpillFile {
     }
 
     fn append_chunk(&mut self, chunk: &[(u64, PacketRecord)], buf: &mut Vec<u8>) {
+        let _t = ups_obs::timer(ups_obs::Phase::SpillIo);
         buf.clear();
         for (id, rec) in chunk {
             encode_record(buf, *id, rec);
         }
         self.file.write_all(buf).expect("write trace spill chunk");
+        ups_obs::count(ups_obs::Counter::SpillBytes, buf.len() as u64);
         self.chunks.push(SpilledChunk {
             off: self.write_off,
             bytes: buf.len() as u64,
@@ -121,11 +123,13 @@ impl ChunkLog {
     }
 
     pub(crate) fn push(&mut self, id: u64, rec: PacketRecord) {
+        ups_obs::count(ups_obs::Counter::TraceRecordsFinalized, 1);
         self.pending.push((id, rec));
         self.len += 1;
         if self.pending.len() >= self.chunk_cap {
             let mut chunk = std::mem::take(&mut self.pending);
             chunk.sort_unstable_by_key(|(id, r)| (r.injected, *id));
+            ups_obs::count(ups_obs::Counter::SpillChunksSealed, 1);
             self.sealed.push_back(chunk);
             while self.sealed.len() > self.ring_cap {
                 let oldest = self.sealed.pop_front().expect("ring not empty");

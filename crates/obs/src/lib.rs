@@ -1,0 +1,49 @@
+//! `ups-obs` — zero-cost-when-off instrumentation for the simulator and
+//! the sweep engine.
+//!
+//! Three pillars, all hand-rolled (no external deps, matching the
+//! vendored rand/criterion/proptest policy):
+//!
+//! 1. **The gate** ([`enabled`]/[`enable`]/[`disable`]): a process-wide
+//!    set of monotonic [`Counter`]s and wall-clock [`Phase`] timers that
+//!    deep engine code (heap sifts, spill I/O, event dispatch) updates
+//!    through [`count`]/[`count_max`]/[`timer`]. Every hook
+//!    short-circuits on one relaxed atomic load and a branch that always
+//!    predicts the same way while the gate is off — the disabled path
+//!    costs no allocation, no syscall, no lock, no clock read.
+//! 2. **The [`SimProbe`] trait** and its standard [`TimeSeriesProbe`]
+//!    implementation: a sampled recorder the simulator drives on a
+//!    configurable *virtual-time* interval — per-port queue depth and
+//!    occupancy, packets in flight, calendar-queue load — accumulated
+//!    into [`ups_metrics::QuantileSketch`]es plus an explicit row per
+//!    sample for export.
+//! 3. **Exporters**: a chrome://tracing-compatible trace-event JSON
+//!    writer ([`trace_event::trace_event_json`]) whose output opens
+//!    directly in Perfetto, and a plain-text [`report::render_report`]
+//!    summary table built on [`ups_metrics::table`].
+//!
+//! Observation never feeds back into simulation: no hook mutates engine
+//! state, so a run with probes enabled is bit-identical (trace, stats,
+//! replay reports) to the same seed with probes disabled — pinned by the
+//! `obs_determinism` integration test.
+//!
+//! The gate is process-global. That is the point for single-run
+//! profiling (one simulator, one report); under a multi-worker sweep the
+//! counters aggregate across all concurrently-running simulations, so
+//! sweep-level telemetry uses the per-worker accounting in
+//! `ups-sweep::pool` instead.
+
+pub mod gate;
+pub mod heartbeat;
+pub mod probe;
+pub mod report;
+pub mod trace_event;
+
+pub use gate::{
+    count, count_max, disable, enable, enabled, reset, snapshot, timer, Counter, ObsSnapshot,
+    Phase, PhaseTimer,
+};
+pub use heartbeat::{HeartbeatRecord, WorkerRow, HEARTBEAT_SCHEMA, TIMESERIES_SCHEMA};
+pub use probe::{
+    describe_probes, SeriesRow, SharedProbe, SimProbe, SimSample, TimeSeries, TimeSeriesProbe,
+};

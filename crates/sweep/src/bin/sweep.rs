@@ -22,12 +22,13 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ups_netsim::prelude::Dur;
 use ups_sweep::{
     bench_sweep_json, grid::is_original_scheduler, pool, runner, validate_bench_sweep, Exclude,
-    ResultStream, ScenarioGrid,
+    Heartbeat, HeartbeatConfig, PoolTelemetry, ResultStream, ScenarioGrid,
 };
 
 struct Args {
@@ -35,6 +36,7 @@ struct Args {
     workers: usize,
     out: PathBuf,
     jsonl: PathBuf,
+    telemetry: Option<PathBuf>,
     check: bool,
     quiet: bool,
     list: bool,
@@ -92,8 +94,14 @@ EXECUTION & OUTPUT:
   --workers N         worker threads (default: min(cores, 8))
   --out PATH          aggregate artifact (default BENCH_sweep.json)
   --jsonl PATH        streamed records (default sweep_results.jsonl)
+  --telemetry BASE    write sweep telemetry: one heartbeat JSON line per
+                      second to BASE.heartbeat.jsonl (done/total, jobs/sec,
+                      ETA, per-worker utilization and steal attribution)
+                      plus the run-level BASE.timeseries.json artifact,
+                      schema-checked by --validate like any BENCH_*.json
   --check             validate the artifact after writing
-  --quiet             suppress per-job lines
+  --quiet             suppress per-job lines and the throttled stderr
+                      `# progress` heartbeat (telemetry files still write)
 
 OTHER:
   --list              print registered topologies, profiles, disciplines
@@ -142,6 +150,7 @@ fn parse_args() -> Result<Args, String> {
         workers: default_workers(),
         out: PathBuf::from("BENCH_sweep.json"),
         jsonl: PathBuf::from("sweep_results.jsonl"),
+        telemetry: None,
         check: false,
         quiet: false,
         list: false,
@@ -227,6 +236,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--jsonl" => args.jsonl = PathBuf::from(value("--jsonl")?),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
             "--check" => args.check = true,
             "--quiet" => args.quiet = true,
             "--list" => args.list = true,
@@ -239,6 +249,14 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// `BASE` + literal suffix: `--telemetry runs/ci` names
+/// `runs/ci.heartbeat.jsonl` and `runs/ci.timeseries.json`.
+fn with_suffix(base: &std::path::Path, suffix: &str) -> PathBuf {
+    let mut s = base.as_os_str().to_os_string();
+    s.push(suffix);
+    PathBuf::from(s)
 }
 
 fn list_registries() {
@@ -279,6 +297,10 @@ fn list_registries() {
     println!("trace record modes (engine-level; sweep jobs pick per traffic mode):");
     for m in ups_netsim::prelude::RecordMode::ALL {
         println!("  {:<18} {}", m.name(), m.describe());
+    }
+    println!("observability probes (ups-obs gate; sampled via Simulator::set_probe):");
+    for (name, desc) in ups_obs::describe_probes() {
+        println!("  {name:<26} {desc}");
     }
     println!("scale bench (cargo bench -p ups-bench --bench scale; env knobs):");
     println!("  UPS_SCALE_PACKETS        packet floor for the streaming run (default 5000000)");
@@ -337,6 +359,23 @@ fn main() -> ExitCode {
                     d.flows,
                     d.peak_rss_bytes as f64 / (1024.0 * 1024.0),
                     d.replay_match_rate
+                )
+            })
+        } else if schema_tag.as_deref() == Some(ups_obs::TIMESERIES_SCHEMA) {
+            ups_sweep::validate_obs_timeseries(&doc).map(|d| {
+                format!(
+                    "{} heartbeat ticks over {:.2}s, {} jobs on {} workers",
+                    d.ticks, d.wall_s, d.jobs, d.workers
+                )
+            })
+        } else if schema_tag.as_deref() == Some(ups_sweep::OBS_BENCH_SCHEMA) {
+            ups_sweep::validate_bench_obs(&doc).map(|d| {
+                format!(
+                    "{} packets, probe-off overhead {:+.2}% (tolerance {:.0}%), probe-on {:+.2}%",
+                    d.packets,
+                    d.probe_off_overhead * 100.0,
+                    d.tolerance * 100.0,
+                    d.probe_on_overhead * 100.0
                 )
             })
         } else {
@@ -428,13 +467,32 @@ fn main() -> ExitCode {
     let t0 = Instant::now();
     let quiet = args.quiet;
     let stream_ref = &stream;
+    // The heartbeat thread reads these relaxed counters once a second;
+    // it observes the pool but never feeds back into job execution.
+    let telemetry = Arc::new(PoolTelemetry::new(pool::effective_workers(
+        args.workers,
+        jobs.len(),
+    )));
+    let heartbeat = Heartbeat::start(
+        Arc::clone(&telemetry),
+        HeartbeatConfig {
+            total: jobs.len() as u64,
+            interval: Duration::from_secs(1),
+            progress: !quiet,
+            jsonl: args
+                .telemetry
+                .as_ref()
+                .map(|base| with_suffix(base, ".heartbeat.jsonl")),
+        },
+    );
     // One topology build + all-pairs BFS per *distinct* topology, shared
     // read-only across workers, instead of one per job.
     let shared = runner::SharedScenarios::for_jobs(jobs.iter().map(|j| j.as_ref()));
     let shared_ref = &shared;
-    let (records, stats) = pool::run_jobs_labeled(
+    let (records, stats) = pool::run_jobs_telemetry(
         &jobs,
         args.workers,
+        Some(&telemetry),
         |_, spec| spec.label(),
         move |_, spec| {
             let rec = runner::run_job_arc(spec, shared_ref);
@@ -482,25 +540,58 @@ fn main() -> ExitCode {
         },
     );
     let wall_s = t0.elapsed().as_secs_f64();
+    let ticks = heartbeat.finish();
 
-    let doc = bench_sweep_json(&args.grid, &records, stats, wall_s);
+    let doc = bench_sweep_json(&args.grid, &records, &stats, wall_s);
     if let Err(e) = std::fs::write(&args.out, &doc) {
         eprintln!("sweep: cannot write {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
+    // Steal attribution: thief side first, then which queues were raided.
+    let stolen: Vec<String> = stats
+        .per_worker
+        .iter()
+        .filter(|w| w.stolen_from > 0)
+        .map(|w| format!("{}×w{}", w.stolen_from, w.worker))
+        .collect();
     println!(
-        "# {} jobs in {:.2}s on {} workers ({:.2} jobs/sec, {} steals)",
+        "# {} jobs in {:.2}s on {} workers ({:.2} jobs/sec, {} steals{})",
         records.len(),
         wall_s,
         stats.workers,
         records.len() as f64 / wall_s,
-        stats.steals
+        stats.steals,
+        if stolen.is_empty() {
+            String::new()
+        } else {
+            format!(" from {}", stolen.join(" "))
+        }
     );
     println!(
         "# wrote {} and {}",
         args.out.display(),
         args.jsonl.display()
     );
+    if let Some(base) = &args.telemetry {
+        let ts_path = with_suffix(base, ".timeseries.json");
+        let ts_doc =
+            ups_obs::heartbeat::timeseries_json(&ticks, stats.workers, stats.steals, wall_s);
+        if let Err(e) = std::fs::write(&ts_path, &ts_doc) {
+            eprintln!("sweep: cannot write {}: {e}", ts_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "# wrote {} and {} ({} heartbeat ticks)",
+            ts_path.display(),
+            with_suffix(base, ".heartbeat.jsonl").display(),
+            ticks.len()
+        );
+        // The artifact we just wrote must pass the same gate CI applies.
+        if let Err(e) = ups_sweep::validate_obs_timeseries(&ts_doc) {
+            eprintln!("sweep: telemetry artifact failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if args.check {
         match validate_bench_sweep(&doc) {

@@ -59,16 +59,22 @@ pub mod json;
 pub mod pool;
 pub mod runner;
 pub mod store;
+pub mod telemetry;
 
 pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, TrafficMode, MIXED_FQ_FIFOPLUS};
-pub use pool::{run_jobs, run_jobs_labeled, PoolStats};
+pub use pool::{
+    effective_workers, run_jobs, run_jobs_labeled, run_jobs_telemetry, PoolStats, PoolTelemetry,
+    WorkerStats,
+};
 pub use runner::{
     run_job, run_job_arc, run_job_shared, slack_policy_for, summarize_trace, JobRecord,
     SharedScenarios, RECORD_SCHEMA,
 };
 pub use store::{
-    bench_sweep_json, validate_bench_failures, validate_bench_quantized, validate_bench_scale,
-    validate_bench_sweep, FailuresDigest, QuantizedDigest, ResultStream, ScaleDigest, SweepDigest,
-    ACCEPTED_SWEEP_SCHEMAS, FAILURES_BENCH_SCHEMA, QUANTIZED_BENCH_SCHEMA, SCALE_BENCH_SCHEMA,
-    SWEEP_SCHEMA,
+    bench_sweep_json, validate_bench_failures, validate_bench_obs, validate_bench_quantized,
+    validate_bench_scale, validate_bench_sweep, validate_obs_timeseries, FailuresDigest, ObsDigest,
+    QuantizedDigest, ResultStream, ScaleDigest, SweepDigest, TimeSeriesDigest,
+    ACCEPTED_SWEEP_SCHEMAS, FAILURES_BENCH_SCHEMA, OBS_BENCH_SCHEMA, QUANTIZED_BENCH_SCHEMA,
+    SCALE_BENCH_SCHEMA, SWEEP_SCHEMA,
 };
+pub use telemetry::{Heartbeat, HeartbeatConfig};

@@ -20,16 +20,102 @@ use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// One worker's accounting after (or during) a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Wall nanoseconds spent inside job closures.
+    pub busy_ns: u64,
+    /// Jobs this worker stole from another worker's queue.
+    pub steals: u64,
+    /// Jobs stolen *from* this worker's queue — the victim side, so a
+    /// skewed deal shows up on the row that was overloaded.
+    pub stolen_from: u64,
+}
 
 /// Aggregate pool accounting for the sweep report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads used.
     pub workers: usize,
     /// Jobs executed.
     pub jobs: usize,
-    /// Jobs that ran on a worker other than the one they were dealt to.
+    /// Jobs that ran on a worker other than the one they were dealt to
+    /// (equals both the sum of per-worker `steals` and of `stolen_from`).
     pub steals: u64,
+    /// Per-worker rows, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// The worker count [`run_jobs`] actually uses for a given request —
+/// clamped to `[1, jobs]` so idle threads are never spawned. Exposed so
+/// a [`PoolTelemetry`] can be sized before the pool starts.
+pub fn effective_workers(requested: usize, jobs: usize) -> usize {
+    requested.clamp(1, jobs.max(1))
+}
+
+/// Live, shared pool accounting: one set of relaxed-atomic cells per
+/// worker plus a global done-jobs counter. Workers update it as they go;
+/// a heartbeat thread may read it concurrently through
+/// [`PoolTelemetry::snapshot`]/[`PoolTelemetry::done`] while the sweep
+/// runs. Values are monotone, so a mid-run snapshot is a consistent
+/// lower bound even though cells are read without synchronization.
+#[derive(Debug)]
+pub struct PoolTelemetry {
+    cells: Vec<[AtomicU64; 4]>, // [jobs, busy_ns, steals, stolen_from]
+    done: AtomicU64,
+}
+
+impl PoolTelemetry {
+    const JOBS: usize = 0;
+    const BUSY_NS: usize = 1;
+    const STEALS: usize = 2;
+    const STOLEN_FROM: usize = 3;
+
+    /// Telemetry for a pool of exactly `workers` threads (use
+    /// [`effective_workers`] to match what the pool will spawn).
+    pub fn new(workers: usize) -> Self {
+        PoolTelemetry {
+            cells: (0..workers)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            done: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker rows this telemetry was sized for.
+    pub fn workers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Jobs finished so far, across all workers.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    fn add(&self, worker: usize, cell: usize, n: u64) {
+        self.cells[worker][cell].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every worker row.
+    pub fn snapshot(&self) -> Vec<WorkerStats> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(worker, c)| WorkerStats {
+                worker,
+                jobs: c[Self::JOBS].load(Ordering::Relaxed),
+                busy_ns: c[Self::BUSY_NS].load(Ordering::Relaxed),
+                steals: c[Self::STEALS].load(Ordering::Relaxed),
+                stolen_from: c[Self::STOLEN_FROM].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
 }
 
 /// Render a `catch_unwind` payload (the panic message is almost always a
@@ -82,12 +168,52 @@ where
     F: Fn(usize, &J) -> R + Sync,
     L: Fn(usize, &J) -> String + Sync,
 {
-    let workers = workers.clamp(1, jobs.len().max(1));
+    run_jobs_telemetry(jobs, workers, None, label, f)
+}
+
+/// [`run_jobs_labeled`] with live accounting published into `telemetry`
+/// as the sweep runs, so a heartbeat thread can report progress and
+/// per-worker utilization mid-flight. When `telemetry` is `None` an
+/// internal one is used (the final [`PoolStats::per_worker`] rows are
+/// filled either way).
+///
+/// # Panics
+/// If a provided telemetry was sized for a different worker count than
+/// [`effective_workers`]`(workers, jobs.len())`.
+pub fn run_jobs_telemetry<J, R, F, L>(
+    jobs: &[J],
+    workers: usize,
+    telemetry: Option<&PoolTelemetry>,
+    label: L,
+    f: F,
+) -> (Vec<R>, PoolStats)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+    L: Fn(usize, &J) -> String + Sync,
+{
+    let workers = effective_workers(workers, jobs.len());
+    let internal;
+    let tel = match telemetry {
+        Some(t) => {
+            assert_eq!(
+                t.workers(),
+                workers,
+                "telemetry sized for {} workers, pool uses {workers}",
+                t.workers()
+            );
+            t
+        }
+        None => {
+            internal = PoolTelemetry::new(workers);
+            &internal
+        }
+    };
     // Deal jobs round-robin so every queue starts with a similar mix.
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w..jobs.len()).step_by(workers).collect()))
         .collect();
-    let steals = AtomicU64::new(0);
 
     let mut slots: Vec<Option<Result<R, String>>> =
         std::iter::repeat_with(|| None).take(jobs.len()).collect();
@@ -95,7 +221,6 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let queues = &queues;
-                let steals = &steals;
                 let f = &f;
                 scope.spawn(move || {
                     let mut done: Vec<(usize, Result<R, String>)> = Vec::new();
@@ -110,7 +235,11 @@ where
                                 let victim = (w + off) % workers;
                                 let got = queues[victim].lock().expect("queue poisoned").pop_back();
                                 if got.is_some() {
-                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    // Attribute both sides: the thief's
+                                    // `steals` and the victim's
+                                    // `stolen_from`.
+                                    tel.add(w, PoolTelemetry::STEALS, 1);
+                                    tel.add(victim, PoolTelemetry::STOLEN_FROM, 1);
                                 }
                                 got
                             })
@@ -120,9 +249,13 @@ where
                                 // Catch per job: a panicking scenario must
                                 // surface as *its own* failure, not as the
                                 // collector's "job never executed".
+                                let t0 = Instant::now();
                                 let r =
                                     std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &jobs[i])))
                                         .map_err(|payload| panic_message(payload.as_ref()));
+                                tel.add(w, PoolTelemetry::BUSY_NS, t0.elapsed().as_nanos() as u64);
+                                tel.add(w, PoolTelemetry::JOBS, 1);
+                                tel.done.fetch_add(1, Ordering::Relaxed);
                                 done.push((i, r));
                             }
                             None => return done,
@@ -149,10 +282,12 @@ where
             },
         )
         .collect();
+    let per_worker = tel.snapshot();
     let stats = PoolStats {
         workers,
         jobs: jobs.len(),
-        steals: steals.load(Ordering::Relaxed),
+        steals: per_worker.iter().map(|ws| ws.steals).sum(),
+        per_worker,
     };
     (results, stats)
 }
@@ -254,6 +389,46 @@ mod tests {
             20,
             "a panic must not take the worker's remaining queue down with it"
         );
+    }
+
+    #[test]
+    fn per_worker_rows_attribute_steals_to_both_sides() {
+        // Same skew as above: worker 0's dealt share is slow, worker 1
+        // must steal from it. Every steal must show up twice — on the
+        // thief's `steals` row and the victim's `stolen_from` row.
+        let jobs: Vec<usize> = (0..40).collect();
+        let tel = PoolTelemetry::new(effective_workers(2, jobs.len()));
+        let (_, stats) = run_jobs_telemetry(
+            &jobs,
+            2,
+            Some(&tel),
+            |i, _| format!("job {i}"),
+            |i, _| {
+                if i % 2 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+            },
+        );
+        assert_eq!(stats.per_worker.len(), 2);
+        assert!(stats.steals > 0, "no steals under skewed load");
+        let stolen: u64 = stats.per_worker.iter().map(|w| w.stolen_from).sum();
+        let steals: u64 = stats.per_worker.iter().map(|w| w.steals).sum();
+        assert_eq!(steals, stats.steals, "thief-side attribution");
+        assert_eq!(stolen, stats.steals, "victim-side attribution");
+        assert_eq!(stats.per_worker.iter().map(|w| w.jobs).sum::<u64>(), 40);
+        assert_eq!(tel.done(), 40);
+        assert!(
+            stats.per_worker.iter().any(|w| w.busy_ns > 0),
+            "sleeping jobs must accrue busy time"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry sized for")]
+    fn mis_sized_telemetry_is_rejected() {
+        let tel = PoolTelemetry::new(7);
+        let jobs: Vec<usize> = (0..4).collect();
+        let _ = run_jobs_telemetry(&jobs, 2, Some(&tel), |i, _| format!("{i}"), |_, _| ());
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub const FAILURES_BENCH_SCHEMA: &str = "ups-bench-failures/v1";
 /// (`BENCH_scale.json`), validated by [`validate_bench_scale`].
 pub const SCALE_BENCH_SCHEMA: &str = "ups-bench-scale/v1";
 
+/// Schema tag of the probe-overhead bench artifact (`BENCH_obs.json`),
+/// validated by [`validate_bench_obs`].
+pub const OBS_BENCH_SCHEMA: &str = "ups-bench-obs/v1";
+
 /// Streams one JSON line per finished job. Shared across workers behind
 /// a mutex — append is one short write per multi-second job.
 pub struct ResultStream {
@@ -93,7 +97,7 @@ impl ResultStream {
 pub fn bench_sweep_json(
     grid: &ScenarioGrid,
     records: &[JobRecord],
-    stats: PoolStats,
+    stats: &PoolStats,
     wall_s: f64,
 ) -> String {
     let jobs_per_sec = if wall_s > 0.0 {
@@ -719,6 +723,227 @@ pub fn validate_bench_scale(doc: &str) -> Result<ScaleDigest, String> {
     })
 }
 
+/// What a valid sweep-telemetry time-series artifact reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesDigest {
+    /// Workers the pool ran with.
+    pub workers: u64,
+    /// Heartbeat ticks recorded (≥ 1: the completion tick always fires).
+    pub ticks: usize,
+    /// Jobs done at the final tick (must equal the sweep total).
+    pub jobs: u64,
+    /// Wall seconds for the whole sweep.
+    pub wall_s: f64,
+}
+
+/// Validate a `*.timeseries.json` document (the run-level sweep-telemetry
+/// artifact `--telemetry` writes; schema [`ups_obs::TIMESERIES_SCHEMA`]).
+/// Dispatched from `sweep --validate` by its schema tag. Enforces a
+/// non-empty tick history with monotone `t_s`/`done`, per-worker rows on
+/// every tick, and a final completion tick where `done == total`.
+pub fn validate_obs_timeseries(doc: &str) -> Result<TimeSeriesDigest, String> {
+    let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != ups_obs::TIMESERIES_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (expected {:?})",
+            ups_obs::TIMESERIES_SCHEMA
+        ));
+    }
+    let num = |field: &str| -> Result<f64, String> {
+        v.get(field)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{field} missing"))
+    };
+    let workers = num("workers")?;
+    if workers < 1.0 {
+        return Err(format!("workers {workers} must be ≥ 1"));
+    }
+    num("steals")?;
+    let wall_s = num("wall_s")?;
+    if wall_s < 0.0 {
+        return Err(format!("wall_s {wall_s} must be ≥ 0"));
+    }
+    let ticks = v
+        .get("heartbeats")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing heartbeats array")?;
+    if ticks.is_empty() {
+        return Err("heartbeats empty (the completion tick always fires)".into());
+    }
+    let mut last_t = f64::NEG_INFINITY;
+    let mut last_done = 0.0;
+    let mut final_done = 0.0;
+    for (i, tick) in ticks.iter().enumerate() {
+        let tick_schema = tick
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("tick {i}: missing schema tag"))?;
+        if tick_schema != ups_obs::HEARTBEAT_SCHEMA {
+            return Err(format!(
+                "tick {i}: unexpected schema {tick_schema:?} (expected {:?})",
+                ups_obs::HEARTBEAT_SCHEMA
+            ));
+        }
+        let field = |name: &str| -> Result<f64, String> {
+            tick.get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("tick {i}: {name} missing"))
+        };
+        let t_s = field("t_s")?;
+        if t_s < last_t {
+            return Err(format!("tick {i}: t_s {t_s} regressed (prev {last_t})"));
+        }
+        last_t = t_s;
+        let done = field("done")?;
+        let total = field("total")?;
+        if done > total {
+            return Err(format!("tick {i}: done {done} exceeds total {total}"));
+        }
+        if done < last_done {
+            return Err(format!(
+                "tick {i}: done {done} regressed (prev {last_done})"
+            ));
+        }
+        last_done = done;
+        field("jobs_per_sec")?;
+        let rows = tick
+            .get("workers")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("tick {i}: missing workers array"))?;
+        if rows.len() != workers as usize {
+            return Err(format!(
+                "tick {i}: {} worker rows for a {workers}-worker pool",
+                rows.len()
+            ));
+        }
+        for (w, row) in rows.iter().enumerate() {
+            for name in [
+                "worker",
+                "jobs",
+                "busy_s",
+                "utilization",
+                "steals",
+                "stolen_from",
+            ] {
+                if row.get(name).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("tick {i} worker {w}: {name} missing"));
+                }
+            }
+        }
+        if i == ticks.len() - 1 {
+            if done != total {
+                return Err(format!(
+                    "final tick: done {done} != total {total} (sweep incomplete?)"
+                ));
+            }
+            final_done = done;
+        }
+    }
+    Ok(TimeSeriesDigest {
+        workers: workers as u64,
+        ticks: ticks.len(),
+        jobs: final_done as u64,
+        wall_s,
+    })
+}
+
+/// What a valid probe-overhead bench artifact reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsDigest {
+    /// Packets each measured run delivered.
+    pub packets: u64,
+    /// The overhead ceiling the bench enforced.
+    pub tolerance: f64,
+    /// Measured probe-off overhead vs the un-instrumented baseline
+    /// (negative means probe-off was faster on this run).
+    pub probe_off_overhead: f64,
+    /// Measured probe-on overhead vs the un-instrumented baseline.
+    pub probe_on_overhead: f64,
+}
+
+/// Validate a `BENCH_obs.json` document (the `obs_overhead` bench's
+/// zero-cost-when-off artifact; schema [`OBS_BENCH_SCHEMA`]). Dispatched
+/// from `sweep --validate` by its schema tag. Enforces the issue's
+/// contract — probe-off throughput within the recorded tolerance of the
+/// un-instrumented baseline, bit-identical fingerprints across all three
+/// modes, and a non-empty sampled series in probe-on mode.
+pub fn validate_bench_obs(doc: &str) -> Result<ObsDigest, String> {
+    let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != OBS_BENCH_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (expected {OBS_BENCH_SCHEMA:?})"
+        ));
+    }
+    let scenario = v.get("scenario").ok_or("missing scenario block")?;
+    for field in ["topology", "scheduler"] {
+        if scenario.get(field).and_then(JsonValue::as_str).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    let num = |field: &str| -> Result<f64, String> {
+        v.get(field)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{field} missing"))
+    };
+    let packets = num("packets")?;
+    if packets <= 0.0 {
+        return Err(format!("packets {packets} must be positive"));
+    }
+    if num("runs")? < 1.0 {
+        return Err("runs must be ≥ 1".into());
+    }
+    let tolerance = num("tolerance")?;
+    if tolerance <= 0.0 {
+        return Err(format!("tolerance {tolerance} must be positive"));
+    }
+    for mode in ["uninstrumented", "probe_off", "probe_on"] {
+        let m = v.get(mode).ok_or_else(|| format!("missing {mode} block"))?;
+        let pps = m
+            .get("packets_per_sec")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{mode}.packets_per_sec missing"))?;
+        if pps <= 0.0 {
+            return Err(format!("{mode}.packets_per_sec {pps} must be positive"));
+        }
+    }
+    if v.get("probe_on")
+        .and_then(|m| m.get("samples"))
+        .and_then(JsonValue::as_f64)
+        .is_none_or(|s| s < 1.0)
+    {
+        return Err("probe_on.samples must be ≥ 1 (series never sampled)".into());
+    }
+    let probe_off_overhead = num("probe_off_overhead")?;
+    if probe_off_overhead > tolerance {
+        return Err(format!(
+            "probe_off_overhead {probe_off_overhead} exceeds tolerance {tolerance}"
+        ));
+    }
+    let probe_on_overhead = num("probe_on_overhead")?;
+    match v.get("fingerprints_identical") {
+        Some(JsonValue::Bool(true)) => {}
+        other => {
+            return Err(format!(
+                "fingerprints_identical must assert true, got {other:?}"
+            ))
+        }
+    }
+    Ok(ObsDigest {
+        packets: packets as u64,
+        tolerance,
+        probe_off_overhead,
+        probe_on_overhead,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -824,15 +1049,20 @@ mod tests {
         }
     }
 
+    fn pool_stats(workers: usize, jobs: usize, steals: u64) -> PoolStats {
+        PoolStats {
+            workers,
+            jobs,
+            steals,
+            per_worker: Vec::new(),
+        }
+    }
+
     #[test]
     fn aggregate_validates_and_digest_matches() {
         let records = [record(0), record(1)];
-        let stats = PoolStats {
-            workers: 4,
-            jobs: 2,
-            steals: 1,
-        };
-        let doc = bench_sweep_json(&grid(), &records, stats, 2.0);
+        let stats = pool_stats(4, 2, 1);
+        let doc = bench_sweep_json(&grid(), &records, &stats, 2.0);
         let digest = validate_bench_sweep(&doc).expect("valid artifact");
         assert_eq!(
             digest,
@@ -848,24 +1078,16 @@ mod tests {
     fn aggregate_sorts_records_by_job_id() {
         // Hand the records in completion order; the artifact must not care.
         let records = [record(1), record(0)];
-        let stats = PoolStats {
-            workers: 1,
-            jobs: 2,
-            steals: 0,
-        };
-        let doc = bench_sweep_json(&grid(), &records, stats, 1.0);
+        let stats = pool_stats(1, 2, 0);
+        let doc = bench_sweep_json(&grid(), &records, &stats, 1.0);
         validate_bench_sweep(&doc).expect("sorted despite unsorted input");
     }
 
     #[test]
     fn validation_rejects_broken_artifacts() {
         let records = [record(0)];
-        let stats = PoolStats {
-            workers: 1,
-            jobs: 1,
-            steals: 0,
-        };
-        let good = bench_sweep_json(&grid(), &records, stats, 1.0);
+        let stats = pool_stats(1, 1, 0);
+        let good = bench_sweep_json(&grid(), &records, &stats, 1.0);
         assert!(validate_bench_sweep("not json").is_err());
         assert!(validate_bench_sweep("{}").is_err());
         let wrong_schema = good.replace(SWEEP_SCHEMA, "ups-sweep/v0");
@@ -900,12 +1122,8 @@ mod tests {
             quantized_record(2),
             failure_record(3),
         ];
-        let stats = PoolStats {
-            workers: 1,
-            jobs: 4,
-            steals: 0,
-        };
-        let v4_doc = bench_sweep_json(&grid(), &records, stats, 1.0);
+        let stats = pool_stats(1, 4, 0);
+        let v4_doc = bench_sweep_json(&grid(), &records, &stats, 1.0);
         validate_bench_sweep(&v4_doc).expect("v4 artifact validates");
         // queues and mapper must travel together.
         let torn = v4_doc.replace(
@@ -1080,12 +1298,8 @@ mod tests {
     fn closed_loop_record_requires_a_transport_block() {
         let mut r = closed_record(0);
         r.summary.transport = None;
-        let stats = PoolStats {
-            workers: 1,
-            jobs: 1,
-            steals: 0,
-        };
-        let doc = bench_sweep_json(&grid(), &[r], stats, 1.0);
+        let stats = pool_stats(1, 1, 0);
+        let doc = bench_sweep_json(&grid(), &[r], &stats, 1.0);
         let err = validate_bench_sweep(&doc).unwrap_err();
         assert!(err.contains("transport"), "bad error: {err}");
     }
@@ -1190,6 +1404,117 @@ mod tests {
         assert!(validate_bench_scale(&diverged)
             .unwrap_err()
             .contains("summaries_identical"));
+    }
+
+    const TIMESERIES_DOC: &str = r#"{
+  "schema": "ups-obs-timeseries/v1",
+  "workers": 2,
+  "steals": 3,
+  "wall_s": 1.25,
+  "heartbeats": [
+    {"schema": "ups-obs-heartbeat/v1", "t_s": 0.5, "done": 4, "total": 8,
+     "jobs_per_sec": 8.0, "eta_s": 0.5,
+     "workers": [
+       {"worker": 0, "jobs": 2, "busy_s": 0.4, "utilization": 0.8, "steals": 1, "stolen_from": 0},
+       {"worker": 1, "jobs": 2, "busy_s": 0.3, "utilization": 0.6, "steals": 0, "stolen_from": 1}]},
+    {"schema": "ups-obs-heartbeat/v1", "t_s": 1.25, "done": 8, "total": 8,
+     "jobs_per_sec": 6.4, "eta_s": 0.0,
+     "workers": [
+       {"worker": 0, "jobs": 5, "busy_s": 1.1, "utilization": 0.88, "steals": 3, "stolen_from": 0},
+       {"worker": 1, "jobs": 3, "busy_s": 0.9, "utilization": 0.72, "steals": 0, "stolen_from": 3}]}
+  ]
+}"#;
+
+    #[test]
+    fn timeseries_artifact_validates() {
+        let d = validate_obs_timeseries(TIMESERIES_DOC).expect("valid artifact");
+        assert_eq!(
+            d,
+            TimeSeriesDigest {
+                workers: 2,
+                ticks: 2,
+                jobs: 8,
+                wall_s: 1.25
+            }
+        );
+        assert!(validate_obs_timeseries("{}").is_err());
+        let wrong = TIMESERIES_DOC.replace("ups-obs-timeseries/v1", "ups-sweep/v4");
+        assert!(validate_obs_timeseries(&wrong)
+            .unwrap_err()
+            .contains("schema"));
+        // Progress can never run backwards.
+        let regress =
+            TIMESERIES_DOC.replace(r#""t_s": 1.25, "done": 8"#, r#""t_s": 0.25, "done": 8"#);
+        assert!(validate_obs_timeseries(&regress)
+            .unwrap_err()
+            .contains("regressed"));
+        // The completion tick must show a finished sweep.
+        let partial =
+            TIMESERIES_DOC.replace(r#""t_s": 1.25, "done": 8"#, r#""t_s": 1.25, "done": 6"#);
+        assert!(validate_obs_timeseries(&partial)
+            .unwrap_err()
+            .contains("final tick"));
+        // Worker rows must cover the whole pool on every tick.
+        let missing = TIMESERIES_DOC.replace(r#""workers": 2,"#, r#""workers": 3,"#);
+        assert!(validate_obs_timeseries(&missing)
+            .unwrap_err()
+            .contains("worker rows"));
+        // The heartbeat thread guarantees at least the completion tick.
+        let empty = r#"{"schema": "ups-obs-timeseries/v1", "workers": 1,
+                        "steals": 0, "wall_s": 0.0, "heartbeats": []}"#;
+        assert!(validate_obs_timeseries(empty)
+            .unwrap_err()
+            .contains("completion tick"));
+    }
+
+    const OBS_DOC: &str = r#"{
+  "schema": "ups-bench-obs/v1",
+  "scenario": {"topology": "FatTree(4)", "scheduler": "LSTF", "utilization": 0.7, "seed": 42},
+  "packets": 250000,
+  "runs": 3,
+  "tolerance": 0.02,
+  "uninstrumented": {"packets_per_sec": 1000000.0, "best_s": 0.25},
+  "probe_off": {"packets_per_sec": 995000.0, "best_s": 0.2512},
+  "probe_on": {"packets_per_sec": 930000.0, "best_s": 0.2688, "samples": 120},
+  "probe_off_overhead": 0.005,
+  "probe_on_overhead": 0.07,
+  "fingerprints_identical": true
+}"#;
+
+    #[test]
+    fn obs_bench_artifact_validates() {
+        let d = validate_bench_obs(OBS_DOC).expect("valid artifact");
+        assert_eq!(
+            d,
+            ObsDigest {
+                packets: 250_000,
+                tolerance: 0.02,
+                probe_off_overhead: 0.005,
+                probe_on_overhead: 0.07
+            }
+        );
+        assert!(validate_bench_obs("{}").is_err());
+        let wrong = OBS_DOC.replace("ups-bench-obs/v1", "ups-bench-scale/v1");
+        assert!(validate_bench_obs(&wrong).unwrap_err().contains("schema"));
+        // The zero-cost-when-off contract is the point of the artifact.
+        let slow = OBS_DOC.replace(
+            r#""probe_off_overhead": 0.005"#,
+            r#""probe_off_overhead": 0.05"#,
+        );
+        assert!(validate_bench_obs(&slow).unwrap_err().contains("tolerance"));
+        // Instrumentation must never change the schedule.
+        let diverged = OBS_DOC.replace(
+            r#""fingerprints_identical": true"#,
+            r#""fingerprints_identical": false"#,
+        );
+        assert!(validate_bench_obs(&diverged)
+            .unwrap_err()
+            .contains("fingerprints_identical"));
+        // Probe-on must have actually sampled something.
+        let unsampled = OBS_DOC.replace(r#""samples": 120"#, r#""samples": 0"#);
+        assert!(validate_bench_obs(&unsampled)
+            .unwrap_err()
+            .contains("samples"));
     }
 
     #[test]

@@ -194,7 +194,7 @@ fn aggregate_artifact_from_parallel_run_validates() {
     let jobs = grid.expand().unwrap();
     let t0 = std::time::Instant::now();
     let (records, stats) = pool::run_jobs(&jobs, 4, |_, spec| runner::run_job(spec));
-    let doc = store::bench_sweep_json(&grid, &records, stats, t0.elapsed().as_secs_f64());
+    let doc = store::bench_sweep_json(&grid, &records, &stats, t0.elapsed().as_secs_f64());
     let digest = store::validate_bench_sweep(&doc).expect("artifact conforms to ups-sweep/v3");
     assert_eq!(digest.jobs, 16);
     assert!(digest.jobs_per_sec > 0.0);

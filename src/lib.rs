@@ -20,6 +20,7 @@
 //! | [`core`] | the replay framework, slack heuristics, appendix counterexamples |
 //! | [`dynamics`] | link-failure schedules, epoch-based rerouting, churn-robust replay |
 //! | [`metrics`] | CDFs, Jain index, FCT buckets, run summaries, table rendering |
+//! | [`obs`] | zero-cost-when-off probes, phase timers, time-series, Perfetto export |
 //! | [`sweep`] | parallel scenario-sweep engine: grids, work-stealing pool, result store |
 //!
 //! ## Quickstart
@@ -60,6 +61,7 @@ pub use ups_core as core;
 pub use ups_dynamics as dynamics;
 pub use ups_metrics as metrics;
 pub use ups_netsim as netsim;
+pub use ups_obs as obs;
 pub use ups_sweep as sweep;
 pub use ups_topology as topology;
 pub use ups_transport as transport;
