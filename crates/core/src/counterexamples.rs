@@ -14,7 +14,7 @@
 //! Replay comparisons use a 1 µs tolerance — five orders of magnitude
 //! below the unit, three above the noise.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ups_netsim::prelude::{
@@ -45,7 +45,7 @@ pub struct CounterexampleSchedule {
     pub packets: Vec<Packet>,
     /// Human label ("Appendix C case 1", ...).
     pub label: &'static str,
-    names: HashMap<&'static str, PacketId>,
+    names: BTreeMap<&'static str, PacketId>,
     original: Vec<(PacketId, PacketRecord)>,
 }
 
@@ -152,7 +152,7 @@ fn walk(net: &NamedTopology, row: &Row) -> (Vec<HopRecord>, SimTime, Dur) {
 
 fn build(net: NamedTopology, label: &'static str, rows: &[Row]) -> CounterexampleSchedule {
     let mut packets = Vec::new();
-    let mut names = HashMap::new();
+    let mut names = BTreeMap::new();
     let mut original = Vec::new();
     for (idx, row) in rows.iter().enumerate() {
         let path: Arc<[ups_netsim::prelude::NodeId]> = net.path(row.path).into();

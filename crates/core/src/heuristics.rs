@@ -9,7 +9,7 @@
 //! | tail packet delay | constant slack (LSTF ≡ FIFO+) | §3.2 |
 //! | fairness | Virtual-Clock-style accumulation per flow | §3.3 |
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ups_netsim::prelude::{Dur, FlowId, SimTime, PS_PER_SEC};
 
@@ -54,9 +54,9 @@ pub fn tail_slack() -> i128 {
 #[derive(Debug)]
 pub struct FairnessSlackAssigner {
     rest_bps: u64,
-    state: HashMap<FlowId, (i128, SimTime)>,
+    state: BTreeMap<FlowId, (i128, SimTime)>,
     /// Per-flow weight ×1000 (integer to keep slack arithmetic exact).
-    weights_milli: HashMap<FlowId, u64>,
+    weights_milli: BTreeMap<FlowId, u64>,
     /// Out-of-order arrivals seen (and clamped) so far — see
     /// [`Self::out_of_order_arrivals`].
     out_of_order: u64,
@@ -68,8 +68,8 @@ impl FairnessSlackAssigner {
         assert!(rest_bps > 0, "r_est must be positive");
         FairnessSlackAssigner {
             rest_bps,
-            state: HashMap::new(),
-            weights_milli: HashMap::new(),
+            state: BTreeMap::new(),
+            weights_milli: BTreeMap::new(),
             out_of_order: 0,
         }
     }

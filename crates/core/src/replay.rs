@@ -396,9 +396,11 @@ pub fn compare_streams(
             report.overdue_gt_t += 1;
         }
         if orig.total_wait > Dur::ZERO {
-            report
-                .queueing_ratios
-                .insert(rep_wait.as_ps() as f64 / orig.total_wait.as_ps() as f64);
+            // lint:allow(ps-narrowing): a dimensionless wait ratio — f64
+            // rounding of either operand shifts the ratio by ~1e-16,
+            // far below the bucket resolution it feeds.
+            let ratio = rep_wait.as_ps() as f64 / orig.total_wait.as_ps() as f64;
+            report.queueing_ratios.insert(ratio);
         }
     }
     report

@@ -13,7 +13,7 @@
 //! `walk_back` tie-break (see `ups_topology::shortest_path_avoiding`),
 //! which the zero-failure bit-identity tests pin end to end.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ups_netsim::prelude::{NodeId, RerouteOracle, SimTime};
@@ -37,9 +37,9 @@ pub struct DynamicRouting {
     /// Per-epoch source → BFS distance field; cleared at every epoch
     /// change. A burst failure diverts many packets from one node to
     /// many destinations — one BFS per source serves them all.
-    dist_cache: HashMap<NodeId, Arc<Vec<u32>>>,
+    dist_cache: BTreeMap<NodeId, Arc<Vec<u32>>>,
     /// Per-epoch (src, dst) → path cache; cleared at every epoch change.
-    cache: HashMap<(NodeId, NodeId), Option<Arc<[NodeId]>>>,
+    cache: BTreeMap<(NodeId, NodeId), Option<Arc<[NodeId]>>>,
 }
 
 impl DynamicRouting {
@@ -49,8 +49,8 @@ impl DynamicRouting {
             topo,
             dead: Vec::new(),
             epoch: 0,
-            dist_cache: HashMap::new(),
-            cache: HashMap::new(),
+            dist_cache: BTreeMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,22 @@
+// Fixture: the atomic-ordering rule (applies to every file class).
+// Expected findings are pinned in tests/fixtures.rs.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static X: AtomicU64 = AtomicU64::new(0);
+
+fn bad_orderings() {
+    X.store(1, Ordering::SeqCst); // finding: line 8
+    let _ = X.load(Ordering::Acquire); // finding: line 9
+    X.fetch_add(1, Ordering::Release); // finding: line 10
+    let _ = X.swap(2, Ordering::AcqRel); // finding: line 11
+}
+
+fn relaxed_is_fine() {
+    X.store(1, Ordering::Relaxed);
+    let _ = X.load(Ordering::Relaxed);
+}
+
+fn allowed_ordering() {
+    // lint:allow(atomic-ordering): fixture protocol with a written reason
+    X.store(3, Ordering::SeqCst);
+}

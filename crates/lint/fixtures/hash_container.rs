@@ -1,0 +1,26 @@
+// Fixture: the hash-container rule. Expected findings are pinned in
+// tests/fixtures.rs — keep line numbers stable when editing.
+use std::collections::{HashMap, HashSet}; // exempt: use line
+
+struct Bad {
+    map: HashMap<u64, u64>,   // finding: line 6
+    set: HashSet<u64>,        // finding: line 7
+}
+
+struct Allowed {
+    // lint:allow(hash-container): lookup-only in this fixture
+    map: HashMap<u64, u64>,
+}
+
+fn fine() {
+    // A HashMap mentioned in prose does not fire.
+    let _ = "HashMap in a string does not fire";
+    let _ = std::collections::BTreeMap::<u64, u64>::new();
+}
+
+#[cfg(test)]
+mod tests {
+    fn hashing_in_tests_is_fine() {
+        let _ = std::collections::HashMap::<u64, u64>::new();
+    }
+}

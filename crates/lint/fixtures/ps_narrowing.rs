@@ -1,0 +1,20 @@
+// Fixture: the ps-narrowing rule. Expected findings are pinned in
+// tests/fixtures.rs — keep line numbers stable when editing.
+
+fn bad_casts(t: SimTime) {
+    let _ = t.as_ps() as f64; // finding: line 5
+    let _ = t.as_ps() as u32; // finding: line 6
+    let _ = t.as_ps() // finding: line 7 (cast spans lines)
+        as i64;
+}
+
+fn widening_is_fine(t: SimTime) {
+    let _ = t.as_ps() as u128;
+    let _ = t.as_ps() as i128;
+    let _ = t.as_ps(); // no cast at all
+}
+
+fn allowed_cast(t: SimTime) {
+    // lint:allow(ps-narrowing): fixture bound with a written reason
+    let _ = t.as_ps() as f64;
+}

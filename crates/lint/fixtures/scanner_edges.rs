@@ -1,0 +1,35 @@
+// Fixture: scanner edge cases. None of the trigger words below live in
+// code position, so the expected finding list for this file is EMPTY —
+// any finding here is a scanner bug. Pinned in tests/fixtures.rs.
+
+fn raw_strings() {
+    let _ = r"Instant::now() in a raw string";
+    let _ = r#"HashMap with "quotes" inside"#;
+    let _ = r##"SystemTime and a "# inside"##;
+    let _ = br#"unsafe bytes"#;
+}
+
+fn nested_block_comments() {
+    /* Instant::now()
+       /* nested: HashMap::new() */
+       still inside the outer comment: Ordering::SeqCst */
+    let after = 1;
+    let _ = after;
+}
+
+fn chars_and_lifetimes<'a>(x: &'a str) -> &'a str {
+    let quote = '\'';
+    let newline = '\n';
+    let letter = 'I'; // not the start of an Instant token
+    let _ = (quote, newline, letter);
+    x
+}
+
+fn raw_identifier() {
+    let r#type = "HashMap in a normal string";
+    let _ = r#type;
+}
+
+fn string_with_apostrophe() {
+    let _ = "it's not a char literal; SystemTime stays quoted";
+}

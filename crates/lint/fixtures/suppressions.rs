@@ -1,0 +1,32 @@
+// Fixture: the suppression grammar policing itself. Expected findings
+// are pinned in tests/fixtures.rs — keep line numbers stable.
+
+fn missing_reason() {
+    // lint:allow(wall-clock) -- finding: bad-suppression (no `: reason`), line 5
+    let _ = Instant::now(); // finding: wall-clock line 6 (not suppressed)
+}
+
+fn unknown_rule() {
+    // lint:allow(wallclock): typo'd rule name -- finding: bad-suppression line 10
+    let _ = 1;
+}
+
+fn unknown_directive() {
+    // lint:expect(wall-clock): wrong verb -- finding: bad-suppression line 15
+    let _ = 1;
+}
+
+fn stale_allow() {
+    // lint:allow(hash-container): nothing here hashes -- finding: unused-suppression line 20
+    let _ = 1;
+}
+
+fn unsuppressible_rule() {
+    // lint:allow(bad-suppression): cannot be allowed -- finding: bad-suppression line 25
+    let _ = 1;
+}
+
+fn good_multi_allow() {
+    // lint:allow(wall-clock, hash-container): both intentional in this fixture
+    let _ = (Instant::now(), HashMap::<u8, u8>::new());
+}

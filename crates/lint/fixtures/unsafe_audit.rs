@@ -1,0 +1,16 @@
+// Fixture: the unsafe-audit rule (applies to every file class).
+// Expected findings are pinned in tests/fixtures.rs.
+
+fn bare_unsafe() {
+    unsafe { std::hint::unreachable_unchecked() } // finding: line 5
+}
+
+fn audited_unsafe() {
+    // SAFETY: the fixture never calls this; the comment satisfies the rule.
+    unsafe { std::hint::unreachable_unchecked() }
+}
+
+fn allowed_unsafe() {
+    // lint:allow(unsafe-audit): fixture exception with a written reason
+    unsafe { std::hint::unreachable_unchecked() }
+}

@@ -1,0 +1,26 @@
+// Fixture: the wall-clock rule. Expected findings are pinned in
+// tests/fixtures.rs — keep line numbers stable when editing.
+use std::time::Instant; // exempt: use line
+
+fn bad_now() {
+    let t = Instant::now(); // finding: line 6
+    let s = std::time::SystemTime::now(); // finding: line 7
+    let _ = (t, s);
+}
+
+fn allowed_now() {
+    // lint:allow(wall-clock): fixture exception with a written reason
+    let _ = Instant::now();
+}
+
+fn prose_and_strings_do_not_fire() {
+    // Instant::now() in a comment is fine.
+    let _ = "Instant::now() in a string is fine";
+}
+
+#[cfg(test)]
+mod tests {
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,125 @@
+//! The `ups-lint` binary. See `crates/lint/src/lib.rs` and DESIGN.md
+//! §13 for what the rules enforce and why.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ups_lint::{find_workspace_root, render, rule_list, Workspace};
+
+const USAGE: &str = "\
+ups-lint — workspace determinism & schema-drift static analysis
+
+USAGE:
+    ups-lint [--root DIR] [--check] [--schemas] [--update] [--list]
+
+MODES (default with no mode flags: --check --schemas):
+    --check      run the determinism rules over every workspace source file
+    --schemas    diff the annotated schema field surfaces against SCHEMAS.lock
+    --update     regenerate SCHEMAS.lock from the current annotations
+    --list       print every rule and exit
+
+OPTIONS:
+    --root DIR   workspace root (default: walk up from the current directory
+                 to the first Cargo.toml declaring [workspace])
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut check = false;
+    let mut schemas = false;
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--schemas" => schemas = true,
+            "--update" => update = true,
+            "--list" => {
+                print!("{}", rule_list());
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !check && !schemas && !update {
+        check = true;
+        schemas = true;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "ups-lint: no Cargo.toml with [workspace] above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("ups-lint: loading {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = Vec::new();
+    if check {
+        findings.extend(ws.check());
+    }
+    if update {
+        let (surfaces, schema_findings) = ws.extract_schemas();
+        if schema_findings.is_empty() {
+            let text = ups_lint::render_lock(&surfaces);
+            if let Err(e) = std::fs::write(ws.lock_path(), &text) {
+                eprintln!("ups-lint: writing {}: {e}", ws.lock_path().display());
+                return ExitCode::from(2);
+            }
+            let fields: usize = surfaces.values().map(|k| k.len()).sum();
+            println!(
+                "ups-lint: wrote SCHEMAS.lock ({} tags, {} fields)",
+                surfaces.len(),
+                fields
+            );
+        } else {
+            findings.extend(schema_findings);
+        }
+    } else if schemas {
+        findings.extend(ws.check_schemas());
+    }
+
+    findings.sort();
+    findings.dedup();
+    if findings.is_empty() {
+        println!("ups-lint: clean ({} files)", ws.files.len());
+        ExitCode::SUCCESS
+    } else {
+        print!("{}", render(&findings));
+        println!("ups-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("ups-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

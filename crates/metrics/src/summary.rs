@@ -26,6 +26,7 @@ pub struct TransportSummary {
 
 impl TransportSummary {
     /// Compact JSON object.
+    // lint:schema(ups-sweep-record/v4)
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -63,6 +64,7 @@ pub struct DisruptionSummary {
 
 impl DisruptionSummary {
     /// Compact JSON object.
+    // lint:schema(ups-sweep-record/v4)
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -128,6 +130,7 @@ pub struct RunSummary {
 
 impl RunSummary {
     /// Compact single-line JSON object (JSONL-friendly).
+    // lint:schema(ups-sweep-record/v4)
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self
             .fct_buckets

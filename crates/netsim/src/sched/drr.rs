@@ -16,6 +16,9 @@ use crate::time::SimTime;
 /// discipline and as an ablation reference for Figure 4.
 #[derive(Debug)]
 pub struct Drr {
+    // lint:allow(hash-container): per-packet hot path; service order
+    // comes from the ring, and the one iteration (select_drop) uses a
+    // total (bytes, flow id) key, so map order never escapes.
     flows: HashMap<FlowId, VecDeque<QueuedPacket>>,
     /// Round-robin ring of active flows with their deficit counters.
     ring: VecDeque<(FlowId, u64)>,
@@ -31,6 +34,7 @@ impl Drr {
     pub fn with_quantum(quantum: u64) -> Self {
         assert!(quantum > 0, "zero quantum would never serve anything");
         Drr {
+            // lint:allow(hash-container): see the field above.
             flows: HashMap::new(),
             ring: VecDeque::new(),
             quantum,

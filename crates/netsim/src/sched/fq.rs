@@ -22,6 +22,8 @@ use crate::time::SimTime;
 pub struct FairQueueing {
     q: RankHeap,
     /// Last assigned finish tag per flow, in virtual byte units.
+    // lint:allow(hash-container): per-packet hot path, lookup-only —
+    // never iterated, so map order cannot reach the schedule.
     finish: HashMap<FlowId, i128>,
     /// Virtual time: start tag of the packet last dequeued.
     vtime: i128,

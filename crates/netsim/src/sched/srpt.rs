@@ -20,6 +20,8 @@ use crate::time::SimTime;
 /// flow's early packets).
 #[derive(Debug, Default)]
 pub struct Srpt {
+    // lint:allow(hash-container): per-packet hot path, lookup-only —
+    // selection order comes from the BTreeSet below, never from the map.
     flows: HashMap<FlowId, FlowQueue>,
     /// Flows ordered by (min rank over queued packets, flow id).
     order: BTreeSet<(i128, FlowId)>,

@@ -159,6 +159,9 @@ impl PacketRecord {
 struct StreamStore {
     /// Records injected but neither exited nor dropped yet, by raw id.
     /// Bounded by peak in-flight packets, like the packet arena.
+    // lint:allow(hash-container): per-packet hot path; the only
+    // iteration (iter_sorted) collects and sorts by (injected, id)
+    // before any record escapes, so map order never reaches a trace.
     open: HashMap<u64, PacketRecord>,
     log: ChunkLog,
     id_bound: u64,
@@ -215,6 +218,7 @@ impl Trace {
             RecordMode::Streaming => {
                 let (chunk, ring) = caps.unwrap_or((DEFAULT_CHUNK_RECORDS, DEFAULT_RING_CHUNKS));
                 Store::Streaming(Box::new(StreamStore {
+                    // lint:allow(hash-container): see the field above.
                     open: HashMap::new(),
                     log: ChunkLog::new(chunk, ring),
                     id_bound: 0,
@@ -242,7 +246,7 @@ impl Trace {
                 }
             }
             Store::Streaming(s) => {
-                let mut seen = std::collections::HashSet::new();
+                let mut seen = std::collections::BTreeSet::new();
                 for (id, rec) in records {
                     assert!(seen.insert(id.0), "duplicate synthetic record for {id}");
                     s.id_bound = s.id_bound.max(id.0 + 1);

@@ -207,6 +207,9 @@ pub fn count_max(c: Counter, v: u64) {
 /// read on the disabled path.
 #[must_use = "the timer records on drop; binding it to _ discards the span immediately"]
 pub struct PhaseTimer {
+    // lint:allow(wall-clock): obs is the annotated exception — phase
+    // timings feed only the obs artifacts, which DESIGN.md §3 excludes
+    // from the determinism surface; no reading reaches simulation state.
     armed: Option<(Phase, Instant)>,
 }
 
@@ -234,6 +237,7 @@ impl Drop for PhaseTimer {
 #[inline(always)]
 pub fn timer(phase: Phase) -> PhaseTimer {
     PhaseTimer {
+        // lint:allow(wall-clock): see PhaseTimer::armed.
         armed: enabled().then(|| (phase, Instant::now())),
     }
 }

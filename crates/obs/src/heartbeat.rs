@@ -39,6 +39,7 @@ pub struct WorkerRow {
 
 impl WorkerRow {
     /// One JSON object, flat.
+    // lint:schema(ups-obs-heartbeat/v1)
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -74,6 +75,7 @@ pub struct HeartbeatRecord {
 
 impl HeartbeatRecord {
     /// One self-describing JSON line (no trailing newline).
+    // lint:schema(ups-obs-heartbeat/v1)
     pub fn to_json(&self) -> String {
         let workers: Vec<String> = self.workers.iter().map(|w| w.to_json()).collect();
         format!(
@@ -95,6 +97,7 @@ impl HeartbeatRecord {
 /// Render the run-level `ups-obs-timeseries/v1` document from the tick
 /// history. `workers`/`steals` describe the finished pool; `wall_s` the
 /// whole sweep.
+// lint:schema(ups-obs-timeseries/v1)
 pub fn timeseries_json(
     records: &[HeartbeatRecord],
     workers: usize,

@@ -33,6 +33,8 @@
 //! sweep-level telemetry uses the per-worker accounting in
 //! `ups-sweep::pool` instead.
 
+#![forbid(unsafe_code)]
+
 pub mod gate;
 pub mod heartbeat;
 pub mod probe;

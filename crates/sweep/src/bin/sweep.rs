@@ -464,6 +464,8 @@ fn main() -> ExitCode {
         );
     }
 
+    // lint:allow(wall-clock): feeds the envelope's wall_s/jobs_per_sec
+    // throughput fields, excluded from the determinism surface.
     let t0 = Instant::now();
     let quiet = args.quiet;
     let stream_ref = &stream;

@@ -106,6 +106,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// The scenario as a compact JSON object — embedded in every result
     /// record so each line is self-describing.
+    // lint:schema(ups-sweep-record/v4)
     pub fn scenario_json(&self) -> String {
         let opt_u64 = |v: Option<u64>| match v {
             Some(n) => n.to_string(),
@@ -248,6 +249,7 @@ impl Exclude {
 
     /// The filter as JSON, so a recorded grid block can reproduce the
     /// exact job list it generated.
+    // lint:schema(ups-sweep/v4)
     fn to_json(&self) -> String {
         let opt_str = |v: &Option<String>| match v {
             Some(s) => format!("\"{}\"", json_escape(s)),
@@ -649,6 +651,7 @@ impl ScenarioGrid {
     }
 
     /// The grid itself as JSON — the `"grid"` block of `BENCH_sweep.json`.
+    // lint:schema(ups-sweep/v4)
     pub fn to_json(&self) -> String {
         let strs = |v: &[String]| {
             v.iter()

@@ -249,6 +249,8 @@ where
                                 // Catch per job: a panicking scenario must
                                 // surface as *its own* failure, not as the
                                 // collector's "job never executed".
+                                // lint:allow(wall-clock): worker busy-time
+                                // telemetry only; jobs never read it.
                                 let t0 = Instant::now();
                                 let r =
                                     std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &jobs[i])))

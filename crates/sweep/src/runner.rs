@@ -21,7 +21,7 @@
 //! transport block (completions, goodput, retransmits, RTOs) distilled
 //! from [`TransportStats`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,7 +48,7 @@ use crate::grid::{JobSpec, TrafficMode, MIXED_FQ_FIFOPLUS};
 /// `O(V·(V+E))` BFS; now a job only carries its own cheap per-(src, dst)
 /// path cache on top of the shared core.
 pub struct SharedScenarios {
-    map: HashMap<String, (Arc<Topology>, Arc<RoutingCore>)>,
+    map: BTreeMap<String, (Arc<Topology>, Arc<RoutingCore>)>,
 }
 
 impl SharedScenarios {
@@ -56,7 +56,7 @@ impl SharedScenarios {
     /// topology named by `jobs` — any borrowing iterable of specs
     /// (slices, or `Arc<JobSpec>` collections via a deref map).
     pub fn for_jobs<'a>(jobs: impl IntoIterator<Item = &'a JobSpec>) -> Self {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         for spec in jobs {
             if !map.contains_key(&spec.topology) {
                 let topo = topology_by_name(&spec.topology)
@@ -158,6 +158,7 @@ impl JobRecord {
     /// The record as one JSON line. `with_timing: false` omits the
     /// wall-clock field, leaving only fields that are pure functions of
     /// the spec — the form the cross-thread determinism contract compares.
+    // lint:schema(ups-sweep-record/v4)
     pub fn to_json(&self, with_timing: bool) -> String {
         let timing = if with_timing {
             format!(r#","wall_s":{}"#, ups_metrics::json_num(self.wall_s))
@@ -196,6 +197,8 @@ pub fn run_job_shared(spec: &JobSpec, shared: &SharedScenarios) -> JobRecord {
 /// [`run_job_shared`] for callers holding shared specs: the record reuses
 /// the caller's `Arc` instead of cloning the spec.
 pub fn run_job_arc(spec: &Arc<JobSpec>, shared: &SharedScenarios) -> JobRecord {
+    // lint:allow(wall-clock): feeds only the record's wall_s field,
+    // which to_json(false) excludes from the determinism surface.
     let t0 = Instant::now();
     let (topo, routing_core) = shared.get(&spec.topology);
     let topo = &*topo;

@@ -94,6 +94,7 @@ impl ResultStream {
 
 /// Render the aggregate artifact. Records are sorted by job id (the
 /// caller hands them in pool order, which is already job order).
+// lint:schema(ups-sweep/v4)
 pub fn bench_sweep_json(
     grid: &ScenarioGrid,
     records: &[JobRecord],

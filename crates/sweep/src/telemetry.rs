@@ -35,6 +35,9 @@ pub struct HeartbeatConfig {
 }
 
 /// Build the record for "now" from the live pool counters.
+// lint:allow(wall-clock): heartbeat telemetry — observes the pool,
+// never feeds back into job execution or any record's determinism
+// surface (heartbeats are obs artifacts).
 fn record_now(tel: &PoolTelemetry, total: u64, t0: Instant) -> HeartbeatRecord {
     let t_s = t0.elapsed().as_secs_f64();
     let done = tel.done().min(total);
@@ -98,6 +101,7 @@ impl Heartbeat {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
+            // lint:allow(wall-clock): heartbeat clock; see record_now.
             let t0 = Instant::now();
             let mut records = Vec::new();
             let emit = |records: &mut Vec<HeartbeatRecord>, jsonl: &mut Option<BufWriter<File>>| {

@@ -6,7 +6,7 @@
 //! assignment (and header initialization) between the original run and the
 //! replay run — topology and injected packets stay identical.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ups_netsim::prelude::{Link, NodeId, RecordMode, SchedulerKind, SimConfig, Simulator};
 
@@ -16,7 +16,7 @@ use crate::graph::{NodeRole, Topology};
 #[derive(Debug, Clone)]
 pub struct SchedulerAssignment {
     default: SchedulerKind,
-    per_node: HashMap<NodeId, SchedulerKind>,
+    per_node: BTreeMap<NodeId, SchedulerKind>,
 }
 
 impl SchedulerAssignment {
@@ -26,7 +26,7 @@ impl SchedulerAssignment {
     pub fn uniform(kind: SchedulerKind) -> Self {
         SchedulerAssignment {
             default: kind,
-            per_node: HashMap::new(),
+            per_node: BTreeMap::new(),
         }
     }
 

@@ -14,7 +14,7 @@
 //! 1500 B packet, vs. the 1 ms scheduling unit — five orders of magnitude
 //! below anything the counterexamples measure).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ups_netsim::prelude::{Bandwidth, Dur, NodeId};
 
@@ -40,7 +40,7 @@ pub fn congested_bw(num: u64, den: u64) -> Bandwidth {
 pub struct NamedTopology {
     /// The graph.
     pub topo: Topology,
-    names: HashMap<&'static str, NodeId>,
+    names: BTreeMap<&'static str, NodeId>,
 }
 
 impl NamedTopology {
@@ -61,14 +61,14 @@ impl NamedTopology {
 
 struct Builder {
     topo: Topology,
-    names: HashMap<&'static str, NodeId>,
+    names: BTreeMap<&'static str, NodeId>,
 }
 
 impl Builder {
     fn new(name: &str) -> Self {
         Builder {
             topo: Topology::new(name),
-            names: HashMap::new(),
+            names: BTreeMap::new(),
         }
     }
     fn host(&mut self, name: &'static str) -> NodeId {

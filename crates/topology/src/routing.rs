@@ -8,7 +8,7 @@
 //! piling onto the lowest-numbered links. A (src, dst) pair always maps
 //! to exactly one path.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -47,7 +47,7 @@ impl RoutingCore {
 /// hash-spread path reconstruction cached per (src, dst).
 pub struct Routing {
     core: Arc<RoutingCore>,
-    cache: HashMap<(NodeId, NodeId), Arc<[NodeId]>>,
+    cache: BTreeMap<(NodeId, NodeId), Arc<[NodeId]>>,
 }
 
 /// SplitMix64 — deterministic tie-break hash for equal-cost choices.
@@ -108,7 +108,7 @@ impl Routing {
     pub fn from_core(core: Arc<RoutingCore>) -> Self {
         Routing {
             core,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 

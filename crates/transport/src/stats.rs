@@ -1,7 +1,7 @@
 //! Shared transport-level measurement: flow completions (Figure 2's FCT)
 //! and per-bucket goodput (Figure 4's per-millisecond throughput).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use ups_netsim::prelude::{Dur, FlowId, SimTime};
@@ -30,11 +30,11 @@ impl FlowCompletion {
 struct Inner {
     completions: Vec<FlowCompletion>,
     /// flow → goodput bytes per time bucket.
-    goodput: HashMap<FlowId, Vec<u64>>,
+    goodput: BTreeMap<FlowId, Vec<u64>>,
     /// flow → data segments re-sent (fast retransmit + go-back-N).
-    retransmits: HashMap<FlowId, u64>,
+    retransmits: BTreeMap<FlowId, u64>,
     /// flow → RTO firings that actually rolled the sender back.
-    timeouts: HashMap<FlowId, u64>,
+    timeouts: BTreeMap<FlowId, u64>,
     /// Out-of-order arrivals the fairness slack assigner clamped (see
     /// `ups_core::FairnessSlackAssigner::out_of_order_arrivals`).
     slack_out_of_order: u64,

@@ -20,7 +20,7 @@
 //! SRPT routers can prioritize) and with a slack per the configured
 //! [`SlackPolicy`] — this is where the §3 heuristics meet the wire.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ups_core::FairnessSlackAssigner;
@@ -91,8 +91,8 @@ struct TcpHost {
     policy: SlackPolicy,
     fairness: FairnessSlackAssigner,
     senders: Vec<TcpSender>,
-    sender_index: HashMap<FlowId, usize>,
-    receivers: HashMap<FlowId, TcpReceiver>,
+    sender_index: BTreeMap<FlowId, usize>,
+    receivers: BTreeMap<FlowId, TcpReceiver>,
     stats: TransportStats,
 }
 
@@ -495,7 +495,7 @@ pub fn install_tcp(
     stats: &TransportStats,
 ) {
     // Group flows by src and dst host.
-    let mut hosts: HashMap<NodeId, TcpHost> = HashMap::new();
+    let mut hosts: BTreeMap<NodeId, TcpHost> = BTreeMap::new();
     let rest = match &policy {
         SlackPolicy::Fairness(r) => *r,
         SlackPolicy::WeightedFairness { rest_bps, .. } => *rest_bps,
@@ -510,15 +510,15 @@ pub fn install_tcp(
         }
         f
     };
-    let host_entry = |hosts: &mut HashMap<NodeId, TcpHost>, node: NodeId| {
+    let host_entry = |hosts: &mut BTreeMap<NodeId, TcpHost>, node: NodeId| {
         hosts.entry(node).or_insert_with(|| TcpHost {
             node,
             config,
             policy: policy.clone(),
             fairness: mk_fairness(),
             senders: Vec::new(),
-            sender_index: HashMap::new(),
-            receivers: HashMap::new(),
+            sender_index: BTreeMap::new(),
+            receivers: BTreeMap::new(),
             stats: stats.clone(),
         });
     };
