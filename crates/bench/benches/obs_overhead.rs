@@ -12,7 +12,11 @@
 //! bench asserts their delivered counts and exit-time fingerprints agree
 //! before trusting the timings — instrumentation must never change the
 //! schedule. It then asserts `probe_off` throughput within
-//! `UPS_OBS_TOLERANCE` (default 2%) of `uninstrumented`.
+//! `UPS_OBS_TOLERANCE` (default 10%) of `uninstrumented`, on **both**
+//! sides: probe-off running suspiciously *faster* than the hook-free
+//! loop means the baseline is broken (or the machine too noisy for the
+//! comparison to mean anything), not that the contract holds. The
+//! signed overhead goes into `BENCH_obs.json` either way.
 //!
 //! Results go to stdout (including the `ups-obs` plain-text report for
 //! the probe-on run) and to `BENCH_obs.json` (schema `ups-bench-obs/v1`,
@@ -167,7 +171,7 @@ fn json_mode(m: &Measurement) -> String {
 fn main() {
     let min_packets = env_u64("UPS_OBS_MIN_PACKETS", 120_000) as usize;
     let runs = env_u64("UPS_OBS_RUNS", 5).max(1);
-    let tolerance = env_f64("UPS_OBS_TOLERANCE", 0.02);
+    let tolerance = env_f64("UPS_OBS_TOLERANCE", 0.10);
     assert!(tolerance > 0.0, "UPS_OBS_TOLERANCE must be positive");
 
     let (topo, train) = fattree_throughput_workload(UTILIZATION, min_packets, SEED);
@@ -225,8 +229,9 @@ fn main() {
         on_overhead * 100.0
     );
     assert!(
-        off_overhead <= tolerance,
-        "probe-off overhead {:.2}% exceeds the {:.0}% tolerance",
+        off_overhead.abs() <= tolerance,
+        "probe-off delta {:+.2}% outside the ±{:.0}% tolerance \
+         (negative: probe_off beat the hook-free loop — suspect baseline or machine noise)",
         off_overhead * 100.0,
         tolerance * 100.0
     );

@@ -1,0 +1,44 @@
+// Fixture: the panic-path rule. It is path-scoped, so tests/fixtures.rs
+// checks this file under the synthetic path crates/netsim/src/panic_path.rs
+// (and once under its bare name, expecting silence). Keep line numbers
+// stable when editing.
+
+fn bad_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // finding: line 7
+}
+
+fn bad_expect(x: Option<u8>) -> u8 {
+    x.expect("present") // finding: line 11
+}
+
+fn bad_panic(k: u8) {
+    panic!("bad kind {k}") // finding: line 15
+}
+
+fn bad_computed_index(xs: &[u8], i: usize) -> u8 {
+    xs[i + 1] // finding: line 19 (computed index)
+}
+
+fn plain_lookup_is_fine(xs: &[u8], i: usize) -> u8 {
+    xs[i]
+}
+
+fn lookalikes_do_not_fire(x: Option<u8>, r: Result<u8, u8>) {
+    let _ = x.unwrap_or(0);
+    let _ = r.expect_err("err");
+    let v = [1u8, 2]; // array literal after `=`: not an index
+    let [a, b] = v; // slice pattern: not an index
+    let _ = (a, b);
+}
+
+fn allowed(xs: &[u8], head: usize) -> u8 {
+    xs[head % xs.len()] // lint:allow(panic-path): fixture exception — masked to length
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_panic_freely() {
+        Some(1u8).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: the raw-sync rule. It is path-scoped, so tests/fixtures.rs
+// checks this file under the synthetic path crates/sweep/src/raw_sync.rs
+// (and once under its bare name, expecting silence). Keep line numbers
+// stable when editing.
+use std::sync::Mutex; // finding: line 5 (the import IS the hazard)
+use std::sync::Arc; // exempt: ownership, not synchronization
+use std::sync::Weak; // exempt: ownership, not synchronization
+
+fn bad_spawn() {
+    let _ = std::thread::spawn(|| {}); // finding: line 10
+}
+
+fn bad_atomic() {
+    use std::sync::atomic::AtomicU64; // finding: line 14
+    let _ = AtomicU64::new(0);
+}
+
+fn allowed() {
+    // lint:allow(raw-sync): fixture exception with a written reason
+    let (_tx, _rx) = std::sync::mpsc::channel::<u8>();
+}
+
+fn prose_and_strings_do_not_fire() {
+    // std::thread::spawn in a comment is fine.
+    let _ = "std::sync::Mutex in a string is fine";
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_may_use_std_directly() {
+        std::thread::sleep(std::time::Duration::ZERO);
+        let _ = std::sync::Mutex::new(0);
+    }
+}

@@ -30,3 +30,17 @@ fn good_multi_allow() {
     // lint:allow(wall-clock, hash-container): both intentional in this fixture
     let _ = (Instant::now(), HashMap::<u8, u8>::new());
 }
+
+// --- Appended edge cases (append-only: pins above must stay stable) ---
+
+fn blank_line_between_allow_and_code() {
+    // lint:allow(wall-clock): a blank line below still reaches the next code line
+
+    let _ = Instant::now();
+}
+
+fn consecutive_allows_each_cover_the_same_line() {
+    // lint:allow(wall-clock): first of two stacked allows
+    // lint:allow(hash-container): second of two stacked allows
+    let _ = (Instant::now(), HashMap::<u8, u8>::new());
+}

@@ -1,0 +1,7 @@
+// Fixture: an allow on the file's final line (EOF edge: no next code
+// line exists for it to cover). It suppresses nothing and must be
+// reported as unused, not silently dropped.
+fn nothing_to_suppress() {
+    let _ = 1;
+}
+// lint:allow(wall-clock): stale — nothing follows this comment

@@ -74,6 +74,18 @@ pub const RULES: &[RuleInfo] = &[
         suppressible: true,
     },
     RuleInfo {
+        name: "raw-sync",
+        desc:
+            "std::sync/std::thread outside the ups_race shim in the pool/obs crates — the model-checked surface must not grow stale",
+        suppressible: true,
+    },
+    RuleInfo {
+        name: "panic-path",
+        desc:
+            "unwrap/expect/panic!/computed index in hot-path crates — handle it, or annotate why it cannot fire",
+        suppressible: true,
+    },
+    RuleInfo {
         name: "bad-suppression",
         desc: "malformed lint:allow — unknown rule, missing `: reason`, or unknown lint: directive",
         suppressible: false,
@@ -242,6 +254,98 @@ pub fn check_file(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
         }
     }
 
+    // --- raw-sync: library code of shim-routed crates. The import is
+    // the hazard here (unlike wall-clock), so `use` lines are NOT
+    // exempt; `#[cfg(test)]` regions are (tests may sleep/spawn freely
+    // — the model checker covers library behavior, not test harness).
+    let in_shim_scope = crate::SYNC_SHIM_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")));
+    if in_shim_scope {
+        for needle in ["std::sync", "std::thread"] {
+            for (at, _) in scanned.code.match_indices(needle) {
+                if scanned.code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(crate::scan::is_ident_char)
+                {
+                    continue;
+                }
+                let line = line_of(&starts, at);
+                if in_test(line) {
+                    continue;
+                }
+                let after = &scanned.code[at + needle.len()..];
+                if needle == "std::sync" {
+                    let seg: String = after
+                        .strip_prefix("::")
+                        .map(|r| {
+                            r.chars()
+                                .take_while(|&ch| crate::scan::is_ident_char(ch))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if seg == "Arc" || seg == "Weak" {
+                        continue; // ownership, not synchronization
+                    }
+                }
+                f(
+                    line,
+                    "raw-sync",
+                    format!(
+                        "{needle} outside the ups_race shim: route through ups_race::{} so the model checker covers it",
+                        if needle == "std::sync" { "sync" } else { "thread" }
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- panic-path: hot-path crates where a stray panic kills a
+    // whole sweep job. `#[cfg(test)]` regions exempt. ---
+    let in_panic_scope = crate::PANIC_PATH_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")));
+    if in_panic_scope {
+        for needle in [".unwrap()", ".expect(", "panic!("] {
+            for (at, _) in scanned.code.match_indices(needle) {
+                // `panic!` must be its own token — `sweep_panic!(...)`
+                // or a method named `..._expect(` is not this macro.
+                if needle == "panic!("
+                    && scanned.code[..at]
+                        .chars()
+                        .next_back()
+                        .is_some_and(crate::scan::is_ident_char)
+                {
+                    continue;
+                }
+                let line = line_of(&starts, at);
+                if in_test(line) {
+                    continue;
+                }
+                let what = needle.trim_start_matches('.').trim_end_matches('(');
+                f(
+                    line,
+                    "panic-path",
+                    format!(
+                        "{what} in a hot-path crate: handle the failure, or annotate why it cannot fire"
+                    ),
+                );
+            }
+        }
+        for at in computed_index_sites(&scanned.code) {
+            let line = line_of(&starts, at);
+            if in_test(line) {
+                continue;
+            }
+            f(
+                line,
+                "panic-path",
+                "computed index in a hot-path crate: out-of-bounds panics here kill the sweep job — use get()/iterators, or annotate the bound".to_string(),
+            );
+        }
+    }
+
     // --- Suppressions. ---
     let (mut allows, mut bad) = parse_allows(path, &scanned, &code_lines);
     findings.retain(|fi| {
@@ -249,13 +353,20 @@ pub fn check_file(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
         if !rule.suppressible {
             return true;
         }
-        for a in allows.iter_mut() {
-            if a.rules.iter().any(|r| r == fi.rule) && a.lines.contains(&fi.line) {
+        // When several allows cover the line (a trailing allow on the
+        // previous line also reaches this one), credit the nearest —
+        // otherwise its own annotation reads as unused.
+        let best = allows
+            .iter_mut()
+            .filter(|a| a.rules.iter().any(|r| r == fi.rule) && a.lines.contains(&fi.line))
+            .max_by_key(|a| a.comment_line);
+        match best {
+            Some(a) => {
                 a.used = true;
-                return false;
+                false
             }
+            None => true,
         }
-        true
     });
     for a in &allows {
         if !a.used {
@@ -317,6 +428,52 @@ fn narrowing_cast_after(code: &str, end: usize) -> Option<&'static str> {
                     .is_some_and(crate::scan::is_ident_char)
         })
         .copied()
+}
+
+/// Byte offsets of `[` brackets that index with a *computed* expression.
+///
+/// An index site is a `[` whose directly-preceding byte (no whitespace
+/// allowed — `let [a, b] = …` patterns and slice literals sit after
+/// whitespace or punctuation) is an identifier character, `)` or `]`,
+/// and whose bracketed content contains arithmetic (`+ - * / %`) or a
+/// call (`(`). Plain `x[i]` lookups are left alone: the hazard the rule
+/// targets is an index *derived* at the use site, where an off-by-one
+/// panics mid-sweep.
+fn computed_index_sites(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if !(crate::scan::is_ident_char(prev) || prev == ')' || prev == ']') {
+            continue;
+        }
+        // Attribute `#[...]` never reaches here (preceded by `#`), and a
+        // type like `Vec<[u8; 4]>` is preceded by `<`.
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, &bj) in bytes.iter().enumerate().skip(i) {
+            match bj {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        let content = &code[i + 1..close];
+        if content.contains(['+', '-', '*', '/', '%', '(']) {
+            out.push(i);
+        }
+    }
+    out
 }
 
 /// Parse every `lint:` directive in the file's comments into allows and
@@ -564,6 +721,86 @@ mod tests {
         // unused) — only start-anchored directives are annotations.
         let src = "// write `lint:allow(wall-clock): why` above the line\nfn f() {}\n";
         assert!(det(src).is_empty());
+    }
+
+    fn shim(src: &str) -> Vec<Finding> {
+        check_file("crates/sweep/src/pool.rs", src, FileClass::Determinism)
+    }
+
+    fn hot(src: &str) -> Vec<Finding> {
+        check_file("crates/netsim/src/sim.rs", src, FileClass::Determinism)
+    }
+
+    #[test]
+    fn raw_sync_flags_std_sync_and_thread_in_shim_crates() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n";
+        let f = shim(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "raw-sync"));
+    }
+
+    #[test]
+    fn raw_sync_is_path_scoped() {
+        let src = "use std::sync::Mutex;\n";
+        assert!(det(src).is_empty(), "x.rs is not a shim crate");
+        assert!(
+            check_file("crates/netsim/src/sim.rs", src, FileClass::Determinism).is_empty(),
+            "netsim is not a shim crate"
+        );
+        assert!(
+            check_file("crates/sweep/tests/pool.rs", src, FileClass::TestOnly).is_empty(),
+            "tests/ is outside src/"
+        );
+    }
+
+    #[test]
+    fn raw_sync_exempts_arc_weak_and_test_regions() {
+        let src = "use std::sync::Arc;\nuse std::sync::Weak;\n#[cfg(test)]\nmod tests {\n use std::sync::Mutex;\n fn t() { std::thread::sleep(d); }\n}\n";
+        assert!(shim(src).is_empty(), "{:?}", shim(src));
+    }
+
+    #[test]
+    fn raw_sync_flags_arc_atomics_and_suppression_works() {
+        let f = shim("use std::sync::atomic::AtomicU64;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "raw-sync");
+        let ok = "// lint:allow(raw-sync): registry handle only, never under model check\nuse std::sync::mpsc;\n";
+        assert!(shim(ok).is_empty());
+    }
+
+    #[test]
+    fn panic_path_flags_unwrap_expect_panic() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); }\n";
+        let f = hot(src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "panic-path"));
+    }
+
+    #[test]
+    fn panic_path_skips_lookalikes_and_tests() {
+        let src = "fn f() { x.unwrap_or(0); y.expect_err(\"m\"); sweep_panic!(1); }\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); panic!(\"ok in tests\"); }\n}\n";
+        assert!(hot(src).is_empty(), "{:?}", hot(src));
+    }
+
+    #[test]
+    fn panic_path_flags_computed_index_not_plain_lookup() {
+        let src = "fn f() { let a = xs[i]; let b = xs[i + 1]; let c = xs[idx(k)]; }\n";
+        let f = hot(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.message.contains("computed index")));
+    }
+
+    #[test]
+    fn panic_path_ignores_patterns_literals_and_attributes() {
+        let src =
+            "#[derive(Clone)]\nfn f(v: [u64; 4]) { let [a, b] = split(v); let w = [x + 1, 2]; }\n";
+        assert!(hot(src).is_empty(), "{:?}", hot(src));
+    }
+
+    #[test]
+    fn panic_path_suppression_covers_the_next_code_line() {
+        let src = "// lint:allow(panic-path): ring index is masked to capacity above\nfn f() { let x = ring[head % cap]; }\n";
+        assert!(hot(src).is_empty());
     }
 
     #[test]

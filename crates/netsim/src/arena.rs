@@ -66,7 +66,7 @@ impl PacketArena {
             }
             None => {
                 let idx =
-                    u32::try_from(self.slots.len()).expect("more than u32::MAX packets in flight");
+                    u32::try_from(self.slots.len()).expect("more than u32::MAX packets in flight"); // lint:allow(panic-path): >u32::MAX packets in flight exceeds the PacketRef format; fail fast beats a silent wrap
                 self.slots.push(Some(packet));
                 PacketRef(idx)
             }
@@ -78,7 +78,7 @@ impl PacketArena {
     pub fn get(&self, r: PacketRef) -> &Packet {
         self.slots[r.0 as usize]
             .as_ref()
-            .expect("stale PacketRef: slot already freed")
+            .expect("stale PacketRef: slot already freed") // lint:allow(panic-path): a stale ref is a simulator logic bug the generation check must surface loudly
     }
 
     /// Exclusive access to a live packet (header rewrites, hop advance).
@@ -86,7 +86,7 @@ impl PacketArena {
     pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
         self.slots[r.0 as usize]
             .as_mut()
-            .expect("stale PacketRef: slot already freed")
+            .expect("stale PacketRef: slot already freed") // lint:allow(panic-path): a stale ref is a simulator logic bug the generation check must surface loudly
     }
 
     /// Move the packet out (final delivery), freeing its slot.
@@ -94,7 +94,7 @@ impl PacketArena {
     pub fn take(&mut self, r: PacketRef) -> Packet {
         let p = self.slots[r.0 as usize]
             .take()
-            .expect("stale PacketRef: slot already freed");
+            .expect("stale PacketRef: slot already freed"); // lint:allow(panic-path): a stale ref is a simulator logic bug the generation check must surface loudly
         self.free.push(r.0);
         p
     }

@@ -185,12 +185,12 @@ impl EventQueue {
 
     #[inline]
     fn set_bit(&mut self, idx: usize) {
-        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+        self.occupied[idx / 64] |= 1u64 << (idx % 64); // lint:allow(panic-path): the occupied bitmap is sized with the bucket array; idx < capacity
     }
 
     #[inline]
     fn clear_bit(&mut self, idx: usize) {
-        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64)); // lint:allow(panic-path): the occupied bitmap is sized with the bucket array; idx < capacity
     }
 
     /// Current simulation time: the timestamp of the last popped event
@@ -270,7 +270,7 @@ impl EventQueue {
             if Self::abs_bucket(top.time) >= limit {
                 break;
             }
-            let e = self.overflow.pop().expect("peeked");
+            let e = self.overflow.pop().expect("peeked"); // lint:allow(panic-path): peek on the same heap returned Some
             let idx = (Self::abs_bucket(e.time) & self.mask()) as usize;
             self.buckets[idx].push(e);
             self.set_bit(idx);
@@ -321,7 +321,7 @@ impl EventQueue {
                 self.buckets[idx].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
                 self.cursor_sorted = true;
             }
-            let e = self.buckets[idx].pop().expect("checked non-empty");
+            let e = self.buckets[idx].pop().expect("checked non-empty"); // lint:allow(panic-path): the scan above only yields indices of non-empty buckets
             if self.buckets[idx].is_empty() {
                 self.clear_bit(idx);
             }

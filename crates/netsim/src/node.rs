@@ -193,7 +193,7 @@ impl Port {
             // The last bit is leaving exactly now; completion wins.
             return;
         }
-        let InFlight { qp, .. } = self.inflight.take().expect("checked above");
+        let InFlight { qp, .. } = self.inflight.take().expect("checked above"); // lint:allow(panic-path): guarded by the inflight check directly above
         arena.get_mut(qp.pkt).remaining_tx = Some(remaining);
         // Re-enter the queue: rank is recomputed from the *current* header
         // state, which for LSTF (slack already charged for past waits)
@@ -259,7 +259,7 @@ impl Port {
             Some(infl) if infl.token == token => {}
             _ => return, // stale wakeup from a preempted transmission
         }
-        let InFlight { qp, ends, .. } = self.inflight.take().expect("checked above");
+        let InFlight { qp, ends, .. } = self.inflight.take().expect("checked above"); // lint:allow(panic-path): guarded by the inflight check directly above
         debug_assert_eq!(ends, now, "PortReady fired at the wrong time");
         arena.get_mut(qp.pkt).hop += 1;
         events.push(

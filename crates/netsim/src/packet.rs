@@ -118,7 +118,7 @@ impl Packet {
     /// Destination host (last element of the path).
     #[inline]
     pub fn dst(&self) -> NodeId {
-        self.path[self.path.len() - 1]
+        self.path[self.path.len() - 1] // lint:allow(panic-path): PacketBuilder rejects empty paths, so last index is valid
     }
 
     /// The next node along the path, or `None` at the destination.

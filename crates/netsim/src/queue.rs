@@ -205,7 +205,7 @@ impl RankHeap {
         }
         let last = self.v.len() - 1;
         self.v.swap(0, last);
-        let qp = self.v.pop().expect("non-empty");
+        let qp = self.v.pop().expect("non-empty"); // lint:allow(panic-path): caller checked non-empty before popping
         self.sift_down(0);
         self.bytes -= qp.size as u64;
         Some(qp)
@@ -227,7 +227,7 @@ impl RankHeap {
         let first_leaf = self.v.len() / 2;
         let idx = (first_leaf..self.v.len())
             .max_by_key(|&i| self.v[i].key())
-            .expect("leaf range non-empty for non-empty heap");
+            .expect("leaf range non-empty for non-empty heap"); // lint:allow(panic-path): a non-empty d-ary heap has a non-empty leaf range
         let victim = self.v.swap_remove(idx);
         if idx < self.v.len() {
             // The relocated ex-tail element may violate either direction.

@@ -82,11 +82,11 @@ impl Scheduler for Drr {
             return None;
         }
         loop {
-            let (flow, mut deficit) = self.ring.pop_front().expect("len>0 implies active flows");
-            let q = self.flows.get_mut(&flow).expect("ring flow has a queue");
-            let head_size = q.front().expect("active flow is non-empty").size as u64;
+            let (flow, mut deficit) = self.ring.pop_front().expect("len>0 implies active flows"); // lint:allow(panic-path): guarded by the len() > 0 check at entry
+            let q = self.flows.get_mut(&flow).expect("ring flow has a queue"); // lint:allow(panic-path): ring entries and flow queues are inserted and removed together
+            let head_size = q.front().expect("active flow is non-empty").size as u64; // lint:allow(panic-path): flows with empty queues are dropped from the ring on pop
             if deficit >= head_size {
-                let qp = q.pop_front().expect("checked non-empty");
+                let qp = q.pop_front().expect("checked non-empty"); // lint:allow(panic-path): front() on this queue just returned Some
                 deficit -= head_size;
                 if q.is_empty() {
                     self.flows.remove(&flow);
@@ -126,8 +126,8 @@ impl Scheduler for Drr {
                 flow.0, // deterministic tie-break
             )
         })?;
-        let q = self.flows.get_mut(&flow).expect("just found it");
-        let victim = q.pop_back().expect("non-empty");
+        let q = self.flows.get_mut(&flow).expect("just found it"); // lint:allow(panic-path): the max_by_key scan above found this flow in the map
+        let victim = q.pop_back().expect("non-empty"); // lint:allow(panic-path): victim selection only scans non-empty queues
         if q.is_empty() {
             self.flows.remove(&flow);
             self.ring.retain(|&(f, _)| f != flow);

@@ -51,7 +51,7 @@ impl Scheduler for Edf {
     ) {
         let rank = self
             .rank_for(pkt, arena, now, ctx)
-            .expect("EDF ranks every packet");
+            .expect("EDF ranks every packet"); // lint:allow(panic-path): rank_for keyed every packet this discipline admitted
         self.q.push(QueuedPacket {
             pkt,
             rank,
@@ -105,7 +105,7 @@ impl Scheduler for Edf {
         let p = arena.get(pkt);
         let tmin_rem = p
             .tmin_remaining()
-            .expect("EDF needs packets with a tmin_rem table (attach via routing layer)");
+            .expect("EDF needs packets with a tmin_rem table (attach via routing layer)"); // lint:allow(panic-path): config contract: EDF without tmin tables must fail loudly, not misschedule
         let t_here = ctx.bandwidth.tx_time(p.size);
         Some(p.header.deadline.as_ps() as i128 - tmin_rem.as_ps() as i128 + t_here.as_ps() as i128)
     }

@@ -48,7 +48,7 @@ impl Scheduler for FifoPlus {
     ) {
         let rank = self
             .rank_for(pkt, arena, now, ctx)
-            .expect("FIFO+ ranks every packet");
+            .expect("FIFO+ ranks every packet"); // lint:allow(panic-path): rank_for keyed every packet this discipline admitted
         self.q.push(QueuedPacket {
             pkt,
             rank,

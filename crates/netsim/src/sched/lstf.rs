@@ -60,7 +60,7 @@ impl Scheduler for Lstf {
     ) {
         let rank = self
             .rank_for(pkt, arena, now, ctx)
-            .expect("LSTF ranks every packet");
+            .expect("LSTF ranks every packet"); // lint:allow(panic-path): rank_for keyed every packet this discipline admitted
         self.q.push(QueuedPacket {
             pkt,
             rank,

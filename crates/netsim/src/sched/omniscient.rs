@@ -45,7 +45,7 @@ impl Scheduler for Omniscient {
             .header
             .omniscient
             .as_ref()
-            .expect("Omniscient scheduling needs header.omniscient per-hop times");
+            .expect("Omniscient scheduling needs header.omniscient per-hop times"); // lint:allow(panic-path): config contract: omniscient headers are attached by the trace layer or the run is invalid
         assert_eq!(
             vec.len(),
             p.path.len(),

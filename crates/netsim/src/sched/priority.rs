@@ -46,7 +46,7 @@ impl Scheduler for Priority {
     ) {
         let rank = self
             .rank_for(pkt, arena, now, _ctx)
-            .expect("Priority ranks every packet");
+            .expect("Priority ranks every packet"); // lint:allow(panic-path): rank_for keyed every packet this discipline admitted
         self.q.push(QueuedPacket {
             pkt,
             rank,

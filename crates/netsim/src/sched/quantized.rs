@@ -206,6 +206,7 @@ impl Scheduler for Quantized {
             .inner
             .rank_for(pkt, arena, now, ctx)
             .unwrap_or_else(|| {
+                // lint:allow(panic-path): config contract: a rank-less inner discipline cannot be quantized; fail loudly
                 panic!(
                     "{} is not rank-based; Quantized needs a rank-based inner discipline",
                     self.inner.name()
@@ -225,7 +226,7 @@ impl Scheduler for Quantized {
                 let key = self
                     .inner
                     .quantize_key(pkt, arena, now, ctx)
-                    .expect("rank_for implies quantize_key");
+                    .expect("rank_for implies quantize_key"); // lint:allow(panic-path): rank_for and quantize_key derive from the same rank
                 let idx = match self.mapper {
                     MapperKind::Log => log_bucket(key, queues.len()),
                     MapperKind::SpPifo => sppifo_bucket(bounds, key),
@@ -248,10 +249,10 @@ impl Scheduler for Quantized {
                         .range(..=rank)
                         .next_back()
                         .map(|(&r, _)| r)
-                        .unwrap_or_else(|| *levels.keys().next().expect("k ≥ 1 levels"));
+                        .unwrap_or_else(|| *levels.keys().next().expect("k ≥ 1 levels")); // lint:allow(panic-path): the constructor enforces k >= 1 levels
                     levels
                         .get_mut(&target)
-                        .expect("target chosen from keys")
+                        .expect("target chosen from keys") // lint:allow(panic-path): the target key was just taken from this map's keys
                         .push_back(qp);
                 }
             }
@@ -269,10 +270,10 @@ impl Scheduler for Quantized {
                 .iter_mut()
                 .find(|q| !q.is_empty())?
                 .pop_front()
-                .expect("found non-empty"),
+                .expect("found non-empty"), // lint:allow(panic-path): the scan above found this level non-empty
             Queues::Dynamic { levels } => {
                 let mut entry = levels.first_entry()?;
-                let qp = entry.get_mut().pop_front().expect("levels are non-empty");
+                let qp = entry.get_mut().pop_front().expect("levels are non-empty"); // lint:allow(panic-path): levels with emptied queues are removed eagerly
                 if entry.get().is_empty() {
                     entry.remove(); // frees the queue for a new rank level
                 }
@@ -312,10 +313,10 @@ impl Scheduler for Quantized {
                 .rev()
                 .find(|q| !q.is_empty())?
                 .pop_back()
-                .expect("found non-empty"),
+                .expect("found non-empty"), // lint:allow(panic-path): the scan above found this level non-empty
             Queues::Dynamic { levels } => {
                 let mut entry = levels.last_entry()?;
-                let qp = entry.get_mut().pop_back().expect("levels are non-empty");
+                let qp = entry.get_mut().pop_back().expect("levels are non-empty"); // lint:allow(panic-path): levels with emptied queues are removed eagerly
                 if entry.get().is_empty() {
                     entry.remove();
                 }

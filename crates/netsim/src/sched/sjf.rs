@@ -35,7 +35,7 @@ impl Scheduler for Sjf {
     ) {
         let rank = self
             .rank_for(pkt, arena, now, _ctx)
-            .expect("SJF ranks every packet");
+            .expect("SJF ranks every packet"); // lint:allow(panic-path): rank_for keyed every packet this discipline admitted
         self.q.push(QueuedPacket {
             pkt,
             rank,

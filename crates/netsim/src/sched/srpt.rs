@@ -79,7 +79,7 @@ impl Scheduler for Srpt {
         let flow = p.flow;
         let rank = self
             .rank_for(pkt, arena, now, _ctx)
-            .expect("SRPT ranks every packet");
+            .expect("SRPT ranks every packet"); // lint:allow(panic-path): rank_for keyed every packet this discipline admitted
         self.len += 1;
         self.bytes += p.size as u64;
         let qp = QueuedPacket {
@@ -105,8 +105,8 @@ impl Scheduler for Srpt {
         _ctx: PortCtx,
     ) -> Option<QueuedPacket> {
         let &(_, flow) = self.order.iter().next()?;
-        let mut fq = self.detach(flow).expect("order and flows in sync");
-        let qp = fq.q.pop_front().expect("flows in order set are non-empty");
+        let mut fq = self.detach(flow).expect("order and flows in sync"); // lint:allow(panic-path): the order set and the flow map are updated together
+        let qp = fq.q.pop_front().expect("flows in order set are non-empty"); // lint:allow(panic-path): flows in the order set are non-empty; empties are detached
         if qp.rank <= fq.min_rank {
             fq.recompute_min();
         }
@@ -141,15 +141,15 @@ impl Scheduler for Srpt {
     /// flow with the largest remaining size (the pFabric drop rule).
     fn select_drop(&mut self) -> Option<QueuedPacket> {
         let &(_, flow) = self.order.iter().next_back()?;
-        let mut fq = self.detach(flow).expect("order and flows in sync");
-        // Within the victim flow, drop the packet with the largest rank;
-        // newest arrival among ties.
+        let mut fq = self.detach(flow).expect("order and flows in sync"); // lint:allow(panic-path): the order set and the flow map are updated together
+                                                                          // Within the victim flow, drop the packet with the largest rank;
+                                                                          // newest arrival among ties.
         let (idx, _) =
             fq.q.iter()
                 .enumerate()
                 .max_by_key(|(_, qp)| (qp.rank, qp.arrival_seq))
-                .expect("non-empty");
-        let victim = fq.q.remove(idx).expect("index in range");
+                .expect("non-empty"); // lint:allow(panic-path): max_by_key over a non-empty queue returns Some
+        let victim = fq.q.remove(idx).expect("index in range"); // lint:allow(panic-path): idx came from enumerate over this same queue
         fq.recompute_min();
         self.attach(flow, fq);
         self.account_out(&victim);

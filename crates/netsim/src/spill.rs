@@ -65,7 +65,7 @@ impl SpillFile {
             .write(true)
             .create_new(true)
             .open(&path)
-            .expect("create trace spill file");
+            .expect("create trace spill file"); // lint:allow(panic-path): a failed trace spill cannot be recovered mid-run; abort is correct
         SpillFile {
             file,
             path,
@@ -80,7 +80,7 @@ impl SpillFile {
         for (id, rec) in chunk {
             encode_record(buf, *id, rec);
         }
-        self.file.write_all(buf).expect("write trace spill chunk");
+        self.file.write_all(buf).expect("write trace spill chunk"); // lint:allow(panic-path): a failed trace spill cannot be recovered mid-run; abort is correct
         ups_obs::count(ups_obs::Counter::SpillBytes, buf.len() as u64);
         self.chunks.push(SpilledChunk {
             off: self.write_off,
@@ -132,7 +132,7 @@ impl ChunkLog {
             ups_obs::count(ups_obs::Counter::SpillChunksSealed, 1);
             self.sealed.push_back(chunk);
             while self.sealed.len() > self.ring_cap {
-                let oldest = self.sealed.pop_front().expect("ring not empty");
+                let oldest = self.sealed.pop_front().expect("ring not empty"); // lint:allow(panic-path): guarded by the ring occupancy check above
                 let spill = self.spill.get_or_insert_with(SpillFile::create);
                 let mut buf = Vec::with_capacity(READ_BUF);
                 spill.append_chunk(&oldest, &mut buf);
@@ -243,7 +243,7 @@ impl ChunkCursor<'_> {
             let n = self
                 .file
                 .read_at(&mut self.buf[old..], self.next_off)
-                .expect("read trace spill chunk");
+                .expect("read trace spill chunk"); // lint:allow(panic-path): a truncated spill chunk is unrecoverable corruption; abort is correct
             assert!(n > 0, "unexpected EOF in trace spill chunk");
             self.buf.truncate(old + n);
             self.next_off += n as u64;
@@ -256,9 +256,9 @@ impl ChunkCursor<'_> {
         }
         self.remaining -= 1;
         self.refill(4);
-        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize; // lint:allow(panic-path): framing invariant: offsets bounded by the encoder-written chunk; 4-byte try_into cannot fail
         self.refill(4 + len);
-        let rec = decode_record(&self.buf[self.pos + 4..self.pos + 4 + len]);
+        let rec = decode_record(&self.buf[self.pos + 4..self.pos + 4 + len]); // lint:allow(panic-path): framing invariant: the length prefix bounds the record slice
         self.pos += 4 + len;
         Some(rec)
     }
@@ -305,7 +305,7 @@ pub(crate) fn encode_record(buf: &mut Vec<u8>, id: u64, r: &PacketRecord) {
         buf.extend_from_slice(&h.waited.as_ps().to_le_bytes());
     }
     let len = (buf.len() - start - 4) as u32;
-    buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    buf[start..start + 4].copy_from_slice(&len.to_le_bytes()); // lint:allow(panic-path): start+4 <= buf.len() by the encoder's own length accounting
 }
 
 struct Decoder<'a> {
@@ -320,12 +320,12 @@ impl Decoder<'_> {
         v
     }
     fn u32(&mut self) -> u32 {
-        let v = u32::from_le_bytes(self.b[self.p..self.p + 4].try_into().unwrap());
+        let v = u32::from_le_bytes(self.b[self.p..self.p + 4].try_into().unwrap()); // lint:allow(panic-path): framing invariant: offsets bounded by the encoder-written chunk; 4-byte try_into cannot fail
         self.p += 4;
         v
     }
     fn u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(self.b[self.p..self.p + 8].try_into().unwrap());
+        let v = u64::from_le_bytes(self.b[self.p..self.p + 8].try_into().unwrap()); // lint:allow(panic-path): framing invariant: offsets bounded by the encoder-written chunk; 8-byte try_into cannot fail
         self.p += 8;
         v
     }
@@ -340,7 +340,7 @@ pub(crate) fn decode_record(bytes: &[u8]) -> (u64, PacketRecord) {
     let kind = match d.u8() {
         0 => PacketKind::Data,
         1 => PacketKind::Ack,
-        k => panic!("bad packet kind tag {k} in trace spill"),
+        k => panic!("bad packet kind tag {k} in trace spill"), // lint:allow(panic-path): tag bytes are written by the paired encoder; corruption must be loud
     };
     let flags = d.u8();
     let injected = SimTime::from_ps(d.u64());
@@ -366,7 +366,7 @@ pub(crate) fn decode_record(bytes: &[u8]) -> (u64, PacketRecord) {
         0 => None,
         1 => Some(DropCause::Buffer),
         2 => Some(DropCause::DeadLink),
-        c => panic!("bad drop cause tag {c} in trace spill"),
+        c => panic!("bad drop cause tag {c} in trace spill"), // lint:allow(panic-path): tag bytes are written by the paired encoder; corruption must be loud
     };
     (
         id,

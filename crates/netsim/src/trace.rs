@@ -420,7 +420,7 @@ impl Trace {
     /// For streaming traces.
     pub fn iter(&self) -> impl Iterator<Item = (PacketId, &PacketRecord)> {
         let Store::Resident(store) = &self.store else {
-            panic!("Trace::iter on a streaming trace; use Trace::stream()")
+            panic!("Trace::iter on a streaming trace; use Trace::stream()") // lint:allow(panic-path): documented API misuse; the streaming accessor is Trace::stream()
         };
         store
             .iter()
@@ -445,7 +445,7 @@ impl Trace {
             Store::Resident(store) => {
                 let mut order: Vec<usize> =
                     (0..store.len()).filter(|&i| store[i].is_some()).collect();
-                order.sort_unstable_by_key(|&i| (store[i].as_ref().expect("filtered").injected, i));
+                order.sort_unstable_by_key(|&i| (store[i].as_ref().expect("filtered").injected, i)); // lint:allow(panic-path): order only holds indices of retained (Some) records
                 RecordStream {
                     inner: StreamInner::Resident {
                         records: store,
@@ -551,7 +551,7 @@ impl Iterator for RecordStream<'_> {
                 let i = order.next()?;
                 Some((
                     PacketId(i as u64),
-                    records[i].as_ref().expect("ordered index").clone(),
+                    records[i].as_ref().expect("ordered index").clone(), // lint:allow(panic-path): order only holds indices of retained (Some) records
                 ))
             }
             StreamInner::Merge { sources, heap } => {

@@ -1,0 +1,324 @@
+//! Model fixtures: a scaled-down mirror of `ups_sweep::pool` +
+//! `ups_sweep::telemetry::Heartbeat`, written against the
+//! [`crate::model`] primitives, with the five built-in checks inlined
+//! as assertions.
+//!
+//! The mirror keeps the production structure move for move — jobs
+//! dealt round-robin up front, workers pop their own queue's front and
+//! steal a victim's back, `catch_unwind` around each job with all
+//! telemetry updates *after* the catch, thief-side `steals` and
+//! victim-side `stolen_from` attributed at the steal site, heartbeat
+//! loop `park_timeout` → stop-check → emit with an unconditional final
+//! completion tick — but shrinks the scale (2–3 workers, 4–8 jobs) so
+//! bounded-preemption DFS is exhaustive in seconds. What it checks:
+//!
+//! 1. **Deadlock freedom** — implicit: the runtime fails any execution
+//!    where unfinished threads can't run.
+//! 2. **Exactly-once** — every dealt job executed exactly once.
+//! 3. **Telemetry conservation** — Σ per-worker `jobs` == `done` ==
+//!    total, and Σ `steals` (thief-side) == Σ `stolen_from`
+//!    (victim-side).
+//! 4. **Heartbeat completion tick** — the final tick is emitted on
+//!    every path, exactly once.
+//! 5. **Panic isolation** — a panicking job loses only its own slot:
+//!    workers survive, queues stay unpoisoned, every other job still
+//!    runs, and conservation still holds (the panicking job *counts*:
+//!    the production pool bills `jobs`/`busy_ns`/`done` after the
+//!    `catch_unwind`, panic or not — this fixture pins that ordering).
+//!
+//! The `inject-lost-job` feature compiles
+//! [`check_pool_concurrent_deal`], a deliberately broken variant that
+//! deals jobs concurrently with the workers and lets workers exit on
+//! "all queues empty" without checking that dealing finished — the
+//! classic lost-wakeup-shaped termination race. `tests/lost_job.rs`
+//! proves the explorer catches it and commits the counterexample
+//! schedule.
+
+use crate::model::sync::{AtomicBool, AtomicU64, Mutex};
+use crate::model::thread;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for one model-pool execution. Keep `workers * jobs`
+/// small: DFS cost is exponential in schedule length.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelPoolCfg {
+    pub workers: usize,
+    pub jobs: usize,
+    /// Index of a job that panics, for the panic-isolation check.
+    pub panic_job: Option<usize>,
+    /// Run a mirrored heartbeat thread alongside the workers.
+    pub heartbeat: bool,
+}
+
+impl Default for ModelPoolCfg {
+    fn default() -> Self {
+        ModelPoolCfg {
+            workers: 2,
+            jobs: 4,
+            panic_job: None,
+            heartbeat: false,
+        }
+    }
+}
+
+/// Mirror of `PoolTelemetry`: per-worker `[jobs, busy, steals,
+/// stolen_from]` plus a global `done`. Busy time is 1 unit per job
+/// (the model has no clock).
+struct ModelTelemetry {
+    cells: Vec<[AtomicU64; 4]>,
+    done: AtomicU64,
+}
+
+const JOBS: usize = 0;
+const BUSY: usize = 1;
+const STEALS: usize = 2;
+const STOLEN_FROM: usize = 3;
+
+impl ModelTelemetry {
+    fn new(workers: usize) -> Self {
+        ModelTelemetry {
+            cells: (0..workers)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            done: AtomicU64::new(0),
+        }
+    }
+
+    fn sum(&self, idx: usize) -> u64 {
+        self.cells.iter().map(|c| c[idx].load(Relaxed)).sum()
+    }
+}
+
+/// What one worker does with a claimed job. Mirrors the production
+/// ordering exactly: run under `catch_unwind`, then bill telemetry.
+fn run_job(
+    j: usize,
+    w: usize,
+    cfg: &ModelPoolCfg,
+    telemetry: &ModelTelemetry,
+    results: &Mutex<Vec<Option<usize>>>,
+) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if cfg.panic_job == Some(j) {
+            panic!("model job {j} panicked");
+        }
+        2 * j + 1
+    }));
+    if let Ok(v) = outcome {
+        match results.lock() {
+            Ok(mut r) => r[j] = Some(v),
+            Err(p) => p.into_inner()[j] = Some(v),
+        }
+    }
+    telemetry.cells[w][JOBS].fetch_add(1, Relaxed);
+    telemetry.cells[w][BUSY].fetch_add(1, Relaxed);
+    telemetry.done.fetch_add(1, Relaxed);
+}
+
+/// Pop a job the way a production worker does: own front, else steal a
+/// victim's back (attributing thief/victim at the steal site).
+fn claim_job(
+    w: usize,
+    queues: &[Arc<Mutex<VecDeque<usize>>>],
+    telemetry: &ModelTelemetry,
+) -> Option<usize> {
+    if let Some(j) = lock_queue(&queues[w]).pop_front() {
+        return Some(j);
+    }
+    for off in 1..queues.len() {
+        let victim = (w + off) % queues.len();
+        if let Some(j) = lock_queue(&queues[victim]).pop_back() {
+            telemetry.cells[w][STEALS].fetch_add(1, Relaxed);
+            telemetry.cells[victim][STOLEN_FROM].fetch_add(1, Relaxed);
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn lock_queue(
+    q: &Arc<Mutex<VecDeque<usize>>>,
+) -> crate::model::sync::MutexGuard<'_, VecDeque<usize>> {
+    match q.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Shared post-run verification: checks 2–5.
+fn verify(
+    cfg: &ModelPoolCfg,
+    telemetry: &ModelTelemetry,
+    results: &Mutex<Vec<Option<usize>>>,
+    queues: &[Arc<Mutex<VecDeque<usize>>>],
+    heartbeat_final: Option<u64>,
+) {
+    let total = cfg.jobs as u64;
+    // Check 3: conservation.
+    let jobs = telemetry.sum(JOBS);
+    let done = telemetry.done.load(Relaxed);
+    assert!(
+        jobs == total && done == total,
+        "telemetry conservation violated: per-worker jobs sum {jobs}, done {done}, dealt {total}"
+    );
+    let steals = telemetry.sum(STEALS);
+    let stolen = telemetry.sum(STOLEN_FROM);
+    assert!(
+        steals == stolen,
+        "steal attribution violated: thief-side steals {steals} != victim-side stolen_from {stolen}"
+    );
+    // Check 2 + 5: exactly-once, panic isolation.
+    let r = match results.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    for j in 0..cfg.jobs {
+        if cfg.panic_job == Some(j) {
+            assert!(
+                r[j].is_none(),
+                "panicking job {j} produced a result {:?}",
+                r[j]
+            );
+        } else {
+            assert!(
+                r[j] == Some(2 * j + 1),
+                "job {j} executed wrongly: expected Some({}), got {:?}",
+                2 * j + 1,
+                r[j]
+            );
+        }
+    }
+    // Check 5 continued: no queue mutex poisoned by a job panic.
+    for (i, q) in queues.iter().enumerate() {
+        assert!(q.lock().is_ok(), "worker queue {i} poisoned by a job panic");
+    }
+    // Check 4: the completion tick fired exactly once.
+    if let Some(fin) = heartbeat_final {
+        assert!(
+            fin == 1,
+            "heartbeat completion tick emitted {fin} times (want exactly 1)"
+        );
+    }
+}
+
+/// The closure-under-test mirroring the production pool: deal up
+/// front, spawn workers, drain, join, verify. Panics (failing the
+/// execution) if any check is violated under the explored schedule.
+pub fn check_pool(cfg: ModelPoolCfg) {
+    assert!(cfg.workers >= 1 && cfg.jobs >= 1, "degenerate model config");
+    let telemetry = Arc::new(ModelTelemetry::new(cfg.workers));
+    let results = Arc::new(Mutex::new(vec![None; cfg.jobs]));
+    let queues: Vec<Arc<Mutex<VecDeque<usize>>>> = (0..cfg.workers)
+        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+        .collect();
+    for j in 0..cfg.jobs {
+        lock_queue(&queues[j % cfg.workers]).push_back(j);
+    }
+    let heartbeat = cfg.heartbeat.then(|| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticks = Arc::new(AtomicU64::new(0));
+        let fin = Arc::new(AtomicU64::new(0));
+        let (stop2, ticks2, fin2) = (Arc::clone(&stop), Arc::clone(&ticks), Arc::clone(&fin));
+        let handle = thread::spawn(move || {
+            while !stop2.load(Relaxed) {
+                thread::park_timeout(Duration::from_millis(1));
+                if stop2.load(Relaxed) {
+                    break;
+                }
+                ticks2.fetch_add(1, Relaxed);
+            }
+            fin2.fetch_add(1, Relaxed);
+        });
+        (stop, fin, handle)
+    });
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|w| {
+            let telemetry = Arc::clone(&telemetry);
+            let results = Arc::clone(&results);
+            let queues = queues.clone();
+            thread::spawn(move || {
+                while let Some(j) = claim_job(w, &queues, &telemetry) {
+                    run_job(j, w, &cfg, &telemetry, &results);
+                }
+            })
+        })
+        .collect();
+    for (w, h) in workers.into_iter().enumerate() {
+        h.join()
+            .unwrap_or_else(|_| panic!("worker {w} panicked (jobs must not poison workers)"));
+    }
+    let heartbeat_final = heartbeat.map(|(stop, fin, handle)| {
+        stop.store(true, Relaxed);
+        handle.thread().unpark();
+        handle.join().expect("heartbeat thread never panics");
+        fin.load(Relaxed)
+    });
+    verify(&cfg, &telemetry, &results, &queues, heartbeat_final);
+}
+
+/// A textbook lock-order inversion, as a positive control for the
+/// runtime's deadlock detection: thread 1 takes `a` then `b`, the
+/// root takes `b` then `a`. Some schedule interleaves the first locks
+/// and the explorer must report a deadlock with both holders blocked.
+pub fn deadlock_demo() {
+    let a = Arc::new(Mutex::new(0u64));
+    let b = Arc::new(Mutex::new(0u64));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let t = thread::spawn(move || {
+        let ga = a2.lock().expect("model mutex a");
+        let mut gb = b2.lock().expect("model mutex b");
+        *gb += *ga;
+    });
+    {
+        let gb = b.lock().expect("model mutex b");
+        let mut ga = a.lock().expect("model mutex a");
+        *ga += *gb;
+    }
+    t.join().expect("inversion thread");
+}
+
+/// The deliberately broken pool: jobs are dealt *concurrently* with
+/// the workers, and a worker exits when every queue is empty — without
+/// checking that dealing has finished. A schedule where the workers
+/// get ahead of the dealer strands undealt jobs forever, which the
+/// exactly-once check turns into a failure. Compiled only under the
+/// `inject-lost-job` feature so the bug can't leak into real suites.
+#[cfg(feature = "inject-lost-job")]
+pub fn check_pool_concurrent_deal(cfg: ModelPoolCfg) {
+    assert!(cfg.workers >= 1 && cfg.jobs >= 1, "degenerate model config");
+    assert!(
+        cfg.panic_job.is_none() && !cfg.heartbeat,
+        "bug fixture keeps the minimal shape"
+    );
+    let telemetry = Arc::new(ModelTelemetry::new(cfg.workers));
+    let results = Arc::new(Mutex::new(vec![None; cfg.jobs]));
+    let queues: Vec<Arc<Mutex<VecDeque<usize>>>> = (0..cfg.workers)
+        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+        .collect();
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|w| {
+            let telemetry = Arc::clone(&telemetry);
+            let results = Arc::clone(&results);
+            let queues = queues.clone();
+            thread::spawn(move || loop {
+                match claim_job(w, &queues, &telemetry) {
+                    Some(j) => run_job(j, w, &cfg, &telemetry, &results),
+                    // BUG: "all queues empty" is not "no more work" —
+                    // the dealer may still be dealing.
+                    None => break,
+                }
+            })
+        })
+        .collect();
+    for j in 0..cfg.jobs {
+        lock_queue(&queues[j % cfg.workers]).push_back(j);
+    }
+    for (w, h) in workers.into_iter().enumerate() {
+        h.join().unwrap_or_else(|_| panic!("worker {w} panicked"));
+    }
+    verify(&cfg, &telemetry, &results, &queues, None);
+}

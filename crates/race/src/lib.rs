@@ -1,0 +1,54 @@
+//! `ups-race` — a deterministic interleaving model checker for the
+//! workspace's concurrency layer, plus the sync shim that keeps the
+//! checked surface honest.
+//!
+//! The sweep engine's correctness claims (cross-worker byte-identical
+//! records, telemetry conservation, the heartbeat's guaranteed
+//! completion tick) rest on a hand-rolled work-stealing pool and a set
+//! of relaxed atomic counters. Before this crate, those claims were
+//! only as strong as "the tests passed under this machine's scheduler".
+//! `ups-race` closes that gap with two pieces:
+//!
+//! 1. **The shim** ([`sync`] / [`thread`]): re-exports of the exact
+//!    `std::sync` / `std::thread` surface the workspace's concurrent
+//!    code is allowed to touch. In production builds these are plain
+//!    `pub use` passthroughs — zero cost, bit-identical behavior —
+//!    but they give the `ups-lint` `raw-sync` rule a boundary to
+//!    police: concurrency primitives used outside the shim in the
+//!    pool/obs crates are findings, so the model-checked surface can
+//!    never silently grow stale.
+//!
+//! 2. **The model** ([`model`] / [`explore`]): mirrored `Mutex` /
+//!    atomic / thread types whose every operation is a *scheduling
+//!    decision* owned by a controlled scheduler, and an explorer that
+//!    drives a closure-under-test across interleavings — exhaustive
+//!    bounded-preemption DFS plus seeded random schedules. Failures
+//!    print a replayable schedule string, so a counterexample
+//!    interleaving becomes a committed regression fixture.
+//!
+//! [`fixtures`] holds the scaled-down model of the sweep pool +
+//! heartbeat (same deal/steal/exit/panic structure as
+//! `ups_sweep::pool`, shrunk to 2–3 workers and 4–8 jobs) and the five
+//! built-in checks: deadlock freedom, every-job-executed-exactly-once,
+//! telemetry conservation, heartbeat completion tick, and panic
+//! isolation.
+//!
+//! **What the model does and does not check.** The scheduler owns every
+//! context switch, so all interleavings of *operations* (up to the
+//! preemption bound) are explored, including the ones a real scheduler
+//! would need days of load to hit. It does **not** simulate weak-memory
+//! reordering: model atomics are sequentially consistent between
+//! scheduling points. That is the right fidelity for this workspace —
+//! every atomic here is a monotone counter or a flag whose protocol is
+//! mutex/park-based, a property `ups-lint`'s `atomic-ordering` rule
+//! (Relaxed-only) independently enforces.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod fixtures;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use explore::{explore, explore_random, replay, Config, Failure, Outcome, Schedule};

@@ -1,0 +1,112 @@
+//! Model threads: spawn/join/park/unpark as scheduling decisions.
+//!
+//! Spawned closures run on real OS threads, but each waits for the
+//! scheduler's token before executing anything, so creation order and
+//! OS scheduling never leak into an execution. `park_timeout` ignores
+//! the duration — in the model, "the timeout fires" is a scheduling
+//! *choice* (budgeted per thread), not a clock event; see the runtime
+//! docs for the forced-fire rule that keeps heartbeat loops live.
+
+use super::{enter_thread, panic_message, with_ctx, AbortMarker, Exec};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+/// Handle to a model thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    thread: Thread,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Mirror of `std::thread::Thread` — just enough to `unpark`.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    tid: usize,
+}
+
+impl Thread {
+    pub fn unpark(&self) {
+        let target = self.tid;
+        with_ctx(|exec, tid| exec.unpark(tid, target));
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn thread(&self) -> &Thread {
+        &self.thread
+    }
+
+    /// Block until the thread finishes; a panic in its closure comes
+    /// back as `Err(payload)`, exactly like `std::thread`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let target = self.thread.tid;
+        with_ctx(|exec, tid| exec.join(tid, target));
+        self.result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("model thread stored its result before finishing")
+    }
+}
+
+/// Spawn a model thread. The decision point *after* registration lets
+/// the explorer run the child before the parent's next operation.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, child) = with_ctx(|exec, _| {
+        let child = exec.register_thread();
+        (Arc::clone(exec), child)
+    });
+    let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let exec_for_child = Arc::clone(&exec);
+    std::thread::Builder::new()
+        .name(format!("ups-race-{child}"))
+        .spawn(move || {
+            // enter_thread inside the catch: an abort while waiting
+            // for the first grant must still reach exit_thread.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                enter_thread(Arc::clone(&exec_for_child), child);
+                f()
+            }));
+            let panic = match &r {
+                Ok(_) => None,
+                Err(p) if p.downcast_ref::<AbortMarker>().is_some() => None,
+                Err(p) => Some(panic_message(p.as_ref())),
+            };
+            *slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+            exec_for_child.exit_thread(child, panic);
+        })
+        .expect("spawn OS thread for model execution");
+    with_ctx(|exec: &Arc<Exec>, tid| exec.yield_point(tid));
+    JoinHandle {
+        thread: Thread { tid: child },
+        result,
+    }
+}
+
+/// Model `park`: blocks until an `unpark` (no timeout choice).
+pub fn park() {
+    with_ctx(|exec, tid| exec.park(tid, false));
+}
+
+/// Model `park_timeout`: the duration is ignored; waking by timeout is
+/// a budgeted scheduling choice.
+pub fn park_timeout(_dur: Duration) {
+    with_ctx(|exec, tid| exec.park(tid, true));
+}
+
+/// Model `sleep`: time does not exist in the model; a sleep is just a
+/// decision point (any other thread may run "during" it).
+pub fn sleep(_dur: Duration) {
+    with_ctx(|exec, tid| exec.yield_point(tid));
+}
+
+/// Model `yield_now`: a plain decision point.
+pub fn yield_now() {
+    with_ctx(|exec, tid| exec.yield_point(tid));
+}

@@ -1,0 +1,22 @@
+//! The production sync shim: a zero-cost passthrough to `std::sync`.
+//!
+//! Concurrent code in the pool/obs crates imports its primitives from
+//! here instead of `std::sync` directly (enforced by the `ups-lint`
+//! `raw-sync` rule). Every item is a plain re-export, so the compiled
+//! artifact is bit-for-bit the code it replaced — the existing
+//! determinism and obs-determinism suites pin that. The point of the
+//! indirection is the *inventory*: this module is the closed list of
+//! primitives the [`crate::model`] backend mirrors, so "is this
+//! primitive covered by the model checker?" is answered by whether it
+//! compiles.
+//!
+//! `Arc`/`Weak` are deliberately *not* gated behind the shim: they are
+//! ownership, not synchronization — no scheduling decision ever hinges
+//! on one — so `raw-sync` allows them from `std::sync` directly.
+
+pub use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError, TryLockError};
+
+/// Atomic cells and orderings, passthrough.
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}

@@ -1,0 +1,7 @@
+//! The production thread shim: a zero-cost passthrough to
+//! `std::thread`, the spawn/park half of the [`crate::sync`] boundary.
+
+pub use std::thread::{
+    available_parallelism, park, park_timeout, scope, sleep, spawn, JoinHandle, Scope,
+    ScopedJoinHandle, Thread,
+};

@@ -1,0 +1,159 @@
+//! Model checks on the mirrored sweep pool + heartbeat: exhaustive
+//! bounded-preemption DFS on small configs, plus seeded random
+//! schedules for the tail beyond the bound.
+//!
+//! Depth is CI-tunable without editing code:
+//! `UPS_RACE_PREEMPTION_BOUND` (default 2) and
+//! `UPS_RACE_RANDOM_SCHEDULES` (default 64).
+
+use ups_race::explore::env_u64;
+use ups_race::fixtures::{check_pool, ModelPoolCfg};
+use ups_race::{explore, explore_random, Config};
+
+fn cfg() -> Config {
+    Config {
+        preemption_bound: env_u64("UPS_RACE_PREEMPTION_BOUND", 2) as usize,
+        ..Config::default()
+    }
+}
+
+fn random_schedules() -> u64 {
+    env_u64("UPS_RACE_RANDOM_SCHEDULES", 64)
+}
+
+/// The acceptance-criteria config: 2 workers, 4 jobs, exhaustive DFS.
+/// Covers deadlock freedom, exactly-once, and telemetry conservation
+/// on every interleaving within the bound.
+#[test]
+fn dfs_pool_2_workers_4_jobs() {
+    let out = explore(&cfg(), || {
+        check_pool(ModelPoolCfg {
+            workers: 2,
+            jobs: 4,
+            ..ModelPoolCfg::default()
+        })
+    });
+    out.assert_pass();
+    assert!(out.complete, "DFS must exhaust the bounded search space");
+    assert!(
+        out.executions > 10,
+        "pool schedules must branch (got {})",
+        out.executions
+    );
+}
+
+/// Wider pool, exercising multi-victim steal attribution.
+#[test]
+fn dfs_pool_3_workers_2_jobs() {
+    let out = explore(&cfg(), || {
+        check_pool(ModelPoolCfg {
+            workers: 3,
+            jobs: 2,
+            ..ModelPoolCfg::default()
+        })
+    });
+    out.assert_pass();
+    assert!(out.complete, "DFS must exhaust the bounded search space");
+}
+
+/// Panic isolation: job 1 panics on every interleaving; workers must
+/// survive, queues must stay unpoisoned, other jobs must still run,
+/// and the panicking job still counts toward jobs/done conservation.
+#[test]
+fn dfs_pool_panic_isolation() {
+    let out = explore(&cfg(), || {
+        check_pool(ModelPoolCfg {
+            workers: 2,
+            jobs: 3,
+            panic_job: Some(1),
+            ..ModelPoolCfg::default()
+        })
+    });
+    out.assert_pass();
+    assert!(out.complete, "DFS must exhaust the bounded search space");
+}
+
+/// Heartbeat alongside the pool: the completion tick must be emitted
+/// exactly once on every interleaving, including schedules where the
+/// park timeout fires early, late, or not at all.
+#[test]
+fn dfs_pool_with_heartbeat() {
+    // One voluntary timeout fire keeps the branching tractable; the
+    // forced-fire path (nothing else runnable) is exercised regardless.
+    let out = explore(
+        &Config {
+            max_timeout_fires: 1,
+            ..cfg()
+        },
+        || {
+            check_pool(ModelPoolCfg {
+                workers: 2,
+                jobs: 2,
+                heartbeat: true,
+                ..ModelPoolCfg::default()
+            })
+        },
+    );
+    out.assert_pass();
+    assert!(out.complete, "DFS must exhaust the bounded search space");
+}
+
+/// Atomic operations as decision points too (schedules get several
+/// times longer, so the config shrinks): telemetry increments
+/// interleave every which way and conservation must still hold.
+#[test]
+fn dfs_pool_preempt_atomics() {
+    let out = explore(
+        &Config {
+            preempt_atomics: true,
+            ..cfg()
+        },
+        || {
+            check_pool(ModelPoolCfg {
+                workers: 2,
+                jobs: 2,
+                ..ModelPoolCfg::default()
+            })
+        },
+    );
+    out.assert_pass();
+    assert!(out.complete, "DFS must exhaust the bounded search space");
+}
+
+/// Seeded random schedules over a config larger than DFS could
+/// exhaust, covering interleavings beyond the preemption bound.
+#[test]
+fn random_pool_3_workers_8_jobs() {
+    let out = explore_random(&cfg(), 0x5eed, random_schedules(), || {
+        check_pool(ModelPoolCfg {
+            workers: 3,
+            jobs: 8,
+            heartbeat: true,
+            ..ModelPoolCfg::default()
+        })
+    });
+    out.assert_pass();
+}
+
+/// Random schedules with a panicking job and atomics preempted — the
+/// adversarial end of the fixture space.
+#[test]
+fn random_pool_panic_and_atomics() {
+    let out = explore_random(
+        &Config {
+            preempt_atomics: true,
+            ..cfg()
+        },
+        0xdead,
+        random_schedules(),
+        || {
+            check_pool(ModelPoolCfg {
+                workers: 2,
+                jobs: 6,
+                panic_job: Some(3),
+                heartbeat: true,
+            })
+        },
+    );
+    out.assert_pass();
+}

@@ -44,7 +44,7 @@ struct Args {
 }
 
 fn default_workers() -> usize {
-    std::thread::available_parallelism()
+    ups_race::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .clamp(1, 8)
@@ -308,6 +308,13 @@ fn list_registries() {
     println!("  UPS_SCALE_FLOW_BYTES     fixed per-flow size in bytes (default 150000)");
     println!("  UPS_SCALE_RSS_BUDGET_MB  peak-RSS budget asserted via VmHWM (default 512)");
     println!("  UPS_SCALE_DIFF_PACKETS   differential-gate workload floor (default 120000)");
+    println!("obs overhead bench (cargo bench -p ups-bench --bench obs_overhead; env knobs):");
+    println!("  UPS_OBS_MIN_PACKETS      packet floor for the three-mode run (default 120000)");
+    println!("  UPS_OBS_RUNS             timed repetitions, best-of (default 5)");
+    println!("  UPS_OBS_TOLERANCE        two-sided |probe-off delta| ceiling (default 0.10)");
+    println!("model checker (cargo test -p ups-race; env knobs):");
+    println!("  UPS_RACE_PREEMPTION_BOUND  DFS preemption budget per execution (default 2)");
+    println!("  UPS_RACE_RANDOM_SCHEDULES  seeded random schedules per test (default 64)");
 }
 
 fn main() -> ExitCode {

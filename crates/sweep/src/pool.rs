@@ -18,9 +18,9 @@
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
+use ups_race::sync::atomic::{AtomicU64, Ordering};
+use ups_race::sync::Mutex;
 
 /// One worker's accounting after (or during) a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -217,7 +217,7 @@ where
 
     let mut slots: Vec<Option<Result<R, String>>> =
         std::iter::repeat_with(|| None).take(jobs.len()).collect();
-    std::thread::scope(|scope| {
+    ups_race::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let queues = &queues;
@@ -391,6 +391,46 @@ mod tests {
             20,
             "a panic must not take the worker's remaining queue down with it"
         );
+    }
+
+    #[test]
+    fn telemetry_conservation_holds_when_a_job_panics() {
+        // Audit of the panic path: every accounting update (per-worker
+        // jobs/busy_ns and the global done counter) happens *after* the
+        // catch_unwind, so a panicking job is billed like any other and
+        // Σ per-worker jobs == done == dealt must survive a panic. The
+        // ups-race model pins the same invariant on small configs
+        // (fixtures::check_pool with panic_job); this is the full-size
+        // production-pool regression test.
+        let jobs: Vec<usize> = (0..30).collect();
+        let tel = PoolTelemetry::new(effective_workers(3, jobs.len()));
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_jobs_telemetry(
+                &jobs,
+                3,
+                Some(&tel),
+                |i, _| format!("{i}"),
+                |_, &j| {
+                    if j == 7 {
+                        panic!("boom");
+                    }
+                    j
+                },
+            )
+        }))
+        .expect_err("the job panic must propagate");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("sweep job 7"), "bad message: {msg}");
+        let rows = tel.snapshot();
+        let jobs_sum: u64 = rows.iter().map(|w| w.jobs).sum();
+        assert_eq!(
+            jobs_sum, 30,
+            "panicking job must still count in its worker row"
+        );
+        assert_eq!(tel.done(), 30, "panicking job must still count in done");
+        let steals: u64 = rows.iter().map(|w| w.steals).sum();
+        let stolen: u64 = rows.iter().map(|w| w.stolen_from).sum();
+        assert_eq!(steals, stolen, "steal attribution must survive a panic");
     }
 
     #[test]

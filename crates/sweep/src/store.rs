@@ -15,7 +15,7 @@
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use ups_race::sync::Mutex;
 
 use crate::grid::ScenarioGrid;
 use crate::json::{parse, JsonValue};
@@ -81,7 +81,7 @@ impl ResultStream {
         let mut out = self
             .out
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+            .unwrap_or_else(ups_race::sync::PoisonError::into_inner);
         writeln!(out, "{}", record.to_json(true)).expect("write JSONL record");
         out.flush().expect("flush JSONL record");
     }
@@ -923,9 +923,12 @@ pub fn validate_bench_obs(doc: &str) -> Result<ObsDigest, String> {
         return Err("probe_on.samples must be ≥ 1 (series never sampled)".into());
     }
     let probe_off_overhead = num("probe_off_overhead")?;
-    if probe_off_overhead > tolerance {
+    if probe_off_overhead.abs() > tolerance {
+        // Two-sided on purpose: a large *negative* overhead means
+        // probe-off beat the hook-free loop, i.e. the baseline run (or
+        // the machine) cannot be trusted — as invalid as a slowdown.
         return Err(format!(
-            "probe_off_overhead {probe_off_overhead} exceeds tolerance {tolerance}"
+            "probe_off_overhead {probe_off_overhead} outside ±tolerance {tolerance}"
         ));
     }
     let probe_on_overhead = num("probe_on_overhead")?;
@@ -1503,6 +1506,18 @@ mod tests {
             r#""probe_off_overhead": 0.05"#,
         );
         assert!(validate_bench_obs(&slow).unwrap_err().contains("tolerance"));
+        // A probe-off run that *beats* the hook-free loop by more than
+        // the tolerance is a broken baseline, not a win.
+        let fast = OBS_DOC.replace(
+            r#""probe_off_overhead": 0.005"#,
+            r#""probe_off_overhead": -0.05"#,
+        );
+        assert!(validate_bench_obs(&fast).unwrap_err().contains("tolerance"));
+        let slightly_fast = OBS_DOC.replace(
+            r#""probe_off_overhead": 0.005"#,
+            r#""probe_off_overhead": -0.015"#,
+        );
+        assert!(validate_bench_obs(&slightly_fast).is_ok());
         // Instrumentation must never change the schedule.
         let diverged = OBS_DOC.replace(
             r#""fingerprints_identical": true"#,

@@ -12,9 +12,9 @@
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use ups_race::sync::atomic::{AtomicBool, Ordering};
 
 use ups_obs::{HeartbeatRecord, WorkerRow};
 
@@ -85,7 +85,7 @@ fn progress_line(r: &HeartbeatRecord) {
 /// than one interval yields a non-empty record history.
 pub struct Heartbeat {
     stop: Arc<AtomicBool>,
-    handle: std::thread::JoinHandle<Vec<HeartbeatRecord>>,
+    handle: ups_race::thread::JoinHandle<Vec<HeartbeatRecord>>,
 }
 
 impl Heartbeat {
@@ -100,7 +100,7 @@ impl Heartbeat {
             .map(|p| BufWriter::new(File::create(p).expect("create heartbeat jsonl")));
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || {
+        let handle = ups_race::thread::spawn(move || {
             // lint:allow(wall-clock): heartbeat clock; see record_now.
             let t0 = Instant::now();
             let mut records = Vec::new();
@@ -116,7 +116,7 @@ impl Heartbeat {
                 records.push(r);
             };
             while !stop_flag.load(Ordering::Relaxed) {
-                std::thread::park_timeout(config.interval);
+                ups_race::thread::park_timeout(config.interval);
                 if stop_flag.load(Ordering::Relaxed) {
                     break;
                 }
