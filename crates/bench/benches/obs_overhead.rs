@@ -103,6 +103,7 @@ fn run_once(topo: &Topology, packets: &[Packet], mode: Mode, record: RecordMode)
     let fingerprint = matches!(record, RecordMode::EndToEnd).then(|| {
         sim.trace()
             .delivered()
+            .expect("resident trace")
             .map(|(_, r)| r.exited.expect("delivered").as_ps() as u128)
             .sum()
     });

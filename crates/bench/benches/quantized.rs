@@ -40,7 +40,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn trace_mean_fct_s(trace: &Trace) -> f64 {
     use std::collections::HashMap;
     let mut span: HashMap<FlowId, (SimTime, SimTime)> = HashMap::new();
-    for (_, rec) in trace.delivered() {
+    for (_, rec) in trace.delivered().expect("resident trace") {
         let exited = rec.exited.expect("delivered");
         let e = span.entry(rec.flow).or_insert((rec.injected, exited));
         e.0 = e.0.min(rec.injected);

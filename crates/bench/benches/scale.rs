@@ -197,7 +197,22 @@ fn main() {
     );
     let pps = packets as f64 / wall;
     let threshold = topo.bottleneck_bandwidth().tx_time(MTU);
+    // Gate on for the comparison only: the merge-join's reorder window
+    // must stay bounded at full scale, and the high-water counter is the
+    // direct witness (the compare also asserts it inline, but that check
+    // fires per-step; this one pins the whole-run maximum).
+    ups_obs::enable();
+    ups_obs::reset();
     let report = compare(&original, &replay, threshold);
+    let window_high_water = ups_obs::snapshot().counter(ups_obs::Counter::CompareWindow);
+    ups_obs::disable();
+    assert!(
+        window_high_water <= ups_core::REORDER_WINDOW as u64,
+        "compare reorder window hit {window_high_water} records \
+         (bound {})",
+        ups_core::REORDER_WINDOW
+    );
+    println!("# compare reorder-window high-water: {window_high_water} records");
     let match_rate = report.match_rate().expect("scale run delivers packets");
     let summary = ups_sweep::summarize_trace(&original, &flows, packets, None);
     assert_eq!(summary.delivered + summary.dropped, packets);

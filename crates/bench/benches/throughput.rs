@@ -87,6 +87,7 @@ fn current_fingerprint(topo: &ups_topology::Topology, packets: &[Packet]) -> (u6
     let fp = sim
         .trace()
         .delivered()
+        .expect("resident trace")
         .map(|(_, r)| r.exited.expect("delivered").as_ps() as u128)
         .sum();
     (sim.stats().delivered, fp)

@@ -318,6 +318,7 @@ mod tests {
         let real_fp: u128 = real
             .trace()
             .delivered()
+            .expect("resident trace")
             .map(|(_, r)| r.exited.expect("delivered").as_ps() as u128)
             .sum();
         assert_eq!(base.exit_fingerprint, real_fp, "exit times must agree");

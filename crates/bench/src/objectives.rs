@@ -148,6 +148,7 @@ pub fn run_tail_experiment(
     let delays: Vec<f64> = sim
         .trace()
         .delivered()
+        .expect("EndToEnd traces are resident")
         .filter(|(_, r)| r.kind == PacketKind::Data)
         .map(|(_, r)| r.delay().expect("delivered").as_secs_f64())
         .collect();

@@ -89,10 +89,23 @@ fn capped_streaming_run_is_resident_identical_and_bounded() {
         "streaming original diverged from resident"
     );
     let threshold = topo.bottleneck_bandwidth().tx_time(MTU);
+    // Gate on across both comparisons: the merge-join's reorder-window
+    // high-water counter is the CI witness that the streaming compare
+    // path stays bounded.
+    ups_obs::enable();
+    ups_obs::reset();
     assert_eq!(
         compare(&orig_res, &rep_res, threshold),
         compare(&orig_str, &rep_str, threshold),
         "streamed replay report diverged"
+    );
+    let window_high_water = ups_obs::snapshot().counter(ups_obs::Counter::CompareWindow);
+    ups_obs::disable();
+    assert!(
+        window_high_water <= ups_core::REORDER_WINDOW as u64,
+        "compare reorder window hit {window_high_water} records \
+         (bound {})",
+        ups_core::REORDER_WINDOW
     );
     assert_eq!(
         ups_sweep::summarize_trace(&orig_res, &flows, packets, None),

@@ -635,7 +635,7 @@ mod tests {
         for sched in [appendix_f_schedule(), appendix_g_schedule()] {
             let lstf = sched.replay(HeaderInit::LstfSlack, false);
             let edf = sched.replay(HeaderInit::EdfDeadline, false);
-            for (id, r) in lstf.replay.delivered() {
+            for (id, r) in lstf.replay.delivered().expect("resident trace") {
                 let e = edf.replay.get(id).unwrap();
                 assert_eq!(
                     r.exited, e.exited,

@@ -21,16 +21,18 @@
 #![forbid(unsafe_code)]
 
 pub mod counterexamples;
+pub mod divergence;
 pub mod heuristics;
 pub mod replay;
 
 pub use counterexamples::{
     appendix_c_case, appendix_f_schedule, appendix_g_schedule, CounterexampleSchedule,
 };
+pub use divergence::{Divergence, DivergenceCause, DivergenceSink};
 pub use heuristics::{fct_slack, tail_slack, FairnessSlackAssigner, FCT_D};
 pub use replay::{
-    as_executed_packets, as_executed_stream, compare, compare_streams, compare_with_tolerance,
-    lstf_replay_stream, max_congestion_points, priorities_from_schedule, replay_packets,
-    run_schedule, HeaderInit, PriorityAssignment, ReplayExperiment, ReplayOutcome, ReplayReport,
-    REORDER_WINDOW,
+    as_executed_packets, as_executed_stream, compare, compare_streams, compare_streams_with_sink,
+    compare_with_sink, compare_with_tolerance, lstf_replay_stream, max_congestion_points,
+    priorities_from_schedule, replay_packets, run_schedule, HeaderInit, PriorityAssignment,
+    ReplayExperiment, ReplayOutcome, ReplayReport, REORDER_WINDOW,
 };

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crate::divergence::DivergenceSink;
 use ups_metrics::QuantileSketch;
 use ups_netsim::prelude::{
     Dur, Header, Packet, PacketId, PacketRecord, RecordMode, SchedulerKind, SimTime, Trace,
@@ -114,7 +115,7 @@ pub fn replay_packets(
         .map(|p| {
             let rec = original
                 .get(p.id)
-                .unwrap_or_else(|| panic!("packet {} missing from original trace", p.id)); // lint:allow(panic-path): replay precondition: the trace was recorded over this packet set
+                .unwrap_or_else(|e| panic!("packet {} unavailable in original trace: {e}", p.id)); // lint:allow(panic-path): replay precondition: the trace was recorded over this packet set
             let o = rec
                 .exited
                 .unwrap_or_else(|| panic!("packet {} undelivered in original", p.id)); // lint:allow(panic-path): undelivered originals make the replay target undefined; fail loud
@@ -189,6 +190,7 @@ pub fn as_executed_packets(trace: &Trace) -> Vec<Packet> {
     use ups_netsim::prelude::{PacketBuilder, PacketKind};
     trace
         .iter()
+        .expect("as_executed_packets needs a resident trace; use as_executed_stream") // lint:allow(panic-path): documented API precondition; the streaming form is as_executed_stream
         .filter(|(_, r)| r.exited.is_some())
         .map(|(id, r)| {
             let mut b = PacketBuilder::new(id, r.flow, r.size, r.path.clone(), r.injected);
@@ -325,6 +327,24 @@ pub fn compare_with_tolerance(
     compare_streams(original.stream(), replay.stream(), threshold, tolerance)
 }
 
+/// [`compare_with_tolerance`] with a [`DivergenceSink`] observing every
+/// mismatch — the entry point the forensics layer attaches through.
+pub fn compare_with_sink(
+    original: &Trace,
+    replay: &Trace,
+    threshold: Dur,
+    tolerance: Dur,
+    sink: &mut dyn DivergenceSink,
+) -> ReplayReport {
+    compare_streams_with_sink(
+        original.stream(),
+        replay.stream(),
+        threshold,
+        tolerance,
+        sink,
+    )
+}
+
 /// Streaming form of [`compare_with_tolerance`]: a merge-join over two
 /// record streams sorted by the canonical `(i(p), id)` key — exactly what
 /// [`Trace::stream`] yields in both layouts — so neither trace is ever
@@ -343,6 +363,26 @@ pub fn compare_streams(
     threshold: Dur,
     tolerance: Dur,
 ) -> ReplayReport {
+    compare_streams_with_sink(original, replay, threshold, tolerance, &mut ())
+}
+
+/// [`compare_streams`] with a [`DivergenceSink`] observing every
+/// mismatch. Each mismatched packet is reported to `sink` exactly once,
+/// under exactly one [`DivergenceCause`](crate::DivergenceCause), so the
+/// sink's per-cause counts sum to the returned report's `overdue` field
+/// (the conservation invariant the forensics layer property-tests).
+///
+/// The sink never influences the report: running with `&mut ()` is
+/// bit-identical to running with any other sink.
+pub fn compare_streams_with_sink(
+    original: impl IntoIterator<Item = (PacketId, PacketRecord)>,
+    replay: impl IntoIterator<Item = (PacketId, PacketRecord)>,
+    threshold: Dur,
+    tolerance: Dur,
+    sink: &mut dyn DivergenceSink,
+) -> ReplayReport {
+    use crate::divergence::{Divergence, DivergenceCause};
+    use ups_netsim::prelude::DropCause;
     let mut report = ReplayReport {
         total: 0,
         overdue: 0,
@@ -353,9 +393,11 @@ pub fn compare_streams(
         queueing_ratios: QuantileSketch::new(),
     };
     // Reorder window: replay records pulled up to the original cursor,
-    // keyed by the canonical stream key. Values keep only what the
-    // comparison reads — `(o′(p), wait′(p))` — not whole records.
-    let mut window: BTreeMap<(SimTime, PacketId), (Option<SimTime>, Dur)> = BTreeMap::new();
+    // keyed by the canonical stream key. Whole records are kept (moved in
+    // from the owned stream, never cloned) so the sink can attribute a
+    // mismatch from the replay side's hop timeline and drop cause; the
+    // window stays bounded by REORDER_WINDOW entries regardless.
+    let mut window: BTreeMap<(SimTime, PacketId), PacketRecord> = BTreeMap::new();
     let mut rep = replay.into_iter().peekable();
     for (id, orig) in original {
         let Some(o_orig) = orig.exited else {
@@ -373,26 +415,55 @@ pub fn compare_streams(
         }
         while rep.peek().is_some_and(|(rid, r)| (r.injected, *rid) <= key) {
             let (rid, r) = rep.next().expect("peeked"); // lint:allow(panic-path): peek on the same iterator returned Some
-            window.insert((r.injected, rid), (r.exited, r.total_wait));
+            window.insert((r.injected, rid), r);
             assert!(
                 window.len() <= REORDER_WINDOW,
                 "replay stream diverged from the original by more than \
                  {REORDER_WINDOW} records; are both streams (i(p), id)-sorted?"
             );
+            ups_obs::count_max(ups_obs::Counter::CompareWindow, window.len() as u64);
         }
         report.total += 1;
-        let Some((Some(o_replay), rep_wait)) = window.remove(&key) else {
+        let entry = window.remove(&key);
+        let Some((o_replay, rep_wait)) = entry
+            .as_ref()
+            .and_then(|r| r.exited.map(|o| (o, r.total_wait)))
+        else {
             // Delivered originally, missing/dropped in the replay: late by
             // any measure.
             report.missing += 1;
             report.overdue += 1;
             report.overdue_gt_t += 1;
+            let cause = match entry.as_ref().and_then(|r| r.drop_cause) {
+                Some(DropCause::DeadLink) => DivergenceCause::DeadLinkDrop,
+                Some(DropCause::Buffer) => DivergenceCause::BufferDrop,
+                None => DivergenceCause::MissingInReplay,
+            };
+            sink.divergence(&Divergence {
+                id,
+                original: &orig,
+                replay: entry.as_ref(),
+                cause,
+                lateness: Dur::ZERO,
+            });
             continue;
         };
         let lateness = o_replay.saturating_since(o_orig);
         report.max_lateness = report.max_lateness.max(lateness);
         if lateness > tolerance {
             report.overdue += 1;
+            let cause = if lateness > threshold + tolerance {
+                DivergenceCause::OverdueBeyondT
+            } else {
+                DivergenceCause::OverdueWithinT
+            };
+            sink.divergence(&Divergence {
+                id,
+                original: &orig,
+                replay: entry.as_ref(),
+                cause,
+                lateness,
+            });
         }
         if lateness > threshold + tolerance {
             report.overdue_gt_t += 1;
@@ -540,7 +611,10 @@ pub fn priorities_from_schedule(topo: &Topology, original: &Trace) -> Option<Pri
         vec![Vec::new(); n_nodes * n_nodes];
     let mut in_schedule: Vec<bool> = vec![false; bound];
     let mut scheduled = 0usize;
-    for (id, rec) in original.delivered() {
+    let delivered = original
+        .delivered()
+        .expect("PerHop traces are resident (asserted above)"); // lint:allow(panic-path): the PerHop assertion above excludes the streaming layout
+    for (id, rec) in delivered {
         in_schedule[id.index()] = true; // lint:allow(panic-path): ids are dense; bound is sized from this trace above
         scheduled += 1;
         for (i, h) in rec.hops.iter().enumerate() {
@@ -606,6 +680,7 @@ pub fn priorities_from_schedule(topo: &Topology, original: &Trace) -> Option<Pri
 pub fn max_congestion_points(trace: &Trace) -> usize {
     trace
         .delivered()
+        .expect("congestion points need a resident PerHop trace") // lint:allow(panic-path): documented API precondition; streaming traces carry no hop detail anyway
         .map(|(_, r)| r.congestion_points())
         .max()
         .unwrap_or(0)

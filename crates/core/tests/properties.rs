@@ -232,7 +232,7 @@ proptest! {
             let edf = scenario
                 .experiment(&topo, HeaderInit::EdfDeadline, preemptive)
                 .run(&packets, Dur::ZERO);
-            for (id, r) in lstf.replay.delivered() {
+            for (id, r) in lstf.replay.delivered().expect("resident trace") {
                 let e = edf.replay.get(id).expect("EDF delivered the same packets");
                 prop_assert_eq!(
                     r.exited, e.exited,
@@ -309,7 +309,7 @@ proptest! {
             .experiment(&topo, HeaderInit::LstfSlack, false)
             .run(&packets, Dur::ZERO);
         prop_assert_eq!(a.report.overdue, b.report.overdue);
-        for (id, r) in a.replay.delivered() {
+        for (id, r) in a.replay.delivered().expect("resident trace") {
             prop_assert_eq!(r.exited, b.replay.get(id).unwrap().exited);
         }
     }
@@ -325,8 +325,8 @@ proptest! {
         let out = scenario
             .experiment(&topo, HeaderInit::LstfSlack, false)
             .run(&packets, Dur::ZERO);
-        prop_assert_eq!(out.original.delivered().count(), packets.len());
-        prop_assert_eq!(out.replay.delivered().count(), packets.len());
+        prop_assert_eq!(out.original.delivered().expect("resident trace").count(), packets.len());
+        prop_assert_eq!(out.replay.delivered().expect("resident trace").count(), packets.len());
         prop_assert_eq!(out.report.total, packets.len());
     }
 }

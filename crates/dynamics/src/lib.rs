@@ -38,7 +38,7 @@ pub mod run;
 pub mod schedule;
 
 pub use routing::DynamicRouting;
-pub use run::{churn_replay, run_schedule_with_failures, ChurnOutcome};
+pub use run::{churn_replay, churn_replay_with_sink, run_schedule_with_failures, ChurnOutcome};
 pub use schedule::{
     parse_failure_spec, FailureProfile, FailureSchedule, LinkEvent, FAILURE_PROFILES,
 };

@@ -2,8 +2,10 @@
 
 use std::sync::Arc;
 
-use ups_core::{compare, lstf_replay_stream};
-use ups_netsim::prelude::{DeadLinkPolicy, Packet, RecordMode, SchedulerKind, SimStats, Trace};
+use ups_core::lstf_replay_stream;
+use ups_netsim::prelude::{
+    DeadLinkPolicy, Dur, Packet, RecordMode, SchedulerKind, SimStats, Trace,
+};
 use ups_topology::{build_simulator, BuildOptions, SchedulerAssignment, Topology};
 
 use crate::routing::DynamicRouting;
@@ -81,6 +83,18 @@ pub fn run_schedule_with_failures(
 /// and the comparison merge-joins the two record streams — so a spilled
 /// original trace replays in bounded memory.
 pub fn churn_replay(topo: &Topology, original: &Trace, seed: u64) -> ups_core::ReplayReport {
+    churn_replay_with_sink(topo, original, seed, &mut ())
+}
+
+/// [`churn_replay`] with a [`ups_core::DivergenceSink`] observing every
+/// mismatch — how the forensics layer attributes churn-replay failures.
+/// The sink never influences the report.
+pub fn churn_replay_with_sink(
+    topo: &Topology,
+    original: &Trace,
+    seed: u64,
+    sink: &mut dyn ups_core::DivergenceSink,
+) -> ups_core::ReplayReport {
     let opts = BuildOptions {
         record: RecordMode::EndToEnd,
         seed,
@@ -91,7 +105,7 @@ pub fn churn_replay(topo: &Topology, original: &Trace, seed: u64) -> ups_core::R
     sim.run_with_injections(lstf_replay_stream(topo, original));
     let replay = sim.into_trace();
     let threshold = topo.bottleneck_bandwidth().tx_time(1500);
-    compare(original, &replay, threshold)
+    ups_core::compare_with_sink(original, &replay, threshold, Dur::ZERO, sink)
 }
 
 #[cfg(test)]
@@ -175,7 +189,7 @@ mod tests {
         assert!(churn.stats.delivered > churn.stats.dropped);
         // Rerouted packets' records carry their as-executed paths: every
         // delivered record's path must be walkable over topology links.
-        for (_, r) in churn.trace.delivered() {
+        for (_, r) in churn.trace.delivered().expect("resident trace") {
             for w in r.path.windows(2) {
                 assert!(
                     topo.neighbor_link(w[0], w[1]).is_some(),
@@ -206,6 +220,7 @@ mod tests {
         let dead_link_drops = churn
             .trace
             .iter()
+            .expect("resident trace")
             .filter(|(_, r)| r.drop_cause == Some(DropCause::DeadLink))
             .count() as u64;
         assert_eq!(dead_link_drops, churn.stats.dropped_dead_link);

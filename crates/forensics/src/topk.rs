@@ -1,0 +1,84 @@
+//! Deterministic bounded heavy-hitter counter (Misra–Gries).
+//!
+//! Tracks at most `cap` distinct keys; any key whose true frequency
+//! exceeds `total / (cap + 1)` is guaranteed to survive. Counts are
+//! lower bounds (decrement rounds shave at most `total / (cap + 1)` off
+//! each). A `BTreeMap` keeps iteration — and therefore the decrement
+//! rounds and the final ranking — fully deterministic.
+
+use std::collections::BTreeMap;
+
+/// Misra–Gries heavy-hitter summary over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    cap: usize,
+    counts: BTreeMap<u64, u64>,
+}
+
+impl TopK {
+    /// A summary tracking at most `cap` distinct keys (`cap ≥ 1`).
+    pub fn new(cap: usize) -> TopK {
+        assert!(cap >= 1, "TopK needs a positive capacity");
+        TopK {
+            cap,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn insert(&mut self, key: u64) {
+        if let Some(c) = self.counts.get_mut(&key) {
+            *c += 1;
+        } else if self.counts.len() < self.cap {
+            self.counts.insert(key, 1);
+        } else {
+            // Decrement round: every tracked count drops by one; emptied
+            // slots free capacity for later keys.
+            self.counts.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+    }
+
+    /// The heaviest `n` keys with their (lower-bound) counts, ordered by
+    /// count descending, key ascending on ties.
+    pub fn top(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Distinct keys currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hitter_survives_noise() {
+        let mut t = TopK::new(4);
+        for i in 0..100u64 {
+            t.insert(1_000); // the heavy key, every round
+            t.insert(i); // one-off noise
+        }
+        let top = t.top(1);
+        assert_eq!(top[0].0, 1_000);
+        assert!(top[0].1 >= 100 / 5, "count is a lower bound, not zero");
+        assert!(t.tracked() <= 4);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_ties() {
+        let mut t = TopK::new(8);
+        for k in [5u64, 3, 9, 3, 5, 9] {
+            t.insert(k);
+        }
+        assert_eq!(t.top(3), vec![(3, 2), (5, 2), (9, 2)]);
+    }
+}

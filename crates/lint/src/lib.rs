@@ -43,6 +43,7 @@ use std::path::{Path, PathBuf};
 pub const DETERMINISM_CRATES: &[&str] = &[
     "core",
     "dynamics",
+    "forensics",
     "lint",
     "metrics",
     "netsim",

@@ -31,6 +31,7 @@ pub use jain::{jain_index, jain_series};
 pub use sketch::QuantileSketch;
 pub use stats::{fraction_where, mean, percentile, Cdf};
 pub use summary::{
-    json_escape, json_num, json_opt_num, DisruptionSummary, RunSummary, TransportSummary,
+    json_escape, json_num, json_opt_num, DisruptionSummary, DivergenceSummary, RunSummary,
+    TransportSummary,
 };
 pub use table::{frac, render_series, Table};

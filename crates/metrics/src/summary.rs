@@ -26,7 +26,7 @@ pub struct TransportSummary {
 
 impl TransportSummary {
     /// Compact JSON object.
-    // lint:schema(ups-sweep-record/v4)
+    // lint:schema(ups-sweep-record/v5)
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -64,7 +64,7 @@ pub struct DisruptionSummary {
 
 impl DisruptionSummary {
     /// Compact JSON object.
-    // lint:schema(ups-sweep-record/v4)
+    // lint:schema(ups-sweep-record/v5)
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -75,6 +75,106 @@ impl DisruptionSummary {
             self.rerouted,
             self.dropped_at_dead_link,
             json_opt_num(self.churn_replay_match_rate)
+        )
+    }
+}
+
+/// What the replay-divergence forensics pass reports — the per-cause
+/// mismatch taxonomy, the first-divergent-hop inversion classes, and the
+/// bounded blame aggregates, distilled from `ups_forensics::BlameCollector`
+/// by the sweep runner. Carried by sweep records as the `divergence`
+/// block; also emitted standalone by the forensics bench.
+///
+/// Two conservation invariants hold by construction and are enforced by
+/// the artifact validator: the five cause counts sum to `mismatches`,
+/// and the five inversion counts sum to `mismatches` (every divergent
+/// packet is classified exactly once on each axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceSummary {
+    /// Total mismatched packets (≡ `ReplayReport::overdue`).
+    pub mismatches: u64,
+    /// Delivered late by ≤ `T` (the paper's threshold).
+    pub overdue_within_t: u64,
+    /// Delivered late by > `T`.
+    pub overdue_beyond_t: u64,
+    /// Never delivered by the replay, no drop recorded.
+    pub missing_in_replay: u64,
+    /// Dropped by the replay at a dead link.
+    pub dead_link_drop: u64,
+    /// Dropped by the replay from a full buffer.
+    pub buffer_drop: u64,
+    /// First divergent hop lost a rank tie the original won.
+    pub rank_tie_break: u64,
+    /// First divergent hop collided inside a quantization bucket.
+    pub bucket_collision: u64,
+    /// Replay took a different path (reroute or dead-link diversion).
+    pub reroute: u64,
+    /// Replay dropped the packet from a full queue.
+    pub queue_overflow: u64,
+    /// Divergence observable only at the exit (end-to-end records, or a
+    /// packet the replay never saw) — no hop to blame.
+    pub exit_only: u64,
+    /// Top switches by overdue mass: `(node_index, mismatches whose
+    /// first divergent hop is at that node)`, descending, capped.
+    pub top_nodes: Vec<(u32, u64)>,
+    /// Median per-hop lateness at the first divergent hop (seconds);
+    /// `None` when no divergence carried hop timelines.
+    pub hop_lateness_p50_s: Option<f64>,
+    /// 99th-percentile per-hop lateness at the first divergent hop.
+    pub hop_lateness_p99_s: Option<f64>,
+}
+
+impl DivergenceSummary {
+    /// Sum of the five cause counts — must equal [`Self::mismatches`].
+    pub fn cause_total(&self) -> u64 {
+        self.overdue_within_t
+            + self.overdue_beyond_t
+            + self.missing_in_replay
+            + self.dead_link_drop
+            + self.buffer_drop
+    }
+
+    /// Sum of the five inversion counts — must equal [`Self::mismatches`].
+    pub fn inversion_total(&self) -> u64 {
+        self.rank_tie_break
+            + self.bucket_collision
+            + self.reroute
+            + self.queue_overflow
+            + self.exit_only
+    }
+
+    /// Compact JSON object, schema-tagged.
+    // lint:schema(ups-forensics/v1)
+    pub fn to_json(&self) -> String {
+        let nodes: Vec<String> = self
+            .top_nodes
+            .iter()
+            .map(|&(node, n)| format!(r#"{{"node":{node},"mismatches":{n}}}"#))
+            .collect();
+        format!(
+            concat!(
+                r#"{{"schema":"ups-forensics/v1","mismatches":{},"#,
+                r#""overdue_within_t":{},"overdue_beyond_t":{},"#,
+                r#""missing_in_replay":{},"dead_link_drop":{},"buffer_drop":{},"#,
+                r#""rank_tie_break":{},"bucket_collision":{},"reroute":{},"#,
+                r#""queue_overflow":{},"exit_only":{},"#,
+                r#""hop_lateness_p50_s":{},"hop_lateness_p99_s":{},"#,
+                r#""top_nodes":[{}]}}"#
+            ),
+            self.mismatches,
+            self.overdue_within_t,
+            self.overdue_beyond_t,
+            self.missing_in_replay,
+            self.dead_link_drop,
+            self.buffer_drop,
+            self.rank_tie_break,
+            self.bucket_collision,
+            self.reroute,
+            self.queue_overflow,
+            self.exit_only,
+            json_opt_num(self.hop_lateness_p50_s),
+            json_opt_num(self.hop_lateness_p99_s),
+            nodes.join(",")
         )
     }
 }
@@ -126,11 +226,15 @@ pub struct RunSummary {
     /// Network-dynamics metrics; `None` when the job ran on a static
     /// (failure-free) network.
     pub disruption: Option<DisruptionSummary>,
+    /// Replay-divergence attribution for the job's most detailed replay
+    /// (quantized when the `--queues` axis is present, churn for failure
+    /// jobs, exact otherwise); `None` when the job ran no replay.
+    pub divergence: Option<DivergenceSummary>,
 }
 
 impl RunSummary {
     /// Compact single-line JSON object (JSONL-friendly).
-    // lint:schema(ups-sweep-record/v4)
+    // lint:schema(ups-sweep-record/v5)
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self
             .fct_buckets
@@ -154,7 +258,7 @@ impl RunSummary {
                 r#""jain":{},"replay_match_rate":{},"replay_frac_gt_t":{},"#,
                 r#""quantized_match_rate":{},"quantized_frac_gt_t":{},"#,
                 r#""quantized_fct_delta_s":{},"#,
-                r#""transport":{},"disruption":{},"fct_buckets":[{}]}}"#
+                r#""transport":{},"disruption":{},"divergence":{},"fct_buckets":[{}]}}"#
             ),
             self.flows,
             self.packets,
@@ -174,6 +278,10 @@ impl RunSummary {
                 None => "null".into(),
             },
             match &self.disruption {
+                Some(d) => d.to_json(),
+                None => "null".into(),
+            },
+            match &self.divergence {
                 Some(d) => d.to_json(),
                 None => "null".into(),
             },
@@ -239,6 +347,7 @@ mod tests {
             quantized_fct_delta_s: None,
             transport: None,
             disruption: None,
+            divergence: None,
         }
     }
 
@@ -319,6 +428,35 @@ mod tests {
         )));
         r.disruption.as_mut().unwrap().churn_replay_match_rate = None;
         assert!(r.to_json().contains(r#""churn_replay_match_rate":null"#));
+    }
+
+    #[test]
+    fn divergence_block_serializes_with_schema_tag() {
+        let mut r = sample();
+        assert!(r.to_json().contains(r#""divergence":null"#));
+        let d = DivergenceSummary {
+            mismatches: 10,
+            overdue_within_t: 4,
+            overdue_beyond_t: 3,
+            missing_in_replay: 1,
+            dead_link_drop: 0,
+            buffer_drop: 2,
+            rank_tie_break: 5,
+            bucket_collision: 2,
+            reroute: 0,
+            queue_overflow: 2,
+            exit_only: 1,
+            top_nodes: vec![(3, 6), (9, 4)],
+            hop_lateness_p50_s: Some(1.5e-6),
+            hop_lateness_p99_s: Some(4e-5),
+        };
+        assert_eq!(d.cause_total(), d.mismatches);
+        assert_eq!(d.inversion_total(), d.mismatches);
+        r.divergence = Some(d);
+        let s = r.to_json();
+        assert!(s.contains(r#""divergence":{"schema":"ups-forensics/v1","mismatches":10"#));
+        assert!(s.contains(r#""top_nodes":[{"node":3,"mismatches":6},{"node":9,"mismatches":4}]"#));
+        assert!(s.contains(r#""hop_lateness_p50_s":0.0000015"#));
     }
 
     #[test]

@@ -80,6 +80,8 @@ pub mod prelude {
         Agent, DeadLinkPolicy, RerouteOracle, SimApi, SimConfig, SimStats, Simulator,
     };
     pub use crate::time::{Bandwidth, Dur, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
-    pub use crate::trace::{DropCause, HopRecord, PacketRecord, RecordMode, RecordStream, Trace};
+    pub use crate::trace::{
+        DropCause, HopRecord, PacketRecord, RecordMode, RecordStream, Trace, TraceAccessError,
+    };
     pub use ups_obs::{SharedProbe, SimProbe, SimSample, TimeSeriesProbe};
 }

@@ -390,48 +390,53 @@ impl Trace {
         }
     }
 
-    /// The record for a packet id, if that packet was seen.
+    /// The record for a packet id.
     ///
-    /// # Panics
-    /// For a streaming trace once records have spilled to disk and the id
-    /// is not among the memory-resident ones — random access would mean
-    /// re-reading the spill file per lookup. Use [`Trace::stream`].
-    pub fn get(&self, id: PacketId) -> Option<&PacketRecord> {
+    /// On a streaming trace whose records spilled to disk, an id outside
+    /// the memory-resident set is [`TraceAccessError::Spilled`] — random
+    /// access would mean re-reading the spill file per lookup; use
+    /// [`Trace::stream`]. An id the trace simply never saw is
+    /// [`TraceAccessError::NotRecorded`].
+    pub fn get(&self, id: PacketId) -> Result<&PacketRecord, TraceAccessError> {
         match &self.store {
-            Store::Resident(store) => store.get(id.index()).and_then(|r| r.as_ref()),
+            Store::Resident(store) => store
+                .get(id.index())
+                .and_then(|r| r.as_ref())
+                .ok_or(TraceAccessError::NotRecorded(id)),
             Store::Streaming(s) => {
                 if let Some(r) = s.open.get(&id.0).or_else(|| s.log.find(id.0)) {
-                    return Some(r);
+                    return Ok(r);
                 }
-                assert!(
-                    !s.log.has_spilled(),
-                    "Trace::get({id}) on a streaming trace whose records spilled to disk; \
-                     use Trace::stream()"
-                );
-                None
+                if s.log.has_spilled() {
+                    Err(TraceAccessError::Spilled)
+                } else {
+                    Err(TraceAccessError::NotRecorded(id))
+                }
             }
         }
     }
 
-    /// All recorded packets in id order. Resident traces only — streaming
-    /// traces are read with [`Trace::stream`].
-    ///
-    /// # Panics
-    /// For streaming traces.
-    pub fn iter(&self) -> impl Iterator<Item = (PacketId, &PacketRecord)> {
+    /// All recorded packets in id order. Resident traces only — a
+    /// streaming trace (whose records spill to disk) is
+    /// [`TraceAccessError::Spilled`] and is read with [`Trace::stream`].
+    pub fn iter(
+        &self,
+    ) -> Result<impl Iterator<Item = (PacketId, &PacketRecord)>, TraceAccessError> {
         let Store::Resident(store) = &self.store else {
-            panic!("Trace::iter on a streaming trace; use Trace::stream()") // lint:allow(panic-path): documented API misuse; the streaming accessor is Trace::stream()
+            return Err(TraceAccessError::Spilled);
         };
-        store
+        Ok(store
             .iter()
             .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|r| (PacketId(i as u64), r)))
+            .filter_map(|(i, r)| r.as_ref().map(|r| (PacketId(i as u64), r))))
     }
 
     /// Packets that fully exited the network (excludes drops and in-flight).
     /// Resident traces only, like [`Trace::iter`].
-    pub fn delivered(&self) -> impl Iterator<Item = (PacketId, &PacketRecord)> {
-        self.iter().filter(|(_, r)| r.exited.is_some())
+    pub fn delivered(
+        &self,
+    ) -> Result<impl Iterator<Item = (PacketId, &PacketRecord)>, TraceAccessError> {
+        Ok(self.iter()?.filter(|(_, r)| r.exited.is_some()))
     }
 
     /// Every record (delivered, dropped and in-flight) in `(i(p), id)`
@@ -498,6 +503,28 @@ impl Trace {
         self.len() == 0
     }
 }
+
+/// Why random access into a [`Trace`] could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceAccessError {
+    /// The trace holds no record for this packet id.
+    NotRecorded(PacketId),
+    /// The trace is a streaming trace whose records spill to disk —
+    /// id-order random access would re-read the spill file per lookup.
+    /// Use [`Trace::stream`].
+    Spilled,
+}
+
+impl std::fmt::Display for TraceAccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceAccessError::NotRecorded(id) => write!(f, "no trace record for {id}"),
+            TraceAccessError::Spilled => f.write_str("trace spilled; use Trace::stream()"),
+        }
+    }
+}
+
+impl std::error::Error for TraceAccessError {}
 
 /// One source's head record inside the k-way merge, ordered by
 /// `(injected ps, id)` with the source index as a deterministic tie-break
@@ -599,7 +626,7 @@ mod tests {
         assert_eq!(r.delay(), Some(Dur::from_us(29)));
         assert_eq!(r.total_wait, Dur::from_us(7));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.delivered().count(), 1);
+        assert_eq!(t.delivered().expect("resident trace").count(), 1);
     }
 
     #[test]
@@ -641,7 +668,10 @@ mod tests {
         t.on_inject(&p, SimTime::ZERO);
         t.on_exit(&p, SimTime::from_us(1));
         assert!(t.is_empty());
-        assert!(t.get(PacketId(3)).is_none());
+        assert_eq!(
+            t.get(PacketId(3)),
+            Err(TraceAccessError::NotRecorded(PacketId(3)))
+        );
     }
 
     #[test]
@@ -654,7 +684,7 @@ mod tests {
         assert!(r.dropped);
         assert_eq!(r.drop_cause, Some(DropCause::DeadLink));
         assert_eq!(r.exited, None);
-        assert_eq!(t.delivered().count(), 0);
+        assert_eq!(t.delivered().expect("resident trace").count(), 0);
     }
 
     #[test]
@@ -736,7 +766,10 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.stream().count(), 0);
         assert_eq!(t.id_bound(), 0);
-        assert!(t.get(PacketId(0)).is_none());
+        assert_eq!(
+            t.get(PacketId(0)),
+            Err(TraceAccessError::NotRecorded(PacketId(0)))
+        );
     }
 
     #[test]
@@ -753,18 +786,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "spilled")]
-    fn streaming_get_panics_after_spill() {
+    fn streaming_get_errors_after_spill() {
         // Records finalize in reverse id order, so id 39 spilled long ago.
         let t = lifecycle(RecordMode::Streaming, Some((2, 1)), 40);
-        let _ = t.get(PacketId(39));
+        let err = t.get(PacketId(39)).unwrap_err();
+        assert_eq!(err, TraceAccessError::Spilled);
+        assert_eq!(err.to_string(), "trace spilled; use Trace::stream()");
+        // An id outside the recorded set reports NotRecorded, not Spilled,
+        // when it can be distinguished (resident layout always can).
+        let r = lifecycle(RecordMode::EndToEnd, None, 4);
+        assert_eq!(
+            r.get(PacketId(77)),
+            Err(TraceAccessError::NotRecorded(PacketId(77)))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "use Trace::stream")]
-    fn streaming_iter_panics() {
+    fn streaming_iter_errors_with_spilled() {
         let t = Trace::new(RecordMode::Streaming);
-        let _ = t.iter().count();
+        assert!(t.iter().is_err());
+        assert_eq!(
+            t.delivered().err().expect("spilled trace cannot iterate"),
+            TraceAccessError::Spilled
+        );
+        assert_eq!(
+            t.iter().err().map(|e| e.to_string()).unwrap_or_default(),
+            "trace spilled; use Trace::stream()"
+        );
     }
 
     #[test]

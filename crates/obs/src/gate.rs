@@ -93,11 +93,15 @@ pub enum Counter {
     RankHeapSiftSteps,
     /// Packet records finalized into a streaming trace store.
     TraceRecordsFinalized,
+    /// `compare_streams` reorder-window occupancy high-water mark (a
+    /// max, not a sum). Bounded by `REORDER_WINDOW` on sorted inputs —
+    /// the scale bench asserts the bound holds at 5M+ packets.
+    CompareWindow,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 11] = [
         Counter::EventsInject,
         Counter::EventsArrive,
         Counter::EventsPortReady,
@@ -108,6 +112,7 @@ impl Counter {
         Counter::ArenaHighWater,
         Counter::RankHeapSiftSteps,
         Counter::TraceRecordsFinalized,
+        Counter::CompareWindow,
     ];
 
     /// Stable snake-case name (artifact field / counter-track name).
@@ -123,6 +128,7 @@ impl Counter {
             Counter::ArenaHighWater => "arena_high_water",
             Counter::RankHeapSiftSteps => "rank_heap_sift_steps",
             Counter::TraceRecordsFinalized => "trace_records_finalized",
+            Counter::CompareWindow => "compare_window_high_water",
         }
     }
 
@@ -139,6 +145,7 @@ impl Counter {
             Counter::ArenaHighWater => "packet-arena occupancy high-water mark",
             Counter::RankHeapSiftSteps => "rank-heap sift steps (levels moved)",
             Counter::TraceRecordsFinalized => "records finalized into streaming traces",
+            Counter::CompareWindow => "compare_streams reorder-window high-water mark",
         }
     }
 }

@@ -49,3 +49,4 @@ pub use heartbeat::{HeartbeatRecord, WorkerRow, HEARTBEAT_SCHEMA, TIMESERIES_SCH
 pub use probe::{
     describe_probes, SeriesRow, SharedProbe, SimProbe, SimSample, TimeSeries, TimeSeriesProbe,
 };
+pub use trace_event::{trace_event_json, trace_event_json_with_markers, InstantMarker};

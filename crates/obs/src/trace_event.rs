@@ -51,8 +51,49 @@ fn ts_us(row: &SeriesRow, wall_axis: bool) -> f64 {
     }
 }
 
+/// One instant (`"i"`) event to pin onto the exported timeline — how the
+/// forensics layer marks replay divergences on the same tracks as the
+/// phase spans and counters. Timestamps are *virtual* (picoseconds of
+/// sim time); the export maps them onto whichever axis the series uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantMarker {
+    /// Virtual time of the event, picoseconds.
+    pub t_ps: u64,
+    /// Event name as shown in the Perfetto UI (e.g. the divergence
+    /// cause).
+    pub name: String,
+    /// Free-form detail rendered into the event's `args`.
+    pub detail: String,
+}
+
+/// Map a marker's virtual time onto the export axis: the timestamp of
+/// the last sample row at or before `t_ps` (markers between samples
+/// snap backward — the sample cadence bounds the error). Falls back to
+/// the virtual axis directly when the series is empty or wall time was
+/// never recorded.
+fn marker_ts_us(series: &TimeSeries, wall_axis: bool, t_ps: u64) -> f64 {
+    if !wall_axis {
+        return t_ps as f64 / 1e6;
+    }
+    series
+        .rows
+        .iter()
+        .take_while(|r| r.sample.t_ps <= t_ps)
+        .last()
+        .or(series.rows.first())
+        .map(|r| ts_us(r, wall_axis))
+        .unwrap_or(t_ps as f64 / 1e6)
+}
+
 /// Render `series` as a Trace Event Format JSON document.
 pub fn trace_event_json(series: &TimeSeries) -> String {
+    trace_event_json_with_markers(series, &[])
+}
+
+/// [`trace_event_json`] with instant markers pinned onto the timeline
+/// (rendered as global-scope `"i"` events, which Perfetto draws as
+/// flags above the tracks).
+pub fn trace_event_json_with_markers(series: &TimeSeries, markers: &[InstantMarker]) -> String {
     let wall_axis = series.final_gate().phase_ns(Phase::Dispatch) > 0;
     let mut ev: Vec<String> = Vec::new();
     ev.push(
@@ -104,6 +145,17 @@ pub fn trace_event_json(series: &TimeSeries) -> String {
         }
     }
 
+    // Instant markers (divergence events and the like).
+    for m in markers {
+        ev.push(format!(
+            r#"{{"ph": "i", "pid": 1, "tid": 0, "s": "g", "name": "{}", "ts": {:.3}, "args": {{"detail": "{}", "t_virtual_us": {:.3}}}}}"#,
+            ups_metrics::json_escape(&m.name),
+            marker_ts_us(series, wall_axis, m.t_ps),
+            ups_metrics::json_escape(&m.detail),
+            m.t_ps as f64 / 1e6
+        ));
+    }
+
     format!(
         "{{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n{}\n]\n}}\n",
         ev.join(",\n")
@@ -153,6 +205,42 @@ mod tests {
             let c = j.matches(close).count();
             assert_eq!(o, c, "unbalanced {open}{close}");
         }
+    }
+
+    #[test]
+    fn markers_render_as_instant_events() {
+        let series = TimeSeries {
+            interval_ps: 1000,
+            rows: vec![row(1000, 10_000, 3), row(2000, 25_000, 4)],
+            ..TimeSeries::default()
+        };
+        let markers = vec![InstantMarker {
+            t_ps: 1500,
+            name: "overdue_beyond_t".into(),
+            detail: "packet 7 \"late\" at NodeId(2)".into(),
+        }];
+        let j = trace_event_json_with_markers(&series, &markers);
+        assert!(j.contains(r#""ph": "i""#), "instant event present: {j}");
+        assert!(j.contains("overdue_beyond_t"));
+        assert!(
+            j.contains(r#"packet 7 \"late\" at NodeId(2)"#),
+            "escaped detail"
+        );
+        // Wall axis: t_ps 1500 snaps back to the row at t_ps 1000, whose
+        // dispatch time is 10 µs.
+        assert!(
+            j.contains(r#""name": "overdue_beyond_t", "ts": 10.000"#),
+            "{j}"
+        );
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(j.matches(open).count(), j.matches(close).count());
+        }
+        // And the no-marker wrapper stays byte-identical to the explicit
+        // empty-marker call.
+        assert_eq!(
+            trace_event_json(&series),
+            trace_event_json_with_markers(&series, &[])
+        );
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! sweep --failures none,random-links:0.3 \
 //!       --traffic open-loop              # link-failure (churn) sweeps
 //! sweep --list                            # registries and disciplines
-//! sweep --validate BENCH_sweep.json       # schema-check an artifact
-//! sweep --validate BENCH_quantized.json   # (dispatches on the schema tag)
+//! sweep --validate BENCH_sweep.json BENCH_quantized.json \
+//!       BENCH_divergence.json             # schema-check artifacts (the
+//!                                         # validator dispatches per tag)
+//! sweep explain --topos "Line(3)" --scheds Random --queues 1 \
+//!       --top 5 --perfetto explain.json   # attribute one job's divergence
 //! ```
 //!
 //! Writes one JSON line per finished job to `--jsonl` (completion order,
@@ -27,8 +30,8 @@ use std::time::{Duration, Instant};
 
 use ups_netsim::prelude::Dur;
 use ups_sweep::{
-    bench_sweep_json, grid::is_original_scheduler, pool, runner, validate_bench_sweep, Exclude,
-    Heartbeat, HeartbeatConfig, PoolTelemetry, ResultStream, ScenarioGrid,
+    bench_sweep_json, explain_job, grid::is_original_scheduler, pool, runner, validate_bench_sweep,
+    Exclude, Heartbeat, HeartbeatConfig, JobSpec, PoolTelemetry, ResultStream, ScenarioGrid,
 };
 
 struct Args {
@@ -40,7 +43,11 @@ struct Args {
     check: bool,
     quiet: bool,
     list: bool,
-    validate: Option<PathBuf>,
+    validate: Vec<PathBuf>,
+    explain: bool,
+    job: Option<usize>,
+    top: usize,
+    perfetto: Option<PathBuf>,
 }
 
 fn default_workers() -> usize {
@@ -55,6 +62,7 @@ sweep — parallel scenario-sweep engine (Universal Packet Scheduling)
 
 USAGE:
   sweep [OPTIONS]
+  sweep explain [GRID AXES/OPTIONS] [--job ID] [--top K] [--perfetto PATH]
 
 GRID AXES (comma-separated; defaults form the 60-job paper grid):
   --topos NAMES       topologies by registry name
@@ -103,9 +111,19 @@ EXECUTION & OUTPUT:
   --quiet             suppress per-job lines and the throttled stderr
                       `# progress` heartbeat (telemetry files still write)
 
+EXPLAIN (replay-divergence forensics; re-runs ONE job with per-hop
+recording and attributes every mismatched packet):
+  --job ID            which expanded grid job to explain (required when
+                      the axes expand to more than one job)
+  --top K             rows per blame table (default 10)
+  --perfetto PATH     write the replay's sampled timeline as trace-event
+                      JSON with one instant marker per worst-case
+                      divergence (open in Perfetto / chrome://tracing)
+
 OTHER:
   --list              print registered topologies, profiles, disciplines
-  --validate PATH     schema-check an existing artifact and exit
+  --validate PATHS    schema-check existing artifacts and exit; accepts
+                      multiple paths and dispatches on each schema tag
   --help              this text
 ";
 
@@ -154,9 +172,19 @@ fn parse_args() -> Result<Args, String> {
         check: false,
         quiet: false,
         list: false,
-        validate: None,
+        validate: Vec::new(),
+        explain: false,
+        job: None,
+        top: 10,
+        perfetto: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    // `explain` is the one subcommand; everything after it is the same
+    // flag grammar (grid axes select the job to re-run).
+    if it.peek().map(String::as_str) == Some("explain") {
+        it.next();
+        args.explain = true;
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
@@ -240,7 +268,31 @@ fn parse_args() -> Result<Args, String> {
             "--check" => args.check = true,
             "--quiet" => args.quiet = true,
             "--list" => args.list = true,
-            "--validate" => args.validate = Some(PathBuf::from(value("--validate")?)),
+            "--validate" => {
+                // Greedy: one flag, many artifacts (CI validates the
+                // whole committed set in a single invocation).
+                args.validate.push(PathBuf::from(value("--validate")?));
+                while let Some(p) = it.peek() {
+                    if p.starts_with("--") {
+                        break;
+                    }
+                    args.validate
+                        .push(PathBuf::from(it.next().expect("peeked")));
+                }
+            }
+            "--job" => {
+                args.job = Some(
+                    value("--job")?
+                        .parse()
+                        .map_err(|_| "bad --job".to_string())?,
+                );
+            }
+            "--top" => {
+                args.top = value("--top")?
+                    .parse()
+                    .map_err(|_| "bad --top".to_string())?;
+            }
+            "--perfetto" => args.perfetto = Some(PathBuf::from(value("--perfetto")?)),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -312,9 +364,161 @@ fn list_registries() {
     println!("  UPS_OBS_MIN_PACKETS      packet floor for the three-mode run (default 120000)");
     println!("  UPS_OBS_RUNS             timed repetitions, best-of (default 5)");
     println!("  UPS_OBS_TOLERANCE        two-sided |probe-off delta| ceiling (default 0.10)");
+    println!("divergence forensics (sweep explain; ups-forensics taxonomy):");
+    println!("  causes             overdue_within_t, overdue_beyond_t, missing_in_replay,");
+    println!("                     dead_link_drop, buffer_drop (conserved vs the report)");
+    println!("  inversions         rank_tie_break, bucket_collision, reroute,");
+    println!("                     queue_overflow, exit_only (first divergent hop)");
+    println!("  --job ID           which expanded grid job to explain");
+    println!("  --top K            rows per blame table (default 10)");
+    println!("  --perfetto PATH    replay timeline + divergence instant markers");
+    println!("forensics bench (cargo bench -p ups-bench --bench forensics; env knobs):");
+    println!("  UPS_FORENSICS_PACKETS  packet floor per bench row (default 30000)");
+    println!("  UPS_FORENSICS_SEED     workload seed for both axes (default 7)");
     println!("model checker (cargo test -p ups-race; env knobs):");
     println!("  UPS_RACE_PREEMPTION_BOUND  DFS preemption budget per execution (default 2)");
     println!("  UPS_RACE_RANDOM_SCHEDULES  seeded random schedules per test (default 64)");
+}
+
+/// Schema-check one artifact, dispatching on its parsed schema tag: each
+/// bench family has its own validator; everything else goes through the
+/// sweep validator (which names any unexpected tag).
+fn validate_artifact(path: &std::path::Path) -> Result<String, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let schema_tag = ups_sweep::json::parse(&doc)
+        .ok()
+        .and_then(|v| v.get("schema").and_then(|s| s.as_str().map(String::from)));
+    if schema_tag.as_deref() == Some(ups_sweep::QUANTIZED_BENCH_SCHEMA) {
+        ups_sweep::validate_bench_quantized(&doc).map(|d| {
+            format!(
+                "{} finite-K rows, exact-LSTF match rate {:.4}",
+                d.rows, d.exact_match_rate
+            )
+        })
+    } else if schema_tag.as_deref() == Some(ups_sweep::FAILURES_BENCH_SCHEMA) {
+        ups_sweep::validate_bench_failures(&doc).map(|d| {
+            format!(
+                "{} intensity rows, match rate {:.4} (static) -> {:.4} (worst)",
+                d.rows, d.baseline_match_rate, d.worst_match_rate
+            )
+        })
+    } else if schema_tag.as_deref() == Some(ups_sweep::SCALE_BENCH_SCHEMA) {
+        ups_sweep::validate_bench_scale(&doc).map(|d| {
+            format!(
+                "{} packets / {} flows streamed, peak RSS {:.1} MiB, match rate {:.4}",
+                d.packets,
+                d.flows,
+                d.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                d.replay_match_rate
+            )
+        })
+    } else if schema_tag.as_deref() == Some(ups_obs::TIMESERIES_SCHEMA) {
+        ups_sweep::validate_obs_timeseries(&doc).map(|d| {
+            format!(
+                "{} heartbeat ticks over {:.2}s, {} jobs on {} workers",
+                d.ticks, d.wall_s, d.jobs, d.workers
+            )
+        })
+    } else if schema_tag.as_deref() == Some(ups_sweep::OBS_BENCH_SCHEMA) {
+        ups_sweep::validate_bench_obs(&doc).map(|d| {
+            format!(
+                "{} packets, probe-off overhead {:+.2}% (tolerance {:.0}%), probe-on {:+.2}%",
+                d.packets,
+                d.probe_off_overhead * 100.0,
+                d.tolerance * 100.0,
+                d.probe_on_overhead * 100.0
+            )
+        })
+    } else if schema_tag.as_deref() == Some(ups_sweep::DIVERGENCE_BENCH_SCHEMA) {
+        ups_sweep::validate_bench_divergence(&doc).map(|d| {
+            format!(
+                "{} quantization rows + {} failure rows, {} mismatches attributed (conserved)",
+                d.quantization_rows, d.failure_rows, d.total_mismatches
+            )
+        })
+    } else {
+        validate_bench_sweep(&doc).map(|d| {
+            format!(
+                "{} jobs, {} workers, {:.2} jobs/sec",
+                d.jobs, d.workers, d.jobs_per_sec
+            )
+        })
+    }
+}
+
+/// `sweep explain`: expand the grid, pick the one job (by `--job` id when
+/// the axes expand to several), re-run it with per-hop recording and
+/// print the blame tables; `--perfetto` additionally exports the replay's
+/// sampled timeline with one instant marker per worst-case divergence.
+fn run_explain(args: &Args) -> ExitCode {
+    let jobs: Vec<Arc<JobSpec>> = match args.grid.expand() {
+        Ok(j) => j.into_iter().map(Arc::new).collect(),
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match args.job {
+        Some(id) => match jobs.iter().find(|j| j.job_id == id) {
+            Some(s) => Arc::clone(s),
+            None => {
+                eprintln!(
+                    "sweep: no job {id} in this grid ({} jobs, ids 0..{})",
+                    jobs.len(),
+                    jobs.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None if jobs.len() == 1 => Arc::clone(&jobs[0]),
+        None => {
+            eprintln!(
+                "sweep: the axes expand to {} jobs; pick one with --job ID \
+                 (ids 0..{}, in grid expansion order)",
+                jobs.len(),
+                jobs.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let shared = runner::SharedScenarios::for_jobs([spec.as_ref()]);
+    match explain_job(&spec, &shared, args.perfetto.is_some()) {
+        Ok(ex) => {
+            print!("{}", ex.render(args.top));
+            if let Some(path) = &args.perfetto {
+                let markers = ex.markers();
+                match &ex.series {
+                    Some(series) => {
+                        let doc = ups_obs::trace_event_json_with_markers(series, &markers);
+                        if let Err(e) = std::fs::write(path, doc) {
+                            eprintln!("sweep: cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        println!(
+                            "\n# wrote {} ({} divergence markers)",
+                            path.display(),
+                            markers.len()
+                        );
+                    }
+                    None => {
+                        // The churn replay records end-to-end inside the
+                        // dynamics engine; there is no sampled series to
+                        // anchor markers on.
+                        eprintln!(
+                            "sweep: {} flavor has no sampled replay series; skipping {}",
+                            ex.flavor,
+                            path.display()
+                        );
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep: explain: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -330,79 +534,27 @@ fn main() -> ExitCode {
         list_registries();
         return ExitCode::SUCCESS;
     }
-    if let Some(path) = &args.validate {
-        let doc = match std::fs::read_to_string(path) {
-            Ok(doc) => doc,
-            Err(e) => {
-                eprintln!("sweep: {}: {e}", path.display());
-                return ExitCode::FAILURE;
+    if !args.validate.is_empty() {
+        // Validate every path (don't stop at the first failure: CI wants
+        // the full damage report), then fail if anything failed.
+        let mut failed = false;
+        for path in &args.validate {
+            match validate_artifact(path) {
+                Ok(line) => println!("{} valid: {line}", path.display()),
+                Err(e) => {
+                    eprintln!("sweep: {}: {e}", path.display());
+                    failed = true;
+                }
             }
-        };
-        // Dispatch on the parsed schema tag: the quantized bench writes
-        // its own artifact family; everything else goes through the
-        // sweep validator (which names any unexpected tag).
-        let schema_tag = ups_sweep::json::parse(&doc)
-            .ok()
-            .and_then(|v| v.get("schema").and_then(|s| s.as_str().map(String::from)));
-        let outcome = if schema_tag.as_deref() == Some(ups_sweep::QUANTIZED_BENCH_SCHEMA) {
-            ups_sweep::validate_bench_quantized(&doc).map(|d| {
-                format!(
-                    "{} finite-K rows, exact-LSTF match rate {:.4}",
-                    d.rows, d.exact_match_rate
-                )
-            })
-        } else if schema_tag.as_deref() == Some(ups_sweep::FAILURES_BENCH_SCHEMA) {
-            ups_sweep::validate_bench_failures(&doc).map(|d| {
-                format!(
-                    "{} intensity rows, match rate {:.4} (static) -> {:.4} (worst)",
-                    d.rows, d.baseline_match_rate, d.worst_match_rate
-                )
-            })
-        } else if schema_tag.as_deref() == Some(ups_sweep::SCALE_BENCH_SCHEMA) {
-            ups_sweep::validate_bench_scale(&doc).map(|d| {
-                format!(
-                    "{} packets / {} flows streamed, peak RSS {:.1} MiB, match rate {:.4}",
-                    d.packets,
-                    d.flows,
-                    d.peak_rss_bytes as f64 / (1024.0 * 1024.0),
-                    d.replay_match_rate
-                )
-            })
-        } else if schema_tag.as_deref() == Some(ups_obs::TIMESERIES_SCHEMA) {
-            ups_sweep::validate_obs_timeseries(&doc).map(|d| {
-                format!(
-                    "{} heartbeat ticks over {:.2}s, {} jobs on {} workers",
-                    d.ticks, d.wall_s, d.jobs, d.workers
-                )
-            })
-        } else if schema_tag.as_deref() == Some(ups_sweep::OBS_BENCH_SCHEMA) {
-            ups_sweep::validate_bench_obs(&doc).map(|d| {
-                format!(
-                    "{} packets, probe-off overhead {:+.2}% (tolerance {:.0}%), probe-on {:+.2}%",
-                    d.packets,
-                    d.probe_off_overhead * 100.0,
-                    d.tolerance * 100.0,
-                    d.probe_on_overhead * 100.0
-                )
-            })
+        }
+        return if failed {
+            ExitCode::FAILURE
         } else {
-            validate_bench_sweep(&doc).map(|d| {
-                format!(
-                    "{} jobs, {} workers, {:.2} jobs/sec",
-                    d.jobs, d.workers, d.jobs_per_sec
-                )
-            })
+            ExitCode::SUCCESS
         };
-        return match outcome {
-            Ok(line) => {
-                println!("{} valid: {line}", path.display());
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("sweep: {}: {e}", path.display());
-                ExitCode::FAILURE
-            }
-        };
+    }
+    if args.explain {
+        return run_explain(&args);
     }
 
     // Specs are shared into each record via `Arc` (see `JobRecord`), so

@@ -1,0 +1,322 @@
+//! `sweep explain` — re-run one job with full hop recording and attribute
+//! its replay divergence.
+//!
+//! Sweep records answer *how much* a replay diverged (the v5 `divergence`
+//! block); this module answers *where and why*. It re-executes a single
+//! [`JobSpec`] deterministically — same registries, same seed, so the
+//! re-run reproduces the sweep's numbers — but records both the original
+//! and the replay in [`RecordMode::PerHop`], which is what lets the
+//! forensics layer walk hop timelines instead of degrading to exit-only
+//! blame (the sweep's own records stay end-to-end: per-hop recording on
+//! every job would defeat the bounded-memory path).
+//!
+//! The result is an [`Explanation`]: the comparison report, the
+//! [`BlameCollector`] with its per-node/per-link/per-flow aggregates,
+//! rendered tables, and optional Perfetto instant markers for the
+//! worst-lateness packets.
+
+use std::sync::Arc;
+
+use ups_core::{compare_with_sink, replay_packets, run_schedule, HeaderInit, ReplayReport};
+use ups_dynamics::FailureSchedule;
+use ups_dynamics::{churn_replay_with_sink, parse_failure_spec, run_schedule_with_failures};
+use ups_forensics::{BlameCollector, ReplayFlavor};
+use ups_netsim::prelude::{DeadLinkPolicy, Dur, MapperKind, RecordMode, SchedulerKind};
+use ups_obs::{InstantMarker, SharedProbe, TimeSeries};
+use ups_topology::{build_simulator, BuildOptions, Routing, SchedulerAssignment};
+use ups_workload::{profile_by_name, udp_packet_train, MTU};
+
+use crate::grid::{JobSpec, TrafficMode};
+use crate::runner::{assignment_for, SharedScenarios};
+
+/// Everything `sweep explain` learned about one job's divergence.
+pub struct Explanation {
+    /// The job that was re-run.
+    pub spec: Arc<JobSpec>,
+    /// Which replay the forensics attributed.
+    pub flavor: ReplayFlavor,
+    /// The §2 comparison report of that replay.
+    pub report: ReplayReport,
+    /// The attribution: taxonomy counts, per-node blame, worst packets.
+    pub forensics: BlameCollector,
+    /// Sampled series of the replay run (when a probe was attached for
+    /// Perfetto export).
+    pub series: Option<TimeSeries>,
+}
+
+impl Explanation {
+    /// Render the report header, the conservation line and the top-`k`
+    /// blame tables as terminal text.
+    pub fn render(&self, k: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "job {} — {} on {} ({} replay)\n",
+            self.spec.job_id, self.spec.scheduler, self.spec.topology, self.flavor
+        ));
+        let rate = self
+            .report
+            .match_rate()
+            .map_or("n/a".to_string(), |r| format!("{:.6}", r));
+        out.push_str(&format!(
+            "compared {} packets: {} diverged, {} beyond T, {} missing (match rate {})\n",
+            self.report.total,
+            self.report.overdue,
+            self.report.overdue_gt_t,
+            self.report.missing,
+            rate
+        ));
+        // The conservation law, stated with the numbers so a reader can
+        // check it without trusting us: every mismatched packet got
+        // exactly one cause and one inversion class.
+        let s = self.forensics.summary();
+        out.push_str(&format!(
+            "conservation: causes {} = inversions {} = mismatches {} = report {}\n\n",
+            s.cause_total(),
+            s.inversion_total(),
+            self.forensics.mismatches(),
+            self.report.overdue
+        ));
+        out.push_str(&self.forensics.render_tables(k));
+        out
+    }
+
+    /// Perfetto instant markers for the worst-lateness divergences, on
+    /// the virtual-time axis of the original run.
+    pub fn markers(&self) -> Vec<InstantMarker> {
+        self.forensics
+            .worst_cases()
+            .iter()
+            .map(|w| InstantMarker {
+                t_ps: w.exited_ps,
+                name: w.cause.name().to_string(),
+                detail: format!(
+                    "packet {} flow {} at {}: {}, late {:.3} us",
+                    w.id,
+                    w.flow,
+                    w.node,
+                    w.kind,
+                    w.lateness.as_us_f64()
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Re-run `spec` with per-hop recording and attribute its replay
+/// divergence. `with_series` attaches a sampling probe to the replay run
+/// (for Perfetto export); it never changes the simulation results — the
+/// obs determinism contract.
+///
+/// Errors (as text for the CLI) when the job cannot be explained: a
+/// closed-loop job (endpoints decide their own packet sets; the sweep
+/// record is the right surface there), a job whose spec disabled the
+/// replay, or a drop-free gate violation mirroring `run_job`'s.
+pub fn explain_job(
+    spec: &Arc<JobSpec>,
+    shared: &SharedScenarios,
+    with_series: bool,
+) -> Result<Explanation, String> {
+    if spec.traffic == TrafficMode::ClosedLoop {
+        return Err(
+            "closed-loop jobs cannot be explained hop-by-hop: the endpoints' as-executed \
+             schedule is already the replay target; use the sweep record's divergence block"
+                .into(),
+        );
+    }
+    if !spec.replay {
+        return Err("this job's spec has replay: false — nothing to explain".into());
+    }
+    let (topo, routing_core) = shared.get(&spec.topology);
+    let topo = &*topo;
+    let profile = profile_by_name(&spec.profile)
+        .ok_or_else(|| format!("unknown profile {:?}", spec.profile))?;
+    let assign = assignment_for(topo, &spec.scheduler)
+        .ok_or_else(|| format!("unknown scheduler {:?}", spec.scheduler))?;
+    let mut routing = Routing::from_core(routing_core);
+    let flows = profile.flows(topo, &mut routing, spec.utilization, spec.window, spec.seed);
+    let mut packets = udp_packet_train(&flows, MTU);
+    if let Some(cap) = spec.max_packets {
+        packets.truncate(cap);
+    }
+    // Per-hop recording on both sides: the whole point of the re-run.
+    let opts = BuildOptions {
+        record: RecordMode::PerHop,
+        seed: spec.seed,
+        router_buffer_bytes: spec.buffer_bytes,
+        ..BuildOptions::default()
+    };
+
+    if let Some(f) = spec.failures.as_deref() {
+        // The churn flavor: replay the delivered subset along observed
+        // paths. The churn replay itself records end-to-end (it is the
+        // sweep's bounded-memory path), so hop blame degrades to drop
+        // causes and exit lateness — still attributed, just coarser.
+        let (fprofile, rate) = parse_failure_spec(f)?;
+        let policy = match spec.inflight.as_deref() {
+            Some("drop") => DeadLinkPolicy::Drop,
+            Some("reroute") => DeadLinkPolicy::Reroute,
+            other => return Err(format!("bad in-flight policy {other:?}")),
+        };
+        let schedule = FailureSchedule::generate(topo, fprofile, rate, spec.window, spec.seed);
+        let churn = run_schedule_with_failures(
+            topo,
+            &assign,
+            packets.iter().cloned(),
+            &schedule,
+            policy,
+            &opts,
+        );
+        if churn.stats.delivered == 0 {
+            return Err("the churn run delivered nothing; no replay to explain".into());
+        }
+        let mut forensics = BlameCollector::new(ReplayFlavor::Churn);
+        let report = churn_replay_with_sink(topo, &churn.trace, spec.seed, &mut forensics);
+        return Ok(Explanation {
+            spec: spec.clone(),
+            flavor: ReplayFlavor::Churn,
+            report,
+            forensics,
+            series: None,
+        });
+    }
+
+    let original = run_schedule(topo, &assign, packets.iter().cloned(), &opts);
+    let dropped = packets.len() as u64
+        - original
+            .stream()
+            .filter(|(_, r)| r.exited.is_some())
+            .count() as u64;
+    if dropped > 0 {
+        return Err(format!(
+            "the original run dropped {dropped} packets; §2.3 replays run drop-free \
+             (the sweep skips the replay on this job too)"
+        ));
+    }
+    let replay_set = replay_packets(topo, &original, &packets, HeaderInit::LstfSlack);
+    let (flavor, replay_assign) = match spec.queues {
+        Some(k) => {
+            let mapper = spec
+                .mapper
+                .as_deref()
+                .and_then(MapperKind::from_name)
+                .ok_or_else(|| format!("bad mapper {:?}", spec.mapper))?;
+            (
+                ReplayFlavor::Quantized { k },
+                SchedulerAssignment::uniform(SchedulerKind::quantized_lstf(k, mapper)),
+            )
+        }
+        None => (
+            ReplayFlavor::Exact,
+            SchedulerAssignment::uniform(SchedulerKind::Lstf { preemptive: false }),
+        ),
+    };
+    let mut sim = build_simulator(topo, &replay_assign, &opts);
+    let probe = with_series.then(|| {
+        // Sample at ~1/512 of the job window (floor 1 µs) — enough rows
+        // for a readable Perfetto timeline without drowning short jobs.
+        SharedProbe::new((spec.window.as_ps() / 512).max(1_000_000))
+    });
+    if let Some(p) = &probe {
+        sim.set_probe(p.attachment());
+    }
+    for p in replay_set {
+        sim.inject(p);
+    }
+    sim.run();
+    let replay = sim.into_trace();
+    let threshold = topo.bottleneck_bandwidth().tx_time(MTU);
+    let mut forensics = BlameCollector::new(flavor);
+    let report = compare_with_sink(&original, &replay, threshold, Dur::ZERO, &mut forensics);
+    Ok(Explanation {
+        spec: spec.clone(),
+        flavor,
+        report,
+        forensics,
+        series: probe.map(|p| p.take_series()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::TrafficMode;
+
+    fn base_spec() -> JobSpec {
+        JobSpec {
+            job_id: 0,
+            topology: "Line(3)".into(),
+            profile: "fixed-mtu".into(),
+            scheduler: "Random".into(),
+            traffic: TrafficMode::OpenLoop,
+            rest_bps: None,
+            utilization: 0.6,
+            seed: 11,
+            window: Dur::from_ms(4),
+            horizon: None,
+            buffer_bytes: None,
+            replay: true,
+            queues: None,
+            mapper: None,
+            failures: None,
+            inflight: None,
+            max_packets: None,
+        }
+    }
+
+    fn explain(spec: JobSpec) -> Result<Explanation, String> {
+        let spec = Arc::new(spec);
+        let shared = SharedScenarios::for_jobs([&*spec]);
+        explain_job(&spec, &shared, false)
+    }
+
+    #[test]
+    fn quantized_job_explains_with_conserved_counts() {
+        let mut spec = base_spec();
+        spec.queues = Some(1);
+        spec.mapper = Some("dynamic".into());
+        let ex = explain(spec).expect("explainable job");
+        assert_eq!(ex.flavor, ReplayFlavor::Quantized { k: 1 });
+        // K=1 degrades LSTF to FIFO: a Random original must diverge.
+        assert!(ex.report.overdue > 0, "K=1 replay should diverge");
+        let s = ex.forensics.summary();
+        assert_eq!(s.cause_total(), ex.report.overdue as u64);
+        assert_eq!(s.inversion_total(), ex.report.overdue as u64);
+        assert!(!s.top_nodes.is_empty(), "blame table names switches");
+        // Per-hop recording means real hop attribution, not exit-only.
+        assert!(
+            s.bucket_collision > 0,
+            "quantized divergence should show bucket collisions: {:?}",
+            s
+        );
+        let rendered = ex.render(5);
+        assert!(rendered.contains("mismatch taxonomy"));
+        assert!(rendered.contains("conservation:"));
+        assert!(!ex.markers().is_empty(), "worst cases become markers");
+    }
+
+    #[test]
+    fn closed_loop_and_replayless_jobs_are_rejected() {
+        let mut spec = base_spec();
+        spec.traffic = TrafficMode::ClosedLoop;
+        spec.horizon = Some(Dur::from_ms(10));
+        assert!(explain(spec)
+            .err()
+            .expect("rejected")
+            .contains("closed-loop"));
+        let mut spec = base_spec();
+        spec.replay = false;
+        assert!(explain(spec)
+            .err()
+            .expect("rejected")
+            .contains("replay: false"));
+    }
+
+    #[test]
+    fn exact_replay_on_line_matches_perfectly() {
+        // On Line(3) with per-hop LSTF slack headers the exact replay
+        // reproduces the schedule: the explanation reports zero blame.
+        let ex = explain(base_spec()).expect("explainable job");
+        assert_eq!(ex.flavor, ReplayFlavor::Exact);
+        assert_eq!(ex.forensics.mismatches(), ex.report.overdue as u64);
+    }
+}

@@ -106,7 +106,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// The scenario as a compact JSON object — embedded in every result
     /// record so each line is self-describing.
-    // lint:schema(ups-sweep-record/v4)
+    // lint:schema(ups-sweep-record/v5)
     pub fn scenario_json(&self) -> String {
         let opt_u64 = |v: Option<u64>| match v {
             Some(n) => n.to_string(),

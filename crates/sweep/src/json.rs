@@ -284,6 +284,7 @@ mod tests {
                 dropped_at_dead_link: 1,
                 churn_replay_match_rate: None,
             }),
+            divergence: None,
         };
         let v = parse(&summary.to_json()).unwrap();
         assert_eq!(v.get("packets").unwrap().as_f64(), Some(10.0));

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod explain;
 pub mod grid;
 pub mod json;
 pub mod pool;
@@ -61,6 +62,7 @@ pub mod runner;
 pub mod store;
 pub mod telemetry;
 
+pub use explain::{explain_job, Explanation};
 pub use grid::{Exclude, GridError, JobSpec, ScenarioGrid, TrafficMode, MIXED_FQ_FIFOPLUS};
 pub use pool::{
     effective_workers, run_jobs, run_jobs_labeled, run_jobs_telemetry, PoolStats, PoolTelemetry,
@@ -71,10 +73,11 @@ pub use runner::{
     SharedScenarios, RECORD_SCHEMA,
 };
 pub use store::{
-    bench_sweep_json, validate_bench_failures, validate_bench_obs, validate_bench_quantized,
-    validate_bench_scale, validate_bench_sweep, validate_obs_timeseries, FailuresDigest, ObsDigest,
-    QuantizedDigest, ResultStream, ScaleDigest, SweepDigest, TimeSeriesDigest,
-    ACCEPTED_SWEEP_SCHEMAS, FAILURES_BENCH_SCHEMA, OBS_BENCH_SCHEMA, QUANTIZED_BENCH_SCHEMA,
-    SCALE_BENCH_SCHEMA, SWEEP_SCHEMA,
+    bench_sweep_json, validate_bench_divergence, validate_bench_failures, validate_bench_obs,
+    validate_bench_quantized, validate_bench_scale, validate_bench_sweep, validate_obs_timeseries,
+    DivergenceDigest, FailuresDigest, ObsDigest, QuantizedDigest, ResultStream, ScaleDigest,
+    SweepDigest, TimeSeriesDigest, ACCEPTED_SWEEP_SCHEMAS, DIVERGENCE_BENCH_SCHEMA,
+    FAILURES_BENCH_SCHEMA, OBS_BENCH_SCHEMA, QUANTIZED_BENCH_SCHEMA, SCALE_BENCH_SCHEMA,
+    SWEEP_SCHEMA,
 };
 pub use telemetry::{Heartbeat, HeartbeatConfig};

@@ -25,8 +25,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ups_core::{as_executed_packets, compare, replay_packets, run_schedule, HeaderInit};
-use ups_dynamics::{churn_replay, parse_failure_spec, run_schedule_with_failures, FailureSchedule};
+use ups_core::{as_executed_packets, compare_with_sink, replay_packets, run_schedule, HeaderInit};
+use ups_dynamics::{
+    churn_replay_with_sink, parse_failure_spec, run_schedule_with_failures, FailureSchedule,
+};
+use ups_forensics::{BlameCollector, ReplayFlavor};
 use ups_metrics::{
     jain_index, mean_fct_by_bucket, DisruptionSummary, FlowSample, RunAccumulator, RunSummary,
     TransportSummary, FIG2_BUCKETS,
@@ -70,7 +73,7 @@ impl SharedScenarios {
 
     /// The shared pair for a topology name, building it on the fly for a
     /// spec the cache was not primed with.
-    fn get(&self, name: &str) -> (Arc<Topology>, Arc<RoutingCore>) {
+    pub(crate) fn get(&self, name: &str) -> (Arc<Topology>, Arc<RoutingCore>) {
         match self.map.get(name) {
             Some((t, c)) => (t.clone(), c.clone()),
             None => {
@@ -150,15 +153,16 @@ pub struct JobRecord {
     pub wall_s: f64,
 }
 
-/// Schema tag of one result line (v4 added the `failures`/`inflight`
-/// scenario fields and the `disruption` metrics block).
-pub const RECORD_SCHEMA: &str = "ups-sweep-record/v4";
+/// Schema tag of one result line (v5 added the `divergence` forensics
+/// block; v4 added the `failures`/`inflight` scenario fields and the
+/// `disruption` metrics block).
+pub const RECORD_SCHEMA: &str = "ups-sweep-record/v5";
 
 impl JobRecord {
     /// The record as one JSON line. `with_timing: false` omits the
     /// wall-clock field, leaving only fields that are pure functions of
     /// the spec — the form the cross-thread determinism contract compares.
-    // lint:schema(ups-sweep-record/v4)
+    // lint:schema(ups-sweep-record/v5)
     pub fn to_json(&self, with_timing: bool) -> String {
         let timing = if with_timing {
             format!(r#","wall_s":{}"#, ups_metrics::json_num(self.wall_s))
@@ -304,7 +308,8 @@ pub fn run_job_arc(spec: &Arc<JobSpec>, shared: &SharedScenarios) -> JobRecord {
     // drops at dead links are *expected* and excluded on both sides, so
     // the drop-free gate below doesn't apply.
     if spec.replay && summary.delivered > 0 && failure.is_some() {
-        let report = churn_replay(topo, &original, spec.seed);
+        let mut forensics = BlameCollector::new(ReplayFlavor::Churn);
+        let report = churn_replay_with_sink(topo, &original, spec.seed, &mut forensics);
         summary.replay_match_rate = report.match_rate();
         summary.replay_frac_gt_t = report.frac_gt_t_rate();
         summary
@@ -312,6 +317,7 @@ pub fn run_job_arc(spec: &Arc<JobSpec>, shared: &SharedScenarios) -> JobRecord {
             .as_mut()
             .expect("failure jobs carry a disruption block")
             .churn_replay_match_rate = report.match_rate();
+        summary.divergence = Some(forensics.summary());
     }
 
     // Replay needs every packet delivered (§2.3 runs drop-free); with
@@ -334,10 +340,12 @@ pub fn run_job_arc(spec: &Arc<JobSpec>, shared: &SharedScenarios) -> JobRecord {
             &replay_opts,
         );
         let threshold = topo.bottleneck_bandwidth().tx_time(MTU);
-        let report = compare(&original, &replay, threshold);
+        let mut forensics = BlameCollector::new(ReplayFlavor::Exact);
+        let report = compare_with_sink(&original, &replay, threshold, Dur::ZERO, &mut forensics);
         // An empty comparison matched nothing: null, not a perfect 1.0.
         summary.replay_match_rate = report.match_rate();
         summary.replay_frac_gt_t = report.frac_gt_t_rate();
+        summary.divergence = Some(forensics.summary());
 
         // The finite-priority-queue sub-axis: the identical packet set
         // replayed through quantized LSTF, scored against the same
@@ -351,9 +359,15 @@ pub fn run_job_arc(spec: &Arc<JobSpec>, shared: &SharedScenarios) -> JobRecord {
                 .unwrap_or_else(|| panic!("unvalidated mapper {:?}", spec.mapper));
             let q_assign = SchedulerAssignment::uniform(SchedulerKind::quantized_lstf(k, mapper));
             let q_replay = run_schedule(topo, &q_assign, replay_set, &replay_opts);
-            let q_report = compare(&original, &q_replay, threshold);
+            // The quantized comparison's forensics replace the exact
+            // replay's: when the queues axis is present the record
+            // explains the quantized divergence (the interesting one).
+            let mut q_forensics = BlameCollector::new(ReplayFlavor::Quantized { k });
+            let q_report =
+                compare_with_sink(&original, &q_replay, threshold, Dur::ZERO, &mut q_forensics);
             summary.quantized_match_rate = q_report.match_rate();
             summary.quantized_frac_gt_t = q_report.frac_gt_t_rate();
+            summary.divergence = Some(q_forensics.summary());
             summary.quantized_fct_delta_s = match (
                 trace_mean_fct(&q_replay, &flows),
                 trace_mean_fct(&replay, &flows),
@@ -474,6 +488,7 @@ pub fn summarize_trace(
             slack_ooo: stats.slack_out_of_order(),
         }),
         disruption: None,
+        divergence: None,
     }
 }
 
@@ -570,7 +585,7 @@ mod tests {
         let v = crate::json::parse(&a.to_json(true)).unwrap();
         assert_eq!(
             v.get("schema").unwrap().as_str(),
-            Some("ups-sweep-record/v4")
+            Some("ups-sweep-record/v5")
         );
         assert!(v.get("wall_s").unwrap().as_f64().unwrap() > 0.0);
     }

@@ -52,6 +52,10 @@ pub const SCALE_BENCH_SCHEMA: &str = "ups-bench-scale/v1";
 /// validated by [`validate_bench_obs`].
 pub const OBS_BENCH_SCHEMA: &str = "ups-bench-obs/v1";
 
+/// Schema tag of the divergence-forensics bench artifact
+/// (`BENCH_divergence.json`), validated by [`validate_bench_divergence`].
+pub const DIVERGENCE_BENCH_SCHEMA: &str = "ups-bench-divergence/v1";
+
 /// Streams one JSON line per finished job. Shared across workers behind
 /// a mutex — append is one short write per multi-second job.
 pub struct ResultStream {
@@ -208,21 +212,22 @@ pub fn validate_bench_sweep(doc: &str) -> Result<SweepDigest, String> {
     })
 }
 
-/// Validate one result record against its own schema tag (`v1` — `v4`).
+/// Validate one result record against its own schema tag (`v1` — `v5`).
 fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
     let record_schema = r
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("result {i}: missing record schema tag"))?;
-    let (v2, v3, v4) = match record_schema {
-        "ups-sweep-record/v1" => (false, false, false),
-        "ups-sweep-record/v2" => (true, false, false),
-        "ups-sweep-record/v3" => (true, true, false),
-        "ups-sweep-record/v4" => (true, true, true),
+    let (v2, v3, v4, v5) = match record_schema {
+        "ups-sweep-record/v1" => (false, false, false, false),
+        "ups-sweep-record/v2" => (true, false, false, false),
+        "ups-sweep-record/v3" => (true, true, false, false),
+        "ups-sweep-record/v4" => (true, true, true, false),
+        "ups-sweep-record/v5" => (true, true, true, true),
         other => {
             return Err(format!(
                 "result {i}: unexpected record schema {other:?} \
-                 (expected ups-sweep-record/v1 through /v4)"
+                 (expected ups-sweep-record/v1 through /v5)"
             ))
         }
     };
@@ -437,7 +442,103 @@ fn validate_record(i: usize, r: &JsonValue) -> Result<(), String> {
             ))
         }
     }
+    if !v5 {
+        return Ok(());
+    }
+    // v5: the divergence forensics block — object or null, and when
+    // present its taxonomy must be *conserved*: each mismatched packet
+    // got exactly one cause and one inversion class, so both families
+    // sum back to the mismatch count. A block that doesn't is corrupt
+    // attribution, not a schema quirk.
+    match metrics.get("divergence") {
+        Some(JsonValue::Null) => {}
+        Some(d @ JsonValue::Object(_)) => {
+            validate_divergence_block(&format!("result {i}"), d)?;
+        }
+        other => {
+            return Err(format!(
+                "result {i}: metrics.divergence must be object or null, got {other:?}"
+            ))
+        }
+    }
     Ok(())
+}
+
+/// The five mismatch causes of `ups-forensics/v1`, in emission order.
+const DIVERGENCE_CAUSES: [&str; 5] = [
+    "overdue_within_t",
+    "overdue_beyond_t",
+    "missing_in_replay",
+    "dead_link_drop",
+    "buffer_drop",
+];
+
+/// The five first-divergent-hop inversion classes, in emission order.
+const DIVERGENCE_INVERSIONS: [&str; 5] = [
+    "rank_tie_break",
+    "bucket_collision",
+    "reroute",
+    "queue_overflow",
+    "exit_only",
+];
+
+/// Validate one `ups-forensics/v1` object wherever it appears (the v5
+/// record's `divergence` block, every divergence-bench row). Returns the
+/// block's mismatch count. Shared so the conservation laws — Σ causes ≡
+/// Σ inversions ≡ mismatches — are enforced identically everywhere.
+fn validate_divergence_block(ctx: &str, d: &JsonValue) -> Result<u64, String> {
+    let tag = d
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{ctx}: divergence block lacks its schema tag"))?;
+    if tag != "ups-forensics/v1" {
+        return Err(format!(
+            "{ctx}: divergence schema {tag:?} (expected \"ups-forensics/v1\")"
+        ));
+    }
+    let field = |name: &str| -> Result<f64, String> {
+        d.get(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{ctx}: divergence.{name} missing"))
+    };
+    let mismatches = field("mismatches")?;
+    for (family, names) in [
+        ("cause", &DIVERGENCE_CAUSES),
+        ("inversion", &DIVERGENCE_INVERSIONS),
+    ] {
+        let mut sum = 0.0;
+        for name in *names {
+            sum += field(name)?;
+        }
+        if sum != mismatches {
+            return Err(format!(
+                "{ctx}: divergence {family} counts sum to {sum} \
+                 but mismatches is {mismatches} — attribution not conserved"
+            ));
+        }
+    }
+    for name in ["hop_lateness_p50_s", "hop_lateness_p99_s"] {
+        match d.get(name) {
+            Some(JsonValue::Null) | Some(JsonValue::Number(_)) => {}
+            other => {
+                return Err(format!(
+                    "{ctx}: divergence.{name} must be number or null, got {other:?}"
+                ))
+            }
+        }
+    }
+    let nodes = d
+        .get("top_nodes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{ctx}: divergence.top_nodes missing"))?;
+    for (j, n) in nodes.iter().enumerate() {
+        for name in ["node", "mismatches"] {
+            if n.get(name).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("{ctx}: divergence.top_nodes[{j}].{name} missing"));
+            }
+        }
+    }
+    Ok(mismatches as u64)
 }
 
 /// What a valid quantized-bench artifact reports.
@@ -948,6 +1049,136 @@ pub fn validate_bench_obs(doc: &str) -> Result<ObsDigest, String> {
     })
 }
 
+/// What a valid divergence-forensics bench artifact reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceDigest {
+    /// Rows on the quantization axis (including the `k = null` exact row).
+    pub quantization_rows: usize,
+    /// Rows on the failure-rate axis (including the zero-failure row).
+    pub failure_rows: usize,
+    /// Mismatches attributed across every row of both axes.
+    pub total_mismatches: u64,
+}
+
+/// Validate a `BENCH_divergence.json` document (the `forensics` bench's
+/// blame-distribution artifact; schema [`DIVERGENCE_BENCH_SCHEMA`]).
+/// Dispatched from the same `sweep --validate` entry point by its schema
+/// tag. Both axes must be present and non-trivial: `quantization` rows
+/// ascend in K and end in exactly one `k: null` (exact-LSTF) row;
+/// `failures` rows ascend in rate starting from the zero-failure
+/// baseline. Every row embeds an `ups-forensics/v1` block whose cause and
+/// inversion counts each sum to the row's mismatch count.
+pub fn validate_bench_divergence(doc: &str) -> Result<DivergenceDigest, String> {
+    let v = parse(doc).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != DIVERGENCE_BENCH_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (expected {DIVERGENCE_BENCH_SCHEMA:?})"
+        ));
+    }
+    let scenario = v.get("scenario").ok_or("missing scenario block")?;
+    for field in ["topology", "original", "profile"] {
+        if scenario.get(field).and_then(JsonValue::as_str).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    for field in ["packets", "seed", "utilization"] {
+        if scenario.get(field).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("scenario.{field} missing"));
+        }
+    }
+    let mut total_mismatches = 0u64;
+    let mut row_common = |axis: &str, i: usize, r: &JsonValue| -> Result<(), String> {
+        for field in ["compared", "match_rate"] {
+            if r.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("{axis} row {i}: {field} missing"));
+            }
+        }
+        let d = match r.get("divergence") {
+            Some(d @ JsonValue::Object(_)) => d,
+            other => {
+                return Err(format!(
+                    "{axis} row {i}: divergence must be an object, got {other:?}"
+                ))
+            }
+        };
+        total_mismatches += validate_divergence_block(&format!("{axis} row {i}"), d)?;
+        Ok(())
+    };
+
+    let quant = v
+        .get("quantization")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing quantization axis")?;
+    if quant.len() < 2 {
+        return Err("quantization axis needs at least one finite-K row and the exact row".into());
+    }
+    let mut last_k = 0.0f64;
+    let mut saw_exact = false;
+    for (i, r) in quant.iter().enumerate() {
+        match r.get("k") {
+            Some(JsonValue::Number(k)) if *k >= 1.0 => {
+                if saw_exact {
+                    return Err(format!(
+                        "quantization row {i}: finite K after the k = null exact row"
+                    ));
+                }
+                if *k <= last_k {
+                    return Err(format!(
+                        "quantization row {i}: K {k} must ascend (prev {last_k})"
+                    ));
+                }
+                last_k = *k;
+            }
+            Some(JsonValue::Null) => {
+                if saw_exact {
+                    return Err("more than one k = null (exact) row".into());
+                }
+                saw_exact = true;
+            }
+            other => return Err(format!("quantization row {i}: bad k {other:?}")),
+        }
+        row_common("quantization", i, r)?;
+    }
+    if !saw_exact {
+        return Err("quantization axis lacks the k = null (exact) row".into());
+    }
+
+    let failures = v
+        .get("failures")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing failures axis")?;
+    if failures.len() < 2 {
+        return Err("failures axis needs the zero-failure row and one churn row".into());
+    }
+    let mut last_rate = f64::NEG_INFINITY;
+    for (i, r) in failures.iter().enumerate() {
+        let rate = r
+            .get("rate")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("failures row {i}: rate missing"))?;
+        if !(0.0..=1.0).contains(&rate) || rate <= last_rate {
+            return Err(format!(
+                "failures row {i}: rate {rate} must ascend within [0, 1] (prev {last_rate})"
+            ));
+        }
+        if i == 0 && rate != 0.0 {
+            return Err("first failures row must be the zero-failure baseline".into());
+        }
+        last_rate = rate;
+        row_common("failures", i, r)?;
+    }
+
+    Ok(DivergenceDigest {
+        quantization_rows: quant.len(),
+        failure_rows: failures.len(),
+        total_mismatches,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -993,6 +1224,7 @@ mod tests {
                 quantized_fct_delta_s: None,
                 transport: None,
                 disruption: None,
+                divergence: None,
             },
             wall_s: 0.5,
         }
@@ -1026,6 +1258,24 @@ mod tests {
         r.summary.quantized_match_rate = Some(0.91);
         r.summary.quantized_frac_gt_t = Some(0.02);
         r.summary.quantized_fct_delta_s = Some(0.0004);
+        // Replay records carry the v5 forensics block; keep the counts
+        // conserved (6 + 3 = 9 = 7 + 2) so the validator accepts it.
+        r.summary.divergence = Some(ups_metrics::DivergenceSummary {
+            mismatches: 9,
+            overdue_within_t: 6,
+            overdue_beyond_t: 3,
+            missing_in_replay: 0,
+            dead_link_drop: 0,
+            buffer_drop: 0,
+            rank_tie_break: 0,
+            bucket_collision: 7,
+            reroute: 0,
+            queue_overflow: 0,
+            exit_only: 2,
+            top_nodes: vec![(1, 6), (4, 3)],
+            hop_lateness_p50_s: Some(1.5e-6),
+            hop_lateness_p99_s: Some(8.0e-6),
+        });
         r
     }
 
@@ -1103,7 +1353,7 @@ mod tests {
             .unwrap_err()
             .contains("jain"));
         // A record schema from the future names the unexpected tag.
-        let future = good.replace("ups-sweep-record/v4", "ups-sweep-record/v9");
+        let future = good.replace("ups-sweep-record/v5", "ups-sweep-record/v9");
         let err = validate_bench_sweep(&future).unwrap_err();
         assert!(
             err.contains("ups-sweep-record/v9") && err.contains("unexpected record schema"),
@@ -1117,9 +1367,10 @@ mod tests {
     }
 
     #[test]
-    fn v1_through_v4_artifacts_all_validate() {
-        // A v4 artifact with open-loop, closed-loop, quantized and
-        // failure records.
+    fn v1_through_v5_artifacts_all_validate() {
+        // A current artifact with open-loop, closed-loop, quantized and
+        // failure records (v5 record lines inside the v4 aggregate —
+        // each line is validated against its own tag).
         let records = [
             record(0),
             closed_record(1),
@@ -1128,7 +1379,26 @@ mod tests {
         ];
         let stats = pool_stats(1, 4, 0);
         let v4_doc = bench_sweep_json(&grid(), &records, &stats, 1.0);
-        validate_bench_sweep(&v4_doc).expect("v4 artifact validates");
+        validate_bench_sweep(&v4_doc).expect("current artifact validates");
+        // The forensics conservation law: inflating one cause count
+        // breaks Σ causes == mismatches and must be rejected.
+        let unconserved = v4_doc.replace(r#""overdue_within_t":6"#, r#""overdue_within_t":7"#);
+        assert!(validate_bench_sweep(&unconserved)
+            .unwrap_err()
+            .contains("not conserved"));
+        // ...and so does inflating an inversion count.
+        let unconserved = v4_doc.replace(r#""bucket_collision":7"#, r#""bucket_collision":8"#);
+        assert!(validate_bench_sweep(&unconserved)
+            .unwrap_err()
+            .contains("not conserved"));
+        // A divergence block without its own schema tag is rejected.
+        let untagged = v4_doc.replace(
+            r#""divergence":{"schema":"ups-forensics/v1","#,
+            r#""divergence":{"#,
+        );
+        assert!(validate_bench_sweep(&untagged)
+            .unwrap_err()
+            .contains("schema tag"));
         // queues and mapper must travel together.
         let torn = v4_doc.replace(
             r#""queues":8,"mapper":"dynamic""#,
@@ -1246,6 +1516,34 @@ mod tests {
   ]
 }"#;
         validate_bench_sweep(v3_doc).expect("v3 artifact still validates");
+
+        // A hand-rolled v4 record (pre-forensics) still validates: the
+        // divergence block is a v5 surface, so its absence is fine.
+        let v4_compat_doc = r#"{
+  "schema": "ups-sweep/v4",
+  "grid": {"topologies": ["Line(3)"]},
+  "workers": 1,
+  "steals": 0,
+  "jobs": 1,
+  "wall_s": 1.0,
+  "jobs_per_sec": 1.0,
+  "results": [
+    {"schema": "ups-sweep-record/v4", "job_id": 0,
+     "scenario": {"topology": "Line(3)", "profile": "web-search", "scheduler": "FIFO",
+                  "traffic": "open-loop", "rest_bps": null, "utilization": 0.7,
+                  "seed": 1, "window_ms": 1, "horizon_ms": null, "buffer_bytes": null,
+                  "replay": false, "queues": null, "mapper": null,
+                  "failures": null, "inflight": null, "max_packets": null},
+     "metrics": {"flows": 1, "packets": 10, "delivered": 10, "dropped": 0,
+                 "delay_mean_s": 0.001, "delay_p99_s": 0.002, "fct_mean_s": 0.1,
+                 "jain": 1.0, "replay_match_rate": null, "replay_frac_gt_t": null,
+                 "quantized_match_rate": null, "quantized_frac_gt_t": null,
+                 "quantized_fct_delta_s": null, "transport": null, "disruption": null,
+                 "fct_buckets": []},
+     "wall_s": 0.5}
+  ]
+}"#;
+        validate_bench_sweep(v4_compat_doc).expect("v4 artifact still validates");
     }
 
     const FAIL_DOC: &str = r#"{
@@ -1296,6 +1594,79 @@ mod tests {
         assert!(validate_bench_failures(&missing)
             .unwrap_err()
             .contains("rerouted"));
+    }
+
+    /// One conserved `ups-forensics/v1` block as a JSON fragment:
+    /// causes 5 + 2 + 1 = 8, inversions 4 + 3 + 1 = 8.
+    const DIV_BLOCK: &str = r#"{"schema":"ups-forensics/v1","mismatches":8,
+      "overdue_within_t":5,"overdue_beyond_t":2,"missing_in_replay":1,
+      "dead_link_drop":0,"buffer_drop":0,
+      "rank_tie_break":4,"bucket_collision":3,"reroute":0,"queue_overflow":0,"exit_only":1,
+      "hop_lateness_p50_s":1.2e-6,"hop_lateness_p99_s":9.0e-6,
+      "top_nodes":[{"node":2,"mismatches":5},{"node":9,"mismatches":3}]}"#;
+
+    fn divergence_doc() -> String {
+        format!(
+            r#"{{
+  "schema": "ups-bench-divergence/v1",
+  "scenario": {{"topology": "FatTree(k=4)", "original": "Random", "profile": "fixed-mtu",
+               "utilization": 0.7, "seed": 42, "packets": 20000}},
+  "quantization": [
+    {{"k": 1, "compared": 20000, "match_rate": 0.42, "divergence": {d}}},
+    {{"k": 8, "compared": 20000, "match_rate": 0.9, "divergence": {d}}},
+    {{"k": null, "compared": 20000, "match_rate": 0.99, "divergence": {d}}}
+  ],
+  "failures": [
+    {{"rate": 0, "compared": 20000, "match_rate": 0.99, "divergence": {d}}},
+    {{"rate": 0.5, "compared": 19900, "match_rate": 0.8, "divergence": {d}}}
+  ]
+}}"#,
+            d = DIV_BLOCK
+        )
+    }
+
+    #[test]
+    fn divergence_bench_artifact_validates() {
+        let doc = divergence_doc();
+        let d = validate_bench_divergence(&doc).expect("valid artifact");
+        assert_eq!(
+            d,
+            DivergenceDigest {
+                quantization_rows: 3,
+                failure_rows: 2,
+                total_mismatches: 40, // 8 per row × 5 rows
+            }
+        );
+        assert!(validate_bench_divergence("{}").is_err());
+        let wrong = doc.replace("ups-bench-divergence/v1", "ups-sweep/v4");
+        assert!(validate_bench_divergence(&wrong)
+            .unwrap_err()
+            .contains("schema"));
+        // Conservation is enforced per row.
+        let unconserved = doc.replacen(r#""overdue_within_t":5"#, r#""overdue_within_t":6"#, 1);
+        assert!(validate_bench_divergence(&unconserved)
+            .unwrap_err()
+            .contains("not conserved"));
+        // K must ascend and end at the k = null exact row.
+        let shuffled = doc.replace(r#""k": 8"#, r#""k": 1"#);
+        assert!(validate_bench_divergence(&shuffled)
+            .unwrap_err()
+            .contains("ascend"));
+        let no_exact = doc.replace(r#""k": null"#, r#""k": 64"#);
+        assert!(validate_bench_divergence(&no_exact)
+            .unwrap_err()
+            .contains("exact"));
+        // The failure axis starts at the zero-failure baseline.
+        let no_zero = doc.replace(r#""rate": 0,"#, r#""rate": 0.1,"#);
+        assert!(validate_bench_divergence(&no_zero)
+            .unwrap_err()
+            .contains("zero-failure"));
+        // Both axes are mandatory — a one-axis artifact is not "both
+        // axes present", which the issue's acceptance criterion demands.
+        let axisless = doc.replace(r#""failures""#, r#""failurez""#);
+        assert!(validate_bench_divergence(&axisless)
+            .unwrap_err()
+            .contains("failures axis"));
     }
 
     #[test]
@@ -1548,7 +1919,7 @@ mod tests {
             let v = parse(line).expect("each line parses alone");
             assert_eq!(
                 v.get("schema").unwrap().as_str(),
-                Some("ups-sweep-record/v4")
+                Some("ups-sweep-record/v5")
             );
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use proptest::{bool as any_bool, collection, sample};
-use ups_metrics::{DisruptionSummary, RunSummary, TransportSummary};
+use ups_metrics::{DisruptionSummary, DivergenceSummary, RunSummary, TransportSummary};
 use ups_netsim::prelude::Dur;
 use ups_sweep::json::{parse, JsonValue};
 use ups_sweep::{JobRecord, JobSpec, TrafficMode};
@@ -136,6 +136,26 @@ proptest! {
                 dropped_at_dead_link: goodput % 11,
                 churn_replay_match_rate: jain_some.then_some(fct_mean),
             }),
+            // The v5 forensics block rides on replay jobs. Keep the
+            // counts conserved (Σ causes = Σ inversions = mismatches) —
+            // the validator rejects anything else, so the roundtrip
+            // should exercise the shapes that can actually occur.
+            divergence: (replay_some && !empty_comparison).then_some(DivergenceSummary {
+                mismatches: retx + rtos,
+                overdue_within_t: retx,
+                overdue_beyond_t: rtos,
+                missing_in_replay: 0,
+                dead_link_drop: 0,
+                buffer_drop: 0,
+                rank_tie_break: rtos,
+                bucket_collision: 0,
+                reroute: 0,
+                queue_overflow: 0,
+                exit_only: retx,
+                top_nodes: vec![(3, retx), (7, rtos)],
+                hop_lateness_p50_s: jain_some.then_some(delay_mean),
+                hop_lateness_p99_s: jain_some.then_some(delay_p99),
+            }),
         };
         let record = JobRecord { spec: std::sync::Arc::new(spec), summary, wall_s: wall };
 
@@ -145,7 +165,7 @@ proptest! {
             TestCaseError::Fail(format!("emitted line does not parse: {e}\n{line}"))
         })?;
 
-        prop_assert_eq!(v.get("schema").unwrap().as_str(), Some("ups-sweep-record/v4"));
+        prop_assert_eq!(v.get("schema").unwrap().as_str(), Some("ups-sweep-record/v5"));
         prop_assert_eq!(v.get("job_id").unwrap().as_f64(), Some(job_id as f64));
 
         let scenario = v.get("scenario").unwrap();
@@ -278,6 +298,44 @@ proptest! {
                 }
             }
             None => prop_assert_eq!(metrics.get("disruption"), Some(&JsonValue::Null)),
+        }
+
+        match &record.summary.divergence {
+            Some(d) => {
+                let block = metrics.get("divergence").unwrap();
+                prop_assert_eq!(
+                    block.get("schema").unwrap().as_str(),
+                    Some("ups-forensics/v1")
+                );
+                prop_assert_eq!(
+                    block.get("mismatches").unwrap().as_f64(),
+                    Some(d.mismatches as f64)
+                );
+                prop_assert_eq!(
+                    block.get("overdue_within_t").unwrap().as_f64(),
+                    Some(d.overdue_within_t as f64)
+                );
+                prop_assert_eq!(
+                    block.get("exit_only").unwrap().as_f64(),
+                    Some(d.exit_only as f64)
+                );
+                match d.hop_lateness_p50_s {
+                    Some(x) => {
+                        assert_float_field(block.get("hop_lateness_p50_s"), x, "hop p50")
+                    }
+                    None => prop_assert_eq!(
+                        block.get("hop_lateness_p50_s"),
+                        Some(&JsonValue::Null)
+                    ),
+                }
+                let nodes = block.get("top_nodes").unwrap().as_array().unwrap();
+                prop_assert_eq!(nodes.len(), d.top_nodes.len());
+                for (n, &(node, m)) in nodes.iter().zip(&d.top_nodes) {
+                    prop_assert_eq!(n.get("node").unwrap().as_f64(), Some(node as f64));
+                    prop_assert_eq!(n.get("mismatches").unwrap().as_f64(), Some(m as f64));
+                }
+            }
+            None => prop_assert_eq!(metrics.get("divergence"), Some(&JsonValue::Null)),
         }
 
         if with_timing {

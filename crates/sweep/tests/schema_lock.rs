@@ -68,8 +68,12 @@ fn assert_covered(artifact: &str, tags: &[&str]) {
 #[test]
 fn sweep_artifact_is_covered_by_the_lock() {
     // The envelope (ups-sweep/v4) embeds one record line per job
-    // (ups-sweep-record/v4), so the artifact's keys live in the union.
-    assert_covered("BENCH_sweep.json", &["ups-sweep/v4", "ups-sweep-record/v4"]);
+    // (ups-sweep-record/v5), each of which may embed a forensics block
+    // (ups-forensics/v1), so the artifact's keys live in the union.
+    assert_covered(
+        "BENCH_sweep.json",
+        &["ups-sweep/v4", "ups-sweep-record/v5", "ups-forensics/v1"],
+    );
 }
 
 #[test]
@@ -83,6 +87,11 @@ fn bench_artifacts_are_covered_by_the_lock() {
     ] {
         assert_covered(artifact, &[tag]);
     }
+    // The divergence bench embeds one forensics block per row.
+    assert_covered(
+        "BENCH_divergence.json",
+        &["ups-bench-divergence/v1", "ups-forensics/v1"],
+    );
 }
 
 #[test]
@@ -95,6 +104,7 @@ fn every_artifact_schema_tag_is_locked() {
         "BENCH_failures.json",
         "BENCH_scale.json",
         "BENCH_obs.json",
+        "BENCH_divergence.json",
     ] {
         let text = fs::read_to_string(repo_root().join(artifact)).expect("committed artifact");
         // Every `"schema": "<tag>"` value in the document (the envelope
@@ -140,7 +150,7 @@ fn validator_required_fields_are_locked() {
             "ups-sweep/v4 lock misses required field {field}"
         );
     }
-    let record = &lock["ups-sweep-record/v4"];
+    let record = &lock["ups-sweep-record/v5"];
     for field in [
         "schema",
         "job_id",
@@ -149,10 +159,25 @@ fn validator_required_fields_are_locked() {
         "failures",
         "inflight",
         "disruption",
+        "divergence",
     ] {
         assert!(
             record.contains(field),
-            "ups-sweep-record/v4 lock misses required field {field}"
+            "ups-sweep-record/v5 lock misses required field {field}"
+        );
+    }
+    // The forensics block's conservation-checked fields.
+    let forensics = &lock["ups-forensics/v1"];
+    for field in [
+        "mismatches",
+        "overdue_within_t",
+        "bucket_collision",
+        "exit_only",
+        "top_nodes",
+    ] {
+        assert!(
+            forensics.contains(field),
+            "ups-forensics/v1 lock misses required field {field}"
         );
     }
 }

@@ -138,7 +138,10 @@ mod tests {
         assert!(run.sim.injected > 0);
         // The trace recorded the as-executed schedule: every delivered
         // packet has an exit time.
-        assert!(run.trace.delivered().count() > 300, "data + acks recorded");
+        assert!(
+            run.trace.delivered().expect("resident trace").count() > 300,
+            "data + acks recorded"
+        );
     }
 
     #[test]

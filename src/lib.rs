@@ -19,6 +19,7 @@
 //! | [`transport`] | simplified TCP with §3 slack-stamping policies |
 //! | [`core`] | the replay framework, slack heuristics, appendix counterexamples |
 //! | [`dynamics`] | link-failure schedules, epoch-based rerouting, churn-robust replay |
+//! | [`forensics`] | replay-divergence attribution: mismatch taxonomy, per-hop blame, inversion classes |
 //! | [`metrics`] | CDFs, Jain index, FCT buckets, run summaries, table rendering |
 //! | [`obs`] | zero-cost-when-off probes, phase timers, time-series, Perfetto export |
 //! | [`sweep`] | parallel scenario-sweep engine: grids, work-stealing pool, result store |
@@ -62,6 +63,7 @@
 
 pub use ups_core as core;
 pub use ups_dynamics as dynamics;
+pub use ups_forensics as forensics;
 pub use ups_lint as lint;
 pub use ups_metrics as metrics;
 pub use ups_netsim as netsim;
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use ups_dynamics::{
         churn_replay, run_schedule_with_failures, DynamicRouting, FailureProfile, FailureSchedule,
     };
+    pub use ups_forensics::{BlameCollector, ReplayFlavor};
     pub use ups_metrics::{jain_index, jain_series, mean_fct_by_bucket, Cdf, FlowSample};
     pub use ups_netsim::prelude::*;
     pub use ups_sweep::{JobRecord, JobSpec, ScenarioGrid, TrafficMode};

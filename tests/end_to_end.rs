@@ -78,6 +78,7 @@ fn whole_pipeline_is_deterministic() {
         let exits: Vec<_> = outcome
             .replay
             .delivered()
+            .expect("EndToEnd traces are resident")
             .map(|(id, r)| (id, r.exited))
             .collect();
         (outcome.report.overdue, exits)
